@@ -1,0 +1,41 @@
+// Ablation A5: congestion-control choice under Wira initialization.
+//
+// The paper deploys on BBRv1 ("we select the BBR (with version 1) scheme
+// to support the above-parameter configurations").  This bench checks how
+// much of Wira's benefit survives on a loss-based controller (NewReno):
+// the init_cwnd part transfers, the pacing part matters less because
+// NewReno is window-clocked.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace wira;
+using namespace wira::exp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  std::printf("Ablation: congestion controller under Wira, %zu sessions "
+              "per point\n", args.sessions / 2);
+
+  Table t({"cc", "Baseline (ms)", "Wira (ms)", "gain", "Baseline p90",
+           "Wira p90"});
+  for (auto algo : {cc::CcAlgo::kBbrV1, cc::CcAlgo::kCubic, cc::CcAlgo::kNewReno}) {
+    PopulationConfig cfg;
+    cfg.sessions = args.sessions / 2;
+    cfg.seed = args.seed;
+    cfg.cc_algo = algo;
+    cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
+    const auto records = run_population(cfg);
+    const Samples base = collect_ffct(records, core::Scheme::kBaseline);
+    const Samples wira = collect_ffct(records, core::Scheme::kWira);
+    t.row({algo == cc::CcAlgo::kBbrV1 ? "BBRv1"
+           : algo == cc::CcAlgo::kCubic ? "CUBIC" : "NewReno",
+           fmt(base.mean()), fmt(wira.mean()),
+           fmt_gain(base.mean(), wira.mean()),
+           fmt(base.percentile(90)), fmt(wira.percentile(90))});
+  }
+  t.print();
+  std::printf("(pacing-based BBR benefits most from Eq. 2, as the paper "
+              "argues in §II-B)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A6: careful resume from the transport cookie.
+//
+// An obvious-seeming extension of Wira: if the cookie is a converged
+// model of the path, why run BBR's high-gain STARTUP at all?  Seed the
+// bandwidth filter and jump straight to PROBE_BW
+// (CongestionController::resume_from_history — the QUIC "careful resume"
+// idea).  This bench quantifies why the library ships with it OFF: the
+// cookie's MaxBW systematically *under*-estimates app-limited paths, and
+// without startup's exponential correction the whole session stays
+// pinned at the remembered rate — the first frame is fine, the follow-up
+// backlog suffers badly.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace wira;
+using namespace wira::exp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  std::printf("Ablation: careful resume on/off, %zu sessions per point\n",
+              args.sessions / 2);
+
+  Table t({"mode", "FFCT avg (ms)", "FFCT p90", "frame4 avg (ms)",
+           "frame2 loss"});
+  for (bool resume : {false, true}) {
+    PopulationConfig cfg;
+    cfg.sessions = args.sessions / 2;
+    cfg.seed = args.seed;
+    cfg.careful_resume = resume;
+    cfg.schemes = {core::Scheme::kWira};
+    const auto records = run_population(cfg);
+
+    Samples ffct, frame4, loss2;
+    for (const auto& r : records) {
+      const auto& res = r.results.at(core::Scheme::kWira);
+      if (!res.first_frame_completed) continue;
+      ffct.add(to_ms(res.ffct));
+      if (res.frames.size() >= 4 && res.frames[3].completion != kNoTime) {
+        frame4.add(to_ms(res.frames[3].completion));
+      }
+      if (res.frames.size() >= 2 && res.frames[1].completion != kNoTime) {
+        loss2.add(res.frames[1].loss_rate);
+      }
+    }
+    t.row({resume ? "resume (skip startup)" : "startup (default)",
+           fmt(ffct.mean()), fmt(ffct.percentile(90)), fmt(frame4.mean()),
+           fmt(100 * loss2.mean()) + "%"});
+  }
+  t.print();
+  std::printf("(resume trades a small first-frame smoothing for a large "
+              "follow-up throughput loss on under-estimated cookies)\n");
+  return 0;
+}

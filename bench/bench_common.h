@@ -1,0 +1,57 @@
+// Shared helpers for the figure/table bench binaries.
+//
+// Every binary accepts an optional first argument overriding the number of
+// Monte-Carlo sessions (default kDefaultSessions) and an optional second
+// argument overriding the seed, so `./fig11_overall 2000 7` scales the run.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/population_experiment.h"
+#include "exp/table.h"
+#include "util/stats.h"
+
+namespace wira::bench {
+
+inline constexpr size_t kDefaultSessions = 250;
+
+struct Args {
+  size_t sessions = kDefaultSessions;
+  uint64_t seed = 1;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.sessions = static_cast<size_t>(std::atoll(argv[1]));
+  if (argc > 2) a.seed = static_cast<uint64_t>(std::atoll(argv[2]));
+  return a;
+}
+
+inline exp::PopulationConfig default_population(const Args& a) {
+  exp::PopulationConfig cfg;
+  cfg.sessions = a.sessions;
+  cfg.seed = a.seed;
+  return cfg;
+}
+
+/// Standard FFCT summary row: scheme, mean, p50, p70, p90, p95 (ms) and
+/// the gain vs. a baseline mean.
+inline std::vector<std::string> ffct_row(const std::string& name,
+                                         const Samples& s,
+                                         double baseline_mean) {
+  return {name,
+          fmt(s.mean()),
+          fmt(s.percentile(50)),
+          fmt(s.percentile(70)),
+          fmt(s.percentile(90)),
+          fmt(s.percentile(95)),
+          fmt_gain(baseline_mean, s.mean()),
+          std::to_string(s.count())};
+}
+
+inline const std::vector<std::string> kFfctHeaders = {
+    "scheme", "avg(ms)", "p50", "p70", "p90", "p95", "avg-gain", "n"};
+
+}  // namespace wira::bench

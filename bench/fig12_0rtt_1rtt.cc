@@ -1,0 +1,44 @@
+// Figure 12: FFCT benefits split by connection-establishment mode.
+//
+// Paper anchors: ~90% of streams are 0-RTT.  0-RTT: baseline avg 169.0 ms
+// -> Wira 152.9 (-9.5%), p90 440.3 -> 367.4 (-16.6%).  1-RTT: baseline
+// avg 84.4 -> 66.5 (-21.3%), p90 180.4 -> 121.8 (-32.5%).  1-RTT gains
+// exceed 0-RTT gains because the handshake measures the path RTT before
+// the first frame is sent.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace wira;
+using namespace wira::exp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  auto cfg = bench::default_population(args);
+  std::printf("Figure 12: 0-RTT vs 1-RTT FFCT (%zu paired sessions, "
+              "~%.0f%% 0-RTT)\n", cfg.sessions, 100 * cfg.p_zero_rtt);
+  const auto records = run_population(cfg);
+
+  for (bool zero_rtt : {true, false}) {
+    auto filt = [zero_rtt](const SessionRecord& r) {
+      return r.zero_rtt == zero_rtt;
+    };
+    banner(zero_rtt ? "Fig. 12(a)/(b): 0-RTT streams"
+                    : "Fig. 12(c)/(d): 1-RTT streams");
+    Table t(bench::kFfctHeaders);
+    const Samples base =
+        collect_ffct(records, core::Scheme::kBaseline, filt);
+    for (auto scheme : cfg.schemes) {
+      const Samples s = collect_ffct(records, scheme, filt);
+      t.row(bench::ffct_row(core::scheme_name(scheme), s, base.mean()));
+    }
+    t.print();
+    const Samples wira = collect_ffct(records, core::Scheme::kWira, filt);
+    std::printf("Wira gain: avg %s, p90 %s   (paper: %s)\n",
+                fmt_gain(base.mean(), wira.mean()).c_str(),
+                fmt_gain(base.percentile(90), wira.percentile(90)).c_str(),
+                zero_rtt ? "avg -9.5%, p90 -16.6%"
+                         : "avg -21.3%, p90 -32.5%");
+  }
+  return 0;
+}

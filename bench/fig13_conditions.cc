@@ -1,0 +1,112 @@
+// Figure 13: FFCT benefits under different first-frame and network
+// conditions, bucketed by FF_Size (a), MinRTT (b), MaxBW (c) and
+// retransmission ratio (d).
+//
+// Paper anchors: (a) gains grow with FF_Size: -4.1% for (30,50] KB but
+// -20.2% for (80,150] KB, where Wira(FF) beats Wira(Hx); (b) -6.6..-12.7%
+// below 100 ms MinRTT, deteriorating above; (c) best at (10,20] Mbps
+// (-9.4%), <2.8% below 10 Mbps; (d) -8.6..-17.2% for retransmission ratio
+// (1,10]%.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace wira;
+using namespace wira::exp;
+
+namespace {
+
+using Filter = std::function<bool(const SessionRecord&)>;
+
+void bucket_table(const std::vector<SessionRecord>& records,
+                  const std::vector<std::pair<std::string, Filter>>& buckets,
+                  const std::string& title) {
+  banner(title);
+  Table t({"bucket", "n", "Baseline", "Wira(FF)", "Wira(Hx)", "Wira",
+           "Wira gain"});
+  for (const auto& [name, filter] : buckets) {
+    const Samples base =
+        collect_ffct(records, core::Scheme::kBaseline, filter);
+    const Samples ff = collect_ffct(records, core::Scheme::kWiraFF, filter);
+    const Samples hx = collect_ffct(records, core::Scheme::kWiraHx, filter);
+    const Samples wira = collect_ffct(records, core::Scheme::kWira, filter);
+    if (base.count() < 3) {
+      t.row({name, std::to_string(base.count()), "-", "-", "-", "-", "-"});
+      continue;
+    }
+    t.row({name, std::to_string(base.count()), fmt(base.mean()),
+           fmt(ff.mean()), fmt(hx.mean()), fmt(wira.mean()),
+           fmt_gain(base.mean(), wira.mean())});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  auto cfg = bench::default_population(args);
+  std::printf("Figure 13: FFCT benefits by condition "
+              "(%zu paired sessions; avg FFCT in ms)\n", cfg.sessions);
+  const auto records = run_population(cfg);
+
+  auto ff_bucket = [](double lo_kb, double hi_kb) {
+    return Filter([lo_kb, hi_kb](const SessionRecord& r) {
+      const double kb = static_cast<double>(r.ff_size) / 1000.0;
+      return kb > lo_kb && kb <= hi_kb;
+    });
+  };
+  bucket_table(records,
+               {{"(0,30] KB", ff_bucket(0, 30)},
+                {"(30,50] KB", ff_bucket(30, 50)},
+                {"(50,80] KB", ff_bucket(50, 80)},
+                {"(80,150] KB", ff_bucket(80, 150)},
+                {"(150,250] KB", ff_bucket(150, 250)}},
+               "Fig. 13(a): by FF_Size (paper: -4.1% at (30,50], -20.2% at "
+               "(80,150], Wira(FF) < Wira(Hx) for large frames)");
+
+  auto rtt_bucket = [](double lo_ms, double hi_ms) {
+    return Filter([lo_ms, hi_ms](const SessionRecord& r) {
+      const double ms = to_ms(r.conditions.min_rtt);
+      return ms > lo_ms && ms <= hi_ms;
+    });
+  };
+  bucket_table(records,
+               {{"(0,50] ms", rtt_bucket(0, 50)},
+                {"(50,100] ms", rtt_bucket(50, 100)},
+                {"(100,200] ms", rtt_bucket(100, 200)},
+                {"(200,800] ms", rtt_bucket(200, 800)}},
+               "Fig. 13(b): by MinRTT (paper: -6.6..-12.7% below 100 ms, "
+               "worse above)");
+
+  auto bw_bucket = [](double lo, double hi) {
+    return Filter([lo, hi](const SessionRecord& r) {
+      const double m = to_mbps(r.conditions.max_bw);
+      return m > lo && m <= hi;
+    });
+  };
+  bucket_table(records,
+               {{"(0,10] Mbps", bw_bucket(0, 10)},
+                {"(10,20] Mbps", bw_bucket(10, 20)},
+                {"(20,60] Mbps", bw_bucket(20, 60)}},
+               "Fig. 13(c): by MaxBW (paper: <2.8% below 10 Mbps, -9.4% at "
+               "(10,20], -4.9% at (20,60])");
+
+  auto retx_bucket = [](double lo, double hi) {
+    return Filter([lo, hi](const SessionRecord& r) {
+      auto it = r.results.find(core::Scheme::kBaseline);
+      if (it == r.results.end()) return false;
+      const double pct = 100 * it->second.retransmission_ratio;
+      return pct > lo && pct <= hi;
+    });
+  };
+  bucket_table(records,
+               {{"[0,1]%", retx_bucket(-1, 1)},
+                {"(1,5]%", retx_bucket(1, 5)},
+                {"(5,10]%", retx_bucket(5, 10)},
+                {"(10,30]%", retx_bucket(10, 30)}},
+               "Fig. 13(d): by baseline retransmission ratio (paper: "
+               "-8.6..-17.2% in (1,10]%)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks: transport-cookie codec and sealing — the per-handshake
+// server cost of statelessness (§IV-B argues this must beat a server-side
+// Hx_QoS store).
+#include <benchmark/benchmark.h>
+
+#include "core/transport_cookie.h"
+#include "quic/handshake.h"
+
+namespace {
+
+using namespace wira;
+using namespace wira::core;
+
+HxQosRecord sample_record() {
+  HxQosRecord r;
+  r.min_rtt = milliseconds(48);
+  r.max_bw = mbps(14);
+  r.server_timestamp = minutes(10);
+  r.od_key = 0x1234567890ABCDEFull;
+  return r;
+}
+
+void BM_TripleEncode(benchmark::State& state) {
+  const auto rec = sample_record();
+  for (auto _ : state) {
+    auto bytes = encode_hxqos_triples(rec);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_TripleEncode);
+
+void BM_TripleDecode(benchmark::State& state) {
+  const auto bytes = encode_hxqos_triples(sample_record());
+  for (auto _ : state) {
+    auto rec = decode_hxqos_triples(bytes);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_TripleDecode);
+
+void BM_CookieSeal(benchmark::State& state) {
+  CookieSealer sealer(crypto::key_from_string("bench"));
+  const auto rec = sample_record();
+  for (auto _ : state) {
+    auto blob = sealer.seal(rec);
+    benchmark::DoNotOptimize(blob.data());
+  }
+}
+BENCHMARK(BM_CookieSeal);
+
+void BM_CookieOpen(benchmark::State& state) {
+  CookieSealer sealer(crypto::key_from_string("bench"));
+  const auto blob = sealer.seal(sample_record());
+  for (auto _ : state) {
+    auto rec = sealer.open(blob);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_CookieOpen);
+
+void BM_CookieOpenTampered(benchmark::State& state) {
+  // Rejection cost (a hostile client cannot make the server do more work
+  // than one failed MAC check).
+  CookieSealer sealer(crypto::key_from_string("bench"));
+  auto blob = sealer.seal(sample_record());
+  blob[10] ^= 1;
+  for (auto _ : state) {
+    auto rec = sealer.open(blob);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_CookieOpenTampered);
+
+void BM_HqstRoundTrip(benchmark::State& state) {
+  CookieSealer sealer(crypto::key_from_string("bench"));
+  quic::HqstPayload p;
+  p.supports_sync = true;
+  p.client_recv_time_ms = 123;
+  p.sealed_cookie = sealer.seal(sample_record());
+  for (auto _ : state) {
+    auto parsed = quic::parse_hqst(quic::serialize_hqst(p));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_HqstRoundTrip);
+
+void BM_ClientStoreLookup(benchmark::State& state) {
+  ClientCookieStore store;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    store.store(i, {1, 2, 3, 4}, milliseconds(static_cast<int64_t>(i)));
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    auto e = store.lookup(key++ % 1000);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ClientStoreLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Microbenchmarks: crypto substrate (ChaCha20, Poly1305, AEAD seal/open).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace {
+
+using namespace wira::crypto;
+
+void BM_ChaCha20Xor(benchmark::State& state) {
+  const Key key = key_from_string("bench");
+  const Nonce nonce = nonce_from_u64(1);
+  std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    chacha20_xor(key, 1, nonce, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20Xor)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Poly1305(benchmark::State& state) {
+  std::array<uint8_t, kPolyKeySize> key{};
+  key[0] = 1;
+  std::vector<uint8_t> msg(static_cast<size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    auto tag = poly1305(key, msg);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Poly1305)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadSeal(benchmark::State& state) {
+  const Key key = key_from_string("bench");
+  std::vector<uint8_t> pt(static_cast<size_t>(state.range(0)), 0x11);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    auto sealed = aead_seal(key, nonce_from_u64(++seq), {}, pt);
+    benchmark::DoNotOptimize(sealed.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(48)->Arg(1024);
+
+void BM_AeadOpen(benchmark::State& state) {
+  const Key key = key_from_string("bench");
+  std::vector<uint8_t> pt(static_cast<size_t>(state.range(0)), 0x11);
+  const auto sealed = aead_seal(key, nonce_from_u64(7), {}, pt);
+  for (auto _ : state) {
+    auto opened = aead_open(key, nonce_from_u64(7), {}, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(48)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmarks: QUIC wire codecs and end-to-end emulated sessions
+// (sessions/second bounds how large the Monte-Carlo experiments can be).
+#include <benchmark/benchmark.h>
+
+#include "exp/session_runner.h"
+#include "quic/packet.h"
+
+namespace {
+
+using namespace wira;
+using namespace wira::quic;
+
+Packet make_data_packet() {
+  Packet p;
+  p.type = PacketType::kOneRtt;
+  p.conn_id = 7;
+  p.packet_number = 12345;
+  RangeSet acked;
+  acked.add(100, 200);
+  acked.add(250, 300);
+  p.frames.push_back(build_ack(acked, milliseconds(1)));
+  StreamFrame f;
+  f.stream_id = 3;
+  f.offset = 1 << 20;
+  f.data.assign(1350, 0xCD);
+  p.frames.push_back(std::move(f));
+  return p;
+}
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const Packet p = make_data_packet();
+  for (auto _ : state) {
+    auto bytes = serialize_packet(p);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_PacketSerialize);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto bytes = serialize_packet(make_data_packet());
+  for (auto _ : state) {
+    auto p = parse_packet(bytes);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_HandshakeSerializeParse(benchmark::State& state) {
+  HandshakeMessage chlo;
+  chlo.msg_tag = kTagCHLO;
+  chlo.set_str(kTagVER, "Q043");
+  chlo.set(kTagSCID, std::vector<uint8_t>{0xAA, 0xBB});
+  chlo.set(kTagHQST, std::vector<uint8_t>(73, 0x33));
+  for (auto _ : state) {
+    auto parsed = parse_handshake(serialize_handshake(chlo));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_HandshakeSerializeParse);
+
+void BM_FullSession(benchmark::State& state) {
+  // One complete emulated live-streaming session (handshake, ~1 MB of
+  // media, loss recovery, cookie sync) per iteration.
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    exp::SessionConfig cfg;
+    cfg.path.bandwidth = mbps(12);
+    cfg.path.rtt = milliseconds(60);
+    cfg.path.loss_rate = 0.01;
+    cfg.stream.iframe_mean_bytes = 50'000;
+    cfg.seed = ++seed;
+    cfg.scheme = core::Scheme::kWira;
+    auto r = exp::run_session(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("one 8s live session per iteration");
+}
+BENCHMARK(BM_FullSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

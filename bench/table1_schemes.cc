@@ -1,0 +1,66 @@
+// Table I: parameter configurations of init_cwnd and init_pacing for each
+// comparison scheme, with the resolved values for a concrete connection.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/init_config.h"
+
+using namespace wira;
+using namespace wira::core;
+
+int main() {
+  std::printf("Table I: scheme configuration matrix\n");
+  exp::Table t({"scheme", "init_cwnd", "init_pacing"});
+  t.row({"Baseline", "init_cwnd_exp", "init_cwnd/init_RTT_exp"});
+  t.row({"Wira(FF)", "FF_Size", "init_cwnd/init_RTT_exp"});
+  t.row({"Wira(Hx)", "BDP", "MaxBW"});
+  t.row({"Wira", "min{FF_Size, BDP}", "MaxBW"});
+  t.print();
+
+  exp::banner("Resolved values: FF_Size = 66 KB, cookie = {MinRTT 50 ms, "
+              "MaxBW 8 Mbps, fresh}");
+  ExperiencedDefaults defaults;
+  HxQosRecord cookie;
+  cookie.min_rtt = milliseconds(50);
+  cookie.max_bw = mbps(8);
+  cookie.server_timestamp = 0;
+
+  InitInputs in;
+  in.ff_size = 66'000;
+  in.hx_qos = cookie;
+  in.now = minutes(5);
+
+  exp::Table r({"scheme", "init_cwnd (KB)", "init_pacing (Mbps)",
+                "uses FF", "uses Hx"});
+  for (Scheme s : {Scheme::kBaseline, Scheme::kWiraFF, Scheme::kWiraHx,
+                   Scheme::kWira}) {
+    const InitDecision d = compute_init(s, in, defaults);
+    r.row({scheme_name(s),
+           fmt(static_cast<double>(d.init_cwnd) / 1000.0),
+           fmt(to_mbps(d.init_pacing)),
+           d.used_ff_size ? "yes" : "no",
+           d.used_hx_qos ? "yes" : "no"});
+  }
+  r.print();
+
+  exp::banner("Corner cases (§IV-C)");
+  exp::Table c({"case", "init_cwnd (KB)", "init_pacing (Mbps)"});
+  {
+    InitInputs cc1 = in;
+    cc1.ff_size = std::nullopt;  // FF_Size not parsed yet
+    const auto d = compute_init(Scheme::kWira, cc1, defaults);
+    c.row({"1: FF pending (init_cwnd_exp substitutes)",
+           fmt(static_cast<double>(d.init_cwnd) / 1000.0),
+           fmt(to_mbps(d.init_pacing))});
+  }
+  {
+    InitInputs cc2 = in;
+    cc2.now = minutes(61);  // cookie older than Delta = 60 min
+    const auto d = compute_init(Scheme::kWira, cc2, defaults);
+    c.row({"2: stale cookie (FF_Size / init_RTT_exp)",
+           fmt(static_cast<double>(d.init_cwnd) / 1000.0),
+           fmt(to_mbps(d.init_pacing))});
+  }
+  c.print();
+  return 0;
+}

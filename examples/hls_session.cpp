@@ -1,0 +1,58 @@
+// HLS-TS session: the same Wira pipeline over an MPEG transport stream
+// instead of HTTP-FLV — Frame Perception sniffs the 0x47 sync byte,
+// learns the video PID from the PMT, and finds the first-frame boundary
+// at the next video access unit.
+//
+//   $ ./hls_session
+#include <cstdio>
+
+#include "exp/session_runner.h"
+
+using namespace wira;
+
+int main() {
+  exp::SessionConfig cfg;
+  cfg.path.bandwidth = mbps(14);
+  cfg.path.rtt = milliseconds(55);
+  cfg.path.loss_rate = 0.004;
+  cfg.path.buffer_bytes = 128 * 1024;
+
+  cfg.stream.stream_id = 8;
+  cfg.stream.container = media::Container::kMpegTs;
+  cfg.stream.iframe_mean_bytes = 55'000;
+
+  core::HxQosRecord cookie;
+  cookie.min_rtt = milliseconds(52);
+  cookie.max_bw = mbps(13);
+  cookie.server_timestamp = 0;
+  cfg.cookie = cookie;
+  cfg.start_time = minutes(3);
+  cfg.scheme = core::Scheme::kWira;
+  cfg.seed = 77;
+
+  std::printf("HLS-TS live session through the Wira proxy\n\n");
+  const auto wira = exp::run_session(cfg);
+  if (!wira.first_frame_completed) {
+    std::printf("first frame did not complete\n");
+    return 1;
+  }
+  cfg.scheme = core::Scheme::kBaseline;
+  const auto base = exp::run_session(cfg);
+
+  std::printf("container           : MPEG-TS (188-byte cells, PAT/PMT, "
+              "PES)\n");
+  std::printf("parsed FF_Size      : %.1f KB (boundary = next video "
+              "access unit)\n",
+              static_cast<double>(wira.ff_size) / 1000.0);
+  std::printf("init_cwnd / pacing  : %.1f KB / %.1f Mbps\n",
+              static_cast<double>(wira.init.init_cwnd) / 1000.0,
+              to_mbps(wira.init.init_pacing));
+  std::printf("FFCT  Wira          : %.1f ms\n", to_ms(wira.ffct));
+  std::printf("FFCT  Baseline      : %.1f ms  (Wira %+.1f%%)\n",
+              to_ms(base.ffct),
+              100.0 * static_cast<double>(wira.ffct - base.ffct) /
+                  static_cast<double>(base.ffct));
+  std::printf("\nThe same Table-I initialization applies unchanged: the "
+              "container only changes how FF_Size is perceived.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The Wira CDN proxy server (Fig. 10): accepts a QUIC connection, pulls the
+// requested live stream from the (local) origin, runs every outgoing byte
+// through Frame Perception, initializes the send controller from the
+// Table-I scheme, and periodically synchronizes the transport cookie.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/frame_parser.h"
+#include "core/init_config.h"
+#include "core/transport_cookie.h"
+#include "media/stream_source.h"
+#include "quic/connection.h"
+#include "sim/event_loop.h"
+
+namespace wira::app {
+
+struct ServerConfig {
+  core::Scheme scheme = core::Scheme::kWira;
+  core::ExperiencedDefaults defaults;
+  uint32_t theta_vf = 1;
+  TimeNs sync_period = core::kDefaultSyncPeriod;
+  TimeNs staleness_threshold = core::kDefaultStaleness;
+  cc::CcAlgo cc_algo = cc::CcAlgo::kBbrV1;
+  bool cookie_sync_enabled = true;
+  /// Seed the congestion controller's converged state from a fresh cookie
+  /// (skip BBR startup).  Off by default: cookies under-estimate
+  /// app-limited paths, and without startup the session stays pinned at
+  /// the remembered rate (see bench/abl_resume).
+  bool careful_resume = false;
+  crypto::Key master_key{};         ///< cookie-sealing master secret
+  uint64_t expected_od_key = 0;     ///< cookie binding check (§VII)
+  /// Group-average QoS for Scheme::kUserGroup (what a per-UG model would
+  /// predict for this client); ignored by the other schemes.
+  std::optional<core::HxQosRecord> ug_qos;
+  quic::ConnectionId conn_id = 1;
+  /// Origin-fetch latency: the gap between the client request reaching the
+  /// proxy and stream bytes arriving from the origin.  Non-zero values
+  /// exercise corner case 1 (FF_Size parsed after the first bytes ship).
+  TimeNs origin_latency = milliseconds(5);
+  /// Proxy<->origin throughput; staggers join-burst chunk arrivals.
+  Bandwidth origin_bandwidth = mbps(200);
+  /// Stop producing live frames after this stream-time horizon.
+  TimeNs stream_horizon = seconds(12);
+  /// Testbed override: fixed init_cwnd/init_pacing instead of the Table-I
+  /// scheme computation (used by the Fig. 2 parameter sweeps).
+  struct ManualInit {
+    uint64_t init_cwnd = 0;
+    Bandwidth init_pacing = 0;
+  };
+  std::optional<ManualInit> manual_init;
+};
+
+class WiraServer {
+ public:
+  using SendFn = quic::Connection::SendDatagramFn;
+
+  WiraServer(sim::EventLoop& loop, const media::LiveStream& stream,
+             ServerConfig config, SendFn send);
+
+  void on_datagram(std::span<const uint8_t> data) {
+    conn_.on_datagram(data);
+  }
+
+  quic::Connection& connection() { return conn_; }
+  const quic::Connection& connection() const { return conn_; }
+  const core::FrameParser& parser() const { return parser_; }
+  const core::InitDecision& last_init() const { return last_init_; }
+  /// The Hx_QoS record recovered from the client's cookie (if any).
+  const std::optional<core::HxQosRecord>& received_cookie() const {
+    return received_cookie_;
+  }
+  /// Number of Hx_QoS sync packets sent so far.
+  uint64_t cookies_synced() const { return cookies_synced_; }
+  /// Server config id clients must cache for 0-RTT.
+  const std::vector<uint8_t>& server_config_id() const { return scid_; }
+
+ private:
+  void on_handshake_message(const quic::HandshakeMessage& msg);
+  void on_request(std::span<const uint8_t> data);
+  void apply_init();                 ///< (re)compute Table-I parameters
+  void start_streaming();
+  void deliver_from_origin(media::StreamChunk chunk);
+  void schedule_live_tail(TimeNs from_pts);
+  void sync_cookie();
+
+  sim::EventLoop& loop_;
+  const media::LiveStream& stream_;
+  ServerConfig config_;
+  quic::Connection conn_;
+  core::FrameParser parser_;
+  core::CookieSealer sealer_;
+
+  std::optional<core::HxQosRecord> received_cookie_;
+  bool client_supports_sync_ = false;  ///< HQST Bool from the CHLO
+  core::InitDecision last_init_;
+  std::optional<uint64_t> parsed_ff_size_;
+  bool streaming_ = false;
+  TimeNs join_time_ = 0;
+  Bandwidth session_max_bw_ = 0;   ///< running max of cc bandwidth estimate
+  uint64_t cookies_synced_ = 0;
+  std::vector<uint8_t> scid_ = {0x57, 0x49, 0x52, 0x41};  // "WIRA"
+};
+
+}  // namespace wira::app

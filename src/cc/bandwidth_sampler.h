@@ -1,0 +1,56 @@
+// Per-packet delivery-rate estimator (the technique from the BBR paper /
+// draft-cheng-iccrg-delivery-rate-estimation): each sent packet snapshots
+// the delivered-bytes counter; each ACK yields bandwidth =
+// delta(delivered) / delta(time), marked app-limited when the sender was
+// starved at send time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/units.h"
+
+namespace wira::cc {
+
+struct RateSample {
+  Bandwidth bandwidth = 0;
+  bool app_limited = false;
+  TimeNs interval = 0;
+};
+
+class BandwidthSampler {
+ public:
+  void on_packet_sent(TimeNs now, uint64_t packet_number, uint64_t bytes,
+                      uint64_t bytes_in_flight);
+
+  /// Processes one acked packet and returns its rate sample
+  /// (bandwidth == 0 when the packet was not tracked or interval is zero).
+  RateSample on_packet_acked(TimeNs now, uint64_t packet_number);
+
+  /// Forgets a lost packet (no sample).
+  void on_packet_lost(uint64_t packet_number);
+
+  /// Marks the connection app-limited: samples from packets sent from now
+  /// until delivered catches up are flagged.
+  void on_app_limited() { app_limited_until_ = delivered_ + 1; }
+
+  uint64_t total_delivered() const { return delivered_; }
+
+ private:
+  struct PacketState {
+    uint64_t bytes = 0;
+    uint64_t delivered_at_send = 0;
+    TimeNs delivered_time_at_send = 0;
+    TimeNs first_sent_time = 0;
+    TimeNs sent_time = 0;
+    bool app_limited = false;
+  };
+
+  uint64_t delivered_ = 0;
+  TimeNs delivered_time_ = 0;
+  TimeNs first_sent_time_ = 0;
+  uint64_t app_limited_until_ = 0;
+  std::unordered_map<uint64_t, PacketState> packets_;
+};
+
+}  // namespace wira::cc

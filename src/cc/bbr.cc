@@ -1,0 +1,299 @@
+#include "cc/bbr.h"
+
+#include <algorithm>
+
+namespace wira::cc {
+
+namespace {
+constexpr double kHighGain = 2.885;  // 2/ln(2)
+constexpr double kDrainGain = 1.0 / kHighGain;
+constexpr double kProbeBwCwndGain = 2.0;
+constexpr double kPacingGainCycle[8] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+constexpr int64_t kBwWindowRounds = 10;
+constexpr TimeNs kMinRttWindow = seconds(10);
+constexpr TimeNs kProbeRttDuration = milliseconds(200);
+constexpr uint64_t kMinCwnd = 4 * kMss;
+constexpr double kStartupGrowthTarget = 1.25;
+constexpr int kFullBwRounds = 3;
+}  // namespace
+
+BbrV1::BbrV1()
+    : max_bw_(kBwWindowRounds),
+      cwnd_(kDefaultInitCwndPackets * kMss),
+      init_cwnd_(kDefaultInitCwndPackets * kMss) {
+  enter_startup();
+}
+
+void BbrV1::enter_startup() {
+  mode_ = Mode::kStartup;
+  pacing_gain_ = kHighGain;
+  cwnd_gain_ = kHighGain;
+}
+
+void BbrV1::enter_probe_bw(TimeNs now) {
+  mode_ = Mode::kProbeBw;
+  cwnd_gain_ = kProbeBwCwndGain;
+  // Start the cycle at a random-ish phase other than the 0.75 drain phase;
+  // deterministic here (phase chosen by round count) to keep runs
+  // reproducible.
+  cycle_index_ = static_cast<int>(round_count_ % 7);
+  if (cycle_index_ == 1) cycle_index_ = 2;
+  pacing_gain_ = kPacingGainCycle[cycle_index_];
+  cycle_start_ = now;
+}
+
+uint64_t BbrV1::bdp(double gain) const {
+  const Bandwidth bw = max_bw_.best();
+  if (bw == 0 || min_rtt_ == kNoTime) return 0;
+  return static_cast<uint64_t>(
+      gain * static_cast<double>(bdp_bytes(bw, min_rtt_)));
+}
+
+uint64_t BbrV1::target_cwnd(double gain) const {
+  const uint64_t b = bdp(gain);
+  if (b == 0) return init_cwnd_;
+  // Quantization allowance for delayed ACKs / pacer chunking.
+  return std::max(b + 3 * kMss, kMinCwnd);
+}
+
+void BbrV1::on_packet_sent(TimeNs /*now*/, uint64_t packet_number,
+                           uint64_t /*bytes*/, uint64_t /*in_flight*/,
+                           bool /*retransmittable*/) {
+  last_sent_packet_ = packet_number;
+}
+
+void BbrV1::check_full_bandwidth(bool round_start, bool app_limited) {
+  if (full_bw_reached_ || !round_start || app_limited) return;
+  if (max_bw_.best() >=
+      static_cast<Bandwidth>(static_cast<double>(full_bw_) *
+                             kStartupGrowthTarget)) {
+    full_bw_ = max_bw_.best();
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= kFullBwRounds) full_bw_reached_ = true;
+}
+
+void BbrV1::update_gain_cycle(const CongestionEvent& ev) {
+  if (min_rtt_ == kNoTime) return;
+  bool advance = ev.now - cycle_start_ > min_rtt_;
+  // Stay in the 1.25 probing phase until inflight reaches the inflated
+  // target (unless losses occurred); leave the 0.75 phase as soon as the
+  // queue is drained.
+  if (pacing_gain_ > 1.0 && ev.lost.empty() &&
+      ev.prior_bytes_in_flight < target_cwnd(pacing_gain_)) {
+    advance = false;
+  }
+  if (pacing_gain_ < 1.0 && ev.prior_bytes_in_flight <= target_cwnd(1.0)) {
+    advance = true;
+  }
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % 8;
+    cycle_start_ = ev.now;
+    pacing_gain_ = kPacingGainCycle[cycle_index_];
+  }
+}
+
+void BbrV1::maybe_enter_or_exit_probe_rtt(const CongestionEvent& ev,
+                                          bool round_start) {
+  const bool min_rtt_expired =
+      min_rtt_ != kNoTime &&
+      ev.now - min_rtt_timestamp_ > kMinRttWindow;
+
+  if (min_rtt_expired && mode_ != Mode::kProbeRtt) {
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    cwnd_gain_ = 1.0;
+    probe_rtt_done_at_ = kNoTime;
+    probe_rtt_round_done_ = false;
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_at_ == kNoTime &&
+        ev.prior_bytes_in_flight <= kMinCwnd + kMss) {
+      probe_rtt_done_at_ = ev.now + kProbeRttDuration;
+      probe_rtt_round_done_ = false;
+      probe_rtt_round_end_packet_ = last_sent_packet_;
+    }
+    if (probe_rtt_done_at_ != kNoTime) {
+      if (round_start) probe_rtt_round_done_ = true;
+      if (probe_rtt_round_done_ && ev.now >= probe_rtt_done_at_) {
+        min_rtt_timestamp_ = ev.now;
+        if (full_bw_reached_) {
+          enter_probe_bw(ev.now);
+        } else {
+          enter_startup();
+        }
+      }
+    }
+  }
+}
+
+void BbrV1::on_congestion_event(const CongestionEvent& ev) {
+  last_ack_time_ = ev.now;
+
+  uint64_t acked_bytes = 0;
+  uint64_t largest_acked = 0;
+  for (const auto& a : ev.acked) {
+    acked_bytes += a.bytes;
+    largest_acked = std::max(largest_acked, a.packet_number);
+  }
+  delivered_bytes_ += acked_bytes;
+
+  // Round tracking: a round ends when a packet sent after the previous
+  // round's end is acked.
+  bool round_start = false;
+  if (!ev.acked.empty() && largest_acked > current_round_end_packet_) {
+    round_start = true;
+    round_count_++;
+    current_round_end_packet_ = last_sent_packet_;
+  }
+
+  // Bandwidth filter update.
+  if (ev.bandwidth_sample > 0) {
+    if (!ev.app_limited_sample ||
+        ev.bandwidth_sample > max_bw_.best()) {
+      max_bw_.update(ev.bandwidth_sample,
+                     static_cast<int64_t>(round_count_));
+    }
+    have_bw_sample_ = true;
+  }
+
+  // Min-RTT tracking.
+  if (ev.latest_rtt != kNoTime &&
+      (min_rtt_ == kNoTime || ev.latest_rtt < min_rtt_)) {
+    min_rtt_ = ev.latest_rtt;
+    min_rtt_timestamp_ = ev.now;
+  }
+
+  check_full_bandwidth(round_start, ev.app_limited_sample);
+
+  if (mode_ == Mode::kStartup && full_bw_reached_) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = kDrainGain;
+    cwnd_gain_ = kHighGain;
+  }
+  if (mode_ == Mode::kDrain &&
+      ev.prior_bytes_in_flight <= target_cwnd(1.0)) {
+    enter_probe_bw(ev.now);
+  }
+  if (mode_ == Mode::kProbeBw) {
+    update_gain_cycle(ev);
+  }
+
+  maybe_enter_or_exit_probe_rtt(ev, round_start);
+
+  // Loss response: packet-conservation recovery (BBRv1 style).
+  if (!ev.lost.empty()) {
+    uint64_t lost_bytes = 0;
+    for (const auto& l : ev.lost) lost_bytes += l.bytes;
+    if (!in_recovery_) {
+      in_recovery_ = true;
+      recovery_end_packet_ = last_sent_packet_;
+      recovery_window_ =
+          std::max(ev.prior_bytes_in_flight > lost_bytes
+                       ? ev.prior_bytes_in_flight - lost_bytes
+                       : 0,
+                   kMinCwnd);
+    } else {
+      recovery_window_ =
+          recovery_window_ > lost_bytes ? recovery_window_ - lost_bytes
+                                        : kMinCwnd;
+    }
+    recovery_window_ = std::max(recovery_window_ + acked_bytes, kMinCwnd);
+  } else if (in_recovery_ && largest_acked > recovery_end_packet_) {
+    in_recovery_ = false;
+  }
+
+  // Congestion window evolution.
+  const uint64_t target = target_cwnd(cwnd_gain_);
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_ = std::min(cwnd_, kMinCwnd);
+  } else if (full_bw_reached_) {
+    cwnd_ = std::min(cwnd_ + acked_bytes, target);
+  } else {
+    // Startup: grow by acked bytes without a target cap, but never below
+    // the configured initial window.
+    cwnd_ = std::max(cwnd_ + acked_bytes, init_cwnd_);
+  }
+  cwnd_ = std::max(cwnd_, kMinCwnd);
+}
+
+void BbrV1::on_retransmission_timeout(TimeNs /*now*/) {
+  // Collapse to minimal window; keep the bandwidth model (BBR does not
+  // reset its filters on RTO).
+  cwnd_ = kMinCwnd;
+  in_recovery_ = false;
+}
+
+uint64_t BbrV1::congestion_window() const {
+  uint64_t w = cwnd_;
+  if (in_recovery_) w = std::min(w, recovery_window_);
+  if (mode_ == Mode::kProbeRtt) w = std::min(w, kMinCwnd);
+  return std::max(w, kMinCwnd);
+}
+
+Bandwidth BbrV1::pacing_rate() const {
+  // Before any bandwidth sample: the Wira-injected rate if present,
+  // otherwise pace the initial window over the (unknown) RTT only once an
+  // RTT sample exists; fall back to a conservative default.
+  if (!have_bw_sample_) {
+    if (initial_pacing_ > 0) return initial_pacing_;
+    if (min_rtt_ != kNoTime && min_rtt_ > 0) {
+      return static_cast<Bandwidth>(
+          kHighGain * static_cast<double>(
+                          delivery_rate(init_cwnd_, min_rtt_)));
+    }
+    return mbps(1);  // nothing known yet
+  }
+  const Bandwidth bw = max_bw_.best();
+  Bandwidth rate =
+      static_cast<Bandwidth>(pacing_gain_ * static_cast<double>(bw));
+  // First-round delivery-rate samples span the idle handshake RTT and can
+  // grossly underestimate the path.  Until the bandwidth model matures
+  // (full_bw detection), never pace below the configured initial rate —
+  // matching the paper's "continues to use these parameters until an
+  // accurate ... bandwidth measurement is obtained" (§VI).
+  if (!full_bw_reached_ && initial_pacing_ > 0) {
+    rate = std::max(rate, initial_pacing_);
+  }
+  return rate;
+}
+
+void BbrV1::resume_from_history(Bandwidth max_bw, TimeNs min_rtt) {
+  if (max_bw == 0 || min_rtt == kNoTime) return;
+  // Seed the model as if a prior session had converged here (the QUIC
+  // "careful resume" idea): no STARTUP high-gain phase, straight into
+  // steady-state PROBE_BW around the remembered bandwidth.  Real samples
+  // keep updating the filter and will displace the seed within one
+  // filter window.
+  max_bw_.update(max_bw, static_cast<int64_t>(round_count_));
+  have_bw_sample_ = true;
+  min_rtt_ = min_rtt;
+  min_rtt_timestamp_ = 0;
+  full_bw_ = max_bw;
+  full_bw_reached_ = true;
+  enter_probe_bw(/*now=*/0);
+  // Start the cycle in a neutral (gain 1.0) phase: the first frame should
+  // go out exactly at the remembered rate, not a 1.25 probe.
+  cycle_index_ = 2;
+  pacing_gain_ = kPacingGainCycle[cycle_index_];
+}
+
+void BbrV1::set_initial_parameters(uint64_t init_cwnd,
+                                   Bandwidth init_pacing) {
+  if (init_cwnd > 0) {
+    // Adjust cwnd by the delta so a late update (corner case 1) preserves
+    // any growth already earned from ACKs.
+    if (cwnd_ == init_cwnd_) {
+      cwnd_ = std::max(init_cwnd, kMinCwnd);
+    } else {
+      const uint64_t grown = cwnd_ - std::min(cwnd_, init_cwnd_);
+      cwnd_ = std::max(init_cwnd + grown, kMinCwnd);
+    }
+    init_cwnd_ = std::max(init_cwnd, kMinCwnd);
+  }
+  if (init_pacing > 0) initial_pacing_ = init_pacing;
+}
+
+}  // namespace wira::cc

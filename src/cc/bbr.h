@@ -1,0 +1,100 @@
+// BBR (version 1) congestion control, as in the paper's deployment ("we
+// select the BBR (with version 1) scheme to support the above parameter
+// configurations").
+//
+// Faithful to the BBRv1 state machine: STARTUP (2/ln2 gain) -> DRAIN ->
+// PROBE_BW (8-phase pacing-gain cycle) with PROBE_RTT excursions; windowed
+// max-bandwidth filter over 10 rounds; 10-second min-RTT window; simple
+// packet-conservation recovery on loss.
+//
+// Wira integration: set_initial_parameters() pins the pacing rate and cwnd
+// until the first valid bandwidth sample arrives, after which the normal
+// BBR machinery (seeded with the measured values) takes over — mirroring
+// §VI's "continues to use these parameters until an accurate RTT or
+// bandwidth measurement is obtained".
+#pragma once
+
+#include "cc/congestion_controller.h"
+#include "cc/windowed_filter.h"
+
+namespace wira::cc {
+
+class BbrV1 : public CongestionController {
+ public:
+  BbrV1();
+
+  void on_packet_sent(TimeNs now, uint64_t packet_number, uint64_t bytes,
+                      uint64_t bytes_in_flight, bool retransmittable) override;
+  void on_congestion_event(const CongestionEvent& event) override;
+  void on_retransmission_timeout(TimeNs now) override;
+
+  uint64_t congestion_window() const override;
+  Bandwidth pacing_rate() const override;
+
+  void set_initial_parameters(uint64_t init_cwnd,
+                              Bandwidth init_pacing) override;
+  void resume_from_history(Bandwidth max_bw, TimeNs min_rtt) override;
+
+  std::string name() const override { return "bbr1"; }
+
+  // Introspection for tests and benches.
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  Mode mode() const { return mode_; }
+  Bandwidth bandwidth_estimate() const override { return max_bw_.best(); }
+  TimeNs min_rtt() const { return min_rtt_; }
+  bool full_bandwidth_reached() const { return full_bw_reached_; }
+
+ private:
+  uint64_t bdp(double gain) const;
+  uint64_t target_cwnd(double gain) const;
+  void enter_startup();
+  void enter_probe_bw(TimeNs now);
+  void check_full_bandwidth(bool round_start, bool app_limited);
+  void maybe_enter_or_exit_probe_rtt(const CongestionEvent& ev,
+                                     bool round_start);
+  void update_gain_cycle(const CongestionEvent& ev);
+
+  Mode mode_ = Mode::kStartup;
+  MaxFilter<Bandwidth, int64_t> max_bw_;  ///< windowed by round count
+  TimeNs min_rtt_ = kNoTime;
+  TimeNs min_rtt_timestamp_ = 0;
+
+  uint64_t cwnd_;
+  uint64_t init_cwnd_;
+  double pacing_gain_ = 1.0;
+  double cwnd_gain_ = 1.0;
+
+  // Round accounting (a round = one delivery of the send window).
+  uint64_t round_count_ = 0;
+  uint64_t next_round_delivered_bytes_ = 0;
+  uint64_t delivered_bytes_ = 0;
+  uint64_t last_sent_packet_ = 0;
+  uint64_t current_round_end_packet_ = 0;
+
+  // Startup full-bandwidth detection.
+  Bandwidth full_bw_ = 0;
+  int full_bw_count_ = 0;
+  bool full_bw_reached_ = false;
+
+  // ProbeBW gain cycling.
+  int cycle_index_ = 0;
+  TimeNs cycle_start_ = 0;
+
+  // ProbeRTT.
+  TimeNs probe_rtt_done_at_ = kNoTime;
+  bool probe_rtt_round_done_ = false;
+  uint64_t probe_rtt_round_end_packet_ = 0;
+
+  // Recovery (packet conservation on loss).
+  bool in_recovery_ = false;
+  uint64_t recovery_window_ = 0;
+  uint64_t recovery_end_packet_ = 0;
+
+  // Wira initial parameters: used verbatim until the first bandwidth sample.
+  Bandwidth initial_pacing_ = 0;
+  bool have_bw_sample_ = false;
+
+  TimeNs last_ack_time_ = 0;
+};
+
+}  // namespace wira::cc

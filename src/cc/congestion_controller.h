@@ -1,0 +1,96 @@
+// Pluggable congestion-control interface, modeled on the send-algorithm
+// interface of user-space QUIC stacks (the paper extends LSQUIC's send
+// controller).
+//
+// The Wira hook is set_initial_parameters(): it injects the per-connection
+// init_cwnd / init_pacing computed from FF_Size and Hx_QoS (§IV-C) before
+// the first data packet leaves.  Controllers honour the injected values
+// until real measurements supersede them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wira::cc {
+
+/// Maximum segment size used throughout the stack.  Chosen so the paper's
+/// packet-denominated windows line up with its byte-denominated frame sizes
+/// (init_cwnd = 45 packets <-> FF_Size = 66 KB in Fig. 2a).
+inline constexpr uint64_t kMss = 1460;
+
+/// Default initial window when nothing better is known (RFC 6928).
+inline constexpr uint64_t kDefaultInitCwndPackets = 10;
+
+struct AckedPacket {
+  uint64_t packet_number = 0;
+  uint64_t bytes = 0;
+  TimeNs sent_time = 0;
+};
+
+struct LostPacket {
+  uint64_t packet_number = 0;
+  uint64_t bytes = 0;
+};
+
+/// One ACK-processing event, with the measurements the connection derived.
+struct CongestionEvent {
+  TimeNs now = 0;
+  std::vector<AckedPacket> acked;
+  std::vector<LostPacket> lost;
+  uint64_t prior_bytes_in_flight = 0;
+  TimeNs latest_rtt = kNoTime;     ///< RTT sample from this ACK (if any)
+  TimeNs min_rtt = kNoTime;        ///< connection's running minimum
+  TimeNs smoothed_rtt = kNoTime;
+  Bandwidth bandwidth_sample = 0;  ///< delivery-rate sample (0 = none)
+  bool app_limited_sample = false; ///< sample taken while app-limited
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void on_packet_sent(TimeNs now, uint64_t packet_number,
+                              uint64_t bytes, uint64_t bytes_in_flight,
+                              bool retransmittable) = 0;
+
+  virtual void on_congestion_event(const CongestionEvent& event) = 0;
+
+  /// Retransmission timeout fired with no ACK evidence (persistent loss).
+  virtual void on_retransmission_timeout(TimeNs now) = 0;
+
+  virtual uint64_t congestion_window() const = 0;
+  virtual Bandwidth pacing_rate() const = 0;
+
+  /// Current estimate of the path's available bandwidth (0 = unknown).
+  /// Feeds the MaxBW field of the transport cookie (§IV-B).
+  virtual Bandwidth bandwidth_estimate() const { return 0; }
+
+  bool can_send(uint64_t bytes_in_flight) const {
+    return bytes_in_flight < congestion_window();
+  }
+
+  /// Wira initialization hook (§IV-C).  `init_cwnd` in bytes; `init_pacing`
+  /// in bytes/sec.  Either may be 0 meaning "keep the default".  May be
+  /// called again before the first ACK (corner case 1: FF_Size parsed late).
+  virtual void set_initial_parameters(uint64_t init_cwnd,
+                                      Bandwidth init_pacing) = 0;
+
+  /// Careful resume from a *converged* prior estimate of this path (the
+  /// fresh transport cookie): the controller may skip its probing startup
+  /// and treat `max_bw`/`min_rtt` as an established model, avoiding the
+  /// high-gain overshoot right after the first frame.  Default: ignored.
+  virtual void resume_from_history(Bandwidth /*max_bw*/,
+                                   TimeNs /*min_rtt*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+enum class CcAlgo { kBbrV1, kNewReno, kCubic };
+
+std::unique_ptr<CongestionController> make_controller(CcAlgo algo);
+
+}  // namespace wira::cc

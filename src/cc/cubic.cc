@@ -1,0 +1,132 @@
+#include "cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wira::cc {
+
+namespace {
+constexpr double kCubicC = 0.4;       // units: MSS/s^3 (RFC 8312)
+constexpr double kCubicBeta = 0.7;
+constexpr uint64_t kMinCwnd = 2 * kMss;
+}  // namespace
+
+Cubic::Cubic()
+    : cwnd_(kDefaultInitCwndPackets * kMss),
+      init_cwnd_(kDefaultInitCwndPackets * kMss) {}
+
+void Cubic::on_packet_sent(TimeNs /*now*/, uint64_t packet_number,
+                           uint64_t /*bytes*/, uint64_t /*in_flight*/,
+                           bool /*retransmittable*/) {
+  last_sent_packet_ = packet_number;
+}
+
+uint64_t Cubic::cubic_window(TimeNs now) const {
+  if (epoch_start_ == kNoTime) return cwnd_;
+  const double t = to_seconds(now - epoch_start_);
+  const double dt = t - k_seconds_;
+  const double w_mss = kCubicC * dt * dt * dt +
+                       static_cast<double>(w_max_) / kMss;
+  const double w_bytes = w_mss * kMss;
+  return w_bytes < static_cast<double>(kMinCwnd)
+             ? kMinCwnd
+             : static_cast<uint64_t>(w_bytes);
+}
+
+void Cubic::enter_recovery(TimeNs now) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(
+      static_cast<uint64_t>(static_cast<double>(cwnd_) * kCubicBeta),
+      kMinCwnd);
+  cwnd_ = ssthresh_;
+  recovery_end_packet_ = last_sent_packet_;
+  // New cubic epoch: K = cbrt(W_max (1 - beta) / C), in MSS units.
+  epoch_start_ = now;
+  const double w_max_mss = static_cast<double>(w_max_) / kMss;
+  k_seconds_ = std::cbrt(w_max_mss * (1.0 - kCubicBeta) / kCubicC);
+  w_est_ = static_cast<double>(cwnd_);
+  w_est_acked_ = 0;
+}
+
+void Cubic::on_congestion_event(const CongestionEvent& ev) {
+  if (ev.smoothed_rtt != kNoTime) smoothed_rtt_ = ev.smoothed_rtt;
+
+  bool reduced = false;
+  for (const auto& l : ev.lost) {
+    if (l.packet_number > recovery_end_packet_ && !reduced) {
+      enter_recovery(ev.now);
+      reduced = true;
+    }
+  }
+
+  for (const auto& a : ev.acked) {
+    if (a.packet_number <= recovery_end_packet_ && reduced) continue;
+    if (in_slow_start()) {
+      cwnd_ += a.bytes;
+      continue;
+    }
+    if (epoch_start_ == kNoTime) {
+      // First congestion-avoidance epoch without a prior loss.
+      epoch_start_ = ev.now;
+      w_max_ = cwnd_;
+      k_seconds_ = 0;
+      w_est_ = static_cast<double>(cwnd_);
+      w_est_acked_ = 0;
+    }
+    // Reno-friendly estimate: alpha per-RTT growth approximated per ack.
+    w_est_acked_ += a.bytes;
+    if (w_est_acked_ >= cwnd_) {
+      w_est_acked_ -= cwnd_;
+      w_est_ += kMss;
+    }
+    const uint64_t target = std::max(
+        cubic_window(ev.now), static_cast<uint64_t>(w_est_));
+    if (target > cwnd_) {
+      // Approach the cubic target gradually: (target - cwnd)/cwnd per
+      // acked byte batch (RFC 8312 §4.1 pacing of window growth).
+      acked_since_increase_ += a.bytes;
+      const uint64_t step = std::max<uint64_t>(
+          (target - cwnd_) * acked_since_increase_ / std::max<uint64_t>(
+              cwnd_, 1),
+          0);
+      if (step > 0) {
+        cwnd_ += std::min<uint64_t>(step, target - cwnd_);
+        acked_since_increase_ = 0;
+      }
+    }
+  }
+  cwnd_ = std::max(cwnd_, kMinCwnd);
+}
+
+void Cubic::on_retransmission_timeout(TimeNs /*now*/) {
+  ssthresh_ = std::max(
+      static_cast<uint64_t>(static_cast<double>(cwnd_) * kCubicBeta),
+      kMinCwnd);
+  cwnd_ = kMinCwnd;
+  epoch_start_ = kNoTime;
+}
+
+Bandwidth Cubic::pacing_rate() const {
+  if (smoothed_rtt_ == kNoTime || smoothed_rtt_ <= 0) {
+    return initial_pacing_ > 0 ? initial_pacing_ : mbps(1);
+  }
+  const Bandwidth base = delivery_rate(cwnd_, smoothed_rtt_);
+  const double gain = in_slow_start() ? 2.0 : 1.25;
+  return static_cast<Bandwidth>(gain * static_cast<double>(base));
+}
+
+void Cubic::set_initial_parameters(uint64_t init_cwnd,
+                                   Bandwidth init_pacing) {
+  if (init_cwnd > 0) {
+    if (cwnd_ == init_cwnd_) {
+      cwnd_ = std::max(init_cwnd, kMinCwnd);
+    } else {
+      const uint64_t grown = cwnd_ - std::min(cwnd_, init_cwnd_);
+      cwnd_ = std::max(init_cwnd + grown, kMinCwnd);
+    }
+    init_cwnd_ = std::max(init_cwnd, kMinCwnd);
+  }
+  if (init_pacing > 0) initial_pacing_ = init_pacing;
+}
+
+}  // namespace wira::cc

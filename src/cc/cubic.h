@@ -1,0 +1,55 @@
+// CUBIC congestion control (RFC 8312) with pacing — the default loss-based
+// controller in most kernels, included as a second baseline for the
+// cc-choice ablation.
+#pragma once
+
+#include "cc/congestion_controller.h"
+
+namespace wira::cc {
+
+class Cubic : public CongestionController {
+ public:
+  Cubic();
+
+  void on_packet_sent(TimeNs now, uint64_t packet_number, uint64_t bytes,
+                      uint64_t bytes_in_flight, bool retransmittable) override;
+  void on_congestion_event(const CongestionEvent& event) override;
+  void on_retransmission_timeout(TimeNs now) override;
+
+  uint64_t congestion_window() const override { return cwnd_; }
+  Bandwidth pacing_rate() const override;
+  Bandwidth bandwidth_estimate() const override {
+    return smoothed_rtt_ != kNoTime ? delivery_rate(cwnd_, smoothed_rtt_)
+                                    : 0;
+  }
+
+  void set_initial_parameters(uint64_t init_cwnd,
+                              Bandwidth init_pacing) override;
+
+  std::string name() const override { return "cubic"; }
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  uint64_t cubic_window(TimeNs now) const;
+  void enter_recovery(TimeNs now);
+
+  uint64_t cwnd_;
+  uint64_t init_cwnd_;
+  uint64_t ssthresh_ = UINT64_MAX;
+
+  // CUBIC state (windows in bytes, time in seconds internally).
+  uint64_t w_max_ = 0;
+  TimeNs epoch_start_ = kNoTime;
+  double k_seconds_ = 0;
+  uint64_t acked_since_increase_ = 0;
+  uint64_t w_est_acked_ = 0;  ///< bytes acked for the Reno-friendly window
+  double w_est_ = 0;
+
+  uint64_t last_sent_packet_ = 0;
+  uint64_t recovery_end_packet_ = 0;
+  TimeNs smoothed_rtt_ = kNoTime;
+  Bandwidth initial_pacing_ = 0;
+};
+
+}  // namespace wira::cc

@@ -1,0 +1,97 @@
+#include "cc/newreno.h"
+
+#include <algorithm>
+
+#include "cc/bbr.h"
+#include "cc/cubic.h"
+
+namespace wira::cc {
+
+namespace {
+constexpr uint64_t kMinCwnd = 2 * kMss;
+constexpr double kLossReduction = 0.5;
+}  // namespace
+
+NewReno::NewReno()
+    : cwnd_(kDefaultInitCwndPackets * kMss),
+      init_cwnd_(kDefaultInitCwndPackets * kMss) {}
+
+void NewReno::on_packet_sent(TimeNs /*now*/, uint64_t packet_number,
+                             uint64_t /*bytes*/, uint64_t /*in_flight*/,
+                             bool /*retransmittable*/) {
+  last_sent_packet_ = packet_number;
+}
+
+void NewReno::on_congestion_event(const CongestionEvent& ev) {
+  if (ev.smoothed_rtt != kNoTime) smoothed_rtt_ = ev.smoothed_rtt;
+
+  // Loss response first: one window reduction per round trip.
+  bool reduced = false;
+  for (const auto& l : ev.lost) {
+    if (l.packet_number > recovery_end_packet_ && !reduced) {
+      ssthresh_ = std::max(
+          static_cast<uint64_t>(static_cast<double>(cwnd_) * kLossReduction),
+          kMinCwnd);
+      cwnd_ = ssthresh_;
+      recovery_end_packet_ = last_sent_packet_;
+      reduced = true;
+    }
+  }
+
+  for (const auto& a : ev.acked) {
+    if (a.packet_number <= recovery_end_packet_ && reduced) continue;
+    if (in_slow_start()) {
+      cwnd_ += a.bytes;
+    } else {
+      // Congestion avoidance: one MSS per window of acked bytes.
+      acked_since_increase_ += a.bytes;
+      if (acked_since_increase_ >= cwnd_) {
+        acked_since_increase_ -= cwnd_;
+        cwnd_ += kMss;
+      }
+    }
+  }
+  cwnd_ = std::max(cwnd_, kMinCwnd);
+}
+
+void NewReno::on_retransmission_timeout(TimeNs /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, kMinCwnd);
+  cwnd_ = kMinCwnd;
+}
+
+Bandwidth NewReno::pacing_rate() const {
+  if (smoothed_rtt_ == kNoTime || smoothed_rtt_ <= 0) {
+    return initial_pacing_ > 0 ? initial_pacing_ : mbps(1);
+  }
+  const Bandwidth base = delivery_rate(cwnd_, smoothed_rtt_);
+  const double gain = in_slow_start() ? 2.0 : 1.25;
+  return static_cast<Bandwidth>(gain * static_cast<double>(base));
+}
+
+void NewReno::set_initial_parameters(uint64_t init_cwnd,
+                                     Bandwidth init_pacing) {
+  if (init_cwnd > 0) {
+    if (cwnd_ == init_cwnd_) {
+      cwnd_ = std::max(init_cwnd, kMinCwnd);
+    } else {
+      const uint64_t grown = cwnd_ - std::min(cwnd_, init_cwnd_);
+      cwnd_ = std::max(init_cwnd + grown, kMinCwnd);
+    }
+    init_cwnd_ = std::max(init_cwnd, kMinCwnd);
+  }
+  if (init_pacing > 0) initial_pacing_ = init_pacing;
+}
+
+std::unique_ptr<CongestionController> make_controller(CcAlgo algo) {
+  switch (algo) {
+    case CcAlgo::kNewReno:
+      return std::make_unique<NewReno>();
+    case CcAlgo::kCubic:
+      return std::make_unique<Cubic>();
+    case CcAlgo::kBbrV1:
+    default:
+      return std::make_unique<BbrV1>();
+  }
+}
+
+}  // namespace wira::cc

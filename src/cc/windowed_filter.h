@@ -1,0 +1,88 @@
+// Kathleen Nichols' windowed min/max estimator (the one BBR uses): tracks
+// the best value seen over a rolling window using three estimates, O(1)
+// per update.
+#pragma once
+
+#include <cstdint>
+
+namespace wira::cc {
+
+template <typename V, typename T, typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(T window_length)
+      : window_length_(window_length) {}
+
+  void reset(V value, T time) {
+    for (auto& e : estimates_) e = {value, time};
+  }
+
+  void update(V sample, T time) {
+    if (estimates_[0].time == T{} && estimates_[0].value == V{}) {
+      reset(sample, time);
+      return;
+    }
+    if (Compare()(sample, estimates_[0].value) ||
+        time - estimates_[0].time > window_length_) {
+      reset(sample, time);
+      return;
+    }
+    if (Compare()(sample, estimates_[1].value)) {
+      estimates_[1] = {sample, time};
+      estimates_[2] = estimates_[1];
+    } else if (Compare()(sample, estimates_[2].value)) {
+      estimates_[2] = {sample, time};
+    }
+
+    // Age out the best estimate if it has left the window.
+    if (time - estimates_[0].time > window_length_) {
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = {sample, time};
+      if (time - estimates_[0].time > window_length_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+      return;
+    }
+    if (estimates_[1].value == estimates_[0].value &&
+        time - estimates_[1].time > window_length_ / 4) {
+      estimates_[1] = {sample, time};
+      estimates_[2] = estimates_[1];
+      return;
+    }
+    if (estimates_[2].value == estimates_[1].value &&
+        time - estimates_[2].time > window_length_ / 2) {
+      estimates_[2] = {sample, time};
+    }
+  }
+
+  V best() const { return estimates_[0].value; }
+  V second_best() const { return estimates_[1].value; }
+
+  void set_window_length(T len) { window_length_ = len; }
+
+ private:
+  struct Estimate {
+    V value{};
+    T time{};
+  };
+  T window_length_;
+  Estimate estimates_[3]{};
+};
+
+struct MaxCompare {
+  template <typename V>
+  bool operator()(const V& a, const V& b) const { return a >= b; }
+};
+struct MinCompare {
+  template <typename V>
+  bool operator()(const V& a, const V& b) const { return a <= b; }
+};
+
+template <typename V, typename T>
+using MaxFilter = WindowedFilter<V, T, MaxCompare>;
+template <typename V, typename T>
+using MinFilter = WindowedFilter<V, T, MinCompare>;
+
+}  // namespace wira::cc

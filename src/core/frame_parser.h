@@ -1,0 +1,93 @@
+// Frame Perception (§IV-A, Algorithm 1): the cross-layer L4 parser that
+// identifies the first frame of a live stream and reports its size before
+// the bytes are handed to the send machinery.
+//
+// The parser sits between the application write path and Stream::write()
+// (the ngx_quic_send_data analogue): every outgoing byte flows through
+// feed().  It never buffers payload — only enough header bytes to learn
+// each tag's type and size (the ngx_quic_flv_parser_parse_or_send partial-
+// frame case), so the data path stays zero-copy.
+//
+// FF_Size accounting follows the paper exactly: protocol header +
+// PreviousTagSize fields + every tag (script/audio/video) up to and
+// including the Theta_VF-th video frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "media/frame.h"
+
+namespace wira::core {
+
+/// Live-streaming container protocols the parser can identify (PtlSet).
+enum class ProtocolType {
+  kUnknown,      ///< not enough bytes yet to sniff
+  kFlv,          ///< fully supported (HTTP-FLV, the paper's deployment)
+  kMpegTs,       ///< fully supported (HLS-style transport stream)
+  kHls,          ///< playlist text (#EXTM3U): no frames to parse
+  kRtmp,         ///< recognized (0x03 handshake) but not parseable
+  kUnsupported,  ///< signature matches nothing in PtlSet
+};
+
+class FrameParser {
+ public:
+  struct Config {
+    /// Theta_VF: number of video frames that make up the "first frame"
+    /// (§IV-A; §VII ties this to client playback conditions).  Default 1.
+    uint32_t theta_vf = 1;
+  };
+
+  FrameParser() = default;
+  explicit FrameParser(Config config) : config_(config) {}
+
+  /// Observes the next outgoing bytes.  Returns FF_Size exactly once: on
+  /// the call during which the Theta_VF-th video frame completes.
+  /// (Algorithm 1 returns -1 while incomplete; here that is nullopt.)
+  std::optional<uint64_t> feed(std::span<const uint8_t> data);
+
+  /// FF_Complete flag from Algorithm 1.
+  bool complete() const { return complete_; }
+  /// Valid only when complete().
+  uint64_t ff_size() const { return ff_size_; }
+  ProtocolType protocol() const { return protocol_; }
+  uint32_t video_frames_seen() const { return num_vf_; }
+  /// Bytes of an incomplete tag header currently held (never payload).
+  size_t bytes_buffered() const { return header_buf_.size(); }
+  /// True when the parser gave up (non-FLV stream or malformed input);
+  /// the sender then stays on init_cwnd_exp (corner case 1 forever).
+  bool failed() const { return protocol_ == ProtocolType::kHls ||
+                               protocol_ == ProtocolType::kRtmp ||
+                               protocol_ == ProtocolType::kUnsupported ||
+                               malformed_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  enum class State { kSniff, kFlvHeader, kPrevTagSize, kTagHeader, kSkipBody,
+                     kTsCell, kDone, kFailed };
+
+  void sniff();
+  /// Processes one complete 188-byte TS cell; returns FF_Size when the
+  /// first frame completes at this cell boundary.
+  std::optional<uint64_t> process_ts_cell(std::span<const uint8_t> cell);
+
+  Config config_;
+  State state_ = State::kSniff;
+  ProtocolType protocol_ = ProtocolType::kUnknown;
+  std::vector<uint8_t> header_buf_;  ///< partial header/cell bytes only
+  uint64_t ff_size_ = 0;
+  uint32_t num_vf_ = 0;
+  bool complete_ = false;
+  bool malformed_ = false;
+  uint64_t body_to_skip_ = 0;
+  bool current_tag_is_video_ = false;
+  // MPEG-TS state.
+  uint64_t ts_cells_done_ = 0;
+  uint32_t ts_video_starts_ = 0;
+  std::optional<uint16_t> ts_video_pid_;
+};
+
+}  // namespace wira::core

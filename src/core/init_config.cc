@@ -1,0 +1,121 @@
+#include "core/init_config.h"
+
+#include <algorithm>
+
+namespace wira::core {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kWiraFF: return "Wira(FF)";
+    case Scheme::kWiraHx: return "Wira(Hx)";
+    case Scheme::kWira: return "Wira";
+    case Scheme::kUserGroup: return "UserGroup";
+    case Scheme::kWiraPlus: return "Wira+";
+  }
+  return "?";
+}
+
+namespace {
+
+Bandwidth pace_over_rtt(uint64_t bytes, TimeNs rtt) {
+  return delivery_rate(bytes, rtt > 0 ? rtt : milliseconds(1));
+}
+
+}  // namespace
+
+InitDecision compute_init(Scheme scheme, const InitInputs& in,
+                          const ExperiencedDefaults& defaults) {
+  InitDecision d;
+
+  const bool have_ff = in.ff_size.has_value();
+  // Corner case 1: substitute the experienced value while parsing runs.
+  const uint64_t ff = have_ff ? *in.ff_size : defaults.init_cwnd_exp;
+
+  const bool hx_present = in.hx_qos.has_value() && in.hx_qos->valid();
+  const bool hx_fresh =
+      hx_present && in.hx_qos->fresh(in.now, in.staleness_threshold);
+  d.hx_stale = hx_present && !hx_fresh;
+  d.ff_pending = !have_ff;
+
+  const uint64_t bdp =
+      hx_fresh ? bdp_bytes(in.hx_qos->max_bw, in.hx_qos->min_rtt) : 0;
+
+  switch (scheme) {
+    case Scheme::kBaseline:
+      d.init_cwnd = defaults.init_cwnd_exp;
+      d.init_pacing = pace_over_rtt(d.init_cwnd, defaults.init_rtt_exp);
+      break;
+
+    case Scheme::kWiraFF:
+      d.init_cwnd = ff;
+      d.used_ff_size = have_ff;
+      d.init_pacing = pace_over_rtt(d.init_cwnd, defaults.init_rtt_exp);
+      break;
+
+    case Scheme::kWiraHx:
+      if (hx_fresh) {
+        d.init_cwnd = bdp;
+        d.init_pacing = in.hx_qos->max_bw;  // Eq. 2
+        d.used_hx_qos = true;
+      } else {
+        // No usable history: behave like the baseline.
+        d.init_cwnd = defaults.init_cwnd_exp;
+        d.init_pacing = pace_over_rtt(d.init_cwnd, defaults.init_rtt_exp);
+      }
+      break;
+
+    case Scheme::kWira:
+      if (hx_fresh) {
+        d.init_cwnd = std::min(ff, bdp);  // Eq. 3
+        d.init_pacing = in.hx_qos->max_bw;  // Eq. 2
+        d.used_ff_size = have_ff;
+        d.used_hx_qos = true;
+      } else {
+        // Corner case 2: stale or absent cookie.
+        d.init_cwnd = ff;
+        d.used_ff_size = have_ff;
+        d.init_pacing = pace_over_rtt(ff, defaults.init_rtt_exp);
+      }
+      break;
+
+    case Scheme::kUserGroup:
+      // The §II-C strawman: every flow in the group is initialized from
+      // the group-average QoS ("treat the network condition of the entire
+      // group as the condition encountered by each user").
+      if (in.ug_qos && in.ug_qos->valid()) {
+        d.init_cwnd = bdp_bytes(in.ug_qos->max_bw, in.ug_qos->min_rtt);
+        d.init_pacing = in.ug_qos->max_bw;
+      } else {
+        d.init_cwnd = defaults.init_cwnd_exp;
+        d.init_pacing = pace_over_rtt(d.init_cwnd, defaults.init_rtt_exp);
+      }
+      break;
+
+    case Scheme::kWiraPlus:
+      // Extension beyond the paper: like Wira, but the cookie's loss-rate
+      // triple discounts the pacing rate so historically lossy paths get
+      // recovery headroom instead of running flat out into a drop.
+      if (hx_fresh) {
+        const double discount =
+            1.0 - std::min(2.0 * in.hx_qos->loss_rate, 0.3);
+        d.init_pacing = static_cast<Bandwidth>(
+            static_cast<double>(in.hx_qos->max_bw) * discount);
+        d.init_cwnd = std::min(ff, bdp);
+        d.used_ff_size = have_ff;
+        d.used_hx_qos = true;
+      } else {
+        d.init_cwnd = ff;
+        d.used_ff_size = have_ff;
+        d.init_pacing = pace_over_rtt(ff, defaults.init_rtt_exp);
+      }
+      break;
+  }
+
+  // Never initialize below sane floors.
+  d.init_cwnd = std::max<uint64_t>(d.init_cwnd, 2 * 1460);
+  d.init_pacing = std::max<Bandwidth>(d.init_pacing, kbps(100));
+  return d;
+}
+
+}  // namespace wira::core

@@ -1,0 +1,71 @@
+// Initial Parameter Configuration (§IV-C, Table I): combines the parsed
+// FF_Size and the Hx_QoS transport cookie into per-connection init_cwnd /
+// init_pacing, including both corner cases.
+//
+//   init_pacing = MaxBW                              (Eq. 2)
+//   init_cwnd   = min{FF_Size, MaxBW x MinRTT}       (Eq. 3)
+//
+// Corner case 1: FF_Size not yet parsed -> substitute init_cwnd_exp and
+// re-run once parsing completes.  Corner case 2: cookie older than Delta ->
+// init_cwnd = FF_Size, init_pacing = FF_Size / init_RTT_exp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/transport_cookie.h"
+#include "util/units.h"
+
+namespace wira::core {
+
+/// Comparison schemes of Table I, plus two beyond-the-paper references:
+/// kUserGroup initializes from user-group average QoS (the ML/UG approach
+/// §II-C argues is too coarse) and kWiraPlus extends Wira with the
+/// historical loss rate (future-work flavour: pace slightly under MaxBW
+/// on historically lossy paths to leave recovery headroom).
+enum class Scheme { kBaseline, kWiraFF, kWiraHx, kWira, kUserGroup,
+                    kWiraPlus };
+
+const char* scheme_name(Scheme s);
+
+/// Fleet-wide experienced values obtained from A/B tests (§IV-C): the
+/// paper sets init_cwnd_exp to the one-week average FF_Size and
+/// init_RTT_exp to the one-week average MinRTT, then validates both by
+/// A/B testing.  The defaults below are the A/B optimum for this repo's
+/// synthetic population (bench/abl_cwnd_exp sweeps them).
+struct ExperiencedDefaults {
+  uint64_t init_cwnd_exp = 43'000;            ///< ~ fleet-average FF_Size
+  TimeNs init_rtt_exp = milliseconds(40);     ///< A/B-tuned pacing divisor
+};
+
+struct InitInputs {
+  /// Parsed FF_Size; nullopt while the parser has not completed
+  /// (corner case 1).
+  std::optional<uint64_t> ff_size;
+  /// Authenticated Hx_QoS record; nullopt when no/invalid cookie.
+  std::optional<HxQosRecord> hx_qos;
+  /// User-group average QoS (for Scheme::kUserGroup only): what a
+  /// group-trained model would predict for this client.
+  std::optional<HxQosRecord> ug_qos;
+  TimeNs now = 0;
+  TimeNs staleness_threshold = kDefaultStaleness;
+};
+
+struct InitDecision {
+  uint64_t init_cwnd = 0;     ///< bytes
+  Bandwidth init_pacing = 0;  ///< bytes per second
+  // Provenance, for logging/experiments.
+  bool used_ff_size = false;
+  bool used_hx_qos = false;
+  bool hx_stale = false;      ///< cookie present but older than Delta
+  bool ff_pending = false;    ///< corner case 1 substitution active
+};
+
+/// Computes Table I's row for `scheme`.  Pure function: call it again with
+/// updated inputs when FF_Size arrives late (corner case 1) and feed the
+/// result back through Connection::set_initial_parameters().
+InitDecision compute_init(Scheme scheme, const InitInputs& in,
+                          const ExperiencedDefaults& defaults);
+
+}  // namespace wira::core

@@ -1,0 +1,101 @@
+// Transport Cookie (§IV-B): stateless cloud-client collaboration for
+// historical QoS.
+//
+// The server periodically seals its measured Hx_QoS (MinRTT, MaxBW) into an
+// opaque, authenticated blob and ships it to the client in an Hx_QoS packet
+// (type 0x1f).  The client stores the blob — it cannot read or forge it —
+// and echoes it in the HQST tag of its next CHLO to the same server.  The
+// server thus recovers the last session's QoS for the OD pair with zero
+// server-side storage.
+//
+// Security (§VII): ChaCha20-Poly1305 under a server-only key; the OD-pair
+// key is bound as AEAD associated data, so a cookie stolen from one client
+// fails authentication when replayed by another.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "util/units.h"
+
+namespace wira::core {
+
+/// Hx_QoS identifiers for the <HxID, HxLen, Hx_QoS_Value> triples (Fig. 8).
+enum class HxId : uint8_t {
+  kMinRtt = 1,     ///< microseconds
+  kMaxBw = 2,      ///< bytes per second
+  kTimestamp = 3,  ///< server clock, milliseconds
+  kOdKey = 4,      ///< OD-pair binding key
+  kLossRate = 5,   ///< per-mille packet loss observed last session
+};
+
+/// One OD pair's historical QoS record.
+struct HxQosRecord {
+  TimeNs min_rtt = kNoTime;
+  Bandwidth max_bw = 0;
+  TimeNs server_timestamp = kNoTime;  ///< when the server measured/sealed it
+  uint64_t od_key = 0;                ///< hash of (client id, server id, net type)
+  double loss_rate = 0;               ///< [0,1]; extension triple (kLossRate)
+
+  bool valid() const { return min_rtt != kNoTime && max_bw > 0; }
+  /// Corner case 2 (§IV-C): stale once now - timestamp exceeds Delta.
+  bool fresh(TimeNs now, TimeNs staleness_threshold) const {
+    return valid() && server_timestamp != kNoTime &&
+           now - server_timestamp <= staleness_threshold;
+  }
+};
+
+/// Default staleness threshold Delta (§IV-C: 60 minutes).
+inline constexpr TimeNs kDefaultStaleness = minutes(60);
+/// Default Hx_QoS synchronization period (§IV-B: 3 seconds).
+inline constexpr TimeNs kDefaultSyncPeriod = seconds(3);
+
+/// Serializes a record as <HxID, HxLen, value> triples (the Hx_QoS frame
+/// body of Fig. 8, before sealing).
+std::vector<uint8_t> encode_hxqos_triples(const HxQosRecord& record);
+/// Parses triples; unknown HxIDs are skipped via their HxLen (forward
+/// compatibility).  nullopt on truncation.
+std::optional<HxQosRecord> decode_hxqos_triples(
+    std::span<const uint8_t> data);
+
+/// Server-side sealer: cookie = nonce_seq(8B LE) || AEAD(triples).
+class CookieSealer {
+ public:
+  explicit CookieSealer(const crypto::Key& master_key);
+
+  std::vector<uint8_t> seal(const HxQosRecord& record);
+  /// Opens and authenticates; nullopt if tampered/truncated/wrong key.
+  std::optional<HxQosRecord> open(std::span<const uint8_t> sealed) const;
+
+ private:
+  crypto::Key key_;
+  uint64_t next_nonce_ = 1;
+};
+
+/// Client-side cookie cache keyed by OD pair (server endpoint id).  This is
+/// the storage the transport cookie offloads from the cloud.
+class ClientCookieStore {
+ public:
+  struct Entry {
+    std::vector<uint8_t> sealed;
+    TimeNs stored_at = kNoTime;  ///< client receive timestamp (echoed in CHLO)
+  };
+
+  void store(uint64_t od_pair, std::vector<uint8_t> sealed, TimeNs now);
+  std::optional<Entry> lookup(uint64_t od_pair) const;
+  void erase(uint64_t od_pair) { entries_.erase(od_pair); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+/// Stable OD-pair key from endpoint identities + access network type.
+uint64_t od_pair_key(uint64_t client_id, uint64_t server_id,
+                     uint32_t network_type);
+
+}  // namespace wira::core

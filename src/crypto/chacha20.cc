@@ -1,0 +1,80 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace wira::crypto {
+
+namespace {
+
+constexpr uint32_t rotl(uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+uint32_t load_le32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void store_le32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha20_block(std::span<const uint8_t, kChaChaKeySize> key,
+                    uint32_t counter,
+                    std::span<const uint8_t, kChaChaNonceSize> nonce,
+                    std::span<uint8_t, 64> out) {
+  uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, w[i] + state[i]);
+  }
+}
+
+void chacha20_xor(std::span<const uint8_t, kChaChaKeySize> key,
+                  uint32_t initial_counter,
+                  std::span<const uint8_t, kChaChaNonceSize> nonce,
+                  std::span<uint8_t> data) {
+  uint8_t block[64];
+  uint32_t counter = initial_counter;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, counter++, nonce, std::span<uint8_t, 64>(block));
+    const size_t n = std::min<size_t>(64, data.size() - offset);
+    for (size_t i = 0; i < n; ++i) data[offset + i] ^= block[i];
+    offset += n;
+  }
+}
+
+}  // namespace wira::crypto

@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4) — used to seal transport cookies
+// so that clients hold an opaque blob only the server can read (§VII of the
+// paper: "encrypted using a server-side secret key").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wira::crypto {
+
+inline constexpr size_t kChaChaKeySize = 32;
+inline constexpr size_t kChaChaNonceSize = 12;
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+void chacha20_block(std::span<const uint8_t, kChaChaKeySize> key,
+                    uint32_t counter,
+                    std::span<const uint8_t, kChaChaNonceSize> nonce,
+                    std::span<uint8_t, 64> out);
+
+/// XORs `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter` (encryption and decryption are the same operation).
+void chacha20_xor(std::span<const uint8_t, kChaChaKeySize> key,
+                  uint32_t initial_counter,
+                  std::span<const uint8_t, kChaChaNonceSize> nonce,
+                  std::span<uint8_t> data);
+
+}  // namespace wira::crypto

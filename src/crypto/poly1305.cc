@@ -1,0 +1,146 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+namespace wira::crypto {
+
+namespace {
+// 130-bit arithmetic in five 26-bit limbs (the classic donna layout).
+struct PolyState {
+  uint32_t r[5];
+  uint32_t h[5] = {0, 0, 0, 0, 0};
+  uint32_t pad[4];
+};
+
+uint32_t load_le32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void poly_init(PolyState& st, const uint8_t key[32]) {
+  // r with required clamping (RFC 8439 §2.5.1).
+  st.r[0] = load_le32(key + 0) & 0x3ffffff;
+  st.r[1] = (load_le32(key + 3) >> 2) & 0x3ffff03;
+  st.r[2] = (load_le32(key + 6) >> 4) & 0x3ffc0ff;
+  st.r[3] = (load_le32(key + 9) >> 6) & 0x3f03fff;
+  st.r[4] = (load_le32(key + 12) >> 8) & 0x00fffff;
+  for (int i = 0; i < 4; ++i) st.pad[i] = load_le32(key + 16 + 4 * i);
+}
+
+void poly_blocks(PolyState& st, const uint8_t* m, size_t len, uint32_t hibit) {
+  const uint32_t r0 = st.r[0], r1 = st.r[1], r2 = st.r[2], r3 = st.r[3],
+                 r4 = st.r[4];
+  const uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3],
+           h4 = st.h[4];
+
+  while (len >= 16) {
+    h0 += load_le32(m + 0) & 0x3ffffff;
+    h1 += (load_le32(m + 3) >> 2) & 0x3ffffff;
+    h2 += (load_le32(m + 6) >> 4) & 0x3ffffff;
+    h3 += (load_le32(m + 9) >> 6) & 0x3ffffff;
+    h4 += (load_le32(m + 12) >> 8) | hibit;
+
+    uint64_t d0 = (uint64_t)h0 * r0 + (uint64_t)h1 * s4 + (uint64_t)h2 * s3 +
+                  (uint64_t)h3 * s2 + (uint64_t)h4 * s1;
+    uint64_t d1 = (uint64_t)h0 * r1 + (uint64_t)h1 * r0 + (uint64_t)h2 * s4 +
+                  (uint64_t)h3 * s3 + (uint64_t)h4 * s2;
+    uint64_t d2 = (uint64_t)h0 * r2 + (uint64_t)h1 * r1 + (uint64_t)h2 * r0 +
+                  (uint64_t)h3 * s4 + (uint64_t)h4 * s3;
+    uint64_t d3 = (uint64_t)h0 * r3 + (uint64_t)h1 * r2 + (uint64_t)h2 * r1 +
+                  (uint64_t)h3 * r0 + (uint64_t)h4 * s4;
+    uint64_t d4 = (uint64_t)h0 * r4 + (uint64_t)h1 * r3 + (uint64_t)h2 * r2 +
+                  (uint64_t)h3 * r1 + (uint64_t)h4 * r0;
+
+    uint32_t c;
+    c = (uint32_t)(d0 >> 26); h0 = (uint32_t)d0 & 0x3ffffff;
+    d1 += c; c = (uint32_t)(d1 >> 26); h1 = (uint32_t)d1 & 0x3ffffff;
+    d2 += c; c = (uint32_t)(d2 >> 26); h2 = (uint32_t)d2 & 0x3ffffff;
+    d3 += c; c = (uint32_t)(d3 >> 26); h3 = (uint32_t)d3 & 0x3ffffff;
+    d4 += c; c = (uint32_t)(d4 >> 26); h4 = (uint32_t)d4 & 0x3ffffff;
+    h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+    h1 += c;
+
+    m += 16;
+    len -= 16;
+  }
+
+  st.h[0] = h0; st.h[1] = h1; st.h[2] = h2; st.h[3] = h3; st.h[4] = h4;
+}
+
+}  // namespace
+
+std::array<uint8_t, kPolyTagSize> poly1305(
+    std::span<const uint8_t, kPolyKeySize> key,
+    std::span<const uint8_t> msg) {
+  PolyState st;
+  poly_init(st, key.data());
+
+  const size_t full = msg.size() - (msg.size() % 16);
+  if (full) poly_blocks(st, msg.data(), full, 1u << 24);
+  if (msg.size() % 16) {
+    uint8_t block[16] = {0};
+    std::memcpy(block, msg.data() + full, msg.size() % 16);
+    block[msg.size() % 16] = 1;
+    poly_blocks(st, block, 16, 0);
+  }
+
+  // Full carry and reduction mod 2^130 - 5.
+  uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3],
+           h4 = st.h[4];
+  uint32_t c;
+  c = h1 >> 26; h1 &= 0x3ffffff;
+  h2 += c; c = h2 >> 26; h2 &= 0x3ffffff;
+  h3 += c; c = h3 >> 26; h3 &= 0x3ffffff;
+  h4 += c; c = h4 >> 26; h4 &= 0x3ffffff;
+  h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+  h1 += c;
+
+  // compute h + -p
+  uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  uint32_t g4 = h4 + c - (1u << 26);
+
+  // select h if h < p, else h + -p
+  const uint32_t mask = (g4 >> 31) - 1;
+  g0 &= mask; g1 &= mask; g2 &= mask; g3 &= mask; g4 &= mask;
+  const uint32_t nmask = ~mask;
+  h0 = (h0 & nmask) | g0;
+  h1 = (h1 & nmask) | g1;
+  h2 = (h2 & nmask) | g2;
+  h3 = (h3 & nmask) | g3;
+  h4 = (h4 & nmask) | g4;
+
+  // h = h % 2^128, then h += pad
+  uint32_t w0 = h0 | (h1 << 26);
+  uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  uint32_t w3 = (h3 >> 18) | (h4 << 8);
+
+  uint64_t f;
+  f = (uint64_t)w0 + st.pad[0]; w0 = (uint32_t)f;
+  f = (uint64_t)w1 + st.pad[1] + (f >> 32); w1 = (uint32_t)f;
+  f = (uint64_t)w2 + st.pad[2] + (f >> 32); w2 = (uint32_t)f;
+  f = (uint64_t)w3 + st.pad[3] + (f >> 32); w3 = (uint32_t)f;
+
+  std::array<uint8_t, kPolyTagSize> tag;
+  const uint32_t words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i + 0] = static_cast<uint8_t>(words[i]);
+    tag[4 * i + 1] = static_cast<uint8_t>(words[i] >> 8);
+    tag[4 * i + 2] = static_cast<uint8_t>(words[i] >> 16);
+    tag[4 * i + 3] = static_cast<uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+bool tags_equal(std::span<const uint8_t, kPolyTagSize> a,
+                std::span<const uint8_t, kPolyTagSize> b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kPolyTagSize; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace wira::crypto

@@ -1,0 +1,23 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wira::crypto {
+
+inline constexpr size_t kPolyKeySize = 32;
+inline constexpr size_t kPolyTagSize = 16;
+
+/// Computes the 16-byte Poly1305 tag of `msg` under the one-time `key`.
+std::array<uint8_t, kPolyTagSize> poly1305(
+    std::span<const uint8_t, kPolyKeySize> key,
+    std::span<const uint8_t> msg);
+
+/// Constant-time tag comparison.
+bool tags_equal(std::span<const uint8_t, kPolyTagSize> a,
+                std::span<const uint8_t, kPolyTagSize> b);
+
+}  // namespace wira::crypto

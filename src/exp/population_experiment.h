@@ -1,0 +1,89 @@
+// Monte-Carlo population A/B experiment: the laptop-scale stand-in for the
+// paper's 6-month production deployment.  Each "session" draws an OD pair
+// from the synthetic population, reconstructs its previous session's
+// Hx_QoS (the transport cookie), and runs the same workload under every
+// comparison scheme (paired design — variance-free scheme deltas).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/init_config.h"
+#include "exp/session_runner.h"
+#include "popgen/population.h"
+#include "util/stats.h"
+
+namespace wira::exp {
+
+struct PopulationConfig {
+  uint64_t seed = 1;
+  size_t sessions = 300;
+  size_t num_groups = 64;
+  /// Fraction of connections establishing in 0-RTT (paper: ~90%).
+  double p_zero_rtt = 0.90;
+  /// Fraction of clients arriving with a stored cookie.
+  double p_cookie = 0.93;
+  std::vector<core::Scheme> schemes = {
+      core::Scheme::kBaseline, core::Scheme::kWiraFF,
+      core::Scheme::kWiraHx, core::Scheme::kWira};
+  core::ExperiencedDefaults defaults;
+  TimeNs staleness_threshold = core::kDefaultStaleness;
+  uint32_t theta_vf = 1;
+  cc::CcAlgo cc_algo = cc::CcAlgo::kBbrV1;
+  TimeNs sync_period = core::kDefaultSyncPeriod;
+  bool careful_resume = false;
+  media::Container container = media::Container::kFlv;
+};
+
+struct SessionRecord {
+  popgen::PathSample conditions;   ///< ground-truth path at session time
+  TimeNs cookie_age = 0;
+  bool zero_rtt = false;
+  bool had_cookie = false;
+  uint64_t ff_size = 0;            ///< ground-truth first-frame size
+  std::map<core::Scheme, SessionResult> results;
+};
+
+std::vector<SessionRecord> run_population(const PopulationConfig& config);
+
+/// Collects per-scheme FFCT samples (ms) over records passing `filter`.
+template <typename Filter>
+Samples collect_ffct(const std::vector<SessionRecord>& records,
+                     core::Scheme scheme, Filter filter) {
+  Samples s;
+  for (const auto& r : records) {
+    auto it = r.results.find(scheme);
+    if (it == r.results.end() || !it->second.first_frame_completed) continue;
+    if (!filter(r)) continue;
+    s.add(to_ms(it->second.ffct));
+  }
+  return s;
+}
+
+inline Samples collect_ffct(const std::vector<SessionRecord>& records,
+                            core::Scheme scheme) {
+  return collect_ffct(records, scheme,
+                      [](const SessionRecord&) { return true; });
+}
+
+/// Collects first-frame loss-rate samples (fraction) analogously.
+template <typename Filter>
+Samples collect_fflr(const std::vector<SessionRecord>& records,
+                     core::Scheme scheme, Filter filter) {
+  Samples s;
+  for (const auto& r : records) {
+    auto it = r.results.find(scheme);
+    if (it == r.results.end() || !it->second.first_frame_completed) continue;
+    if (!filter(r)) continue;
+    s.add(it->second.fflr);
+  }
+  return s;
+}
+
+inline Samples collect_fflr(const std::vector<SessionRecord>& records,
+                            core::Scheme scheme) {
+  return collect_fflr(records, scheme,
+                      [](const SessionRecord&) { return true; });
+}
+
+}  // namespace wira::exp

@@ -1,0 +1,176 @@
+#include "exp/session_runner.h"
+
+#include <algorithm>
+
+namespace wira::exp {
+
+namespace {
+
+struct LinkSnapshot {
+  uint64_t attempts = 0;
+  uint64_t drops = 0;
+};
+
+LinkSnapshot snapshot(const sim::Link& link) {
+  const auto& st = link.stats();
+  LinkSnapshot s;
+  s.drops = st.queue_drops + st.wire_drops;
+  s.attempts = st.delivered_packets + s.drops;
+  return s;
+}
+
+double window_loss(const LinkSnapshot& before, const LinkSnapshot& after) {
+  const uint64_t attempts = after.attempts - before.attempts;
+  if (attempts == 0) return 0;
+  return static_cast<double>(after.drops - before.drops) /
+         static_cast<double>(attempts);
+}
+
+SessionResult run_impl(const SessionConfig& cfg,
+                       const std::optional<app::ServerConfig::ManualInit>&
+                           manual_init) {
+  sim::EventLoop loop;
+  sim::Path path(loop, cfg.path, cfg.seed);
+  media::LiveStream stream(cfg.stream, cfg.corpus_seed);
+
+  const uint64_t server_id = 7;
+  const uint64_t client_id = cfg.seed;
+  const uint32_t network_type = 0;
+  const uint64_t od_key =
+      core::od_pair_key(client_id, server_id, network_type);
+  const crypto::Key master_key = crypto::key_from_string("wira-server-7");
+
+  app::ServerConfig server_cfg;
+  server_cfg.scheme = cfg.scheme;
+  server_cfg.defaults = cfg.defaults;
+  server_cfg.theta_vf = cfg.theta_vf;
+  server_cfg.sync_period = cfg.sync_period;
+  server_cfg.staleness_threshold = cfg.staleness_threshold;
+  server_cfg.cc_algo = cfg.cc_algo;
+  server_cfg.cookie_sync_enabled = cfg.cookie_sync_enabled;
+  server_cfg.careful_resume = cfg.careful_resume;
+  server_cfg.master_key = master_key;
+  server_cfg.expected_od_key = od_key;
+  server_cfg.origin_latency = cfg.origin_latency;
+  server_cfg.ug_qos = cfg.ug_qos;
+  server_cfg.manual_init = manual_init;
+
+  app::WiraServer server(loop, stream, server_cfg,
+                         [&path](std::vector<uint8_t> dgram) {
+                           sim::Datagram d;
+                           d.size = dgram.size();
+                           d.payload = std::move(dgram);
+                           path.forward().send(std::move(d));
+                         });
+
+  app::ClientCache cache;
+  if (cfg.zero_rtt) {
+    cache.server_configs[server_id] = server.server_config_id();
+  }
+  if (cfg.cookie) {
+    core::HxQosRecord rec = *cfg.cookie;
+    rec.od_key = od_key;
+    core::CookieSealer sealer(master_key);
+    cache.cookies.store(od_key, sealer.seal(rec),
+                        rec.server_timestamp != kNoTime
+                            ? rec.server_timestamp
+                            : TimeNs{0});
+  }
+
+  app::ClientConfig client_cfg;
+  client_cfg.client_id = client_id;
+  client_cfg.server_id = server_id;
+  client_cfg.network_type = network_type;
+  client_cfg.theta_vf = cfg.theta_vf;
+  client_cfg.supports_cookie_sync = cfg.client_supports_cookie;
+  client_cfg.track_frames = cfg.track_frames;
+  client_cfg.container = cfg.stream.container;
+
+  app::PlayerClient client(loop, client_cfg, cache,
+                           [&path](std::vector<uint8_t> dgram) {
+                             sim::Datagram d;
+                             d.size = dgram.size();
+                             d.payload = std::move(dgram);
+                             path.reverse().send(std::move(d));
+                           });
+
+  path.forward().set_receiver([&client](sim::Datagram d) {
+    client.on_datagram(d.payload);
+  });
+  path.reverse().set_receiver([&server](sim::Datagram d) {
+    server.on_datagram(d.payload);
+  });
+
+  // Per-frame loss windows over the bottleneck (data) direction.
+  std::vector<LinkSnapshot> frame_snapshots;
+  LinkSnapshot start_snapshot;
+  client.set_on_frame_complete([&](uint32_t /*frame_index*/) {
+    frame_snapshots.push_back(snapshot(path.forward()));
+  });
+
+  loop.schedule_at(cfg.start_time, [&] {
+    start_snapshot = snapshot(path.forward());
+    client.start();
+  });
+
+  const TimeNs deadline = cfg.start_time + cfg.max_session_time;
+  while (loop.now() < deadline) {
+    loop.run_until(std::min(loop.now() + milliseconds(100), deadline));
+    if (client.metrics().frame_complete_at.size() >= cfg.track_frames &&
+        loop.now() >= cfg.start_time + 2 * cfg.sync_period) {
+      break;  // everything measured (incl. at least one cookie sync)
+    }
+  }
+
+  SessionResult result;
+  const auto& m = client.metrics();
+  result.zero_rtt = m.zero_rtt;
+  result.first_frame_completed = m.first_frame_done();
+  result.ffct = m.ffct();
+  result.frames.resize(cfg.track_frames);
+  LinkSnapshot prev = start_snapshot;
+  for (uint32_t i = 0; i < cfg.track_frames; ++i) {
+    if (i < m.frame_complete_at.size()) {
+      result.frames[i].completion = m.frame_time(i + 1);
+      result.frames[i].loss_rate = window_loss(prev, frame_snapshots[i]);
+      prev = frame_snapshots[i];
+    }
+  }
+  if (result.first_frame_completed) {
+    result.fflr = window_loss(start_snapshot, frame_snapshots[0]);
+  }
+  result.ff_size =
+      server.parser().complete() ? server.parser().ff_size() : 0;
+  result.init = server.last_init();
+  result.server_stats = server.connection().stats();
+  if (result.server_stats.stream_bytes_sent > 0) {
+    result.retransmission_ratio =
+        static_cast<double>(result.server_stats.stream_bytes_retransmitted) /
+        static_cast<double>(result.server_stats.stream_bytes_sent);
+  }
+  result.cookies_synced = server.cookies_synced();
+  result.client_cookies_received = m.cookies_received;
+  return result;
+}
+
+}  // namespace
+
+SessionResult run_session(const SessionConfig& config) {
+  return run_impl(config, std::nullopt);
+}
+
+SessionResult run_manual_init_session(const ManualInitConfig& config) {
+  SessionConfig cfg;
+  cfg.path = config.path;
+  cfg.stream = config.stream;
+  cfg.corpus_seed = config.corpus_seed;
+  cfg.seed = config.seed;
+  cfg.start_time = config.start_time;
+  cfg.zero_rtt = true;
+  cfg.cookie_sync_enabled = false;
+  app::ServerConfig::ManualInit manual{config.init_cwnd_bytes,
+                                       config.init_pacing};
+  return run_impl(cfg, manual);
+}
+
+}  // namespace wira::exp

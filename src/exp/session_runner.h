@@ -1,0 +1,83 @@
+// Runs one emulated live-streaming session end-to-end: client + Wira proxy
+// server over an emulated path, and collects the metrics the paper reports
+// (FFCT, first-frame loss rate, follow-up frame completion/loss).
+#pragma once
+
+#include <optional>
+
+#include "app/player_client.h"
+#include "app/wira_server.h"
+#include "core/init_config.h"
+#include "media/stream_source.h"
+#include "sim/path.h"
+
+namespace wira::exp {
+
+struct SessionConfig {
+  sim::PathConfig path;
+  core::Scheme scheme = core::Scheme::kWira;
+  cc::CcAlgo cc_algo = cc::CcAlgo::kBbrV1;
+  uint64_t seed = 1;
+
+  media::StreamProfile stream;
+  uint64_t corpus_seed = 42;
+  /// The client starts at this simulated time: controls both the join
+  /// position within the stream and cookie-age arithmetic.
+  TimeNs start_time = 0;
+
+  uint32_t theta_vf = 1;
+  /// Client has the server config cached -> 0-RTT handshake.
+  bool zero_rtt = true;
+  /// Pre-seeded transport cookie from the "previous session" (sealed with
+  /// the server's key by the runner); nullopt = no cookie.
+  std::optional<core::HxQosRecord> cookie;
+  /// Whether the client even declares HQST support.
+  bool client_supports_cookie = true;
+  /// Group-average QoS for Scheme::kUserGroup.
+  std::optional<core::HxQosRecord> ug_qos;
+
+  core::ExperiencedDefaults defaults;
+  TimeNs staleness_threshold = core::kDefaultStaleness;
+  TimeNs sync_period = core::kDefaultSyncPeriod;
+  bool cookie_sync_enabled = true;
+  bool careful_resume = false;  ///< see app::ServerConfig::careful_resume
+  TimeNs origin_latency = milliseconds(5);
+  uint32_t track_frames = 4;
+  TimeNs max_session_time = seconds(10);
+};
+
+struct FrameStat {
+  TimeNs completion = kNoTime;  ///< from request send; kNoTime = incomplete
+  double loss_rate = 0;         ///< link-level loss over the frame's window
+};
+
+struct SessionResult {
+  bool first_frame_completed = false;
+  TimeNs ffct = kNoTime;
+  double fflr = 0;  ///< link-level loss rate over the first-frame window
+  std::vector<FrameStat> frames;  ///< video frames 1..track_frames
+  bool zero_rtt = false;
+  uint64_t ff_size = 0;            ///< parser-reported FF_Size (0 if n/a)
+  core::InitDecision init;
+  quic::ConnStats server_stats;    ///< end-of-session snapshot
+  double retransmission_ratio = 0; ///< retransmitted/sent stream bytes
+  uint64_t cookies_synced = 0;
+  uint64_t client_cookies_received = 0;
+};
+
+SessionResult run_session(const SessionConfig& config);
+
+/// Convenience: session on the paper's Fig. 2 testbed path with explicit
+/// init parameters (bypassing the schemes) — used by the init sweeps.
+struct ManualInitConfig {
+  sim::PathConfig path = sim::testbed_path();
+  uint64_t init_cwnd_bytes = 0;
+  Bandwidth init_pacing = 0;
+  media::StreamProfile stream;
+  uint64_t corpus_seed = 42;
+  uint64_t seed = 1;
+  TimeNs start_time = 0;
+};
+SessionResult run_manual_init_session(const ManualInitConfig& config);
+
+}  // namespace wira::exp

@@ -1,0 +1,36 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace wira::exp {
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << "  " << c << std::string(widths[i] - c.size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print() const { print(std::cout); }
+
+void banner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace wira::exp

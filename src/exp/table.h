@@ -1,0 +1,29 @@
+// Fixed-width table printer for the figure/table benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace wira::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void print(std::ostream& os) const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Figure 11 ... ==").
+void banner(const std::string& title);
+
+}  // namespace wira::exp

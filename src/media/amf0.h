@@ -1,0 +1,31 @@
+// Minimal AMF0 encoder/decoder — enough for FLV onMetaData script tags
+// (string, number, boolean, ECMA array).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/bytes.h"
+
+namespace wira::media {
+
+using Amf0Value = std::variant<double, bool, std::string>;
+
+/// Encodes `name` (AMF0 string) followed by an ECMA array of properties —
+/// the layout of an FLV onMetaData script tag body.
+std::vector<uint8_t> amf0_encode_metadata(
+    const std::string& name, const std::map<std::string, Amf0Value>& props);
+
+/// Decodes a script tag body written by amf0_encode_metadata.  Returns
+/// nullopt on malformed input.
+struct Amf0Metadata {
+  std::string name;
+  std::map<std::string, Amf0Value> props;
+};
+std::optional<Amf0Metadata> amf0_decode_metadata(
+    std::span<const uint8_t> body);
+
+}  // namespace wira::media

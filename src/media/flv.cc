@@ -1,0 +1,129 @@
+#include "media/flv.h"
+
+#include <algorithm>
+
+#include "media/amf0.h"
+
+namespace wira::media {
+
+namespace {
+/// Deterministic filler byte for synthetic frame payloads; varies with the
+/// position so compression-like tooling can't collapse it accidentally.
+uint8_t filler(size_t i) { return static_cast<uint8_t>(0xA5 ^ (i * 31)); }
+}  // namespace
+
+void FlvMuxer::write_header(bool has_audio, bool has_video) {
+  writer_.str("FLV");
+  writer_.u8(1);  // version
+  writer_.u8(static_cast<uint8_t>((has_audio ? 0x04 : 0) |
+                                  (has_video ? 0x01 : 0)));
+  writer_.u32be(kFlvHeaderSize);
+  writer_.u32be(0);  // PreviousTagSize0
+}
+
+void FlvMuxer::write_tag(TagType type, TimeNs pts,
+                         std::span<const uint8_t> body) {
+  const uint32_t ts = static_cast<uint32_t>(to_ms(pts));
+  writer_.u8(static_cast<uint8_t>(type));
+  writer_.u24be(static_cast<uint32_t>(body.size()));
+  writer_.u24be(ts & 0xFFFFFF);
+  writer_.u8(static_cast<uint8_t>(ts >> 24));  // extended timestamp
+  writer_.u24be(0);                            // stream id
+  writer_.bytes(body);
+  writer_.u32be(static_cast<uint32_t>(kFlvTagHeaderSize + body.size()));
+}
+
+void FlvMuxer::write_frame(const MediaFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(frame.payload_bytes);
+  if (frame.type == TagType::kVideo) {
+    // FrameType(4) | CodecID(4); codec 7 = AVC.
+    body.push_back(static_cast<uint8_t>(
+        (static_cast<uint8_t>(frame.video_kind) << 4) | 0x07));
+  } else if (frame.type == TagType::kAudio) {
+    // SoundFormat 10 (AAC), 44kHz stereo 16-bit.
+    body.push_back(0xAF);
+  }
+  while (body.size() < frame.payload_bytes) body.push_back(filler(body.size()));
+  write_tag(frame.type, frame.pts, body);
+}
+
+void FlvMuxer::write_metadata(
+    TimeNs pts, const std::map<std::string, double>& numeric_props) {
+  std::map<std::string, Amf0Value> props;
+  for (const auto& [k, v] : numeric_props) props.emplace(k, Amf0Value{v});
+  const auto body = amf0_encode_metadata("onMetaData", props);
+  write_tag(TagType::kScript, pts, body);
+}
+
+bool FlvDemuxer::feed(std::span<const uint8_t> data) {
+  if (state_ == State::kError) return false;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  while (process()) {
+  }
+  return state_ != State::kError;
+}
+
+bool FlvDemuxer::process() {
+  auto consume = [this](size_t n) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(n));
+    bytes_consumed_ += n;
+  };
+
+  switch (state_) {
+    case State::kHeader: {
+      if (buf_.size() < kFlvHeaderSize) return false;
+      if (buf_[0] != 'F' || buf_[1] != 'L' || buf_[2] != 'V') {
+        state_ = State::kError;
+        return false;
+      }
+      ByteReader r(std::span<const uint8_t>(buf_).subspan(5, 4));
+      const uint32_t data_offset = r.u32be();
+      if (data_offset < kFlvHeaderSize || buf_.size() < data_offset) {
+        if (data_offset < kFlvHeaderSize) state_ = State::kError;
+        return false;
+      }
+      consume(data_offset);
+      state_ = State::kPrevTagSize;
+      return true;
+    }
+    case State::kPrevTagSize: {
+      if (buf_.size() < kFlvPreviousTagSize) return false;
+      consume(kFlvPreviousTagSize);
+      state_ = State::kTagHeader;
+      return true;
+    }
+    case State::kTagHeader: {
+      if (buf_.size() < kFlvTagHeaderSize) return false;
+      ByteReader r(std::span<const uint8_t>(buf_).first(kFlvTagHeaderSize));
+      const uint8_t type = r.u8();
+      current_.data_size = r.u24be();
+      const uint32_t ts_low = r.u24be();
+      const uint8_t ts_ext = r.u8();
+      current_.timestamp_ms = (static_cast<uint32_t>(ts_ext) << 24) | ts_low;
+      if (type != 8 && type != 9 && type != 18) {
+        state_ = State::kError;
+        return false;
+      }
+      current_.type = static_cast<TagType>(type);
+      consume(kFlvTagHeaderSize);
+      state_ = State::kTagBody;
+      return true;
+    }
+    case State::kTagBody: {
+      if (buf_.size() < current_.data_size) return false;
+      current_.body.assign(buf_.begin(),
+                           buf_.begin() + current_.data_size);
+      consume(current_.data_size);
+      tags_parsed_++;
+      if (on_tag_) on_tag_(current_);
+      state_ = State::kPrevTagSize;
+      return true;
+    }
+    case State::kError:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace wira::media

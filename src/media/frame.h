@@ -1,0 +1,45 @@
+// Media frame model shared by the generator, the FLV muxer and the
+// Wira frame parser.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wira::media {
+
+/// FLV tag types (the container's own numbering).
+enum class TagType : uint8_t {
+  kAudio = 8,
+  kVideo = 9,
+  kScript = 18,
+};
+
+/// Video frame kinds as encoded in the first nibble of an FLV video tag.
+enum class VideoKind : uint8_t {
+  kKey = 1,         ///< I frame (seekable)
+  kInter = 2,       ///< P frame
+  kDisposable = 3,  ///< B frame (disposable inter frame)
+};
+
+/// One elementary media frame before containerization.
+struct MediaFrame {
+  TagType type = TagType::kVideo;
+  VideoKind video_kind = VideoKind::kKey;  ///< meaningful iff type==kVideo
+  uint32_t payload_bytes = 0;              ///< tag body size (incl. codec header byte)
+  TimeNs pts = 0;                          ///< presentation timestamp
+};
+
+/// FLV wire-format constants.
+inline constexpr size_t kFlvHeaderSize = 9;
+inline constexpr size_t kFlvPreviousTagSize = 4;
+inline constexpr size_t kFlvTagHeaderSize = 11;
+
+/// Total on-wire size of one frame once muxed into FLV
+/// (tag header + body + trailing PreviousTagSize field).
+inline constexpr size_t flv_tag_wire_size(uint32_t payload_bytes) {
+  return kFlvTagHeaderSize + payload_bytes + kFlvPreviousTagSize;
+}
+
+}  // namespace wira::media

@@ -1,0 +1,217 @@
+#include "media/stream_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/mpegts.h"
+
+namespace wira::media {
+
+namespace {
+/// Mixes (seed, stream, gop) into one RNG seed.
+uint64_t mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ull) ^ (c * 0xC2B2AE3D27D4EB4Full);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+}  // namespace
+
+StreamProfile sample_stream_profile(Rng& rng, uint64_t stream_id) {
+  StreamProfile p;
+  p.stream_id = stream_id;
+  // Corpus complexity: lognormal fitted to the paper's quantile anchors
+  // (30% of first frames < 30 KB, 20% > 60 KB, mean ~43 KB): sigma=0.507
+  // i.e. CV~0.54; clamped so first-frame sizes (with container overhead)
+  // land in ~[6 KB, 250 KB].
+  p.iframe_mean_bytes = clamp(rng.lognormal_mean_cv(43'000.0, 0.54),
+                              5'500.0, 245'000.0);
+  // Resolution class correlates loosely with complexity.
+  if (p.iframe_mean_bytes > 90'000) {
+    p.width = 1920; p.height = 1080;
+  } else if (p.iframe_mean_bytes < 18'000) {
+    p.width = 640; p.height = 360;
+  }
+  p.iframe_intra_cv = rng.uniform(0.20, 0.40);
+  p.fps = rng.chance(0.3) ? 30.0 : 25.0;
+  p.gop_frames = static_cast<uint32_t>(p.fps * rng.range(1, 4));  // 1-4 s GOP
+  return p;
+}
+
+LiveStream::LiveStream(StreamProfile profile, uint64_t corpus_seed)
+    : profile_(profile), corpus_seed_(corpus_seed) {}
+
+TimeNs LiveStream::frame_interval() const {
+  return static_cast<TimeNs>(1e9 / profile_.fps);
+}
+
+TimeNs LiveStream::gop_duration() const {
+  return frame_interval() * profile_.gop_frames;
+}
+
+std::vector<MediaFrame> LiveStream::gop(uint64_t k) const {
+  Rng rng(mix(corpus_seed_, profile_.stream_id, k));
+  const TimeNs gop_start = static_cast<TimeNs>(k) * gop_duration();
+  const double i_bytes =
+      clamp(rng.lognormal_mean_cv(profile_.iframe_mean_bytes,
+                                  profile_.iframe_intra_cv),
+            2'000.0, 249'000.0);
+
+  std::vector<MediaFrame> video;
+  video.reserve(profile_.gop_frames);
+  uint32_t since_p = 0;
+  for (uint32_t i = 0; i < profile_.gop_frames; ++i) {
+    MediaFrame f;
+    f.type = TagType::kVideo;
+    f.pts = gop_start + static_cast<TimeNs>(i) * frame_interval();
+    if (i == 0) {
+      f.video_kind = VideoKind::kKey;
+      f.payload_bytes = static_cast<uint32_t>(i_bytes);
+    } else if (since_p >= profile_.bs_per_p) {
+      f.video_kind = VideoKind::kInter;
+      f.payload_bytes = static_cast<uint32_t>(clamp(
+          i_bytes * profile_.p_over_i * rng.lognormal_mean_cv(1.0, 0.25),
+          400.0, 200'000.0));
+      since_p = 0;
+    } else {
+      f.video_kind = VideoKind::kDisposable;
+      f.payload_bytes = static_cast<uint32_t>(clamp(
+          i_bytes * profile_.b_over_i * rng.lognormal_mean_cv(1.0, 0.25),
+          200.0, 150'000.0));
+      since_p++;
+    }
+    video.push_back(f);
+  }
+
+  // Interleave audio tags at their own cadence; merge by PTS with audio
+  // winning ties (an audio sample "covering" a video PTS precedes it).
+  const TimeNs audio_period =
+      static_cast<TimeNs>(1e9 / profile_.audio_tags_per_sec);
+  std::vector<MediaFrame> out;
+  out.reserve(video.size() * 3);
+  size_t vi = 0;
+  for (TimeNs a = gop_start; a < gop_start + gop_duration();
+       a += audio_period) {
+    while (vi < video.size() && video[vi].pts < a) out.push_back(video[vi++]);
+    MediaFrame f;
+    f.type = TagType::kAudio;
+    f.pts = a;
+    f.payload_bytes = profile_.audio_payload_bytes;
+    out.push_back(f);
+  }
+  while (vi < video.size()) out.push_back(video[vi++]);
+  return out;
+}
+
+std::vector<uint8_t> LiveStream::metadata_prefix() const {
+  if (profile_.container == Container::kMpegTs) {
+    TsMuxer mux;
+    mux.write_psi();
+    return mux.take();
+  }
+  FlvMuxer mux;
+  mux.write_header();
+  mux.write_metadata(0, {
+      {"width", static_cast<double>(profile_.width)},
+      {"height", static_cast<double>(profile_.height)},
+      {"framerate", profile_.fps},
+      {"videodatarate",
+       profile_.iframe_mean_bytes * 8.0 * profile_.fps / 8'000.0 / 10.0},
+      {"audiodatarate", 128.0},
+  });
+  return mux.take();
+}
+
+StreamChunk LiveStream::mux_frame(const MediaFrame& f) const {
+  StreamChunk c;
+  c.pts = f.pts;
+  c.type = f.type;
+  c.video_kind = f.video_kind;
+  if (profile_.container == Container::kMpegTs) {
+    TsMuxer mux;
+    mux.write_frame(f);
+    c.bytes = mux.take();
+  } else {
+    FlvMuxer mux;
+    mux.write_frame(f);
+    c.bytes = mux.take();
+  }
+  return c;
+}
+
+std::vector<StreamChunk> LiveStream::join_chunks(TimeNs join_time) const {
+  const uint64_t k = static_cast<uint64_t>(
+      std::max<TimeNs>(join_time, 0) / gop_duration());
+  std::vector<StreamChunk> out;
+  bool first = true;
+  for (const MediaFrame& f : gop(k)) {
+    if (f.pts > join_time) break;
+    StreamChunk c = mux_frame(f);
+    if (first) {
+      auto prefix = metadata_prefix();
+      prefix.insert(prefix.end(), c.bytes.begin(), c.bytes.end());
+      c.bytes = std::move(prefix);
+      first = false;
+    }
+    out.push_back(std::move(c));
+  }
+  if (first) {
+    // Join landed before the GOP's first frame PTS: send header alone.
+    StreamChunk c;
+    c.pts = join_time;
+    c.bytes = metadata_prefix();
+    c.type = TagType::kScript;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<StreamChunk> LiveStream::chunks_between(TimeNs t0,
+                                                    TimeNs t1) const {
+  std::vector<StreamChunk> out;
+  if (t1 <= t0) return out;
+  const uint64_t k0 = static_cast<uint64_t>(std::max<TimeNs>(t0, 0) /
+                                            gop_duration());
+  const uint64_t k1 = static_cast<uint64_t>(std::max<TimeNs>(t1, 0) /
+                                            gop_duration());
+  for (uint64_t k = k0; k <= k1; ++k) {
+    for (const MediaFrame& f : gop(k)) {
+      if (f.pts > t0 && f.pts <= t1) out.push_back(mux_frame(f));
+    }
+  }
+  return out;
+}
+
+uint64_t LiveStream::first_frame_size(TimeNs join_time,
+                                      uint32_t theta_vf) const {
+  // Count: container prelude + every frame up to the first-frame boundary,
+  // starting from the join burst and continuing into the live tail.
+  const bool ts = profile_.container == Container::kMpegTs;
+  uint64_t size = metadata_prefix().size();
+  uint32_t videos = 0;
+  const uint64_t k = static_cast<uint64_t>(
+      std::max<TimeNs>(join_time, 0) / gop_duration());
+  for (uint64_t g = k; g < k + 4; ++g) {  // first frame spans < 4 GOPs
+    for (const MediaFrame& f : gop(g)) {
+      if (ts && f.type == TagType::kVideo && videos == theta_vf) {
+        // TS boundary rule: the first frame ends where the next video
+        // access unit starts.
+        return size;
+      }
+      size += ts ? ts_frame_wire_size(f)
+                 : flv_tag_wire_size(f.payload_bytes);
+      if (f.type == TagType::kVideo) {
+        ++videos;
+        if (!ts && videos == theta_vf) return size;
+      }
+    }
+  }
+  return size;
+}
+
+}  // namespace wira::media

@@ -1,0 +1,183 @@
+#include "popgen/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace wira::popgen {
+
+namespace {
+
+// Calibration anchors (see header).  Session-to-session measurement noise
+// and slow drift combine to the paper's OD-level CVs; OD-to-OD base spread
+// within a group gives the UG-level CVs.
+constexpr double kRttMeasNoiseCv = 0.095;
+constexpr double kRttDriftAmp1 = 0.050, kRttDriftAmp2 = 0.040;
+constexpr TimeNs kRttDriftPeriod1 = minutes(23), kRttDriftPeriod2 =
+                                                      minutes(170);
+constexpr double kBwMeasNoiseCv = 0.22;
+constexpr double kBwDriftAmp1 = 0.13, kBwDriftAmp2 = 0.12;
+constexpr TimeNs kBwDriftPeriod1 = minutes(11), kBwDriftPeriod2 =
+                                                    minutes(120);
+
+double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+uint64_t mix(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+const char* network_type_name(NetworkType t) {
+  switch (t) {
+    case NetworkType::kWifi: return "WiFi";
+    case NetworkType::k3G: return "3G";
+    case NetworkType::k4G: return "4G";
+    case NetworkType::k5G: return "5G";
+  }
+  return "?";
+}
+
+Population::Population(uint64_t seed, size_t num_groups) : seed_(seed) {
+  Rng rng(seed);
+  groups_.reserve(num_groups);
+  for (size_t i = 0; i < num_groups; ++i) {
+    UserGroupProfile g;
+    g.id = static_cast<uint32_t>(i);
+    // Network-type mix roughly matching a mobile-heavy live audience.
+    const double u = rng.uniform();
+    if (u < 0.45) g.net = NetworkType::kWifi;
+    else if (u < 0.55) g.net = NetworkType::k3G;
+    else if (u < 0.85) g.net = NetworkType::k4G;
+    else g.net = NetworkType::k5G;
+    g.geo_id = static_cast<uint32_t>(rng.below(300));
+    g.asn = static_cast<uint32_t>(rng.below(120));
+
+    switch (g.net) {
+      case NetworkType::kWifi:
+        g.rtt_mean_ms = rng.uniform(30, 90);
+        g.bw_mean_mbps = rng.uniform(8, 40);
+        g.loss_mean = rng.uniform(0.002, 0.014);
+        break;
+      case NetworkType::k3G:
+        g.rtt_mean_ms = rng.uniform(100, 250);
+        g.bw_mean_mbps = rng.uniform(2, 8);
+        g.loss_mean = rng.uniform(0.008, 0.03);
+        break;
+      case NetworkType::k4G:
+        g.rtt_mean_ms = rng.uniform(50, 130);
+        g.bw_mean_mbps = rng.uniform(5, 25);
+        g.loss_mean = rng.uniform(0.004, 0.018);
+        break;
+      case NetworkType::k5G:
+        g.rtt_mean_ms = rng.uniform(20, 60);
+        g.bw_mean_mbps = rng.uniform(20, 60);
+        g.loss_mean = rng.uniform(0.002, 0.008);
+        break;
+    }
+    // Within-group dispersion anchors (§II-C): right-skewed so the mean
+    // lands at 36.4% / 51.6% while ~half the groups keep MinRTT CV below
+    // 20% and only ~13% keep MaxBW CV below 20% (Fig. 3 CDF shape).
+    g.rtt_cv = clamp(rng.lognormal_mean_cv(0.355, 1.25), 0.04, 1.3);
+    g.bw_cv = clamp(rng.lognormal_mean_cv(0.51, 0.72), 0.10, 1.6);
+    groups_.push_back(g);
+  }
+}
+
+OdPair Population::make_od(size_t group_index, uint64_t od_index) const {
+  Rng rng(mix(seed_, mix(group_index * 1000003 + 17, od_index)));
+  return OdPair(groups_[group_index % groups_.size()], od_index, rng);
+}
+
+Population::GroupQos Population::group_average_qos(
+    size_t group_index, size_t sample_ods) const {
+  double rtt_ms = 0, bw_mbps = 0;
+  for (size_t i = 0; i < sample_ods; ++i) {
+    const OdPair od = make_od(group_index, 900'000 + i);
+    rtt_ms += od.base_rtt_ms();
+    bw_mbps += od.base_bw_mbps();
+  }
+  GroupQos q;
+  q.mean_rtt = from_seconds(rtt_ms / static_cast<double>(sample_ods) / 1e3);
+  q.mean_bw = mbps_f(bw_mbps / static_cast<double>(sample_ods));
+  return q;
+}
+
+OdPair Population::random_od(Rng& rng) const {
+  const size_t g = static_cast<size_t>(rng.below(groups_.size()));
+  return make_od(g, rng.next());
+}
+
+TimeNs Population::sample_session_gap(Rng& rng) {
+  // Heavy-tailed: median ~4 min; ~8% of gaps exceed the 60-min staleness
+  // threshold Delta.
+  const double minutes_gap =
+      clamp(rng.lognormal(std::log(4.0), 1.35), 0.15, 360.0);
+  return from_seconds(minutes_gap * 60.0);
+}
+
+OdPair::OdPair(const UserGroupProfile& group, uint64_t od_id, Rng& rng)
+    : od_id_(od_id), group_id_(group.id), net_(group.net) {
+  base_rtt_ms_ = clamp(
+      rng.lognormal_mean_cv(group.rtt_mean_ms, group.rtt_cv), 5.0, 500.0);
+  base_bw_mbps_ = clamp(
+      rng.lognormal_mean_cv(group.bw_mean_mbps, group.bw_cv), 0.6, 80.0);
+  base_loss_ = clamp(rng.lognormal_mean_cv(group.loss_mean, 1.2), 0.0, 0.12);
+  // Access links (cellular especially) are mostly bufferbloated — queues
+  // of one to several BDPs — but a shallow-buffered tail exists (~12%
+  // below 0.8 BDP) where mis-initialized bursts convert to loss instead
+  // of delay (this is where Fig. 14's first-frame losses come from).
+  buffer_factor_ = clamp(rng.lognormal(std::log(1.7), 0.62), 0.35, 5.0);
+  rtt_phase1_ = rng.uniform(0, 2 * std::numbers::pi);
+  rtt_phase2_ = rng.uniform(0, 2 * std::numbers::pi);
+  bw_phase1_ = rng.uniform(0, 2 * std::numbers::pi);
+  bw_phase2_ = rng.uniform(0, 2 * std::numbers::pi);
+}
+
+double OdPair::drift(TimeNs t, double a1, double p1, TimeNs t1, double a2,
+                     double p2, TimeNs t2) const {
+  const double x1 = 2 * std::numbers::pi * to_seconds(t) / to_seconds(t1);
+  const double x2 = 2 * std::numbers::pi * to_seconds(t) / to_seconds(t2);
+  return std::exp(a1 * std::sin(x1 + p1) + a2 * std::sin(x2 + p2));
+}
+
+PathSample OdPair::sample(TimeNs t, Rng& rng) const {
+  PathSample s;
+  const double rtt_ms =
+      base_rtt_ms_ *
+      drift(t, kRttDriftAmp1, rtt_phase1_, kRttDriftPeriod1, kRttDriftAmp2,
+            rtt_phase2_, kRttDriftPeriod2) *
+      rng.lognormal_mean_cv(1.0, kRttMeasNoiseCv);
+  const double bw_mbps =
+      base_bw_mbps_ *
+      drift(t, kBwDriftAmp1, bw_phase1_, kBwDriftPeriod1, kBwDriftAmp2,
+            bw_phase2_, kBwDriftPeriod2) *
+      rng.lognormal_mean_cv(1.0, kBwMeasNoiseCv);
+
+  s.min_rtt = from_seconds(clamp(rtt_ms, 4.0, 800.0) / 1000.0);
+  s.max_bw = mbps_f(clamp(bw_mbps, 0.4, 100.0));
+  s.loss_rate = clamp(base_loss_ * rng.lognormal_mean_cv(1.0, 0.4), 0.0, 0.12);
+  // Bottleneck buffer: a fraction-to-multiple of the path BDP.
+  const uint64_t bdp = bdp_bytes(s.max_bw, s.min_rtt);
+  s.buffer_bytes = std::clamp<uint64_t>(
+      static_cast<uint64_t>(static_cast<double>(bdp) * buffer_factor_),
+      32 * 1024, 1024 * 1024);
+  return s;
+}
+
+sim::PathConfig OdPair::to_path_config(const PathSample& s) {
+  sim::PathConfig p;
+  p.bandwidth = s.max_bw;
+  p.rtt = s.min_rtt;
+  p.loss_rate = s.loss_rate;
+  p.buffer_bytes = s.buffer_bytes;
+  return p;
+}
+
+}  // namespace wira::popgen

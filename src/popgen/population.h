@@ -1,0 +1,117 @@
+// Synthetic population of user groups and origin-destination (OD) pairs.
+//
+// Stand-in for the paper's production telemetry (§II-C/§II-D): user groups
+// are (network type x geography x ASN) buckets whose members' path
+// conditions disperse widely (MinRTT CV ~36%, MaxBW CV ~52% within a
+// group), while a single OD pair re-measured over minutes disperses far
+// less (MinRTT CV ~10%, MaxBW CV ~27% within 5 min, growing slowly with
+// the interval).  The generator is calibrated to those anchors; bench
+// fig03/fig04 print the resulting CVs next to the paper's numbers.
+//
+// Temporal model: a session's measured value is
+//   base * exp(measurement noise) * drift(t)
+// where drift is a sum of two sinusoids with OD-specific random phases —
+// smooth, deterministic in t (resumable anywhere), and variance grows with
+// the sampling interval like the paper's Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/path.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace wira::popgen {
+
+enum class NetworkType : uint32_t { kWifi = 0, k3G = 1, k4G = 2, k5G = 3 };
+
+const char* network_type_name(NetworkType t);
+
+struct UserGroupProfile {
+  uint32_t id = 0;
+  NetworkType net = NetworkType::kWifi;
+  uint32_t geo_id = 0;
+  uint32_t asn = 0;
+  // Distribution of member ODs' base conditions (mean / CV of lognormals).
+  double rtt_mean_ms = 60;
+  double rtt_cv = 0.35;
+  double bw_mean_mbps = 15;
+  double bw_cv = 0.50;
+  double loss_mean = 0.008;
+};
+
+/// Measured conditions of one session on an OD path.
+struct PathSample {
+  TimeNs min_rtt = 0;
+  Bandwidth max_bw = 0;
+  double loss_rate = 0;
+  uint64_t buffer_bytes = 0;
+};
+
+class OdPair {
+ public:
+  OdPair(const UserGroupProfile& group, uint64_t od_id, Rng& rng);
+
+  /// Session conditions at absolute time `t`; `rng` supplies the
+  /// per-session measurement noise.
+  PathSample sample(TimeNs t, Rng& rng) const;
+
+  /// Emulator path for given conditions.
+  static sim::PathConfig to_path_config(const PathSample& s);
+
+  uint64_t id() const { return od_id_; }
+  uint32_t group_id() const { return group_id_; }
+  NetworkType network() const { return net_; }
+  double base_rtt_ms() const { return base_rtt_ms_; }
+  double base_bw_mbps() const { return base_bw_mbps_; }
+
+ private:
+  double drift(TimeNs t, double a1, double p1, TimeNs t1, double a2,
+               double p2, TimeNs t2) const;
+
+  uint64_t od_id_;
+  uint32_t group_id_;
+  NetworkType net_;
+  double base_rtt_ms_;
+  double base_bw_mbps_;
+  double base_loss_;
+  double buffer_factor_;
+  // Drift parameters (amplitudes fixed by calibration, phases random).
+  double rtt_phase1_, rtt_phase2_, bw_phase1_, bw_phase2_;
+};
+
+class Population {
+ public:
+  /// Builds `num_groups` user groups with realistic type/geo diversity.
+  Population(uint64_t seed, size_t num_groups);
+
+  const std::vector<UserGroupProfile>& groups() const { return groups_; }
+
+  /// Deterministically derives OD pair `od_index` of group `group_index`.
+  OdPair make_od(size_t group_index, uint64_t od_index) const;
+
+  /// Group-average QoS: what a per-user-group model trained on member
+  /// history would predict (the §II-C approach).  Averages the base
+  /// conditions of a fixed sample of member ODs.
+  struct GroupQos {
+    TimeNs mean_rtt = 0;
+    Bandwidth mean_bw = 0;
+  };
+  GroupQos group_average_qos(size_t group_index,
+                             size_t sample_ods = 32) const;
+
+  /// Draws a random (group, od) pair.
+  OdPair random_od(Rng& rng) const;
+
+  /// Session inter-arrival gap on one OD pair (drives cookie age):
+  /// heavy-tailed, median a few minutes, occasionally > Delta.
+  static TimeNs sample_session_gap(Rng& rng);
+
+ private:
+  uint64_t seed_;
+  std::vector<UserGroupProfile> groups_;
+};
+
+}  // namespace wira::popgen

@@ -1,0 +1,90 @@
+// QUIC frame definitions and wire codecs.
+//
+// Frames are a std::variant; serialization goes through ByteWriter/Reader
+// so malformed input is handled via the reader's error latch rather than
+// exceptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "quic/range_set.h"
+#include "quic/types.h"
+#include "util/bytes.h"
+
+namespace wira::quic {
+
+/// Frame type codes on the wire.
+enum class FrameType : uint8_t {
+  kPadding = 0x00,
+  kPing = 0x01,
+  kAck = 0x02,
+  kCrypto = 0x06,
+  kStream = 0x08,
+  kConnectionClose = 0x1c,
+  kHxQos = 0x1f,  ///< Wira Hx_QoS frame (§IV-B, Fig. 8)
+};
+
+struct PaddingFrame {
+  uint32_t length = 1;
+};
+
+struct PingFrame {};
+
+struct AckFrame {
+  PacketNumber largest_acked = 0;
+  TimeNs ack_delay = 0;
+  /// Acked ranges in descending order, first covering largest_acked.
+  std::vector<Range> ranges;
+
+  bool covers(PacketNumber pn) const;
+};
+
+struct CryptoFrame {
+  uint64_t offset = 0;  ///< offset within the crypto stream
+  std::vector<uint8_t> data;
+};
+
+struct StreamFrame {
+  StreamId stream_id = 0;
+  uint64_t offset = 0;
+  bool fin = false;
+  std::vector<uint8_t> data;
+};
+
+struct ConnectionCloseFrame {
+  uint64_t error_code = 0;
+  std::string reason;
+};
+
+/// Wira Hx_QoS frame: an opaque sealed blob (only the server can open it)
+/// plus the server's wall-clock send time in milliseconds (advisory; the
+/// authoritative timestamp is sealed inside the blob).
+struct HxQosFrame {
+  uint64_t server_time_ms = 0;
+  std::vector<uint8_t> sealed_blob;
+};
+
+using Frame = std::variant<PaddingFrame, PingFrame, AckFrame, CryptoFrame,
+                           StreamFrame, ConnectionCloseFrame, HxQosFrame>;
+
+/// Serialized size of a frame (exact — used for packet packing decisions).
+size_t frame_wire_size(const Frame& frame);
+
+void serialize_frame(const Frame& frame, ByteWriter& out);
+
+/// Parses one frame; nullopt on malformed input (reader latched failed).
+std::optional<Frame> parse_frame(ByteReader& in);
+
+/// True if the frame counts as retransmittable (ack-eliciting).
+bool is_retransmittable(const Frame& frame);
+
+/// Builds an AckFrame from a set of received packet numbers, keeping at
+/// most `max_ranges` ranges (most recent first).
+AckFrame build_ack(const RangeSet& received, TimeNs ack_delay,
+                   size_t max_ranges = 32);
+
+}  // namespace wira::quic

@@ -1,0 +1,71 @@
+// gQUIC-style tag-value crypto handshake messages (CHLO / REJ / SHLO) and
+// the Wira HQST tag carried in CHLO packets (§IV-B, Fig. 8).
+//
+// Message wire format (simplified Q043):
+//   msg_tag u32be | num_pairs u16be | reserved u16be |
+//   num_pairs * { tag u32be, end_offset u32be } | value bytes (concatenated)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/units.h"
+
+namespace wira::quic {
+
+/// FourCC helper: tag('C','H','L','O').
+constexpr uint32_t make_tag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(a)) << 24 |
+         static_cast<uint32_t>(static_cast<uint8_t>(b)) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(c)) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(d));
+}
+
+// Message tags.
+inline constexpr uint32_t kTagCHLO = make_tag('C', 'H', 'L', 'O');
+inline constexpr uint32_t kTagREJ = make_tag('R', 'E', 'J', '\0');
+inline constexpr uint32_t kTagSHLO = make_tag('S', 'H', 'L', 'O');
+
+// Value tags.
+inline constexpr uint32_t kTagVER = make_tag('V', 'E', 'R', '\0');
+inline constexpr uint32_t kTagSCFG = make_tag('S', 'C', 'F', 'G');
+inline constexpr uint32_t kTagSCID = make_tag('S', 'C', 'I', 'D');
+inline constexpr uint32_t kTagSNI = make_tag('S', 'N', 'I', '\0');
+/// Wira: Hx_QoS synchronization support + cookie echo (the paper's new tag).
+inline constexpr uint32_t kTagHQST = make_tag('H', 'Q', 'S', 'T');
+
+struct HandshakeMessage {
+  uint32_t msg_tag = 0;
+  std::map<uint32_t, std::vector<uint8_t>> values;
+
+  bool has(uint32_t tag) const { return values.count(tag) > 0; }
+  std::span<const uint8_t> get(uint32_t tag) const;
+  void set(uint32_t tag, std::span<const uint8_t> value);
+  void set_u64(uint32_t tag, uint64_t value);
+  std::optional<uint64_t> get_u64(uint32_t tag) const;
+  void set_str(uint32_t tag, std::string_view s);
+};
+
+std::vector<uint8_t> serialize_handshake(const HandshakeMessage& msg);
+std::optional<HandshakeMessage> parse_handshake(
+    std::span<const uint8_t> data);
+
+/// Payload of the HQST tag (Fig. 8): support flag, the client's receive
+/// timestamp of the last Hx_QoS packet, and the opaque sealed cookie.
+/// `TagLen > sizeof(TagID)+sizeof(TagLen)+sizeof(Bool)` in the paper maps
+/// here to "sealed_cookie non-empty".
+struct HqstPayload {
+  bool supports_sync = false;
+  uint64_t client_recv_time_ms = 0;  ///< when the client stored the cookie
+  std::vector<uint8_t> sealed_cookie;
+};
+
+std::vector<uint8_t> serialize_hqst(const HqstPayload& p);
+std::optional<HqstPayload> parse_hqst(std::span<const uint8_t> data);
+
+}  // namespace wira::quic

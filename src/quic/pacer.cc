@@ -1,0 +1,4 @@
+#include "quic/pacer.h"
+
+// Pacer is header-only; this translation unit anchors the library target.
+namespace wira::quic {}

@@ -1,0 +1,46 @@
+// Departure-time pacer.  The send controller asks when the next packet may
+// leave; each transmission pushes the release time forward by size/rate.
+// A small burst allowance (2 packets) absorbs timer quantization without
+// defeating pacing — initial-rate behaviour is exactly what Wira tunes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace wira::quic {
+
+class Pacer {
+ public:
+  explicit Pacer(size_t burst_packets = 2)
+      : max_burst_(burst_packets), burst_tokens_(burst_packets) {}
+
+  /// Earliest time a packet of any size may be released.
+  TimeNs next_release_time() const { return next_release_; }
+
+  /// A packet may leave if either the serializer debt is paid off or a
+  /// burst token remains (tokens let a flight start without timer jitter).
+  bool can_send(TimeNs now) const {
+    return burst_tokens_ > 0 || next_release_ <= now;
+  }
+
+  void on_packet_sent(TimeNs now, uint64_t bytes, Bandwidth rate) {
+    if (rate == 0) return;  // unpaced
+    const TimeNs tx = transfer_time(bytes, rate);
+    next_release_ = (next_release_ > now ? next_release_ : now) + tx;
+    if (burst_tokens_ > 0) burst_tokens_--;
+  }
+
+  /// Restores the burst allowance after an idle period.
+  void on_idle(TimeNs now) {
+    if (next_release_ <= now) burst_tokens_ = max_burst_;
+  }
+
+ private:
+  size_t max_burst_;
+  size_t burst_tokens_;
+  TimeNs next_release_ = 0;
+};
+
+}  // namespace wira::quic

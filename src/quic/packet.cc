@@ -1,0 +1,52 @@
+#include "quic/packet.h"
+
+namespace wira::quic {
+
+bool Packet::retransmittable() const {
+  for (const Frame& f : frames) {
+    if (is_retransmittable(f)) return true;
+  }
+  return false;
+}
+
+size_t Packet::wire_size() const {
+  size_t n = kPacketHeaderSize;
+  for (const Frame& f : frames) n += frame_wire_size(f);
+  return n;
+}
+
+std::vector<uint8_t> serialize_packet(const Packet& p) {
+  ByteWriter w(p.wire_size());
+  w.u8(static_cast<uint8_t>(p.type));
+  w.u64be(p.conn_id);
+  w.u64be(p.packet_number);
+  for (const Frame& f : p.frames) serialize_frame(f, w);
+  return w.take();
+}
+
+std::optional<Packet> parse_packet(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  Packet p;
+  const uint8_t type = r.u8();
+  switch (static_cast<PacketType>(type)) {
+    case PacketType::kInitial:
+    case PacketType::kZeroRtt:
+    case PacketType::kOneRtt:
+    case PacketType::kHxQos:
+      p.type = static_cast<PacketType>(type);
+      break;
+    default:
+      return std::nullopt;
+  }
+  p.conn_id = r.u64be();
+  p.packet_number = r.u64be();
+  if (!r.ok()) return std::nullopt;
+  while (r.ok() && r.remaining() > 0) {
+    auto f = parse_frame(r);
+    if (!f) return std::nullopt;
+    p.frames.push_back(std::move(*f));
+  }
+  return p;
+}
+
+}  // namespace wira::quic

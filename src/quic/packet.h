@@ -1,0 +1,30 @@
+// QUIC packet: header {type, connection id, packet number} + frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "quic/frames.h"
+#include "quic/types.h"
+
+namespace wira::quic {
+
+struct Packet {
+  PacketType type = PacketType::kOneRtt;
+  ConnectionId conn_id = 0;
+  PacketNumber packet_number = 0;
+  std::vector<Frame> frames;
+
+  bool retransmittable() const;
+  /// Serialized size in bytes (header + frames).
+  size_t wire_size() const;
+};
+
+std::vector<uint8_t> serialize_packet(const Packet& p);
+std::optional<Packet> parse_packet(std::span<const uint8_t> data);
+
+/// Header size used in packing budgets.
+inline constexpr size_t kPacketHeaderSize = 1 + 8 + 8;
+
+}  // namespace wira::quic

@@ -1,0 +1,99 @@
+#include "quic/range_set.h"
+
+#include <algorithm>
+
+namespace wira::quic {
+
+void RangeSet::add(uint64_t lo, uint64_t hi) {
+  if (hi < lo) return;
+  // Find the first range that could merge with [lo, hi]: any range whose
+  // hi >= lo-1 and whose lo <= hi+1.
+  auto it = ranges_.lower_bound(lo);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second + 1 >= lo && prev->second != UINT64_MAX) {
+      it = prev;
+    } else if (prev->second >= lo) {
+      it = prev;
+    }
+  }
+  uint64_t new_lo = lo, new_hi = hi;
+  while (it != ranges_.end() && it->first <= (hi == UINT64_MAX ? hi : hi + 1)) {
+    if (it->second + 1 < lo && it->second != UINT64_MAX) {
+      ++it;
+      continue;
+    }
+    new_lo = std::min(new_lo, it->first);
+    new_hi = std::max(new_hi, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_[new_lo] = new_hi;
+}
+
+void RangeSet::subtract(uint64_t lo, uint64_t hi) {
+  if (hi < lo) return;
+  auto it = ranges_.lower_bound(lo);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) it = prev;
+  }
+  while (it != ranges_.end() && it->first <= hi) {
+    const uint64_t r_lo = it->first, r_hi = it->second;
+    if (r_hi < lo) {
+      ++it;
+      continue;
+    }
+    it = ranges_.erase(it);
+    if (r_lo < lo) ranges_[r_lo] = lo - 1;  // left remainder: before `it`
+    if (r_hi > hi) {
+      ranges_[hi + 1] = r_hi;  // right remainder: nothing further overlaps
+      break;
+    }
+  }
+}
+
+bool RangeSet::contains(uint64_t v) const {
+  auto it = ranges_.upper_bound(v);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->first <= v && v <= it->second;
+}
+
+uint64_t RangeSet::total_length() const {
+  uint64_t n = 0;
+  for (const auto& [lo, hi] : ranges_) n += hi - lo + 1;
+  return n;
+}
+
+std::vector<Range> RangeSet::ascending() const {
+  std::vector<Range> out;
+  out.reserve(ranges_.size());
+  for (const auto& [lo, hi] : ranges_) out.push_back({lo, hi});
+  return out;
+}
+
+std::vector<Range> RangeSet::descending() const {
+  auto out = ascending();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Range RangeSet::pop_front(uint64_t max_len) {
+  Range r{};
+  if (ranges_.empty() || max_len == 0) return r;
+  auto it = ranges_.begin();
+  r.lo = it->first;
+  const uint64_t avail = it->second - it->first + 1;
+  const uint64_t take = std::min<uint64_t>(avail, max_len);
+  r.hi = r.lo + take - 1;
+  if (take == avail) {
+    ranges_.erase(it);
+  } else {
+    const uint64_t hi = it->second;
+    ranges_.erase(it);
+    ranges_[r.hi + 1] = hi;
+  }
+  return r;
+}
+
+}  // namespace wira::quic

@@ -1,0 +1,60 @@
+// RFC 9002 RTT estimator: latest / smoothed / variance / minimum.
+#pragma once
+
+#include <algorithm>
+
+#include "quic/types.h"
+#include "util/units.h"
+
+namespace wira::quic {
+
+class RttEstimator {
+ public:
+  void on_sample(TimeNs rtt, TimeNs ack_delay) {
+    latest_ = rtt;
+    if (min_ == kNoTime || rtt < min_) min_ = rtt;
+    // Subtract ack delay unless it would take us below the minimum.
+    TimeNs adjusted = rtt;
+    if (adjusted > min_ + ack_delay) adjusted -= ack_delay;
+    if (smoothed_ == kNoTime) {
+      smoothed_ = adjusted;
+      var_ = adjusted / 2;
+      return;
+    }
+    const TimeNs delta =
+        smoothed_ > adjusted ? smoothed_ - adjusted : adjusted - smoothed_;
+    var_ = (3 * var_ + delta) / 4;
+    smoothed_ = (7 * smoothed_ + adjusted) / 8;
+  }
+
+  bool has_sample() const { return smoothed_ != kNoTime; }
+  TimeNs latest() const { return latest_; }
+  TimeNs smoothed() const { return smoothed_; }
+  TimeNs variance() const { return var_; }
+  TimeNs min() const { return min_; }
+
+  /// Seeds the estimator before any sample exists (1-RTT handshake
+  /// measurement, or Wira's Hx_QoS MinRTT for corner-case pacing).
+  void seed(TimeNs rtt) {
+    if (has_sample()) return;
+    smoothed_ = rtt;
+    var_ = rtt / 2;
+    latest_ = rtt;
+    if (min_ == kNoTime || rtt < min_) min_ = rtt;
+  }
+
+  /// Probe timeout per RFC 9002 (without packet-number-space subtleties).
+  TimeNs pto(TimeNs max_ack_delay) const {
+    if (!has_sample()) return 2 * kInitialRtt;
+    return smoothed_ + std::max<TimeNs>(4 * var_, kGranularity) +
+           max_ack_delay;
+  }
+
+ private:
+  TimeNs latest_ = kNoTime;
+  TimeNs smoothed_ = kNoTime;
+  TimeNs var_ = 0;
+  TimeNs min_ = kNoTime;
+};
+
+}  // namespace wira::quic

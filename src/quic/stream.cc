@@ -1,0 +1,116 @@
+#include "quic/stream.h"
+
+#include <algorithm>
+
+namespace wira::quic {
+
+uint64_t SendStream::write(std::span<const uint8_t> data, bool fin) {
+  const uint64_t start = buffer_.size();
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (fin) {
+    fin_written_ = true;
+    fin_needs_send_ = true;
+  }
+  return start;
+}
+
+bool SendStream::has_data_to_send() const {
+  return !retx_.empty() || next_offset_ < buffer_.size() || fin_needs_send_;
+}
+
+std::optional<SendStream::Chunk> SendStream::next_chunk(uint64_t max_len) {
+  if (max_len == 0) return std::nullopt;
+  Chunk c;
+  if (!retx_.empty()) {
+    const Range r = retx_.pop_front(max_len);
+    c.offset = r.lo;
+    c.data.assign(buffer_.begin() + static_cast<long>(r.lo),
+                  buffer_.begin() + static_cast<long>(r.hi + 1));
+    c.fin = fin_written_ && r.hi + 1 == buffer_.size();
+    return c;
+  }
+  if (next_offset_ < buffer_.size()) {
+    const uint64_t len =
+        std::min<uint64_t>(max_len, buffer_.size() - next_offset_);
+    c.offset = next_offset_;
+    c.data.assign(buffer_.begin() + static_cast<long>(next_offset_),
+                  buffer_.begin() + static_cast<long>(next_offset_ + len));
+    next_offset_ += len;
+    c.fin = fin_written_ && next_offset_ == buffer_.size();
+    if (c.fin) fin_needs_send_ = false;
+    return c;
+  }
+  if (fin_needs_send_) {
+    c.offset = buffer_.size();
+    c.fin = true;
+    fin_needs_send_ = false;
+    return c;
+  }
+  return std::nullopt;
+}
+
+void SendStream::on_range_acked(uint64_t offset, uint64_t len,
+                                bool fin_acked) {
+  if (len > 0) {
+    acked_.add(offset, offset + len - 1);
+    retx_.subtract(offset, offset + len - 1);
+  }
+  if (fin_acked) fin_acked_ = true;
+}
+
+void SendStream::on_range_lost(uint64_t offset, uint64_t len, bool fin_lost) {
+  if (len > 0) {
+    RangeSet lost;
+    lost.add(offset, offset + len - 1);
+    for (const Range& a : acked_.ascending()) lost.subtract(a.lo, a.hi);
+    for (const Range& r : lost.ascending()) retx_.add(r.lo, r.hi);
+  }
+  if (fin_lost && !fin_acked_) fin_needs_send_ = true;
+}
+
+bool SendStream::all_acked() const {
+  if (buffer_.empty()) return !fin_written_ || fin_acked_;
+  return acked_.size() == 1 && acked_.min() == 0 &&
+         acked_.max() == buffer_.size() - 1 &&
+         (!fin_written_ || fin_acked_);
+}
+
+uint64_t SendStream::pending_bytes() const {
+  return retx_.total_length() + (buffer_.size() - next_offset_);
+}
+
+void RecvStream::on_frame(uint64_t offset, std::span<const uint8_t> data,
+                          bool fin) {
+  if (fin) fin_offset_ = offset + data.size();
+  highest_seen_ = std::max(highest_seen_, offset + data.size());
+
+  if (!data.empty() && offset + data.size() > contiguous_) {
+    // Trim the already-delivered prefix.
+    size_t skip = 0;
+    if (offset < contiguous_) skip = contiguous_ - offset;
+    segments_[offset + skip].assign(data.begin() + static_cast<long>(skip),
+                                    data.end());
+  }
+
+  // Advance the contiguous prefix and deliver.
+  auto it = segments_.begin();
+  while (it != segments_.end() && it->first <= contiguous_) {
+    const uint64_t seg_end = it->first + it->second.size();
+    if (seg_end > contiguous_) {
+      const size_t skip = contiguous_ - it->first;
+      std::span<const uint8_t> fresh(it->second.data() + skip,
+                                     it->second.size() - skip);
+      contiguous_ = seg_end;
+      const bool at_fin = fin_offset_ && contiguous_ >= *fin_offset_;
+      if (on_data_) on_data_(fresh, at_fin);
+    }
+    it = segments_.erase(it);
+  }
+  if (fin_offset_ && contiguous_ >= *fin_offset_ && data.empty() &&
+      offset >= contiguous_) {
+    // Bare FIN at the current edge.
+    if (on_data_) on_data_({}, true);
+  }
+}
+
+}  // namespace wira::quic

@@ -1,0 +1,52 @@
+#include "sim/event_loop.h"
+
+namespace wira::sim {
+
+EventId EventLoop::schedule_at(TimeNs when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool EventLoop::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we need to move the callable out.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::run_until(TimeNs deadline) {
+  size_t executed = 0;
+  while (!queue_.empty()) {
+    // Skip leading cancelled events without advancing time.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (pop_one()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+size_t EventLoop::run(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && pop_one()) ++executed;
+  return executed;
+}
+
+}  // namespace wira::sim

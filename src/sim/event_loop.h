@@ -1,0 +1,73 @@
+// Single-threaded discrete-event loop.
+//
+// All network, transport and application behaviour in this repository is
+// driven by one of these: events execute in (time, insertion-order) order on
+// a simulated nanosecond clock, so whole experiments are deterministic given
+// their seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wira::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `when` (clamped to now()).
+  EventId schedule_at(TimeNs when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  EventId schedule_in(TimeNs delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs events until the queue is empty or the clock would pass
+  /// `deadline`; returns the number of events executed.
+  size_t run_until(TimeNs deadline);
+
+  /// Runs until the queue is empty (or `max_events` executed, as a runaway
+  /// guard); returns the number of events executed.
+  size_t run(size_t max_events = SIZE_MAX);
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool pop_one();  // executes the next non-cancelled event, if any
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace wira::sim

@@ -1,0 +1,44 @@
+#include "sim/path.h"
+
+namespace wira::sim {
+
+PathConfig testbed_path() {
+  PathConfig p;
+  p.bandwidth = mbps(8);
+  p.rtt = milliseconds(50);
+  p.loss_rate = 0.03;
+  p.buffer_bytes = 25 * 1024;
+  return p;
+}
+
+Path::Path(EventLoop& loop, const PathConfig& config, uint64_t seed)
+    : config_(config) {
+  LinkConfig fwd;
+  fwd.rate = config.bandwidth;
+  fwd.delay = config.rtt / 2;
+  fwd.buffer_bytes = config.buffer_bytes;
+  fwd.loss = config.extra_loss;
+  fwd.loss.loss_rate = config.loss_rate;
+
+  LinkConfig rev;
+  rev.rate = config.reverse_bandwidth;
+  rev.delay = config.rtt / 2;
+  rev.buffer_bytes = 256 * 1024;
+  rev.loss.loss_rate = config.reverse_loss_rate;
+
+  forward_ = std::make_unique<Link>(loop, fwd, seed * 2 + 1);
+  reverse_ = std::make_unique<Link>(loop, rev, seed * 2 + 2);
+}
+
+void Path::set_bandwidth(Bandwidth bw) {
+  config_.bandwidth = bw;
+  forward_->config().rate = bw;
+}
+
+void Path::set_one_way_delay(TimeNs owd) {
+  config_.rtt = owd * 2;
+  forward_->config().delay = owd;
+  reverse_->config().delay = owd;
+}
+
+}  // namespace wira::sim

@@ -1,0 +1,55 @@
+#include "sim/topology.h"
+
+namespace wira::sim {
+
+SharedBottleneck::SharedBottleneck(EventLoop& loop, LinkConfig egress,
+                                   uint64_t seed)
+    : loop_(loop), seed_(seed) {
+  egress_ = std::make_unique<Link>(loop, egress, seed * 101 + 1);
+  // The egress link routes each delivered datagram onto its leg's access
+  // link; the destination rides in Datagram::dest.
+  egress_->set_receiver([this](Datagram d) {
+    const size_t leg = static_cast<size_t>(d.dest);
+    if (leg < access_.size()) access_[leg]->send(std::move(d));
+  });
+}
+
+size_t SharedBottleneck::add_leg(const LinkConfig& access) {
+  const size_t leg = access_.size();
+  access_.push_back(
+      std::make_unique<Link>(loop_, access, seed_ * 307 + 11 * leg + 2));
+  LinkConfig rev = access;
+  rev.rate = mbps(100);  // request/ACK path: rarely the constraint
+  rev.buffer_bytes = 256 * 1024;
+  rev.loss.loss_rate = 0;
+  reverse_.push_back(
+      std::make_unique<Link>(loop_, rev, seed_ * 509 + 13 * leg + 3));
+  client_rx_.emplace_back();
+
+  access_[leg]->set_receiver([this, leg](Datagram d) {
+    if (client_rx_[leg]) client_rx_[leg](std::move(d));
+  });
+  reverse_[leg]->set_receiver([this](Datagram d) {
+    if (server_rx_) server_rx_(std::move(d));
+  });
+  return leg;
+}
+
+void SharedBottleneck::send_to_client(size_t leg, Datagram d) {
+  d.dest = leg;
+  egress_->send(std::move(d));
+}
+
+void SharedBottleneck::send_to_server(size_t leg, Datagram d) {
+  reverse_[leg]->send(std::move(d));
+}
+
+void SharedBottleneck::set_client_receiver(size_t leg, Link::DeliverFn fn) {
+  client_rx_[leg] = std::move(fn);
+}
+
+void SharedBottleneck::set_server_receiver(Link::DeliverFn fn) {
+  server_rx_ = std::move(fn);
+}
+
+}  // namespace wira::sim

@@ -1,0 +1,56 @@
+// Shared-bottleneck topology: one server egress link feeding per-viewer
+// access links — the CDN edge situation where concurrent live sessions
+// contend for the same uplink (flash crowds).
+//
+//        server ──egress(link, shared)──┬── access 0 ── client 0
+//                                       ├── access 1 ── client 1
+//                                       └── ...
+// Reverse direction (requests/ACKs) uses per-client direct links: ACK
+// traffic is small and rarely the bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace wira::sim {
+
+class SharedBottleneck {
+ public:
+  /// `egress` describes the shared server uplink (rate/buffer/loss).
+  SharedBottleneck(EventLoop& loop, LinkConfig egress, uint64_t seed);
+
+  /// Adds one viewer leg; `access` configures its private tail link and
+  /// reverse (client->server) link.  Returns the leg index.
+  size_t add_leg(const LinkConfig& access);
+
+  size_t legs() const { return access_.size(); }
+
+  /// Sends a server datagram towards client `leg`: traverses the shared
+  /// egress queue, then the leg's access link.
+  void send_to_client(size_t leg, Datagram d);
+
+  /// Sends a client datagram back to the server (per-leg reverse link).
+  void send_to_server(size_t leg, Datagram d);
+
+  /// Delivery hooks.
+  void set_client_receiver(size_t leg, Link::DeliverFn fn);
+  void set_server_receiver(Link::DeliverFn fn);
+
+  const Link& egress() const { return *egress_; }
+  Link& egress() { return *egress_; }
+  Link& access(size_t leg) { return *access_[leg]; }
+  Link& reverse(size_t leg) { return *reverse_[leg]; }
+
+ private:
+  EventLoop& loop_;
+  uint64_t seed_;
+  std::unique_ptr<Link> egress_;
+  std::vector<std::unique_ptr<Link>> access_;   ///< bottleneck -> client
+  std::vector<std::unique_ptr<Link>> reverse_;  ///< client -> server
+  std::vector<Link::DeliverFn> client_rx_;
+  Link::DeliverFn server_rx_;
+};
+
+}  // namespace wira::sim

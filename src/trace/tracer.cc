@@ -1,0 +1,75 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace wira::trace {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kPacketSent: return "packet_sent";
+    case EventType::kPacketReceived: return "packet_received";
+    case EventType::kPacketAcked: return "packet_acked";
+    case EventType::kPacketLost: return "packet_lost";
+    case EventType::kPtoFired: return "pto_fired";
+    case EventType::kRttSample: return "rtt_sample";
+    case EventType::kCwndSample: return "cwnd_sample";
+    case EventType::kPacingSample: return "pacing_sample";
+    case EventType::kHandshakeEvent: return "handshake";
+    case EventType::kInitApplied: return "init_applied";
+    case EventType::kCookieEvent: return "cookie";
+    case EventType::kFrameComplete: return "frame_complete";
+  }
+  return "?";
+}
+
+void Tracer::record(TimeNs time, EventType type, uint64_t a, uint64_t b,
+                    std::string detail) {
+  events_.push_back(Event{time, type, a, b, std::move(detail)});
+}
+
+size_t Tracer::count(EventType type) const {
+  return static_cast<size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [type](const Event& e) { return e.type == type; }));
+}
+
+std::vector<Event> Tracer::of_type(EventType type) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "time_us,event,a,b,detail\n";
+  for (const Event& e : events_) {
+    os << to_us(e.time) << ',' << event_type_name(e.type) << ',' << e.a
+       << ',' << e.b << ',' << e.detail << '\n';
+  }
+}
+
+void Tracer::write_json(std::ostream& os, const std::string& title) const {
+  os << "{\n  \"qlog_version\": \"wira-0.1\",\n  \"title\": \"" << title
+     << "\",\n  \"events\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "    {\"time_us\": " << to_us(e.time) << ", \"name\": \""
+       << event_type_name(e.type) << "\", \"a\": " << e.a
+       << ", \"b\": " << e.b;
+    if (!e.detail.empty()) os << ", \"detail\": \"" << e.detail << "\"";
+    os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+uint64_t Tracer::peak_bytes_in_flight() const {
+  uint64_t peak = 0;
+  for (const Event& e : events_) {
+    if (e.type == EventType::kCwndSample) peak = std::max(peak, e.b);
+  }
+  return peak;
+}
+
+}  // namespace wira::trace

@@ -1,0 +1,64 @@
+// Connection event tracing (qlog-flavoured): records transport events on
+// the simulated clock for debugging, visualization and assertions in
+// tests.  Tracing is opt-in per connection and free when disabled.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace wira::trace {
+
+enum class EventType {
+  kPacketSent,
+  kPacketReceived,
+  kPacketAcked,
+  kPacketLost,
+  kPtoFired,
+  kRttSample,       ///< a = latest rtt (us), b = smoothed (us)
+  kCwndSample,      ///< a = cwnd bytes, b = bytes in flight
+  kPacingSample,    ///< a = pacing rate (bytes/s)
+  kHandshakeEvent,  ///< detail = "chlo"/"rej"/"shlo"/"established"
+  kInitApplied,     ///< a = init_cwnd, b = init_pacing
+  kCookieEvent,     ///< detail = "sealed"/"opened"/"rejected"
+  kFrameComplete,   ///< a = frame index, b = bytes
+};
+
+const char* event_type_name(EventType t);
+
+struct Event {
+  TimeNs time = 0;
+  EventType type = EventType::kPacketSent;
+  uint64_t a = 0;  ///< primary value (packet number, bytes, ...)
+  uint64_t b = 0;  ///< secondary value
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  void record(TimeNs time, EventType type, uint64_t a = 0, uint64_t b = 0,
+              std::string detail = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t count(EventType type) const;
+  /// Events of one type, in order.
+  std::vector<Event> of_type(EventType type) const;
+
+  /// CSV: time_us,event,a,b,detail
+  void write_csv(std::ostream& os) const;
+  /// A minimal qlog-like JSON document (one trace, event array).
+  void write_json(std::ostream& os, const std::string& title) const;
+
+  /// Peak bytes-in-flight observed via kCwndSample events.
+  uint64_t peak_bytes_in_flight() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace wira::trace

@@ -1,0 +1,19 @@
+#include "util/logging.h"
+
+namespace wira {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_write(LogLevel level, const char* tag, const std::string& msg) {
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 4) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", kNames[idx], tag, msg.c_str());
+}
+
+}  // namespace wira

@@ -1,0 +1,73 @@
+// Time and bandwidth units used throughout the Wira library.
+//
+// All simulated time is kept as signed 64-bit nanoseconds (`TimeNs`) and all
+// bandwidth as unsigned 64-bit bytes-per-second (`Bandwidth`).  Named
+// constructor helpers keep call sites readable and conversion-safe without
+// introducing std::chrono templates into every signature.
+#pragma once
+
+#include <cstdint>
+
+namespace wira {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using TimeNs = int64_t;
+
+/// Bandwidth in bytes per second.
+using Bandwidth = uint64_t;
+
+/// A value meaning "no timestamp" / "timer not armed".
+inline constexpr TimeNs kNoTime = -1;
+
+/// A value meaning "bandwidth unknown / unlimited".
+inline constexpr Bandwidth kNoBandwidth = 0;
+
+constexpr TimeNs nanoseconds(int64_t n) { return n; }
+constexpr TimeNs microseconds(int64_t n) { return n * 1'000; }
+constexpr TimeNs milliseconds(int64_t n) { return n * 1'000'000; }
+constexpr TimeNs seconds(int64_t n) { return n * 1'000'000'000; }
+constexpr TimeNs minutes(int64_t n) { return n * 60'000'000'000; }
+
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) * 1e-6; }
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) * 1e-3; }
+
+/// Converts a floating-point second count to TimeNs (rounds toward zero).
+constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * 1e9);
+}
+
+/// Bandwidth constructors.  Network rates in the paper are quoted in Mbps.
+constexpr Bandwidth bytes_per_second(uint64_t b) { return b; }
+constexpr Bandwidth kbps(uint64_t k) { return k * 1000 / 8; }
+constexpr Bandwidth mbps(uint64_t m) { return m * 1'000'000 / 8; }
+constexpr Bandwidth mbps_f(double m) {
+  return static_cast<Bandwidth>(m * 1'000'000.0 / 8.0);
+}
+
+constexpr double to_mbps(Bandwidth bw) {
+  return static_cast<double>(bw) * 8.0 / 1e6;
+}
+
+/// Time to transmit `bytes` at rate `bw` (ns).  `bw` must be non-zero.
+constexpr TimeNs transfer_time(uint64_t bytes, Bandwidth bw) {
+  return static_cast<TimeNs>((static_cast<__int128>(bytes) * 1'000'000'000) /
+                             static_cast<__int128>(bw));
+}
+
+/// Bandwidth-delay product in bytes for rate `bw` and round-trip `rtt`.
+constexpr uint64_t bdp_bytes(Bandwidth bw, TimeNs rtt) {
+  return static_cast<uint64_t>(
+      (static_cast<__int128>(bw) * static_cast<__int128>(rtt)) /
+      1'000'000'000);
+}
+
+/// Rate that delivers `bytes` over interval `t` (bytes/sec); 0 if t <= 0.
+constexpr Bandwidth delivery_rate(uint64_t bytes, TimeNs t) {
+  if (t <= 0) return 0;
+  return static_cast<Bandwidth>(
+      (static_cast<__int128>(bytes) * 1'000'000'000) /
+      static_cast<__int128>(t));
+}
+
+}  // namespace wira

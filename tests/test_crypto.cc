@@ -1,0 +1,151 @@
+// Crypto substrate tests, anchored on the RFC 8439 test vectors so the
+// transport cookie's sealing is verifiably correct ChaCha20-Poly1305.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+#include "util/bytes.h"
+
+namespace wira::crypto {
+namespace {
+
+std::array<uint8_t, 32> key32(const std::vector<uint8_t>& v) {
+  std::array<uint8_t, 32> k{};
+  std::copy(v.begin(), v.end(), k.begin());
+  return k;
+}
+
+std::array<uint8_t, 12> nonce12(const std::vector<uint8_t>& v) {
+  std::array<uint8_t, 12> n{};
+  std::copy(v.begin(), v.end(), n.begin());
+  return n;
+}
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const auto key = key32(wira::from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  const auto nonce = nonce12(wira::from_hex("000000090000004a00000000"));
+  uint8_t block[64];
+  chacha20_block(key, 1, nonce, std::span<uint8_t, 64>(block));
+  EXPECT_EQ(wira::to_hex(std::span<const uint8_t>(block, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2 encryption test vector ("Ladies and Gentlemen...").
+TEST(ChaCha20, Rfc8439EncryptVector) {
+  const auto key = key32(wira::from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  const auto nonce = nonce12(wira::from_hex("000000000000004a00000000"));
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<uint8_t> buf(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, 1, nonce, buf);
+  EXPECT_EQ(wira::to_hex(buf),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+// RFC 8439 §2.5.2 Poly1305 test vector.
+TEST(Poly1305, Rfc8439Vector) {
+  const auto key = key32(wira::from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"));
+  std::string msg = "Cryptographic Forum Research Group";
+  const auto tag = poly1305(
+      key, std::span<const uint8_t>(
+               reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(wira::to_hex(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+// RFC 8439 §2.8.2 AEAD test vector.
+TEST(Aead, Rfc8439SealVector) {
+  const auto key = key32(wira::from_hex(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"));
+  const auto nonce = nonce12(wira::from_hex("070000004041424344454647"));
+  const auto aad = wira::from_hex("50515253c0c1c2c3c4c5c6c7");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const auto sealed = aead_seal(
+      key, nonce, aad,
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(plaintext.data()),
+          plaintext.size()));
+  // Tag is the last 16 bytes.
+  ASSERT_EQ(sealed.size(), plaintext.size() + 16);
+  EXPECT_EQ(wira::to_hex(std::span<const uint8_t>(sealed).last(16)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+
+  auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(std::string(opened->begin(), opened->end()), plaintext);
+}
+
+TEST(Aead, TamperedCiphertextFailsToOpen) {
+  const Key key = key_from_string("secret");
+  const Nonce nonce = nonce_from_u64(42);
+  const std::vector<uint8_t> pt = {1, 2, 3, 4, 5};
+  auto sealed = aead_seal(key, nonce, {}, pt);
+
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    auto corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, {}, corrupted).has_value())
+        << "bit flip at byte " << i << " must break authentication";
+  }
+}
+
+TEST(Aead, WrongKeyNonceOrAadFails) {
+  const Key key = key_from_string("secret");
+  const Nonce nonce = nonce_from_u64(1);
+  const std::vector<uint8_t> pt = {9, 9, 9};
+  const std::vector<uint8_t> aad = {7};
+  auto sealed = aead_seal(key, nonce, aad, pt);
+
+  EXPECT_TRUE(aead_open(key, nonce, aad, sealed).has_value());
+  EXPECT_FALSE(
+      aead_open(key_from_string("other"), nonce, aad, sealed).has_value());
+  EXPECT_FALSE(aead_open(key, nonce_from_u64(2), aad, sealed).has_value());
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, TruncatedBlobFails) {
+  const Key key = key_from_string("secret");
+  const Nonce nonce = nonce_from_u64(3);
+  auto sealed = aead_seal(key, nonce, {}, std::vector<uint8_t>{1, 2, 3});
+  for (size_t keep = 0; keep < sealed.size(); ++keep) {
+    std::vector<uint8_t> cut(sealed.begin(),
+                             sealed.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(aead_open(key, nonce, {}, cut).has_value());
+  }
+}
+
+TEST(Aead, EmptyPlaintextRoundTrips) {
+  const Key key = key_from_string("k");
+  auto sealed = aead_seal(key, nonce_from_u64(1), {}, {});
+  EXPECT_EQ(sealed.size(), 16u);
+  auto opened = aead_open(key, nonce_from_u64(1), {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(DeriveKey, LabelsAreDomainSeparated) {
+  const Key master = key_from_string("master");
+  const Key a = derive_key(master, "label-a");
+  const Key b = derive_key(master, "label-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, derive_key(master, "label-a"));  // deterministic
+}
+
+TEST(KeyFromString, DistinctStringsDistinctKeys) {
+  EXPECT_NE(key_from_string("alpha"), key_from_string("beta"));
+  EXPECT_EQ(key_from_string("alpha"), key_from_string("alpha"));
+}
+
+}  // namespace
+}  // namespace wira::crypto

@@ -1,0 +1,112 @@
+// Unit tests for the CUBIC controller (RFC 8312) plus an end-to-end
+// transfer sanity check.
+#include "cc/cubic.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/session_runner.h"
+
+namespace wira::cc {
+namespace {
+
+CongestionEvent ack(TimeNs now, uint64_t pn, uint64_t bytes, TimeNs rtt) {
+  CongestionEvent ev;
+  ev.now = now;
+  ev.acked.push_back(AckedPacket{pn, bytes, now - rtt});
+  ev.smoothed_rtt = rtt;
+  ev.latest_rtt = rtt;
+  return ev;
+}
+
+TEST(Cubic, SlowStartGrowsByAckedBytes) {
+  Cubic cubic;
+  const uint64_t start = cubic.congestion_window();
+  cubic.on_packet_sent(0, 1, 1460, 0, true);
+  cubic.on_congestion_event(ack(milliseconds(40), 1, start, milliseconds(40)));
+  EXPECT_EQ(cubic.congestion_window(), 2 * start);
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+TEST(Cubic, LossMultiplicativeDecreaseBeta07) {
+  Cubic cubic;
+  cubic.set_initial_parameters(100'000, 0);
+  cubic.on_packet_sent(0, 50, 1460, 0, true);
+  CongestionEvent ev;
+  ev.now = milliseconds(100);
+  ev.lost.push_back(LostPacket{10, 1460});
+  cubic.on_congestion_event(ev);
+  EXPECT_EQ(cubic.congestion_window(), 70'000u);  // beta = 0.7
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, OneReductionPerRound) {
+  Cubic cubic;
+  cubic.set_initial_parameters(100'000, 0);
+  cubic.on_packet_sent(0, 50, 1460, 0, true);
+  CongestionEvent ev;
+  ev.now = milliseconds(100);
+  ev.lost.push_back(LostPacket{10, 1460});
+  ev.lost.push_back(LostPacket{11, 1460});
+  ev.lost.push_back(LostPacket{12, 1460});
+  cubic.on_congestion_event(ev);
+  EXPECT_EQ(cubic.congestion_window(), 70'000u);  // not 0.7^3
+}
+
+TEST(Cubic, ConcaveRecoveryTowardsWmax) {
+  Cubic cubic;
+  cubic.set_initial_parameters(100'000, 0);
+  cubic.on_packet_sent(0, 50, 1460, 0, true);
+  CongestionEvent loss;
+  loss.now = seconds(1);
+  loss.lost.push_back(LostPacket{10, 1460});
+  cubic.on_congestion_event(loss);
+  const uint64_t after_loss = cubic.congestion_window();
+
+  // Ack a full window every 40 ms for a while: the window should climb
+  // back toward (and past) w_max over the cubic curve.
+  uint64_t pn = 100;
+  for (int i = 1; i <= 120; ++i) {
+    const TimeNs now = seconds(1) + milliseconds(40) * i;
+    cubic.on_packet_sent(now, ++pn, 1460, 0, true);
+    cubic.on_congestion_event(ack(now, pn, cubic.congestion_window(),
+                                  milliseconds(40)));
+  }
+  EXPECT_GT(cubic.congestion_window(), after_loss);
+  EXPECT_GT(cubic.congestion_window(), 90'000u);
+}
+
+TEST(Cubic, RtoCollapses) {
+  Cubic cubic;
+  cubic.set_initial_parameters(80'000, 0);
+  cubic.on_retransmission_timeout(seconds(2));
+  EXPECT_EQ(cubic.congestion_window(), 2u * kMss);
+}
+
+TEST(Cubic, InitialParametersHonored) {
+  Cubic cubic;
+  cubic.set_initial_parameters(66'000, mbps(8));
+  EXPECT_EQ(cubic.congestion_window(), 66'000u);
+  EXPECT_EQ(cubic.pacing_rate(), mbps(8));
+}
+
+TEST(Cubic, FactoryCreatesIt) {
+  EXPECT_EQ(make_controller(CcAlgo::kCubic)->name(), "cubic");
+}
+
+TEST(Cubic, EndToEndSessionCompletes) {
+  exp::SessionConfig cfg;
+  cfg.path.bandwidth = mbps(10);
+  cfg.path.rtt = milliseconds(50);
+  cfg.path.loss_rate = 0.02;
+  cfg.path.buffer_bytes = 64 * 1024;
+  cfg.cc_algo = CcAlgo::kCubic;
+  cfg.scheme = core::Scheme::kWira;
+  cfg.stream.iframe_mean_bytes = 45'000;
+  cfg.seed = 5;
+  const auto r = exp::run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_LT(to_ms(r.ffct), 2000.0);
+}
+
+}  // namespace
+}  // namespace wira::cc

@@ -1,0 +1,111 @@
+// Unit tests for the discrete-event loop: ordering, cancellation, clock.
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wira::sim {
+namespace {
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, SimultaneousEventsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(milliseconds(10), [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  TimeNs observed = -1;
+  loop.schedule_at(milliseconds(42), [&] { observed = loop.now(); });
+  loop.run();
+  EXPECT_EQ(observed, milliseconds(42));
+  EXPECT_EQ(loop.now(), milliseconds(42));
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  TimeNs observed = -1;
+  loop.schedule_at(milliseconds(10), [&] {
+    loop.schedule_in(milliseconds(5), [&] { observed = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(observed, milliseconds(15));
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  TimeNs observed = -1;
+  loop.schedule_at(milliseconds(10), [&] {
+    loop.schedule_at(milliseconds(1), [&] { observed = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(observed, milliseconds(10));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_at(milliseconds(10), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelOtherEventFromHandler) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventId second =
+      loop.schedule_at(milliseconds(20), [&] { second_ran = true; });
+  loop.schedule_at(milliseconds(10), [&] { loop.cancel(second); });
+  loop.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(milliseconds(10), [&] { count++; });
+  loop.schedule_at(milliseconds(30), [&] { count++; });
+  const size_t executed = loop.run_until(milliseconds(20));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), milliseconds(20));  // clock advances to deadline
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, SelfReschedulingEventRespectsMaxEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    count++;
+    loop.schedule_in(milliseconds(1), tick);
+  };
+  loop.schedule_in(0, tick);
+  loop.run(/*max_events=*/50);
+  EXPECT_EQ(count, 50);
+}
+
+TEST(EventLoop, RunUntilWithEmptyQueueAdvancesClock) {
+  EventLoop loop;
+  loop.run_until(seconds(5));
+  EXPECT_EQ(loop.now(), seconds(5));
+}
+
+}  // namespace
+}  // namespace wira::sim

@@ -1,0 +1,149 @@
+// Tests for the experiment harness itself: paired A/B integrity,
+// determinism, metric plausibility, and the bucketing collectors.
+#include <gtest/gtest.h>
+
+#include "exp/population_experiment.h"
+
+namespace wira::exp {
+namespace {
+
+PopulationConfig small_config(uint64_t seed = 11) {
+  PopulationConfig cfg;
+  cfg.sessions = 12;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Harness, PopulationIsDeterministic) {
+  const auto a = run_population(small_config());
+  const auto b = run_population(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].results.size(), b[i].results.size());
+    for (const auto& [scheme, res] : a[i].results) {
+      EXPECT_EQ(res.ffct, b[i].results.at(scheme).ffct);
+      EXPECT_EQ(res.server_stats.packets_sent,
+                b[i].results.at(scheme).server_stats.packets_sent);
+    }
+  }
+}
+
+TEST(Harness, DifferentSeedsDiffer) {
+  const auto a = run_population(small_config(1));
+  const auto b = run_population(small_config(2));
+  const Samples sa = collect_ffct(a, core::Scheme::kWira);
+  const Samples sb = collect_ffct(b, core::Scheme::kWira);
+  EXPECT_NE(sa.mean(), sb.mean());
+}
+
+TEST(Harness, PairedSchemesShareConditions) {
+  const auto records = run_population(small_config());
+  for (const auto& r : records) {
+    // Same session, all schemes: identical stream, so identical FF_Size
+    // (when both parsers completed).
+    uint64_t ff = 0;
+    for (const auto& [scheme, res] : r.results) {
+      if (res.ff_size == 0) continue;
+      if (ff == 0) ff = res.ff_size;
+      EXPECT_EQ(res.ff_size, ff) << core::scheme_name(scheme);
+    }
+  }
+}
+
+TEST(Harness, MetricsArePhysicallyPlausible) {
+  const auto records = run_population(small_config());
+  for (const auto& r : records) {
+    for (const auto& [scheme, res] : r.results) {
+      if (!res.first_frame_completed) continue;
+      // FFCT can't beat the propagation RTT (request leg + data leg).
+      EXPECT_GE(res.ffct, r.conditions.min_rtt);
+      EXPECT_LE(res.ffct, seconds(10));
+      EXPECT_GE(res.fflr, 0.0);
+      EXPECT_LE(res.fflr, 1.0);
+      // Frame completions are monotone.
+      TimeNs prev = 0;
+      for (const auto& f : res.frames) {
+        if (f.completion == kNoTime) continue;
+        EXPECT_GE(f.completion, prev);
+        prev = f.completion;
+      }
+    }
+  }
+}
+
+TEST(Harness, SchemeProvenanceFlagsAreConsistent) {
+  const auto records = run_population(small_config());
+  for (const auto& r : records) {
+    const auto& base = r.results.at(core::Scheme::kBaseline);
+    EXPECT_FALSE(base.init.used_ff_size);
+    EXPECT_FALSE(base.init.used_hx_qos);
+    const auto& wira = r.results.at(core::Scheme::kWira);
+    if (wira.init.used_hx_qos) {
+      EXPECT_TRUE(r.had_cookie);
+      EXPECT_FALSE(wira.init.hx_stale);
+    }
+    if (!r.had_cookie) {
+      EXPECT_FALSE(wira.init.used_hx_qos);
+    }
+  }
+}
+
+TEST(Harness, StaleCookiesFollowSessionGap) {
+  PopulationConfig cfg = small_config();
+  cfg.sessions = 40;
+  cfg.staleness_threshold = minutes(2);  // tight: many gaps exceed it
+  cfg.schemes = {core::Scheme::kWira};
+  const auto records = run_population(cfg);
+  size_t stale_seen = 0;
+  for (const auto& r : records) {
+    const auto& res = r.results.at(core::Scheme::kWira);
+    if (r.had_cookie && r.cookie_age > minutes(2)) {
+      EXPECT_FALSE(res.init.used_hx_qos);
+      stale_seen++;
+    }
+    if (r.had_cookie && r.cookie_age <= minutes(2)) {
+      EXPECT_TRUE(res.init.used_hx_qos || !res.first_frame_completed);
+    }
+  }
+  EXPECT_GT(stale_seen, 0u) << "gap distribution should exceed 2 min often";
+}
+
+TEST(Harness, CollectorsFilter) {
+  const auto records = run_population(small_config());
+  const Samples all = collect_ffct(records, core::Scheme::kWira);
+  const Samples zero = collect_ffct(records, core::Scheme::kWira,
+                                    [](const SessionRecord& r) {
+                                      return r.zero_rtt;
+                                    });
+  const Samples one = collect_ffct(records, core::Scheme::kWira,
+                                   [](const SessionRecord& r) {
+                                     return !r.zero_rtt;
+                                   });
+  EXPECT_EQ(all.count(), zero.count() + one.count());
+}
+
+TEST(Harness, ZeroRttShareMatchesConfig) {
+  PopulationConfig cfg = small_config();
+  cfg.sessions = 80;
+  cfg.p_zero_rtt = 0.5;
+  cfg.schemes = {core::Scheme::kBaseline};
+  const auto records = run_population(cfg);
+  size_t zero = 0;
+  for (const auto& r : records) zero += r.zero_rtt;
+  EXPECT_NEAR(static_cast<double>(zero) / records.size(), 0.5, 0.2);
+}
+
+TEST(Harness, RunnerHonorsCcChoice) {
+  PopulationConfig cfg = small_config();
+  cfg.sessions = 4;
+  cfg.cc_algo = cc::CcAlgo::kNewReno;
+  const auto records = run_population(cfg);
+  size_t done = 0;
+  for (const auto& r : records) {
+    for (const auto& [s, res] : r.results) done += res.first_frame_completed;
+  }
+  EXPECT_GT(done, 0u);
+}
+
+}  // namespace
+}  // namespace wira::exp

@@ -1,0 +1,123 @@
+// Tests for the beyond-the-paper extensions: the kLossRate cookie triple,
+// the user-group initialization strawman, and loss-aware Wira+.
+#include <gtest/gtest.h>
+
+#include "core/init_config.h"
+#include "core/transport_cookie.h"
+#include "exp/population_experiment.h"
+#include "popgen/population.h"
+
+namespace wira::core {
+namespace {
+
+HxQosRecord cookie(Bandwidth bw = mbps(10), TimeNs rtt = milliseconds(50),
+                   double loss = 0.0) {
+  HxQosRecord r;
+  r.max_bw = bw;
+  r.min_rtt = rtt;
+  r.server_timestamp = 0;
+  r.loss_rate = loss;
+  return r;
+}
+
+InitInputs inputs(std::optional<uint64_t> ff, std::optional<HxQosRecord> hx,
+                  std::optional<HxQosRecord> ug = std::nullopt) {
+  InitInputs in;
+  in.ff_size = ff;
+  in.hx_qos = hx;
+  in.ug_qos = ug;
+  in.now = minutes(5);
+  return in;
+}
+
+TEST(LossTriple, RoundTripsThroughCookie) {
+  HxQosRecord r = cookie(mbps(7), milliseconds(80), 0.042);
+  r.od_key = 123;
+  auto out = decode_hxqos_triples(encode_hxqos_triples(r));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(out->loss_rate, 0.042, 0.001);  // per-mille quantization
+
+  CookieSealer sealer(crypto::key_from_string("x"));
+  auto sealed_out = sealer.open(sealer.seal(r));
+  ASSERT_TRUE(sealed_out.has_value());
+  EXPECT_NEAR(sealed_out->loss_rate, 0.042, 0.001);
+}
+
+TEST(LossTriple, ZeroLossOmitted) {
+  HxQosRecord r = cookie();
+  auto out = decode_hxqos_triples(encode_hxqos_triples(r));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->loss_rate, 0.0);
+}
+
+TEST(UserGroupScheme, UsesGroupAverage) {
+  ExperiencedDefaults d;
+  const auto ug = cookie(mbps(16), milliseconds(60));
+  const auto dec = compute_init(Scheme::kUserGroup,
+                                inputs(66'000, cookie(), ug), d);
+  EXPECT_EQ(dec.init_pacing, mbps(16));
+  EXPECT_EQ(dec.init_cwnd, bdp_bytes(mbps(16), milliseconds(60)));
+  // Group scheme ignores both per-flow signals.
+  EXPECT_FALSE(dec.used_ff_size);
+  EXPECT_FALSE(dec.used_hx_qos);
+}
+
+TEST(UserGroupScheme, FallsBackToDefaultsWithoutGroupData) {
+  ExperiencedDefaults d;
+  const auto dec =
+      compute_init(Scheme::kUserGroup, inputs(66'000, cookie()), d);
+  EXPECT_EQ(dec.init_cwnd, d.init_cwnd_exp);
+}
+
+TEST(WiraPlus, DiscountsPacingByHistoricalLoss) {
+  ExperiencedDefaults d;
+  // 5% historical loss -> 10% discount.
+  const auto lossy = compute_init(
+      Scheme::kWiraPlus, inputs(66'000, cookie(mbps(10), milliseconds(50),
+                                                0.05)), d);
+  EXPECT_EQ(lossy.init_pacing,
+            static_cast<Bandwidth>(0.9 * static_cast<double>(mbps(10))));
+  // Clean history -> identical to Wira.
+  const auto clean = compute_init(Scheme::kWiraPlus,
+                                  inputs(66'000, cookie()), d);
+  const auto wira = compute_init(Scheme::kWira, inputs(66'000, cookie()), d);
+  EXPECT_EQ(clean.init_pacing, wira.init_pacing);
+  EXPECT_EQ(clean.init_cwnd, wira.init_cwnd);
+}
+
+TEST(WiraPlus, DiscountCappedAt30Percent) {
+  ExperiencedDefaults d;
+  const auto dec = compute_init(
+      Scheme::kWiraPlus,
+      inputs(66'000, cookie(mbps(10), milliseconds(50), 0.5)), d);
+  EXPECT_EQ(dec.init_pacing,
+            static_cast<Bandwidth>(0.7 * static_cast<double>(mbps(10))));
+}
+
+TEST(GroupAverageQos, IsDeterministicAndPlausible) {
+  popgen::Population pop(3, 16);
+  const auto a = pop.group_average_qos(5);
+  const auto b = pop.group_average_qos(5);
+  EXPECT_EQ(a.mean_rtt, b.mean_rtt);
+  EXPECT_EQ(a.mean_bw, b.mean_bw);
+  // The average should sit near the group's configured means.
+  const auto& g = pop.groups()[5];
+  EXPECT_NEAR(to_ms(a.mean_rtt), g.rtt_mean_ms, g.rtt_mean_ms * 0.5);
+  EXPECT_NEAR(to_mbps(a.mean_bw), g.bw_mean_mbps, g.bw_mean_mbps * 0.6);
+}
+
+TEST(UserGroupScheme, EndToEndPopulationRun) {
+  exp::PopulationConfig cfg;
+  cfg.sessions = 6;
+  cfg.seed = 4;
+  cfg.schemes = {core::Scheme::kUserGroup, core::Scheme::kWiraPlus};
+  const auto records = exp::run_population(cfg);
+  size_t done = 0;
+  for (const auto& r : records) {
+    for (const auto& [s, res] : r.results) done += res.first_frame_completed;
+  }
+  EXPECT_GE(done, 10u);
+}
+
+}  // namespace
+}  // namespace wira::core

@@ -1,0 +1,182 @@
+// Unit tests for Frame Perception (Algorithm 1): the cross-layer L4 parser
+// that learns FF_Size before the bytes are paced out.
+#include "core/frame_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "media/stream_source.h"
+
+namespace wira::core {
+namespace {
+
+std::vector<uint8_t> join_bytes(const media::LiveStream& s, TimeNs join,
+                                TimeNs tail = seconds(2)) {
+  std::vector<uint8_t> all;
+  for (const auto& c : s.join_chunks(join)) {
+    all.insert(all.end(), c.bytes.begin(), c.bytes.end());
+  }
+  for (const auto& c : s.chunks_between(join, join + tail)) {
+    all.insert(all.end(), c.bytes.begin(), c.bytes.end());
+  }
+  return all;
+}
+
+TEST(FrameParser, MatchesGroundTruthFfSize) {
+  media::StreamProfile p;
+  media::LiveStream s(p, 21);
+  const TimeNs join = milliseconds(300);
+  FrameParser parser;
+  auto ff = parser.feed(join_bytes(s, join));
+  ASSERT_TRUE(ff.has_value());
+  EXPECT_EQ(*ff, s.first_frame_size(join, 1));
+  EXPECT_TRUE(parser.complete());
+  EXPECT_EQ(parser.protocol(), ProtocolType::kFlv);
+}
+
+class ThetaVf : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ThetaVf, MatchesGroundTruthForEveryTheta) {
+  const uint32_t theta = GetParam();
+  media::StreamProfile p;
+  media::LiveStream s(p, 33);
+  const TimeNs join = milliseconds(120);
+  FrameParser parser(FrameParser::Config{.theta_vf = theta});
+  auto ff = parser.feed(join_bytes(s, join, seconds(3)));
+  ASSERT_TRUE(ff.has_value());
+  EXPECT_EQ(*ff, s.first_frame_size(join, theta));
+  EXPECT_EQ(parser.video_frames_seen(), theta);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlaybackConditions, ThetaVf,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(FrameParser, ByteAtATimeFeedingSameResult) {
+  media::StreamProfile p;
+  media::LiveStream s(p, 4);
+  const auto bytes = join_bytes(s, 0);
+  FrameParser whole, dribble;
+  auto expected = whole.feed(bytes);
+  ASSERT_TRUE(expected.has_value());
+
+  std::optional<uint64_t> got;
+  for (uint8_t b : bytes) {
+    auto r = dribble.feed(std::span<const uint8_t>(&b, 1));
+    if (r) {
+      ASSERT_FALSE(got.has_value()) << "FF_Size must be reported once";
+      got = r;
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, *expected);
+}
+
+TEST(FrameParser, ChunkBoundariesStraddlingTagHeaders) {
+  media::StreamProfile p;
+  media::LiveStream s(p, 4);
+  const auto bytes = join_bytes(s, 0);
+  // Feed in awkward 7-byte chunks (tag headers are 11 bytes).
+  FrameParser parser;
+  std::optional<uint64_t> got;
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, bytes.size() - i);
+    auto r = parser.feed(std::span<const uint8_t>(bytes.data() + i, n));
+    if (r) got = r;
+  }
+  FrameParser reference;
+  EXPECT_EQ(got, reference.feed(bytes));
+}
+
+TEST(FrameParser, NeverBuffersPayload) {
+  media::StreamProfile p;
+  p.iframe_mean_bytes = 120'000;
+  media::LiveStream s(p, 8);
+  const auto bytes = join_bytes(s, 0);
+  FrameParser parser;
+  size_t max_buffered = 0;
+  for (size_t i = 0; i < bytes.size(); i += 13) {
+    const size_t n = std::min<size_t>(13, bytes.size() - i);
+    parser.feed(std::span<const uint8_t>(bytes.data() + i, n));
+    max_buffered = std::max(max_buffered, parser.bytes_buffered());
+  }
+  // Only partial headers (<= 11 bytes) may ever be held.
+  EXPECT_LE(max_buffered, media::kFlvTagHeaderSize);
+}
+
+TEST(FrameParser, ReportsOnceThenStaysComplete) {
+  media::StreamProfile p;
+  media::LiveStream s(p, 4);
+  const auto bytes = join_bytes(s, 0);
+  FrameParser parser;
+  auto first = parser.feed(bytes);
+  ASSERT_TRUE(first.has_value());
+  // Algorithm 1: FF_Complete -> return -1 on any further input.
+  EXPECT_FALSE(parser.feed(bytes).has_value());
+  EXPECT_TRUE(parser.complete());
+  EXPECT_EQ(parser.ff_size(), *first);
+}
+
+TEST(FrameParser, HlsSignatureRecognizedButUnparsed) {
+  const std::string playlist = "#EXTM3U\n#EXT-X-VERSION:3\n";
+  FrameParser parser;
+  auto r = parser.feed(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(playlist.data()), playlist.size()));
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(parser.protocol(), ProtocolType::kHls);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(FrameParser, RtmpSignatureRecognizedButUnparsed) {
+  const uint8_t c0c1[] = {0x03, 0x00, 0x00, 0x00, 0x00};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(std::span<const uint8_t>(c0c1, 5)).has_value());
+  EXPECT_EQ(parser.protocol(), ProtocolType::kRtmp);
+}
+
+TEST(FrameParser, UnknownSignatureFails) {
+  const uint8_t junk[] = {'X', 'Y', 'Z', 1, 2, 3};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(std::span<const uint8_t>(junk, 6)).has_value());
+  EXPECT_EQ(parser.protocol(), ProtocolType::kUnsupported);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(FrameParser, MalformedTagTypeFails) {
+  media::FlvMuxer mux;
+  mux.write_header();
+  auto bytes = mux.take();
+  bytes.push_back(0x7F);  // invalid tag type
+  bytes.insert(bytes.end(), 10, 0);
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(bytes).has_value());
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(FrameParser, TwoByteSniffIsInconclusive) {
+  const uint8_t fl[] = {'F', 'L'};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(std::span<const uint8_t>(fl, 2)).has_value());
+  EXPECT_EQ(parser.protocol(), ProtocolType::kUnknown);
+  EXPECT_FALSE(parser.failed());
+  const uint8_t v[] = {'V'};
+  parser.feed(std::span<const uint8_t>(v, 1));
+  EXPECT_EQ(parser.protocol(), ProtocolType::kFlv);
+}
+
+TEST(FrameParser, AudioBeforeVideoCountedIntoFfSize) {
+  // Script + audio tags preceding the I frame belong to the first frame
+  // (§IV-A: "they are also critical for successfully displaying").
+  media::FlvMuxer mux;
+  mux.write_header();
+  mux.write_metadata(0, {{"width", 640.0}});
+  mux.write_frame({media::TagType::kAudio, media::VideoKind::kKey, 300, 0});
+  mux.write_frame({media::TagType::kAudio, media::VideoKind::kKey, 300, 0});
+  mux.write_frame({media::TagType::kVideo, media::VideoKind::kKey, 9000, 0});
+  const auto bytes = mux.take();
+  FrameParser parser;
+  auto ff = parser.feed(bytes);
+  ASSERT_TRUE(ff.has_value());
+  EXPECT_EQ(*ff, bytes.size());  // exactly everything up to video tag end
+}
+
+}  // namespace
+}  // namespace wira::core

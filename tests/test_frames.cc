@@ -1,0 +1,208 @@
+// Unit tests for QUIC frame wire codecs, including the Wira Hx_QoS frame.
+#include "quic/frames.h"
+
+#include <gtest/gtest.h>
+
+#include "quic/packet.h"
+
+namespace wira::quic {
+namespace {
+
+template <typename T>
+T round_trip(const Frame& in) {
+  ByteWriter w;
+  serialize_frame(in, w);
+  EXPECT_EQ(w.size(), frame_wire_size(in)) << "wire-size accounting drift";
+  ByteReader r(w.span());
+  auto out = parse_frame(r);
+  EXPECT_TRUE(out.has_value());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  return std::get<T>(*out);
+}
+
+TEST(Frames, StreamFrameRoundTrip) {
+  StreamFrame f;
+  f.stream_id = 3;
+  f.offset = 123456;
+  f.fin = true;
+  f.data = {1, 2, 3, 4, 5};
+  const auto out = round_trip<StreamFrame>(Frame{f});
+  EXPECT_EQ(out.stream_id, 3u);
+  EXPECT_EQ(out.offset, 123456u);
+  EXPECT_TRUE(out.fin);
+  EXPECT_EQ(out.data, f.data);
+}
+
+TEST(Frames, EmptyStreamFrameWithFin) {
+  StreamFrame f;
+  f.stream_id = 1;
+  f.offset = 999;
+  f.fin = true;
+  const auto out = round_trip<StreamFrame>(Frame{f});
+  EXPECT_TRUE(out.data.empty());
+  EXPECT_TRUE(out.fin);
+}
+
+TEST(Frames, AckFrameSingleRange) {
+  AckFrame f;
+  f.largest_acked = 100;
+  f.ack_delay = microseconds(250);
+  f.ranges = {{90, 100}};
+  const auto out = round_trip<AckFrame>(Frame{f});
+  EXPECT_EQ(out.largest_acked, 100u);
+  EXPECT_EQ(out.ack_delay, microseconds(250));
+  ASSERT_EQ(out.ranges.size(), 1u);
+  EXPECT_EQ(out.ranges[0], (Range{90, 100}));
+}
+
+TEST(Frames, AckFrameMultipleRanges) {
+  AckFrame f;
+  f.largest_acked = 100;
+  f.ranges = {{95, 100}, {80, 90}, {1, 50}};
+  const auto out = round_trip<AckFrame>(Frame{f});
+  ASSERT_EQ(out.ranges.size(), 3u);
+  EXPECT_EQ(out.ranges[0], (Range{95, 100}));
+  EXPECT_EQ(out.ranges[1], (Range{80, 90}));
+  EXPECT_EQ(out.ranges[2], (Range{1, 50}));
+  EXPECT_TRUE(out.covers(85));
+  EXPECT_FALSE(out.covers(60));
+  EXPECT_TRUE(out.covers(1));
+}
+
+TEST(Frames, HxQosFrameRoundTrip) {
+  HxQosFrame f;
+  f.server_time_ms = 123456789;
+  f.sealed_blob = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  const auto out = round_trip<HxQosFrame>(Frame{f});
+  EXPECT_EQ(out.server_time_ms, 123456789u);
+  EXPECT_EQ(out.sealed_blob, f.sealed_blob);
+}
+
+TEST(Frames, CryptoAndCloseRoundTrip) {
+  CryptoFrame c;
+  c.offset = 7;
+  c.data = {9, 8, 7};
+  EXPECT_EQ(round_trip<CryptoFrame>(Frame{c}).data, c.data);
+
+  ConnectionCloseFrame cc;
+  cc.error_code = 42;
+  cc.reason = "bye";
+  const auto out = round_trip<ConnectionCloseFrame>(Frame{cc});
+  EXPECT_EQ(out.error_code, 42u);
+  EXPECT_EQ(out.reason, "bye");
+}
+
+TEST(Frames, RetransmittableClassification) {
+  EXPECT_FALSE(is_retransmittable(Frame{AckFrame{}}));
+  EXPECT_FALSE(is_retransmittable(Frame{PaddingFrame{}}));
+  EXPECT_TRUE(is_retransmittable(Frame{PingFrame{}}));
+  EXPECT_TRUE(is_retransmittable(Frame{StreamFrame{}}));
+  EXPECT_TRUE(is_retransmittable(Frame{CryptoFrame{}}));
+  EXPECT_TRUE(is_retransmittable(Frame{HxQosFrame{}}));
+}
+
+TEST(Frames, BuildAckFromReceivedSet) {
+  RangeSet received;
+  received.add(1, 5);
+  received.add(8, 10);
+  received.add(12);
+  const AckFrame ack = build_ack(received, milliseconds(2));
+  EXPECT_EQ(ack.largest_acked, 12u);
+  ASSERT_EQ(ack.ranges.size(), 3u);
+  EXPECT_EQ(ack.ranges[0], (Range{12, 12}));
+  EXPECT_EQ(ack.ranges[2], (Range{1, 5}));
+}
+
+TEST(Frames, BuildAckCapsRangeCount) {
+  RangeSet received;
+  for (uint64_t i = 0; i < 100; ++i) received.add(i * 3);
+  const AckFrame ack = build_ack(received, 0, /*max_ranges=*/32);
+  EXPECT_EQ(ack.ranges.size(), 32u);
+  EXPECT_EQ(ack.largest_acked, 99u * 3);
+}
+
+TEST(Frames, MalformedInputRejected) {
+  // Unknown frame type.
+  {
+    const uint8_t buf[] = {0xEE};
+    ByteReader r(buf, sizeof(buf));
+    EXPECT_FALSE(parse_frame(r).has_value());
+  }
+  // Truncated stream frame (declared longer than available).
+  {
+    ByteWriter w;
+    StreamFrame f;
+    f.data = {1, 2, 3, 4};
+    serialize_frame(Frame{f}, w);
+    auto bytes = w.take();
+    bytes.resize(bytes.size() - 2);
+    ByteReader r(bytes);
+    EXPECT_FALSE(parse_frame(r).has_value());
+  }
+  // ACK whose first range underflows.
+  {
+    ByteWriter w;
+    w.u8(0x02);
+    w.varint(5);    // largest
+    w.varint(0);    // delay
+    w.varint(1);    // one range
+    w.varint(9);    // first_range > largest -> invalid
+    ByteReader r(w.span());
+    EXPECT_FALSE(parse_frame(r).has_value());
+  }
+}
+
+TEST(Packets, RoundTripWithMixedFrames) {
+  Packet p;
+  p.type = PacketType::kOneRtt;
+  p.conn_id = 0xAABBCCDD;
+  p.packet_number = 77;
+  p.frames.push_back(build_ack([] {
+                       RangeSet s;
+                       s.add(1, 3);
+                       return s;
+                     }(), 0));
+  StreamFrame sf;
+  sf.stream_id = 3;
+  sf.data = {5, 5, 5};
+  p.frames.push_back(sf);
+
+  const auto bytes = serialize_packet(p);
+  auto out = parse_packet(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->conn_id, 0xAABBCCDDu);
+  EXPECT_EQ(out->packet_number, 77u);
+  ASSERT_EQ(out->frames.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<AckFrame>(out->frames[0]));
+  EXPECT_TRUE(std::holds_alternative<StreamFrame>(out->frames[1]));
+  EXPECT_TRUE(out->retransmittable());
+}
+
+TEST(Packets, HxQosPacketType) {
+  Packet p;
+  p.type = PacketType::kHxQos;  // 0x1f, distinct from existing QUIC types
+  p.conn_id = 1;
+  p.packet_number = 5;
+  p.frames.push_back(HxQosFrame{100, {1, 2, 3}});
+  auto out = parse_packet(serialize_packet(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, PacketType::kHxQos);
+}
+
+TEST(Packets, UnknownTypeRejected) {
+  ByteWriter w;
+  w.u8(0x7F);
+  w.u64be(1);
+  w.u64be(1);
+  EXPECT_FALSE(parse_packet(w.span()).has_value());
+}
+
+TEST(Packets, AckOnlyPacketNotRetransmittable) {
+  Packet p;
+  p.frames.push_back(AckFrame{});
+  EXPECT_FALSE(p.retransmittable());
+}
+
+}  // namespace
+}  // namespace wira::quic

@@ -1,0 +1,122 @@
+// Unit tests for the tag-value handshake codec and the Wira HQST payload.
+#include "quic/handshake.h"
+
+#include <gtest/gtest.h>
+
+namespace wira::quic {
+namespace {
+
+TEST(Handshake, TagConstants) {
+  EXPECT_EQ(make_tag('C', 'H', 'L', 'O'), 0x43484C4Fu);
+  EXPECT_NE(kTagCHLO, kTagSHLO);
+  EXPECT_NE(kTagCHLO, kTagREJ);
+  EXPECT_NE(kTagHQST, kTagSCID);
+}
+
+TEST(Handshake, EmptyMessageRoundTrips) {
+  HandshakeMessage msg;
+  msg.msg_tag = kTagSHLO;
+  auto out = parse_handshake(serialize_handshake(msg));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->msg_tag, kTagSHLO);
+  EXPECT_TRUE(out->values.empty());
+}
+
+TEST(Handshake, MultiTagRoundTrip) {
+  HandshakeMessage msg;
+  msg.msg_tag = kTagCHLO;
+  msg.set_str(kTagVER, "Q043");
+  msg.set_u64(kTagSCID, 0xDEADBEEF12345678ull);
+  msg.set(kTagHQST, std::vector<uint8_t>{1, 2, 3, 4});
+
+  auto out = parse_handshake(serialize_handshake(msg));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->msg_tag, kTagCHLO);
+  EXPECT_EQ(out->values.size(), 3u);
+  auto ver = out->get(kTagVER);
+  EXPECT_EQ(std::string(ver.begin(), ver.end()), "Q043");
+  EXPECT_EQ(out->get_u64(kTagSCID), 0xDEADBEEF12345678ull);
+  auto hqst = out->get(kTagHQST);
+  EXPECT_EQ(std::vector<uint8_t>(hqst.begin(), hqst.end()),
+            (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Handshake, EmptyValueAllowed) {
+  HandshakeMessage msg;
+  msg.msg_tag = kTagREJ;
+  msg.set(kTagSCFG, std::span<const uint8_t>{});
+  auto out = parse_handshake(serialize_handshake(msg));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->has(kTagSCFG));
+  EXPECT_TRUE(out->get(kTagSCFG).empty());
+}
+
+TEST(Handshake, MissingTagAccessors) {
+  HandshakeMessage msg;
+  EXPECT_FALSE(msg.has(kTagHQST));
+  EXPECT_TRUE(msg.get(kTagHQST).empty());
+  EXPECT_FALSE(msg.get_u64(kTagSCID).has_value());
+}
+
+TEST(Handshake, TruncatedMessageRejected) {
+  HandshakeMessage msg;
+  msg.msg_tag = kTagCHLO;
+  msg.set_str(kTagVER, "Q043");
+  auto bytes = serialize_handshake(msg);
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(parse_handshake(cut).has_value()) << "keep=" << keep;
+  }
+}
+
+TEST(Handshake, NonMonotoneOffsetsRejected) {
+  // Hand-build an index whose end offsets decrease.
+  ByteWriter w;
+  w.u32be(kTagCHLO);
+  w.u16be(2);
+  w.u16be(0);
+  w.u32be(kTagVER);
+  w.u32be(4);
+  w.u32be(kTagSCID);
+  w.u32be(2);  // < previous end: invalid
+  w.str("Q043xx");
+  EXPECT_FALSE(parse_handshake(w.span()).has_value());
+}
+
+TEST(Hqst, DeclarationOnlyRoundTrip) {
+  HqstPayload p;
+  p.supports_sync = true;
+  auto out = parse_hqst(serialize_hqst(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->supports_sync);
+  EXPECT_TRUE(out->sealed_cookie.empty())
+      << "TagLen == fixed fields -> no Hx_QoS_Frame (paper Fig. 8)";
+}
+
+TEST(Hqst, FullCookieRoundTrip) {
+  HqstPayload p;
+  p.supports_sync = true;
+  p.client_recv_time_ms = 987654;
+  p.sealed_cookie = {0xAA, 0xBB, 0xCC};
+  auto out = parse_hqst(serialize_hqst(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->client_recv_time_ms, 987654u);
+  EXPECT_EQ(out->sealed_cookie, p.sealed_cookie);
+}
+
+TEST(Hqst, UnsupportedClient) {
+  HqstPayload p;
+  p.supports_sync = false;
+  auto out = parse_hqst(serialize_hqst(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->supports_sync);
+}
+
+TEST(Hqst, TruncatedRejected) {
+  const uint8_t buf[] = {1, 0, 0};  // Bool + partial timestamp
+  EXPECT_FALSE(parse_hqst(std::span<const uint8_t>(buf, 3)).has_value());
+}
+
+}  // namespace
+}  // namespace wira::quic

@@ -1,0 +1,176 @@
+// Unit tests for Initial Parameter Configuration (§IV-C): every Table-I
+// row, Eq. 2/3, and both corner cases — plus property sweeps.
+#include "core/init_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wira::core {
+namespace {
+
+constexpr uint64_t kFf = 66'000;
+
+ExperiencedDefaults defaults() {
+  ExperiencedDefaults d;
+  d.init_cwnd_exp = 43'000;
+  d.init_rtt_exp = milliseconds(80);
+  return d;
+}
+
+HxQosRecord fresh_cookie(Bandwidth bw = mbps(8),
+                         TimeNs rtt = milliseconds(50)) {
+  HxQosRecord r;
+  r.max_bw = bw;
+  r.min_rtt = rtt;
+  r.server_timestamp = 0;
+  return r;
+}
+
+InitInputs inputs(std::optional<uint64_t> ff,
+                  std::optional<HxQosRecord> hx, TimeNs now = minutes(5)) {
+  InitInputs in;
+  in.ff_size = ff;
+  in.hx_qos = hx;
+  in.now = now;
+  return in;
+}
+
+TEST(InitConfig, BaselineRow) {
+  const auto d = compute_init(Scheme::kBaseline, inputs(kFf, fresh_cookie()),
+                              defaults());
+  EXPECT_EQ(d.init_cwnd, 43'000u);
+  // init_pacing = init_cwnd / init_RTT_exp = 43 KB / 80 ms = 537.5 KB/s.
+  EXPECT_EQ(d.init_pacing, delivery_rate(43'000, milliseconds(80)));
+  EXPECT_FALSE(d.used_ff_size);
+  EXPECT_FALSE(d.used_hx_qos);
+}
+
+TEST(InitConfig, WiraFfRow) {
+  const auto d = compute_init(Scheme::kWiraFF, inputs(kFf, fresh_cookie()),
+                              defaults());
+  EXPECT_EQ(d.init_cwnd, kFf);
+  EXPECT_EQ(d.init_pacing, delivery_rate(kFf, milliseconds(80)));
+  EXPECT_TRUE(d.used_ff_size);
+  EXPECT_FALSE(d.used_hx_qos);
+}
+
+TEST(InitConfig, WiraHxRow) {
+  const auto d = compute_init(Scheme::kWiraHx, inputs(kFf, fresh_cookie()),
+                              defaults());
+  // BDP = 8 Mbps x 50 ms = 50 KB; pacing = MaxBW (Eq. 2).
+  EXPECT_EQ(d.init_cwnd, 50'000u);
+  EXPECT_EQ(d.init_pacing, mbps(8));
+  EXPECT_TRUE(d.used_hx_qos);
+}
+
+TEST(InitConfig, WiraRowTakesMinOfFfAndBdp) {
+  // FF (66 KB) > BDP (50 KB) -> BDP wins.
+  auto d = compute_init(Scheme::kWira, inputs(kFf, fresh_cookie()),
+                        defaults());
+  EXPECT_EQ(d.init_cwnd, 50'000u);
+  EXPECT_EQ(d.init_pacing, mbps(8));
+
+  // FF (20 KB) < BDP -> FF wins (Eq. 3).
+  d = compute_init(Scheme::kWira, inputs(20'000, fresh_cookie()),
+                   defaults());
+  EXPECT_EQ(d.init_cwnd, 20'000u);
+  EXPECT_TRUE(d.used_ff_size);
+  EXPECT_TRUE(d.used_hx_qos);
+}
+
+TEST(InitConfig, CornerCase1SubstitutesExperiencedCwnd) {
+  // FF_Size not yet parsed: init_cwnd_exp replaces FF_Size in Eq. 3.
+  const auto d = compute_init(Scheme::kWira,
+                              inputs(std::nullopt, fresh_cookie()),
+                              defaults());
+  EXPECT_TRUE(d.ff_pending);
+  EXPECT_EQ(d.init_cwnd, std::min<uint64_t>(43'000, 50'000));
+  EXPECT_EQ(d.init_pacing, mbps(8));
+}
+
+TEST(InitConfig, CornerCase2StaleCookie) {
+  HxQosRecord old = fresh_cookie();
+  old.server_timestamp = 0;
+  const auto in = inputs(kFf, old, /*now=*/minutes(61));
+  const auto d = compute_init(Scheme::kWira, in, defaults());
+  EXPECT_TRUE(d.hx_stale);
+  EXPECT_FALSE(d.used_hx_qos);
+  // init_cwnd = FF_Size; init_pacing = FF_Size / init_RTT_exp.
+  EXPECT_EQ(d.init_cwnd, kFf);
+  EXPECT_EQ(d.init_pacing, delivery_rate(kFf, milliseconds(80)));
+}
+
+TEST(InitConfig, NoCookieWiraFallsBackToFfOnly) {
+  const auto d =
+      compute_init(Scheme::kWira, inputs(kFf, std::nullopt), defaults());
+  EXPECT_EQ(d.init_cwnd, kFf);
+  EXPECT_FALSE(d.used_hx_qos);
+  EXPECT_FALSE(d.hx_stale);  // absent, not stale
+}
+
+TEST(InitConfig, NoCookieWiraHxBehavesLikeBaseline) {
+  const auto hx = compute_init(Scheme::kWiraHx, inputs(kFf, std::nullopt),
+                               defaults());
+  const auto base = compute_init(Scheme::kBaseline,
+                                 inputs(kFf, std::nullopt), defaults());
+  EXPECT_EQ(hx.init_cwnd, base.init_cwnd);
+  EXPECT_EQ(hx.init_pacing, base.init_pacing);
+}
+
+TEST(InitConfig, InvalidCookieIgnored) {
+  HxQosRecord bogus;  // min_rtt/max_bw unset -> invalid
+  const auto d =
+      compute_init(Scheme::kWira, inputs(kFf, bogus), defaults());
+  EXPECT_FALSE(d.used_hx_qos);
+  EXPECT_EQ(d.init_cwnd, kFf);
+}
+
+TEST(InitConfig, CustomStalenessThresholdRespected) {
+  HxQosRecord c = fresh_cookie();
+  InitInputs in = inputs(kFf, c, minutes(10));
+  in.staleness_threshold = minutes(5);
+  const auto d = compute_init(Scheme::kWira, in, defaults());
+  EXPECT_TRUE(d.hx_stale);
+}
+
+TEST(InitConfig, FloorsPreventDegenerateValues) {
+  HxQosRecord tiny = fresh_cookie(kbps(1), microseconds(100));
+  const auto d = compute_init(Scheme::kWira, inputs(4, tiny), defaults());
+  EXPECT_GE(d.init_cwnd, 2u * 1460);
+  EXPECT_GE(d.init_pacing, kbps(100));
+}
+
+// Property sweep: across random inputs, Wira's cwnd never exceeds either
+// FF_Size or the BDP when a fresh cookie is present (Eq. 3 upper bounds),
+// and pacing always equals MaxBW (Eq. 2).
+class InitConfigProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InitConfigProperty, Eq2Eq3InvariantsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t ff =
+        static_cast<uint64_t>(rng.uniform(6'000, 250'000));
+    const Bandwidth bw = mbps_f(rng.uniform(0.5, 60));
+    const TimeNs rtt = from_seconds(rng.uniform(0.005, 0.4));
+    const auto d = compute_init(Scheme::kWira,
+                                inputs(ff, fresh_cookie(bw, rtt)),
+                                defaults());
+    const uint64_t bdp = bdp_bytes(bw, rtt);
+    EXPECT_LE(d.init_cwnd, std::max<uint64_t>(std::min(ff, bdp), 2 * 1460));
+    EXPECT_EQ(d.init_pacing, std::max<Bandwidth>(bw, kbps(100)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InitConfigProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(InitConfig, SchemeNames) {
+  EXPECT_STREQ(scheme_name(Scheme::kBaseline), "Baseline");
+  EXPECT_STREQ(scheme_name(Scheme::kWiraFF), "Wira(FF)");
+  EXPECT_STREQ(scheme_name(Scheme::kWiraHx), "Wira(Hx)");
+  EXPECT_STREQ(scheme_name(Scheme::kWira), "Wira");
+}
+
+}  // namespace
+}  // namespace wira::core

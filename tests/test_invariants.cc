@@ -1,0 +1,151 @@
+// Cross-cutting session invariants, swept over a path grid x scheme matrix
+// (parameterized): properties that must hold for *every* configuration,
+// not just the tuned defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/session_runner.h"
+
+namespace wira::exp {
+namespace {
+
+struct GridPoint {
+  double bw_mbps;
+  int rtt_ms;
+  double loss;
+  core::Scheme scheme;
+  media::Container container;
+};
+
+class SessionInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SessionInvariants, HoldAcrossGridAndSchemes) {
+  const auto [grid_idx, scheme_idx] = GetParam();
+  static constexpr struct {
+    double bw;
+    int rtt;
+    double loss;
+  } kGrid[] = {
+      {3, 150, 0.02}, {8, 50, 0.03}, {15, 80, 0.005}, {40, 25, 0.0},
+  };
+  static constexpr core::Scheme kSchemes[] = {
+      core::Scheme::kBaseline, core::Scheme::kWiraFF,
+      core::Scheme::kWiraHx, core::Scheme::kWira};
+
+  const auto& g = kGrid[grid_idx];
+  SessionConfig cfg;
+  cfg.path.bandwidth = mbps_f(g.bw);
+  cfg.path.rtt = milliseconds(g.rtt);
+  cfg.path.loss_rate = g.loss;
+  cfg.path.buffer_bytes = std::max<uint64_t>(
+      2 * bdp_bytes(cfg.path.bandwidth, cfg.path.rtt), 48 * 1024);
+  cfg.scheme = kSchemes[scheme_idx];
+  cfg.seed = 17 * static_cast<uint64_t>(grid_idx + 1) +
+             static_cast<uint64_t>(scheme_idx);
+  cfg.stream.stream_id = static_cast<uint64_t>(grid_idx);
+  core::HxQosRecord cookie;
+  cookie.min_rtt = cfg.path.rtt;
+  cookie.max_bw = cfg.path.bandwidth;
+  cookie.server_timestamp = 0;
+  cfg.cookie = cookie;
+  cfg.start_time = minutes(1);
+  cfg.max_session_time = seconds(15);
+
+  const SessionResult r = run_session(cfg);
+
+  // 1. The first frame completes on every grid point.
+  ASSERT_TRUE(r.first_frame_completed)
+      << "bw=" << g.bw << " rtt=" << g.rtt << " loss=" << g.loss;
+
+  // 2. FFCT can never beat physics: request leg + data leg >= one RTT.
+  EXPECT_GE(r.ffct, cfg.path.rtt);
+
+  // 3. Frame completions are monotone and frame 1 equals the FFCT.
+  ASSERT_FALSE(r.frames.empty());
+  EXPECT_EQ(r.frames[0].completion, r.ffct);
+  TimeNs prev = 0;
+  for (const auto& f : r.frames) {
+    if (f.completion == kNoTime) continue;
+    EXPECT_GE(f.completion, prev);
+    prev = f.completion;
+  }
+
+  // 4. The parser produced a plausible FF_Size and the init decision is
+  //    self-consistent with it.
+  EXPECT_GT(r.ff_size, 5'000u);
+  EXPECT_LT(r.ff_size, 400'000u);
+  if (cfg.scheme == core::Scheme::kWiraFF) {
+    EXPECT_EQ(r.init.init_cwnd, r.ff_size);
+  }
+  if (cfg.scheme == core::Scheme::kWira && r.init.used_hx_qos) {
+    EXPECT_LE(r.init.init_cwnd,
+              std::max<uint64_t>(
+                  std::min<uint64_t>(r.ff_size,
+                                     bdp_bytes(cookie.max_bw,
+                                               cookie.min_rtt)),
+                  2 * 1460));
+    EXPECT_EQ(r.init.init_pacing, cookie.max_bw);
+  }
+
+  // 5. Loss accounting stays within [0, 1] and roughly tracks the path.
+  EXPECT_GE(r.fflr, 0.0);
+  EXPECT_LE(r.fflr, 0.8);
+
+  // 6. Transport conservation: acked + in-flight-unresolved <= sent.
+  EXPECT_LE(r.server_stats.packets_acked,
+            r.server_stats.data_packets_sent);
+  EXPECT_LE(r.server_stats.packets_lost,
+            r.server_stats.data_packets_sent);
+}
+
+std::string grid_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* kPaths[] = {"slow3g", "testbed", "mid", "fast"};
+  static const char* kNames[] = {"Baseline", "WiraFF", "WiraHx", "Wira"};
+  return std::string(kPaths[std::get<0>(info.param)]) + "_" +
+         kNames[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SessionInvariants,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 4)),
+    grid_name);
+
+class TsInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsInvariants, TsSessionsMatchFlvSemantics) {
+  // For the same conditions, a TS session's parsed FF_Size is within the
+  // container-overhead factor of the FLV session's, and both complete.
+  SessionConfig cfg;
+  cfg.path.bandwidth = mbps(15);
+  cfg.path.rtt = milliseconds(60);
+  cfg.path.loss_rate = 0;
+  cfg.path.buffer_bytes = 128 * 1024;
+  cfg.seed = 100 + static_cast<uint64_t>(GetParam());
+  cfg.stream.stream_id = static_cast<uint64_t>(GetParam());
+  cfg.scheme = core::Scheme::kWira;
+  cfg.start_time = minutes(1);
+
+  cfg.stream.container = media::Container::kFlv;
+  const auto flv = run_session(cfg);
+  cfg.stream.container = media::Container::kMpegTs;
+  const auto ts = run_session(cfg);
+
+  ASSERT_TRUE(flv.first_frame_completed);
+  ASSERT_TRUE(ts.first_frame_completed);
+  ASSERT_GT(flv.ff_size, 0u);
+  ASSERT_GT(ts.ff_size, 0u);
+  // TS packetization adds 188-byte quantization + PES headers: the same
+  // media content should land within ~0.95x..1.5x of the FLV size.
+  const double ratio = static_cast<double>(ts.ff_size) /
+                       static_cast<double>(flv.ff_size);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, TsInvariants, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace wira::exp

@@ -1,0 +1,118 @@
+// Remaining edge cases across modules: double close, zero-length writes,
+// large offsets, empty ack sets, and small API contracts.
+#include <gtest/gtest.h>
+
+#include "popgen/population.h"
+#include "quic/connection.h"
+#include "quic/frames.h"
+#include "sim/path.h"
+#include "util/stats.h"
+
+namespace wira {
+namespace {
+
+TEST(Edges, SamplesAddAll) {
+  Samples a;
+  a.add(1);
+  Samples b;
+  b.add_all({2, 3, 4});
+  a.add_all(b.values());
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+}
+
+TEST(Edges, BuildAckFromEmptySet) {
+  quic::RangeSet empty;
+  const auto ack = quic::build_ack(empty, 0);
+  EXPECT_EQ(ack.largest_acked, 0u);
+  EXPECT_TRUE(ack.ranges.empty());
+  EXPECT_FALSE(ack.covers(0));
+}
+
+TEST(Edges, SendStreamHugeOffsets) {
+  quic::SendStream s(3);
+  // 5 MB written in chunks; offsets must stay exact.
+  std::vector<uint8_t> chunk(1 << 20, 0x5A);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.write(chunk), static_cast<uint64_t>(i) << 20);
+  }
+  EXPECT_EQ(s.bytes_written(), 5u << 20);
+  uint64_t drained = 0;
+  while (auto c = s.next_chunk(1400)) drained += c->data.size();
+  EXPECT_EQ(drained, 5u << 20);
+}
+
+TEST(Edges, ZeroLengthWriteWithoutFinIsNoop) {
+  quic::SendStream s(3);
+  s.write({}, /*fin=*/false);
+  EXPECT_FALSE(s.has_data_to_send());
+}
+
+TEST(Edges, ConnectionDoubleCloseIsIdempotent) {
+  sim::EventLoop loop;
+  int sent = 0;
+  quic::Connection conn(loop, {.is_server = true},
+                        [&](std::vector<uint8_t>) { sent++; });
+  conn.close(1, "first");
+  const int after_first = sent;
+  conn.close(2, "second");
+  EXPECT_EQ(sent, after_first);
+  EXPECT_TRUE(conn.closed());
+}
+
+TEST(Edges, WriteAfterCloseIgnored) {
+  sim::EventLoop loop;
+  quic::Connection conn(loop, {.is_server = true},
+                        [](std::vector<uint8_t>) {});
+  conn.close(0, "bye");
+  conn.write_stream(quic::kResponseStream, std::vector<uint8_t>(100), true);
+  loop.run_until(seconds(1));
+  EXPECT_EQ(conn.stats().stream_bytes_sent, 0u);
+}
+
+TEST(Edges, HxQosSendAfterCloseIgnored) {
+  sim::EventLoop loop;
+  int sent = 0;
+  quic::Connection conn(loop, {.is_server = true},
+                        [&](std::vector<uint8_t>) { sent++; });
+  conn.close(0, "bye");
+  const int after_close = sent;
+  conn.send_hxqos(quic::HxQosFrame{1, {2}});
+  EXPECT_EQ(sent, after_close);
+}
+
+TEST(Edges, NetworkTypeNames) {
+  using popgen::NetworkType;
+  EXPECT_STREQ(popgen::network_type_name(NetworkType::kWifi), "WiFi");
+  EXPECT_STREQ(popgen::network_type_name(NetworkType::k3G), "3G");
+  EXPECT_STREQ(popgen::network_type_name(NetworkType::k4G), "4G");
+  EXPECT_STREQ(popgen::network_type_name(NetworkType::k5G), "5G");
+}
+
+TEST(Edges, PaddingFrameRunsCoalesce) {
+  // A run of padding bytes parses as one PaddingFrame.
+  ByteWriter w;
+  quic::serialize_frame(quic::Frame{quic::PaddingFrame{5}}, w);
+  w.u8(static_cast<uint8_t>(quic::FrameType::kPing));
+  ByteReader r(w.span());
+  auto pad = quic::parse_frame(r);
+  ASSERT_TRUE(pad.has_value());
+  EXPECT_EQ(std::get<quic::PaddingFrame>(*pad).length, 5u);
+  auto ping = quic::parse_frame(r);
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_TRUE(std::holds_alternative<quic::PingFrame>(*ping));
+}
+
+TEST(Edges, RecvStreamFinishedFlagOnlyAfterAllBytes) {
+  quic::RecvStream s(3);
+  s.set_on_data([](std::span<const uint8_t>, bool) {});
+  std::vector<uint8_t> tail(10, 1);
+  s.on_frame(10, tail, /*fin=*/true);  // fin known, bytes 0-9 missing
+  EXPECT_FALSE(s.finished());
+  std::vector<uint8_t> head(10, 2);
+  s.on_frame(0, head, false);
+  EXPECT_TRUE(s.finished());
+}
+
+}  // namespace
+}  // namespace wira

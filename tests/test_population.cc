@@ -1,0 +1,162 @@
+// Tests for the synthetic population: determinism and — critically — the
+// dispersion calibration against the paper's §II-C/§II-D anchors.
+#include "popgen/population.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace wira::popgen {
+namespace {
+
+TEST(Population, GroupsAreDeterministic) {
+  Population a(5, 32), b(5, 32);
+  ASSERT_EQ(a.groups().size(), 32u);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.groups()[i].net, b.groups()[i].net);
+    EXPECT_DOUBLE_EQ(a.groups()[i].rtt_mean_ms, b.groups()[i].rtt_mean_ms);
+  }
+}
+
+TEST(Population, OdPairsAreDeterministic) {
+  Population p(5, 32);
+  const OdPair a = p.make_od(3, 17);
+  const OdPair b = p.make_od(3, 17);
+  EXPECT_DOUBLE_EQ(a.base_rtt_ms(), b.base_rtt_ms());
+  EXPECT_DOUBLE_EQ(a.base_bw_mbps(), b.base_bw_mbps());
+}
+
+TEST(Population, NetworkTypesCoverMix) {
+  Population p(1, 200);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& g : p.groups()) counts[static_cast<int>(g.net)]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+// §II-C anchor: within a user group, MinRTT CV ~36%, MaxBW CV ~52%.
+TEST(Population, WithinGroupDispersionMatchesFig3) {
+  Population p(7, 40);
+  Samples rtt_cvs, bw_cvs;
+  for (size_t g = 0; g < 40; ++g) {
+    Samples rtts, bws;
+    Rng rng(g + 1);
+    for (uint64_t od = 0; od < 60; ++od) {
+      const OdPair pair = p.make_od(g, od);
+      // Sessions within a 5-minute window (the paper's Fig. 3 setup).
+      const PathSample s =
+          pair.sample(minutes(30) + from_seconds(rng.uniform(0, 300)), rng);
+      rtts.add(to_ms(s.min_rtt));
+      bws.add(to_mbps(s.max_bw));
+    }
+    rtt_cvs.add(rtts.cv());
+    bw_cvs.add(bws.cv());
+  }
+  EXPECT_NEAR(rtt_cvs.mean(), 0.364, 0.08);
+  EXPECT_NEAR(bw_cvs.mean(), 0.516, 0.12);
+}
+
+// §II-D anchor: the same OD pair re-measured within 5 minutes has MinRTT
+// CV ~10% and MaxBW CV ~27%, growing mildly with the interval.
+TEST(Population, OdPairDispersionMatchesFig4) {
+  Population p(9, 16);
+  auto od_cv = [&](TimeNs interval, bool bw) {
+    Samples cvs;
+    for (uint64_t i = 0; i < 120; ++i) {
+      const OdPair pair = p.make_od(i % 16, 1000 + i);
+      Rng rng(i * 7 + 1);
+      Samples vals;
+      const TimeNs t0 = minutes(60);
+      for (int k = 0; k < 12; ++k) {
+        const TimeNs t =
+            t0 + from_seconds(rng.uniform(0, to_seconds(interval)));
+        const PathSample s = pair.sample(t, rng);
+        vals.add(bw ? to_mbps(s.max_bw) : to_ms(s.min_rtt));
+      }
+      cvs.add(vals.cv());
+    }
+    return cvs.mean();
+  };
+
+  const double rtt5 = od_cv(minutes(5), false);
+  const double rtt60 = od_cv(minutes(60), false);
+  const double bw5 = od_cv(minutes(5), true);
+
+  EXPECT_NEAR(rtt5, 0.099, 0.035);
+  EXPECT_NEAR(bw5, 0.27, 0.08);
+  // Interval scaling: dispersion grows with the window (Fig. 4(a)).
+  EXPECT_GT(rtt60, rtt5);
+  EXPECT_LT(rtt60, 0.25);
+}
+
+// The headline relation the whole mechanism rests on: OD-pair history is
+// far less dispersed than the user-group estimate (§II-D observation iv).
+TEST(Population, OdDispersionWellBelowGroupDispersion) {
+  Population p(11, 24);
+  Samples group_rtt, od_rtt;
+  for (size_t g = 0; g < 24; ++g) {
+    Samples across_ods;
+    Rng rng(g + 100);
+    for (uint64_t od = 0; od < 40; ++od) {
+      const OdPair pair = p.make_od(g, od);
+      across_ods.add(to_ms(pair.sample(minutes(10), rng).min_rtt));
+    }
+    group_rtt.add(across_ods.cv());
+
+    const OdPair pair = p.make_od(g, 0);
+    Samples within_od;
+    for (int k = 0; k < 20; ++k) {
+      within_od.add(
+          to_ms(pair.sample(minutes(10) + seconds(k * 15), rng).min_rtt));
+    }
+    od_rtt.add(within_od.cv());
+  }
+  EXPECT_LT(od_rtt.mean() * 2.5, group_rtt.mean());
+}
+
+TEST(Population, SessionGapsHeavyTailed) {
+  Rng rng(3);
+  Samples gaps_min;
+  size_t beyond_delta = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const TimeNs gap = Population::sample_session_gap(rng);
+    gaps_min.add(to_seconds(gap) / 60.0);
+    if (gap > minutes(60)) beyond_delta++;
+  }
+  EXPECT_NEAR(gaps_min.percentile(50), 4.0, 1.5);
+  // A meaningful minority of sessions arrive with a stale cookie.
+  const double frac = static_cast<double>(beyond_delta) / n;
+  EXPECT_GT(frac, 0.01);
+  EXPECT_LT(frac, 0.15);
+}
+
+TEST(Population, PathConfigReflectsSample) {
+  Population p(1, 8);
+  Rng rng(1);
+  const OdPair od = p.make_od(0, 0);
+  const PathSample s = od.sample(minutes(5), rng);
+  const sim::PathConfig cfg = OdPair::to_path_config(s);
+  EXPECT_EQ(cfg.bandwidth, s.max_bw);
+  EXPECT_EQ(cfg.rtt, s.min_rtt);
+  EXPECT_DOUBLE_EQ(cfg.loss_rate, s.loss_rate);
+  EXPECT_EQ(cfg.buffer_bytes, s.buffer_bytes);
+  EXPECT_GE(cfg.buffer_bytes, 16u * 1024);
+}
+
+TEST(Population, SamplesStayInPhysicalBounds) {
+  Population p(13, 16);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const OdPair od = p.random_od(rng);
+    const PathSample s = od.sample(from_seconds(rng.uniform(0, 7200)), rng);
+    EXPECT_GE(to_ms(s.min_rtt), 4.0);
+    EXPECT_LE(to_ms(s.min_rtt), 800.0);
+    EXPECT_GE(to_mbps(s.max_bw), 0.4);
+    EXPECT_LE(to_mbps(s.max_bw), 100.0);
+    EXPECT_GE(s.loss_rate, 0.0);
+    EXPECT_LE(s.loss_rate, 0.12);
+  }
+}
+
+}  // namespace
+}  // namespace wira::popgen

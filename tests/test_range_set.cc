@@ -1,0 +1,129 @@
+// Unit tests for the disjoint-range set used by ACK tracking and stream
+// retransmission bookkeeping.
+#include "quic/range_set.h"
+
+#include <gtest/gtest.h>
+
+namespace wira::quic {
+namespace {
+
+TEST(RangeSet, AddAndContains) {
+  RangeSet s;
+  s.add(5, 10);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(11));
+  EXPECT_EQ(s.total_length(), 6u);
+}
+
+TEST(RangeSet, AdjacentRangesMerge) {
+  RangeSet s;
+  s.add(1, 3);
+  s.add(4, 6);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.min(), 1u);
+  EXPECT_EQ(s.max(), 6u);
+}
+
+TEST(RangeSet, OverlappingRangesMerge) {
+  RangeSet s;
+  s.add(1, 5);
+  s.add(3, 9);
+  s.add(20, 25);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.total_length(), 9u + 6u);
+}
+
+TEST(RangeSet, GapKeepsRangesSeparate) {
+  RangeSet s;
+  s.add(1, 3);
+  s.add(5, 7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.contains(4));
+  s.add(4);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(RangeSet, BridgingAddMergesMany) {
+  RangeSet s;
+  s.add(1, 2);
+  s.add(5, 6);
+  s.add(9, 10);
+  s.add(2, 9);  // bridges all three
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total_length(), 10u);
+}
+
+TEST(RangeSet, SubtractMiddleSplits) {
+  RangeSet s;
+  s.add(1, 10);
+  s.subtract(4, 6);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(RangeSet, SubtractEdgesTrims) {
+  RangeSet s;
+  s.add(5, 10);
+  s.subtract(1, 6);
+  s.subtract(9, 20);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.min(), 7u);
+  EXPECT_EQ(s.max(), 8u);
+}
+
+TEST(RangeSet, SubtractAcrossMultipleRanges) {
+  RangeSet s;
+  s.add(1, 3);
+  s.add(5, 7);
+  s.add(9, 11);
+  s.subtract(2, 10);
+  EXPECT_EQ(s.ascending(),
+            (std::vector<Range>{{1, 1}, {11, 11}}));
+}
+
+TEST(RangeSet, DescendingOrderForAcks) {
+  RangeSet s;
+  s.add(1, 3);
+  s.add(10, 12);
+  s.add(6, 7);
+  const auto desc = s.descending();
+  ASSERT_EQ(desc.size(), 3u);
+  EXPECT_EQ(desc[0], (Range{10, 12}));
+  EXPECT_EQ(desc[1], (Range{6, 7}));
+  EXPECT_EQ(desc[2], (Range{1, 3}));
+}
+
+TEST(RangeSet, PopFrontPartialAndFull) {
+  RangeSet s;
+  s.add(10, 19);
+  const Range a = s.pop_front(4);
+  EXPECT_EQ(a, (Range{10, 13}));
+  const Range b = s.pop_front(100);
+  EXPECT_EQ(b, (Range{14, 19}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSet, SingleValues) {
+  RangeSet s;
+  s.add(42);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_EQ(s.total_length(), 1u);
+  s.subtract(42, 42);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSet, ZeroBoundary) {
+  RangeSet s;
+  s.add(0, 0);
+  s.add(1, 5);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.min(), 0u);
+}
+
+}  // namespace
+}  // namespace wira::quic

@@ -1,0 +1,101 @@
+// Statistical sanity tests for the deterministic RNG and its distributions.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace wira {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIsInRangeAndCentered) {
+  Rng rng(7);
+  Samples s;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.03) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.03, 0.004);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  Samples s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCvHitsTargets) {
+  Rng rng(13);
+  Samples s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.lognormal_mean_cv(43'100, 0.85));
+  EXPECT_NEAR(s.mean() / 43'100, 1.0, 0.03);
+  EXPECT_NEAR(s.cv(), 0.85, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  Samples s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.pareto(1.0, 100.0, 1.2);
+    ASSERT_GE(v, 1.0 - 1e-9);
+    ASSERT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.range(1, 4);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child.next(), a.next());
+}
+
+}  // namespace
+}  // namespace wira

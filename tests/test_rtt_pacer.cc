@@ -1,0 +1,107 @@
+// Unit tests for the RTT estimator and the departure-time pacer.
+#include <gtest/gtest.h>
+
+#include "quic/pacer.h"
+#include "quic/rtt.h"
+
+namespace wira::quic {
+namespace {
+
+TEST(Rtt, FirstSampleInitializes) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  rtt.on_sample(milliseconds(50), 0);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.smoothed(), milliseconds(50));
+  EXPECT_EQ(rtt.variance(), milliseconds(25));
+  EXPECT_EQ(rtt.min(), milliseconds(50));
+}
+
+TEST(Rtt, SmoothedFollowsEwma) {
+  RttEstimator rtt;
+  rtt.on_sample(milliseconds(100), 0);
+  rtt.on_sample(milliseconds(50), 0);
+  // srtt = 7/8*100 + 1/8*50 = 93.75 ms
+  EXPECT_NEAR(to_ms(rtt.smoothed()), 93.75, 0.01);
+  EXPECT_EQ(rtt.min(), milliseconds(50));
+  EXPECT_EQ(rtt.latest(), milliseconds(50));
+}
+
+TEST(Rtt, AckDelaySubtractedAboveMin) {
+  RttEstimator rtt;
+  rtt.on_sample(milliseconds(40), 0);
+  rtt.on_sample(milliseconds(60), milliseconds(10));
+  // adjusted = 50 ms; srtt = 7/8*40 + 1/8*50 = 41.25
+  EXPECT_NEAR(to_ms(rtt.smoothed()), 41.25, 0.01);
+}
+
+TEST(Rtt, AckDelayNotSubtractedBelowMin) {
+  RttEstimator rtt;
+  rtt.on_sample(milliseconds(40), 0);
+  // 42 - 10 would dip below min 40 -> keep raw.
+  rtt.on_sample(milliseconds(42), milliseconds(10));
+  EXPECT_NEAR(to_ms(rtt.smoothed()), 40.25, 0.01);
+}
+
+TEST(Rtt, SeedOnlyBeforeSamples) {
+  RttEstimator rtt;
+  rtt.seed(milliseconds(80));
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.smoothed(), milliseconds(80));
+  rtt.seed(milliseconds(10));  // ignored: real/seeded state exists
+  EXPECT_EQ(rtt.smoothed(), milliseconds(80));
+}
+
+TEST(Rtt, PtoWithoutSampleUsesInitial) {
+  RttEstimator rtt;
+  EXPECT_EQ(rtt.pto(milliseconds(25)), 2 * kInitialRtt);
+  rtt.on_sample(milliseconds(40), 0);
+  // pto = srtt + max(4*var, 1ms) + mad = 40 + 80 + 25
+  EXPECT_EQ(rtt.pto(milliseconds(25)), milliseconds(145));
+}
+
+TEST(Pacer, ImmediateSendWithinBurst) {
+  Pacer p(/*burst_packets=*/2);
+  EXPECT_TRUE(p.can_send(0));
+  p.on_packet_sent(0, 1460, mbps(8));
+  EXPECT_TRUE(p.can_send(0));  // second burst token
+  p.on_packet_sent(0, 1460, mbps(8));
+  EXPECT_FALSE(p.can_send(0));
+}
+
+TEST(Pacer, ReleaseTimesFollowRate) {
+  Pacer p(/*burst_packets=*/0);
+  // 1460 B at 1 MB/s -> 1.46 ms per packet.
+  p.on_packet_sent(0, 1460, mbps(8));
+  EXPECT_EQ(p.next_release_time(), microseconds(1460));
+  p.on_packet_sent(0, 1460, mbps(8));
+  EXPECT_EQ(p.next_release_time(), microseconds(2920));
+  EXPECT_FALSE(p.can_send(microseconds(2919)));
+  EXPECT_TRUE(p.can_send(microseconds(2920)));
+}
+
+TEST(Pacer, IdleRestoresBurst) {
+  Pacer p(2);
+  p.on_packet_sent(0, 1460, mbps(8));
+  p.on_packet_sent(0, 1460, mbps(8));
+  EXPECT_FALSE(p.can_send(microseconds(100)));
+  const TimeNs later = seconds(1);
+  p.on_idle(later);
+  EXPECT_TRUE(p.can_send(later));
+}
+
+TEST(Pacer, ZeroRateIsUnpaced) {
+  Pacer p(0);
+  p.on_packet_sent(0, 1460, 0);
+  EXPECT_TRUE(p.can_send(0));
+}
+
+TEST(Pacer, HigherRateMeansTighterSpacing) {
+  Pacer slow(0), fast(0);
+  slow.on_packet_sent(0, 1460, mbps(8));
+  fast.on_packet_sent(0, 1460, mbps(80));
+  EXPECT_GT(slow.next_release_time(), fast.next_release_time());
+}
+
+}  // namespace
+}  // namespace wira::quic

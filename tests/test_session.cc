@@ -1,0 +1,172 @@
+// End-to-end integration tests: full client <-> Wira proxy sessions over
+// the emulated path, covering the whole pipeline (handshake, request, FLV
+// streaming through Frame Perception, ACK/loss recovery, cookie sync).
+#include <gtest/gtest.h>
+
+#include "exp/population_experiment.h"
+#include "exp/session_runner.h"
+
+namespace wira::exp {
+namespace {
+
+media::StreamProfile default_stream() {
+  media::StreamProfile p;
+  p.stream_id = 1;
+  p.iframe_mean_bytes = 60'000;
+  p.iframe_intra_cv = 0.2;
+  return p;
+}
+
+SessionConfig clean_path_session() {
+  SessionConfig cfg;
+  cfg.path.bandwidth = mbps(20);
+  cfg.path.rtt = milliseconds(40);
+  cfg.path.loss_rate = 0.0;
+  cfg.path.buffer_bytes = 128 * 1024;
+  cfg.stream = default_stream();
+  cfg.scheme = core::Scheme::kBaseline;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Session, ZeroRttBaselineCompletesFirstFrame) {
+  SessionConfig cfg = clean_path_session();
+  auto r = run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_TRUE(r.zero_rtt);
+  EXPECT_GT(r.ffct, 0);
+  EXPECT_LT(r.ffct, seconds(2));
+  // Parser must have seen the first frame.
+  EXPECT_GT(r.ff_size, 10'000u);
+}
+
+TEST(Session, OneRttHandshakeMeasuresRtt) {
+  SessionConfig cfg = clean_path_session();
+  cfg.zero_rtt = false;
+  auto r = run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_FALSE(r.zero_rtt);
+  // Handshake RTT should be close to the configured path RTT.
+  ASSERT_NE(r.server_stats.handshake_rtt, kNoTime);
+  EXPECT_NEAR(to_ms(r.server_stats.handshake_rtt), 40.0, 10.0);
+}
+
+TEST(Session, AllFourFramesComplete) {
+  SessionConfig cfg = clean_path_session();
+  auto r = run_session(cfg);
+  ASSERT_EQ(r.frames.size(), 4u);
+  TimeNs prev = 0;
+  for (const auto& f : r.frames) {
+    ASSERT_NE(f.completion, kNoTime);
+    EXPECT_GE(f.completion, prev);  // monotone completion order
+    prev = f.completion;
+  }
+}
+
+TEST(Session, CookieSyncDeliversCookiesToClient) {
+  SessionConfig cfg = clean_path_session();
+  cfg.max_session_time = seconds(8);
+  auto r = run_session(cfg);
+  EXPECT_GT(r.cookies_synced, 0u);
+  EXPECT_GT(r.client_cookies_received, 0u);
+}
+
+TEST(Session, WiraUsesCookieAndFfSize) {
+  SessionConfig cfg = clean_path_session();
+  cfg.scheme = core::Scheme::kWira;
+  core::HxQosRecord cookie;
+  cookie.min_rtt = milliseconds(40);
+  cookie.max_bw = mbps(20);
+  cookie.server_timestamp = 0;
+  cfg.cookie = cookie;
+  cfg.start_time = minutes(5);  // cookie 5 min old: fresh
+  auto r = run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_TRUE(r.init.used_hx_qos);
+  EXPECT_FALSE(r.init.hx_stale);
+  EXPECT_EQ(r.init.init_pacing, mbps(20));
+  // Eq. 3: min(FF_Size, BDP); BDP = 20 Mbps * 40 ms = 100 KB > FF_Size.
+  EXPECT_EQ(r.init.init_cwnd, r.ff_size);
+}
+
+TEST(Session, StaleCookieTriggersCornerCase2) {
+  SessionConfig cfg = clean_path_session();
+  cfg.scheme = core::Scheme::kWira;
+  core::HxQosRecord cookie;
+  cookie.min_rtt = milliseconds(40);
+  cookie.max_bw = mbps(20);
+  cookie.server_timestamp = 0;
+  cfg.cookie = cookie;
+  cfg.start_time = minutes(90);  // cookie 90 min old: past Delta = 60 min
+  auto r = run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_FALSE(r.init.used_hx_qos);
+  EXPECT_TRUE(r.init.hx_stale);
+  // Corner case 2: init_cwnd = FF_Size.
+  EXPECT_EQ(r.init.init_cwnd, r.ff_size);
+}
+
+TEST(Session, LossyPathStillCompletes) {
+  SessionConfig cfg = clean_path_session();
+  cfg.path = sim::testbed_path();  // 8 Mbps, 3% loss, 50 ms, 25 KB buffer
+  cfg.scheme = core::Scheme::kWira;
+  core::HxQosRecord cookie;
+  cookie.min_rtt = milliseconds(50);
+  cookie.max_bw = mbps(8);
+  cookie.server_timestamp = 0;
+  cfg.cookie = cookie;
+  cfg.start_time = minutes(1);
+  auto r = run_session(cfg);
+  ASSERT_TRUE(r.first_frame_completed);
+  EXPECT_LT(to_ms(r.ffct), 2000.0);
+}
+
+TEST(Session, DeterministicGivenSeed) {
+  SessionConfig cfg = clean_path_session();
+  cfg.path.loss_rate = 0.02;
+  auto a = run_session(cfg);
+  auto b = run_session(cfg);
+  EXPECT_EQ(a.ffct, b.ffct);
+  EXPECT_EQ(a.server_stats.packets_sent, b.server_stats.packets_sent);
+  EXPECT_EQ(a.server_stats.packets_lost, b.server_stats.packets_lost);
+}
+
+TEST(Session, ManualInitSweepChangesBehaviour) {
+  // Tiny window forces multi-RTT delivery; big-enough window doesn't.
+  ManualInitConfig small;
+  small.stream = default_stream();
+  small.init_cwnd_bytes = 4 * 1460;
+  small.init_pacing = mbps(8);
+  small.path.loss_rate = 0;  // isolate the windowing effect
+
+  ManualInitConfig adapted = small;
+  adapted.init_cwnd_bytes = 45 * 1460;
+
+  auto r_small = run_manual_init_session(small);
+  auto r_adapted = run_manual_init_session(adapted);
+  ASSERT_TRUE(r_small.first_frame_completed);
+  ASSERT_TRUE(r_adapted.first_frame_completed);
+  EXPECT_GT(r_small.ffct, r_adapted.ffct)
+      << "an init_cwnd far below FF_Size must cost extra RTTs";
+}
+
+TEST(Population, SmallRunProducesCompleteRecords) {
+  PopulationConfig cfg;
+  cfg.sessions = 8;
+  cfg.seed = 3;
+  cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
+  auto records = run_population(cfg);
+  ASSERT_EQ(records.size(), 8u);
+  size_t completed = 0;
+  for (const auto& r : records) {
+    ASSERT_EQ(r.results.size(), 2u);
+    for (const auto& [scheme, res] : r.results) {
+      if (res.first_frame_completed) completed++;
+    }
+  }
+  // The population includes harsh paths; the vast majority must complete.
+  EXPECT_GE(completed, 14u);
+}
+
+}  // namespace
+}  // namespace wira::exp

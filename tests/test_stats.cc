@@ -1,0 +1,81 @@
+// Unit tests for the statistics helpers (mean/percentile/CV/histogram).
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wira {
+namespace {
+
+TEST(Samples, BasicMoments) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, PercentileCacheInvalidatedByAdd) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+}
+
+TEST(Samples, SingleValueCvIsZero) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Histogram, CountsAndCdf) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.cdf(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0.0), 0.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0, 10, 10);
+  h.add(-5);
+  h.add(100);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, RejectsEmptyRange) {
+  EXPECT_THROW(Histogram(5, 5, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(Format, FmtAndGain) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(158.9), "158.9");
+  EXPECT_EQ(fmt_gain(158.9, 142.0), "-10.6%");
+  EXPECT_EQ(fmt_gain(100.0, 110.0), "+10.0%");
+  EXPECT_EQ(fmt_gain(0.0, 1.0), "n/a");
+}
+
+}  // namespace
+}  // namespace wira

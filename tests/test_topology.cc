@@ -1,0 +1,153 @@
+// Tests for the shared-bottleneck topology and the multi-session edge.
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "app/edge.h"
+#include "app/player_client.h"
+
+namespace wira::sim {
+namespace {
+
+Datagram dgram(size_t size) {
+  Datagram d;
+  d.payload.resize(size);
+  d.size = size;
+  return d;
+}
+
+TEST(SharedBottleneck, RoutesToCorrectLeg) {
+  EventLoop loop;
+  LinkConfig egress;
+  egress.rate = mbps(100);
+  egress.delay = 0;
+  SharedBottleneck net(loop, egress, 1);
+  LinkConfig access;
+  access.rate = mbps(100);
+  access.delay = 0;
+  const size_t a = net.add_leg(access);
+  const size_t b = net.add_leg(access);
+
+  int got_a = 0, got_b = 0;
+  net.set_client_receiver(a, [&](Datagram) { got_a++; });
+  net.set_client_receiver(b, [&](Datagram) { got_b++; });
+  net.send_to_client(a, dgram(100));
+  net.send_to_client(b, dgram(100));
+  net.send_to_client(b, dgram(100));
+  loop.run();
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 2);
+}
+
+TEST(SharedBottleneck, EgressQueueSharedAcrossLegs) {
+  EventLoop loop;
+  LinkConfig egress;
+  egress.rate = mbps(8);  // 1 ms per 1000 B
+  egress.delay = 0;
+  SharedBottleneck net(loop, egress, 1);
+  LinkConfig access;
+  access.rate = mbps(1000);
+  access.delay = 0;
+  const size_t a = net.add_leg(access);
+  const size_t b = net.add_leg(access);
+
+  std::vector<TimeNs> arrivals;
+  net.set_client_receiver(a, [&](Datagram) { arrivals.push_back(loop.now()); });
+  net.set_client_receiver(b, [&](Datagram) { arrivals.push_back(loop.now()); });
+  // Two packets to different legs must serialize one after another on the
+  // shared egress.
+  net.send_to_client(a, dgram(1000));
+  net.send_to_client(b, dgram(1000));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GE(arrivals[1] - arrivals[0], microseconds(900));
+}
+
+TEST(SharedBottleneck, ReversePathReachesServer) {
+  EventLoop loop;
+  SharedBottleneck net(loop, {}, 1);
+  const size_t leg = net.add_leg({});
+  int got = 0;
+  net.set_server_receiver([&](Datagram) { got++; });
+  net.send_to_server(leg, dgram(50));
+  loop.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(WiraEdge, DemultiplexesByConnectionId) {
+  EventLoop loop;
+  media::StreamProfile profile;
+  profile.iframe_mean_bytes = 30'000;
+  profile.iframe_intra_cv = 0.05;
+  media::LiveStream stream(profile, 1);
+  app::ServerConfig base;
+  base.master_key = crypto::key_from_string("edge-test");
+  app::WiraEdge edge(loop, stream, base);
+
+  LinkConfig egress;
+  egress.rate = mbps(100);
+  SharedBottleneck net(loop, egress, 2);
+  net.set_server_receiver(
+      [&edge](Datagram d) { edge.on_datagram(d.payload); });
+
+  struct V {
+    std::unique_ptr<app::PlayerClient> client;
+    app::ClientCache cache;
+  };
+  std::vector<V> viewers(3);
+  for (int i = 0; i < 3; ++i) {
+    const size_t leg = net.add_leg({});
+    const quic::ConnectionId id = 10 + static_cast<uint64_t>(i);
+    auto& server = edge.add_session(
+        id,
+        [&net, leg](std::vector<uint8_t> d) {
+          Datagram dg;
+          dg.size = d.size();
+          dg.payload = std::move(d);
+          net.send_to_client(leg, std::move(dg));
+        },
+        core::od_pair_key(id, 7, 0));
+    app::ClientConfig ccfg;
+    ccfg.client_id = id;
+    ccfg.server_id = 7;
+    ccfg.conn_id = id;
+    viewers[static_cast<size_t>(i)].client =
+        std::make_unique<app::PlayerClient>(
+            loop, ccfg, viewers[static_cast<size_t>(i)].cache,
+            [&net, leg](std::vector<uint8_t> d) {
+              Datagram dg;
+              dg.size = d.size();
+              dg.payload = std::move(d);
+              net.send_to_server(leg, std::move(dg));
+            });
+    net.set_client_receiver(
+        leg, [c = viewers[static_cast<size_t>(i)].client.get()](Datagram d) {
+          c->on_datagram(d.payload);
+        });
+    viewers[static_cast<size_t>(i)].cache.server_configs[7] =
+        server.server_config_id();
+  }
+
+  for (auto& v : viewers) v.client->start();
+  loop.run_until(seconds(5));
+
+  EXPECT_EQ(edge.session_count(), 3u);
+  for (auto& v : viewers) {
+    EXPECT_TRUE(v.client->metrics().first_frame_done());
+  }
+}
+
+TEST(WiraEdge, IgnoresUnknownConnectionAndRunts) {
+  EventLoop loop;
+  media::StreamProfile profile;
+  media::LiveStream stream(profile, 1);
+  app::WiraEdge edge(loop, stream, {});
+  const uint8_t runt[] = {0x01, 0x02};
+  edge.on_datagram(std::span<const uint8_t>(runt, 2));
+  const uint8_t unknown[16] = {0x01};
+  edge.on_datagram(std::span<const uint8_t>(unknown, 16));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wira::sim

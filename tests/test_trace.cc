@@ -1,0 +1,135 @@
+// Tests for the tracing module and its Connection integration.
+#include "trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "quic/connection.h"
+#include "sim/path.h"
+
+namespace wira::trace {
+namespace {
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer t;
+  t.record(milliseconds(1), EventType::kPacketSent, 1, 100);
+  t.record(milliseconds(2), EventType::kPacketSent, 2, 100);
+  t.record(milliseconds(3), EventType::kPacketLost, 1, 100);
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.count(EventType::kPacketSent), 2u);
+  EXPECT_EQ(t.count(EventType::kPacketLost), 1u);
+  EXPECT_EQ(t.count(EventType::kPtoFired), 0u);
+  const auto sent = t.of_type(EventType::kPacketSent);
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].a, 2u);
+}
+
+TEST(Tracer, CsvOutput) {
+  Tracer t;
+  t.record(milliseconds(1), EventType::kRttSample, 50'000, 51'000);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_us,event,a,b,detail\n1000,rtt_sample,50000,51000,\n");
+}
+
+TEST(Tracer, JsonOutputWellFormedish) {
+  Tracer t;
+  t.record(0, EventType::kHandshakeEvent, 0, 0, "chlo");
+  t.record(milliseconds(5), EventType::kPacketSent, 1, 1400);
+  std::ostringstream os;
+  t.write_json(os, "unit");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"qlog_version\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"handshake\""), std::string::npos);
+  EXPECT_NE(s.find("\"detail\": \"chlo\""), std::string::npos);
+  // Exactly one trailing comma structure: last event has none.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), 3L);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '}'), 3L);
+}
+
+TEST(Tracer, PeakBytesInFlight) {
+  Tracer t;
+  t.record(0, EventType::kCwndSample, 50'000, 10'000);
+  t.record(0, EventType::kCwndSample, 50'000, 42'000);
+  t.record(0, EventType::kCwndSample, 50'000, 30'000);
+  EXPECT_EQ(t.peak_bytes_in_flight(), 42'000u);
+}
+
+TEST(TracerIntegration, ConnectionEmitsLifecycleEvents) {
+  sim::EventLoop loop;
+  sim::PathConfig pc;
+  pc.loss_rate = 0.05;
+  sim::Path path(loop, pc, 9);
+  quic::Connection server(
+      loop, {.is_server = true, .conn_id = 1},
+      [&path](std::vector<uint8_t> d) {
+        sim::Datagram dg;
+        dg.size = d.size();
+        dg.payload = std::move(d);
+        path.forward().send(std::move(dg));
+      });
+  quic::Connection client(
+      loop, {.is_server = false, .conn_id = 1},
+      [&path](std::vector<uint8_t> d) {
+        sim::Datagram dg;
+        dg.size = d.size();
+        dg.payload = std::move(d);
+        path.reverse().send(std::move(dg));
+      });
+  path.forward().set_receiver(
+      [&client](sim::Datagram d) { client.on_datagram(d.payload); });
+  path.reverse().set_receiver(
+      [&server](sim::Datagram d) { server.on_datagram(d.payload); });
+  server.set_server_options({});
+
+  Tracer tracer;
+  server.set_tracer(&tracer);
+  server.set_on_established([&server] {
+    server.set_initial_parameters(60'000, mbps(10));
+    std::vector<uint8_t> payload(120'000, 0x42);
+    server.write_stream(quic::kResponseStream, payload, true);
+  });
+  client.connect({});
+  loop.run_until(seconds(20));
+
+  EXPECT_GT(tracer.count(EventType::kPacketSent), 50u);
+  EXPECT_GT(tracer.count(EventType::kPacketAcked), 20u);
+  EXPECT_GT(tracer.count(EventType::kPacketLost), 0u);  // 5% loss path
+  EXPECT_GT(tracer.count(EventType::kRttSample), 10u);
+  EXPECT_GT(tracer.count(EventType::kCwndSample), 10u);
+  EXPECT_EQ(tracer.count(EventType::kInitApplied), 1u);
+  // Handshake trail: CHLO seen by server, established marker.
+  bool saw_chlo = false, saw_established = false;
+  for (const auto& e : tracer.of_type(EventType::kHandshakeEvent)) {
+    saw_chlo |= e.detail == "chlo";
+    saw_established |= e.detail == "established";
+  }
+  EXPECT_TRUE(saw_chlo);
+  EXPECT_TRUE(saw_established);
+  // Events are time-ordered.
+  TimeNs prev = 0;
+  for (const auto& e : tracer.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+  // The init event carries the values we set.
+  const auto inits = tracer.of_type(EventType::kInitApplied);
+  ASSERT_EQ(inits.size(), 1u);
+  EXPECT_EQ(inits[0].a, 60'000u);
+  EXPECT_EQ(inits[0].b, mbps(10));
+}
+
+TEST(TracerIntegration, NoTracerMeansNoCrash) {
+  sim::EventLoop loop;
+  sim::Path path(loop, {}, 1);
+  quic::Connection server(loop, {.is_server = true}, [](auto) {});
+  server.set_tracer(nullptr);
+  // Nothing attached: all trace() calls are no-ops.
+  server.write_stream(quic::kResponseStream, std::vector<uint8_t>(10), true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wira::trace

@@ -1,0 +1,146 @@
+// Unit tests for the transport cookie: triple codec, sealing, client store,
+// OD binding and staleness semantics.
+#include "core/transport_cookie.h"
+
+#include <gtest/gtest.h>
+
+namespace wira::core {
+namespace {
+
+HxQosRecord sample_record() {
+  HxQosRecord r;
+  r.min_rtt = milliseconds(47);
+  r.max_bw = mbps(12);
+  r.server_timestamp = minutes(10);
+  r.od_key = 0xABCDEF0123456789ull;
+  return r;
+}
+
+TEST(HxQosTriples, RoundTrip) {
+  const HxQosRecord in = sample_record();
+  auto out = decode_hxqos_triples(encode_hxqos_triples(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->min_rtt, in.min_rtt);
+  EXPECT_EQ(out->max_bw, in.max_bw);
+  EXPECT_EQ(out->server_timestamp, in.server_timestamp);
+  EXPECT_EQ(out->od_key, in.od_key);
+}
+
+TEST(HxQosTriples, UnknownHxIdSkippedViaHxLen) {
+  auto bytes = encode_hxqos_triples(sample_record());
+  // Append an unknown triple <id=99, len=3, ...>: decoder must skip it.
+  bytes.push_back(99);
+  bytes.push_back(3);
+  bytes.insert(bytes.end(), {1, 2, 3});
+  auto out = decode_hxqos_triples(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->max_bw, sample_record().max_bw);
+}
+
+TEST(HxQosTriples, TruncationRejected) {
+  const auto bytes = encode_hxqos_triples(sample_record());
+  for (size_t keep = 1; keep < bytes.size(); ++keep) {
+    if (keep % 10 == 0) continue;  // some prefixes are valid triple sets
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(keep));
+    auto out = decode_hxqos_triples(cut);
+    // Either cleanly rejected, or parsed as a shorter valid triple set —
+    // never a crash and never garbage fields beyond what was present.
+    if (out) {
+      EXPECT_TRUE(keep >= 10);
+    }
+  }
+}
+
+TEST(HxQosRecord, ValidityAndFreshness) {
+  HxQosRecord r;
+  EXPECT_FALSE(r.valid());
+  r = sample_record();
+  EXPECT_TRUE(r.valid());
+  // Fresh within Delta, stale beyond it (§IV-C corner case 2).
+  const TimeNs sealed_at = r.server_timestamp;
+  EXPECT_TRUE(r.fresh(sealed_at + minutes(59), kDefaultStaleness));
+  EXPECT_TRUE(r.fresh(sealed_at + minutes(60), kDefaultStaleness));
+  EXPECT_FALSE(r.fresh(sealed_at + minutes(61), kDefaultStaleness));
+}
+
+TEST(CookieSealer, SealOpenRoundTrip) {
+  CookieSealer sealer(crypto::key_from_string("master"));
+  const HxQosRecord in = sample_record();
+  const auto blob = sealer.seal(in);
+  auto out = sealer.open(blob);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->min_rtt, in.min_rtt);
+  EXPECT_EQ(out->max_bw, in.max_bw);
+  EXPECT_EQ(out->od_key, in.od_key);
+}
+
+TEST(CookieSealer, ClientCannotForge) {
+  CookieSealer sealer(crypto::key_from_string("master"));
+  auto blob = sealer.seal(sample_record());
+  // Any single-bit modification of the blob (a client fabricating a
+  // "better" Hx_QoS, §VII) fails authentication.
+  for (size_t i = 8; i < blob.size(); ++i) {
+    auto tampered = blob;
+    tampered[i] ^= 0x80;
+    EXPECT_FALSE(sealer.open(tampered).has_value()) << "byte " << i;
+  }
+}
+
+TEST(CookieSealer, NonceTamperingFails) {
+  CookieSealer sealer(crypto::key_from_string("master"));
+  auto blob = sealer.seal(sample_record());
+  blob[0] ^= 1;  // nonce bytes are authenticated implicitly via decryption
+  EXPECT_FALSE(sealer.open(blob).has_value());
+}
+
+TEST(CookieSealer, DifferentServersCannotOpenEachOthersCookies) {
+  CookieSealer a(crypto::key_from_string("server-a"));
+  CookieSealer b(crypto::key_from_string("server-b"));
+  const auto blob = a.seal(sample_record());
+  EXPECT_FALSE(b.open(blob).has_value());
+}
+
+TEST(CookieSealer, SequentialSealsProduceDistinctBlobs) {
+  CookieSealer sealer(crypto::key_from_string("master"));
+  const auto a = sealer.seal(sample_record());
+  const auto b = sealer.seal(sample_record());
+  EXPECT_NE(a, b) << "nonce must advance per seal";
+  EXPECT_TRUE(sealer.open(a).has_value());
+  EXPECT_TRUE(sealer.open(b).has_value());
+}
+
+TEST(CookieSealer, GarbageRejected) {
+  CookieSealer sealer(crypto::key_from_string("master"));
+  EXPECT_FALSE(sealer.open({}).has_value());
+  std::vector<uint8_t> junk(40, 0xAA);
+  EXPECT_FALSE(sealer.open(junk).has_value());
+}
+
+TEST(ClientCookieStore, StoreLookupOverwrite) {
+  ClientCookieStore store;
+  EXPECT_FALSE(store.lookup(1).has_value());
+  store.store(1, {1, 2, 3}, milliseconds(10));
+  store.store(2, {4, 5}, milliseconds(20));
+  auto e = store.lookup(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->sealed, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(e->stored_at, milliseconds(10));
+  // Newer cookie replaces older one for the same OD pair.
+  store.store(1, {9}, milliseconds(30));
+  EXPECT_EQ(store.lookup(1)->sealed, (std::vector<uint8_t>{9}));
+  EXPECT_EQ(store.size(), 2u);
+  store.erase(1);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(OdPairKey, DistinctInputsDistinctKeys) {
+  const uint64_t base = od_pair_key(1, 2, 0);
+  EXPECT_NE(base, od_pair_key(2, 2, 0));  // different client
+  EXPECT_NE(base, od_pair_key(1, 3, 0));  // different server
+  EXPECT_NE(base, od_pair_key(1, 2, 2));  // different network type
+  EXPECT_EQ(base, od_pair_key(1, 2, 0));  // stable
+}
+
+}  // namespace
+}  // namespace wira::core

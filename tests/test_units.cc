@@ -1,0 +1,56 @@
+// Unit tests for time/bandwidth unit helpers.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace wira {
+namespace {
+
+TEST(Units, TimeConstructorsCompose) {
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(minutes(1), seconds(60));
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(7)), 7.0);
+  EXPECT_EQ(from_seconds(1.5), milliseconds(1500));
+}
+
+TEST(Units, BandwidthConstructors) {
+  EXPECT_EQ(mbps(8), 1'000'000u);  // 8 Mbit/s = 1 MB/s
+  EXPECT_EQ(kbps(800), 100'000u);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(20)), 20.0);
+  EXPECT_EQ(mbps_f(0.8), 100'000u);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB at 1 MB/s takes 1 second.
+  EXPECT_EQ(transfer_time(1'000'000, mbps(8)), seconds(1));
+  // 1460 B at 8 Mbps = 1.46 ms.
+  EXPECT_EQ(transfer_time(1460, mbps(8)), microseconds(1460));
+}
+
+TEST(Units, BdpBytes) {
+  // The paper's Fig. 2 testbed: 8 Mbps x 50 ms = 50 KB.
+  EXPECT_EQ(bdp_bytes(mbps(8), milliseconds(50)), 50'000u);
+  EXPECT_EQ(bdp_bytes(mbps(20), milliseconds(40)), 100'000u);
+}
+
+TEST(Units, DeliveryRate) {
+  EXPECT_EQ(delivery_rate(100'000, milliseconds(100)), 1'000'000u);
+  EXPECT_EQ(delivery_rate(1, 0), 0u);
+  EXPECT_EQ(delivery_rate(1, -5), 0u);
+}
+
+TEST(Units, TransferTimeLargeValuesNoOverflow) {
+  // 10 GB at 1 Gbps: ~80 s; must not overflow 64-bit intermediate math.
+  const uint64_t ten_gb = 10ull * 1000 * 1000 * 1000;
+  EXPECT_EQ(transfer_time(ten_gb, mbps(1000)), seconds(80));
+}
+
+}  // namespace
+}  // namespace wira

@@ -1,0 +1,151 @@
+// Golden wire-format tests: exact byte layouts, locked down so future
+// refactors can't silently change what goes on the wire (which would
+// break interop between old and new endpoints).
+#include <gtest/gtest.h>
+
+#include "core/transport_cookie.h"
+#include "media/flv.h"
+#include "media/mpegts.h"
+#include "quic/handshake.h"
+#include "quic/packet.h"
+#include "util/bytes.h"
+
+namespace wira {
+namespace {
+
+TEST(Golden, QuicPacketHeader) {
+  quic::Packet p;
+  p.type = quic::PacketType::kOneRtt;
+  p.conn_id = 0x1122334455667788ull;
+  p.packet_number = 0x0A;
+  p.frames.push_back(quic::PingFrame{});
+  EXPECT_EQ(to_hex(serialize_packet(p)),
+            "04"                  // type: 1-RTT
+            "1122334455667788"    // connection id
+            "000000000000000a"    // packet number
+            "01");                // PING frame
+}
+
+TEST(Golden, HxQosPacketUses0x1f) {
+  quic::Packet p;
+  p.type = quic::PacketType::kHxQos;
+  p.conn_id = 1;
+  p.packet_number = 2;
+  quic::HxQosFrame f;
+  f.server_time_ms = 3;
+  f.sealed_blob = {0xAA, 0xBB};
+  p.frames.push_back(f);
+  EXPECT_EQ(to_hex(serialize_packet(p)),
+            "1f"                  // packet type 0x1f (the paper's new type)
+            "0000000000000001"
+            "0000000000000002"
+            "1f"                  // frame type 0x1f
+            "03"                  // server_time_ms varint
+            "02"                  // blob length varint
+            "aabb");
+}
+
+TEST(Golden, StreamFrameLayout) {
+  quic::StreamFrame f;
+  f.stream_id = 3;
+  f.offset = 64;  // forces 2-byte varint
+  f.fin = true;
+  f.data = {0xDE, 0xAD};
+  ByteWriter w;
+  quic::serialize_frame(quic::Frame{f}, w);
+  EXPECT_EQ(to_hex(w.span()),
+            "08"      // STREAM type
+            "03"      // stream id
+            "4040"    // offset 64 as 2-byte varint
+            "02"      // length
+            "01"      // fin
+            "dead");
+}
+
+TEST(Golden, AckFrameLayout) {
+  quic::AckFrame f;
+  f.largest_acked = 10;
+  f.ack_delay = microseconds(25);
+  f.ranges = {{8, 10}, {1, 5}};
+  ByteWriter w;
+  quic::serialize_frame(quic::Frame{f}, w);
+  EXPECT_EQ(to_hex(w.span()),
+            "02"   // ACK type
+            "0a"   // largest acked
+            "19"   // delay 25 us
+            "02"   // range count
+            "02"   // first range: largest - lo = 2
+            "01"   // gap: prev_lo(8) - hi(5) - 2 = 1
+            "04"); // length: hi - lo = 4
+}
+
+TEST(Golden, ChloWithHqstTag) {
+  quic::HandshakeMessage chlo;
+  chlo.msg_tag = quic::kTagCHLO;
+  quic::HqstPayload hqst;
+  hqst.supports_sync = true;
+  hqst.client_recv_time_ms = 0x0102;
+  chlo.set(quic::kTagHQST, quic::serialize_hqst(hqst));
+  EXPECT_EQ(to_hex(serialize_handshake(chlo)),
+            "43484c4f"  // 'CHLO'
+            "0001"      // 1 tag
+            "0000"      // reserved
+            "48515354"  // 'HQST'
+            "00000009"  // end offset: Bool(1) + timestamp(8)
+            "01"        // Bool = 1 (supports sync)
+            "0000000000000102");
+}
+
+TEST(Golden, HxQosTripleLayout) {
+  core::HxQosRecord rec;
+  rec.min_rtt = microseconds(50'000);
+  rec.max_bw = 1'000'000;  // 8 Mbps
+  rec.od_key = 0x42;
+  EXPECT_EQ(to_hex(core::encode_hxqos_triples(rec)),
+            "01" "08" "000000000000c350"   // <MinRTT, 8, 50000 us>
+            "02" "08" "00000000000f4240"   // <MaxBW, 8, 1e6 B/s>
+            "04" "08" "0000000000000042"); // <OdKey, 8, 0x42>
+}
+
+TEST(Golden, FlvHeaderAndTag) {
+  media::FlvMuxer mux;
+  mux.write_header();
+  media::MediaFrame f;
+  f.type = media::TagType::kVideo;
+  f.video_kind = media::VideoKind::kKey;
+  f.payload_bytes = 1;  // just the codec byte
+  f.pts = milliseconds(0x010203);
+  mux.write_frame(f);
+  EXPECT_EQ(to_hex(mux.span()),
+            "464c5601"  // 'FLV' v1
+            "05"        // audio+video
+            "00000009"  // data offset
+            "00000000"  // PreviousTagSize0
+            "09"        // video tag
+            "000001"    // data size 1
+            "010203"    // timestamp low 24 bits (66051 ms)
+            "00"        // timestamp extension
+            "000000"    // stream id
+            "17"        // keyframe | AVC
+            "0000000c"); // PreviousTagSize = 11 + 1
+}
+
+TEST(Golden, TsPacketHeader) {
+  media::TsMuxer mux;
+  media::MediaFrame f;
+  f.type = media::TagType::kAudio;
+  f.payload_bytes = 4;
+  f.pts = 0;
+  mux.write_frame(f);
+  const auto bytes = mux.take();
+  ASSERT_EQ(bytes.size(), media::kTsPacketSize);
+  EXPECT_EQ(bytes[0], 0x47);                    // sync
+  EXPECT_EQ(bytes[1] & 0x40, 0x40);             // PUSI
+  const uint16_t pid =
+      static_cast<uint16_t>((bytes[1] & 0x1F) << 8 | bytes[2]);
+  EXPECT_EQ(pid, media::kTsPidAudio);
+  EXPECT_EQ((bytes[3] >> 4) & 0x3, 0x3);        // adaptation + payload
+}
+
+}  // namespace
+}  // namespace wira
