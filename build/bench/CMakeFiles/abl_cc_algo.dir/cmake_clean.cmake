@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cc_algo.dir/abl_cc_algo.cc.o"
+  "CMakeFiles/abl_cc_algo.dir/abl_cc_algo.cc.o.d"
+  "abl_cc_algo"
+  "abl_cc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

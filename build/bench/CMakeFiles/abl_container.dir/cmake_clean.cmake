@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_container.dir/abl_container.cc.o"
+  "CMakeFiles/abl_container.dir/abl_container.cc.o.d"
+  "abl_container"
+  "abl_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_crowd.dir/abl_crowd.cc.o"
+  "CMakeFiles/abl_crowd.dir/abl_crowd.cc.o.d"
+  "abl_crowd"
+  "abl_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

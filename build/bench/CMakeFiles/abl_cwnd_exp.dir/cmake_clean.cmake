@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cwnd_exp.dir/abl_cwnd_exp.cc.o"
+  "CMakeFiles/abl_cwnd_exp.dir/abl_cwnd_exp.cc.o.d"
+  "abl_cwnd_exp"
+  "abl_cwnd_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cwnd_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

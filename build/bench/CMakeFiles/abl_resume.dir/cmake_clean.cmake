@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_resume.dir/abl_resume.cc.o"
+  "CMakeFiles/abl_resume.dir/abl_resume.cc.o.d"
+  "abl_resume"
+  "abl_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_staleness.dir/abl_staleness.cc.o"
+  "CMakeFiles/abl_staleness.dir/abl_staleness.cc.o.d"
+  "abl_staleness"
+  "abl_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

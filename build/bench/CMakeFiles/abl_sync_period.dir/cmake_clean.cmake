@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_period.dir/abl_sync_period.cc.o"
+  "CMakeFiles/abl_sync_period.dir/abl_sync_period.cc.o.d"
+  "abl_sync_period"
+  "abl_sync_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_theta_vf.dir/abl_theta_vf.cc.o"
+  "CMakeFiles/abl_theta_vf.dir/abl_theta_vf.cc.o.d"
+  "abl_theta_vf"
+  "abl_theta_vf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_theta_vf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

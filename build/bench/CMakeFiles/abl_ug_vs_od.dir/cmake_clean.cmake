@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ug_vs_od.dir/abl_ug_vs_od.cc.o"
+  "CMakeFiles/abl_ug_vs_od.dir/abl_ug_vs_od.cc.o.d"
+  "abl_ug_vs_od"
+  "abl_ug_vs_od.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ug_vs_od.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

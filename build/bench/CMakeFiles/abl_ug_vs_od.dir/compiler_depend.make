@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_ug_vs_od.
+# This may be replaced when dependencies are built.

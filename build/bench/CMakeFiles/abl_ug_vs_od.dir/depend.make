@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_ug_vs_od.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wira_plus.dir/abl_wira_plus.cc.o"
+  "CMakeFiles/abl_wira_plus.dir/abl_wira_plus.cc.o.d"
+  "abl_wira_plus"
+  "abl_wira_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wira_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

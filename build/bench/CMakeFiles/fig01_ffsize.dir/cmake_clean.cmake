@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ffsize.dir/fig01_ffsize.cc.o"
+  "CMakeFiles/fig01_ffsize.dir/fig01_ffsize.cc.o.d"
+  "fig01_ffsize"
+  "fig01_ffsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ffsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

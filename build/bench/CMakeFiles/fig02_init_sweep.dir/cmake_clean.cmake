@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_init_sweep.dir/fig02_init_sweep.cc.o"
+  "CMakeFiles/fig02_init_sweep.dir/fig02_init_sweep.cc.o.d"
+  "fig02_init_sweep"
+  "fig02_init_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_init_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ug_cv.dir/fig03_ug_cv.cc.o"
+  "CMakeFiles/fig03_ug_cv.dir/fig03_ug_cv.cc.o.d"
+  "fig03_ug_cv"
+  "fig03_ug_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ug_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

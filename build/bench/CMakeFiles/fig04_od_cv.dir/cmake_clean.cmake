@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_od_cv.dir/fig04_od_cv.cc.o"
+  "CMakeFiles/fig04_od_cv.dir/fig04_od_cv.cc.o.d"
+  "fig04_od_cv"
+  "fig04_od_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_od_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

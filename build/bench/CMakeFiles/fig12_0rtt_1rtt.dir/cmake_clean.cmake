@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_0rtt_1rtt.dir/fig12_0rtt_1rtt.cc.o"
+  "CMakeFiles/fig12_0rtt_1rtt.dir/fig12_0rtt_1rtt.cc.o.d"
+  "fig12_0rtt_1rtt"
+  "fig12_0rtt_1rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_0rtt_1rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_conditions.dir/fig13_conditions.cc.o"
+  "CMakeFiles/fig13_conditions.dir/fig13_conditions.cc.o.d"
+  "fig13_conditions"
+  "fig13_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fflr.dir/fig14_fflr.cc.o"
+  "CMakeFiles/fig14_fflr.dir/fig14_fflr.cc.o.d"
+  "fig14_fflr"
+  "fig14_fflr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fflr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

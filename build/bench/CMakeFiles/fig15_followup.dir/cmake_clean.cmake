@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_followup.dir/fig15_followup.cc.o"
+  "CMakeFiles/fig15_followup.dir/fig15_followup.cc.o.d"
+  "fig15_followup"
+  "fig15_followup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_followup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cookie.dir/micro_cookie.cc.o"
+  "CMakeFiles/micro_cookie.dir/micro_cookie.cc.o.d"
+  "micro_cookie"
+  "micro_cookie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cookie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_quic.dir/micro_quic.cc.o"
+  "CMakeFiles/micro_quic.dir/micro_quic.cc.o.d"
+  "micro_quic"
+  "micro_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

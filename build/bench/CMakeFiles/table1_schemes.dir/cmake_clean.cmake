@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_schemes.dir/table1_schemes.cc.o"
+  "CMakeFiles/table1_schemes.dir/table1_schemes.cc.o.d"
+  "table1_schemes"
+  "table1_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookie_tool.dir/cookie_tool.cpp.o"
+  "CMakeFiles/cookie_tool.dir/cookie_tool.cpp.o.d"
+  "cookie_tool"
+  "cookie_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookie_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_session.dir/hls_session.cpp.o"
+  "CMakeFiles/hls_session.dir/hls_session.cpp.o.d"
+  "hls_session"
+  "hls_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

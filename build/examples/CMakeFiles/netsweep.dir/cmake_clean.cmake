@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsweep.dir/netsweep.cpp.o"
+  "CMakeFiles/netsweep.dir/netsweep.cpp.o.d"
+  "netsweep"
+  "netsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_session.dir/trace_session.cpp.o"
+  "CMakeFiles/trace_session.dir/trace_session.cpp.o.d"
+  "trace_session"
+  "trace_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_app.dir/player_client.cc.o"
+  "CMakeFiles/wira_app.dir/player_client.cc.o.d"
+  "CMakeFiles/wira_app.dir/wira_server.cc.o"
+  "CMakeFiles/wira_app.dir/wira_server.cc.o.d"
+  "libwira_app.a"
+  "libwira_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

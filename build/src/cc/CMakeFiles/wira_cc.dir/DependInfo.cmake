@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/bandwidth_sampler.cc" "src/cc/CMakeFiles/wira_cc.dir/bandwidth_sampler.cc.o" "gcc" "src/cc/CMakeFiles/wira_cc.dir/bandwidth_sampler.cc.o.d"
+  "/root/repo/src/cc/bbr.cc" "src/cc/CMakeFiles/wira_cc.dir/bbr.cc.o" "gcc" "src/cc/CMakeFiles/wira_cc.dir/bbr.cc.o.d"
+  "/root/repo/src/cc/cubic.cc" "src/cc/CMakeFiles/wira_cc.dir/cubic.cc.o" "gcc" "src/cc/CMakeFiles/wira_cc.dir/cubic.cc.o.d"
+  "/root/repo/src/cc/newreno.cc" "src/cc/CMakeFiles/wira_cc.dir/newreno.cc.o" "gcc" "src/cc/CMakeFiles/wira_cc.dir/newreno.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_cc.dir/bandwidth_sampler.cc.o"
+  "CMakeFiles/wira_cc.dir/bandwidth_sampler.cc.o.d"
+  "CMakeFiles/wira_cc.dir/bbr.cc.o"
+  "CMakeFiles/wira_cc.dir/bbr.cc.o.d"
+  "CMakeFiles/wira_cc.dir/cubic.cc.o"
+  "CMakeFiles/wira_cc.dir/cubic.cc.o.d"
+  "CMakeFiles/wira_cc.dir/newreno.cc.o"
+  "CMakeFiles/wira_cc.dir/newreno.cc.o.d"
+  "libwira_cc.a"
+  "libwira_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

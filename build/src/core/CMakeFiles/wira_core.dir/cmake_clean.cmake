@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_core.dir/frame_parser.cc.o"
+  "CMakeFiles/wira_core.dir/frame_parser.cc.o.d"
+  "CMakeFiles/wira_core.dir/init_config.cc.o"
+  "CMakeFiles/wira_core.dir/init_config.cc.o.d"
+  "CMakeFiles/wira_core.dir/transport_cookie.cc.o"
+  "CMakeFiles/wira_core.dir/transport_cookie.cc.o.d"
+  "libwira_core.a"
+  "libwira_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

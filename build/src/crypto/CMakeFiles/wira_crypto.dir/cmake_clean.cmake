@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_crypto.dir/aead.cc.o"
+  "CMakeFiles/wira_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/wira_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/wira_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/wira_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/wira_crypto.dir/poly1305.cc.o.d"
+  "libwira_crypto.a"
+  "libwira_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwira_crypto.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_exp.dir/population_experiment.cc.o"
+  "CMakeFiles/wira_exp.dir/population_experiment.cc.o.d"
+  "CMakeFiles/wira_exp.dir/session_runner.cc.o"
+  "CMakeFiles/wira_exp.dir/session_runner.cc.o.d"
+  "CMakeFiles/wira_exp.dir/table.cc.o"
+  "CMakeFiles/wira_exp.dir/table.cc.o.d"
+  "libwira_exp.a"
+  "libwira_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

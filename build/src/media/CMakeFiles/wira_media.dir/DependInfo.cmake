@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/amf0.cc" "src/media/CMakeFiles/wira_media.dir/amf0.cc.o" "gcc" "src/media/CMakeFiles/wira_media.dir/amf0.cc.o.d"
+  "/root/repo/src/media/flv.cc" "src/media/CMakeFiles/wira_media.dir/flv.cc.o" "gcc" "src/media/CMakeFiles/wira_media.dir/flv.cc.o.d"
+  "/root/repo/src/media/mpegts.cc" "src/media/CMakeFiles/wira_media.dir/mpegts.cc.o" "gcc" "src/media/CMakeFiles/wira_media.dir/mpegts.cc.o.d"
+  "/root/repo/src/media/stream_source.cc" "src/media/CMakeFiles/wira_media.dir/stream_source.cc.o" "gcc" "src/media/CMakeFiles/wira_media.dir/stream_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_media.dir/amf0.cc.o"
+  "CMakeFiles/wira_media.dir/amf0.cc.o.d"
+  "CMakeFiles/wira_media.dir/flv.cc.o"
+  "CMakeFiles/wira_media.dir/flv.cc.o.d"
+  "CMakeFiles/wira_media.dir/mpegts.cc.o"
+  "CMakeFiles/wira_media.dir/mpegts.cc.o.d"
+  "CMakeFiles/wira_media.dir/stream_source.cc.o"
+  "CMakeFiles/wira_media.dir/stream_source.cc.o.d"
+  "libwira_media.a"
+  "libwira_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

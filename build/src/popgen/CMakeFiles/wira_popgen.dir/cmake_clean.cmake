@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_popgen.dir/population.cc.o"
+  "CMakeFiles/wira_popgen.dir/population.cc.o.d"
+  "libwira_popgen.a"
+  "libwira_popgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_popgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/connection.cc" "src/quic/CMakeFiles/wira_quic.dir/connection.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/connection.cc.o.d"
+  "/root/repo/src/quic/frames.cc" "src/quic/CMakeFiles/wira_quic.dir/frames.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/frames.cc.o.d"
+  "/root/repo/src/quic/handshake.cc" "src/quic/CMakeFiles/wira_quic.dir/handshake.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/handshake.cc.o.d"
+  "/root/repo/src/quic/pacer.cc" "src/quic/CMakeFiles/wira_quic.dir/pacer.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/pacer.cc.o.d"
+  "/root/repo/src/quic/packet.cc" "src/quic/CMakeFiles/wira_quic.dir/packet.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/packet.cc.o.d"
+  "/root/repo/src/quic/range_set.cc" "src/quic/CMakeFiles/wira_quic.dir/range_set.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/range_set.cc.o.d"
+  "/root/repo/src/quic/stream.cc" "src/quic/CMakeFiles/wira_quic.dir/stream.cc.o" "gcc" "src/quic/CMakeFiles/wira_quic.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wira_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/wira_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wira_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

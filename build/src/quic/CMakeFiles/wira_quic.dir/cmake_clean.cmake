@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_quic.dir/connection.cc.o"
+  "CMakeFiles/wira_quic.dir/connection.cc.o.d"
+  "CMakeFiles/wira_quic.dir/frames.cc.o"
+  "CMakeFiles/wira_quic.dir/frames.cc.o.d"
+  "CMakeFiles/wira_quic.dir/handshake.cc.o"
+  "CMakeFiles/wira_quic.dir/handshake.cc.o.d"
+  "CMakeFiles/wira_quic.dir/pacer.cc.o"
+  "CMakeFiles/wira_quic.dir/pacer.cc.o.d"
+  "CMakeFiles/wira_quic.dir/packet.cc.o"
+  "CMakeFiles/wira_quic.dir/packet.cc.o.d"
+  "CMakeFiles/wira_quic.dir/range_set.cc.o"
+  "CMakeFiles/wira_quic.dir/range_set.cc.o.d"
+  "CMakeFiles/wira_quic.dir/stream.cc.o"
+  "CMakeFiles/wira_quic.dir/stream.cc.o.d"
+  "libwira_quic.a"
+  "libwira_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

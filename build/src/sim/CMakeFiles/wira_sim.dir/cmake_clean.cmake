@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_sim.dir/event_loop.cc.o"
+  "CMakeFiles/wira_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/wira_sim.dir/link.cc.o"
+  "CMakeFiles/wira_sim.dir/link.cc.o.d"
+  "CMakeFiles/wira_sim.dir/path.cc.o"
+  "CMakeFiles/wira_sim.dir/path.cc.o.d"
+  "CMakeFiles/wira_sim.dir/topology.cc.o"
+  "CMakeFiles/wira_sim.dir/topology.cc.o.d"
+  "libwira_sim.a"
+  "libwira_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_trace.dir/tracer.cc.o"
+  "CMakeFiles/wira_trace.dir/tracer.cc.o.d"
+  "libwira_trace.a"
+  "libwira_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

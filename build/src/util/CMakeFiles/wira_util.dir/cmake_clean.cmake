@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wira_util.dir/bytes.cc.o"
+  "CMakeFiles/wira_util.dir/bytes.cc.o.d"
+  "CMakeFiles/wira_util.dir/logging.cc.o"
+  "CMakeFiles/wira_util.dir/logging.cc.o.d"
+  "CMakeFiles/wira_util.dir/stats.cc.o"
+  "CMakeFiles/wira_util.dir/stats.cc.o.d"
+  "libwira_util.a"
+  "libwira_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wira_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

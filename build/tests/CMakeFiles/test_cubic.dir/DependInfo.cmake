@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cubic.cc" "tests/CMakeFiles/test_cubic.dir/test_cubic.cc.o" "gcc" "tests/CMakeFiles/test_cubic.dir/test_cubic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/wira_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/wira_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wira_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wira_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/wira_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/wira_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wira_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/popgen/CMakeFiles/wira_popgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_parser.dir/test_frame_parser.cc.o"
+  "CMakeFiles/test_frame_parser.dir/test_frame_parser.cc.o.d"
+  "test_frame_parser"
+  "test_frame_parser.pdb"
+  "test_frame_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

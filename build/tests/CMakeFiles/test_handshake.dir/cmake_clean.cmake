@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handshake.dir/test_handshake.cc.o"
+  "CMakeFiles/test_handshake.dir/test_handshake.cc.o.d"
+  "test_handshake"
+  "test_handshake.pdb"
+  "test_handshake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

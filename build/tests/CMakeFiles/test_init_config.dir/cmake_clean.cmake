@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_init_config.dir/test_init_config.cc.o"
+  "CMakeFiles/test_init_config.dir/test_init_config.cc.o.d"
+  "test_init_config"
+  "test_init_config.pdb"
+  "test_init_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_init_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

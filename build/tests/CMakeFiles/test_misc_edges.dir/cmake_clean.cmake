@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc_edges.dir/test_misc_edges.cc.o"
+  "CMakeFiles/test_misc_edges.dir/test_misc_edges.cc.o.d"
+  "test_misc_edges"
+  "test_misc_edges.pdb"
+  "test_misc_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

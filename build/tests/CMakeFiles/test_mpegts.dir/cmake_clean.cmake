@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpegts.dir/test_mpegts.cc.o"
+  "CMakeFiles/test_mpegts.dir/test_mpegts.cc.o.d"
+  "test_mpegts"
+  "test_mpegts.pdb"
+  "test_mpegts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpegts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

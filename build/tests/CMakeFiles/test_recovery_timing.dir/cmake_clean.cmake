@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_timing.dir/test_recovery_timing.cc.o"
+  "CMakeFiles/test_recovery_timing.dir/test_recovery_timing.cc.o.d"
+  "test_recovery_timing"
+  "test_recovery_timing.pdb"
+  "test_recovery_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtt_pacer.dir/test_rtt_pacer.cc.o"
+  "CMakeFiles/test_rtt_pacer.dir/test_rtt_pacer.cc.o.d"
+  "test_rtt_pacer"
+  "test_rtt_pacer.pdb"
+  "test_rtt_pacer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtt_pacer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

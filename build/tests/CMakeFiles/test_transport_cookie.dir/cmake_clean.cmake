@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_cookie.dir/test_transport_cookie.cc.o"
+  "CMakeFiles/test_transport_cookie.dir/test_transport_cookie.cc.o.d"
+  "test_transport_cookie"
+  "test_transport_cookie.pdb"
+  "test_transport_cookie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_cookie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_golden.dir/test_wire_golden.cc.o"
+  "CMakeFiles/test_wire_golden.dir/test_wire_golden.cc.o.d"
+  "test_wire_golden"
+  "test_wire_golden.pdb"
+  "test_wire_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
