@@ -3,9 +3,13 @@
 // Every binary accepts an optional first argument overriding the number of
 // Monte-Carlo sessions (default kDefaultSessions) and an optional second
 // argument overriding the seed, so `./fig11_overall 2000 7` scales the run.
+// `--threads N` (or env WIRA_THREADS) parallelizes the session sweep; any
+// thread count produces identical output (sessions are seeded per index).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,12 +24,73 @@ inline constexpr size_t kDefaultSessions = 250;
 struct Args {
   size_t sessions = kDefaultSessions;
   uint64_t seed = 1;
+  /// Worker threads: 1 = serial, 0 = one per hardware thread.
+  size_t threads = 1;
 };
+
+/// strtoull with full validation: the whole token must be a base-10
+/// number (rejects "12abc", "-3", "" and overflow).
+inline bool parse_u64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+[[noreturn]] inline void usage_error(const char* prog, const char* msg) {
+  std::fprintf(stderr, "error: %s\nusage: %s [sessions] [seed] [--threads N]\n",
+               msg, prog);
+  std::exit(2);
+}
 
 inline Args parse_args(int argc, char** argv) {
   Args a;
-  if (argc > 1) a.sessions = static_cast<size_t>(std::atoll(argv[1]));
-  if (argc > 2) a.seed = static_cast<uint64_t>(std::atoll(argv[2]));
+  if (const char* env = std::getenv("WIRA_THREADS")) {
+    uint64_t v = 0;
+    if (!parse_u64(env, &v)) {
+      usage_error(argv[0], "WIRA_THREADS must be a non-negative integer");
+    }
+    a.threads = static_cast<size_t>(v);
+  }
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 ||
+        std::strncmp(arg, "--threads=", 10) == 0) {
+      const char* val = arg[9] == '=' ? arg + 10 : nullptr;
+      if (val == nullptr) {
+        if (++i >= argc) usage_error(argv[0], "--threads needs a value");
+        val = argv[i];
+      }
+      uint64_t v = 0;
+      // 0 is meaningful here: auto-detect hardware threads.
+      if (!parse_u64(val, &v)) {
+        usage_error(argv[0], "--threads must be a non-negative integer");
+      }
+      a.threads = static_cast<size_t>(v);
+      continue;
+    }
+    uint64_t v = 0;
+    switch (positional++) {
+      case 0:
+        if (!parse_u64(arg, &v) || v == 0) {
+          usage_error(argv[0], "sessions must be a positive integer");
+        }
+        a.sessions = static_cast<size_t>(v);
+        break;
+      case 1:
+        if (!parse_u64(arg, &v) || v == 0) {
+          usage_error(argv[0], "seed must be a positive integer");
+        }
+        a.seed = v;
+        break;
+      default:
+        usage_error(argv[0], "too many positional arguments");
+    }
+  }
   return a;
 }
 
@@ -33,6 +98,7 @@ inline exp::PopulationConfig default_population(const Args& a) {
   exp::PopulationConfig cfg;
   cfg.sessions = a.sessions;
   cfg.seed = a.seed;
+  cfg.threads = a.threads;
   return cfg;
 }
 

@@ -1,0 +1,92 @@
+// Performance smoke: runs the same Monte-Carlo population serially and in
+// parallel, verifies the records are identical (the determinism contract),
+// and prints one JSON object with sessions/sec so successive runs build a
+// perf trajectory (tools/run_perf_smoke.sh writes it to BENCH_<date>.json).
+//
+// Usage: perf_smoke [sessions] [seed] [--threads N]   (N=0 -> hardware)
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace wira;
+using namespace wira::exp;
+
+namespace {
+
+double run_timed(const PopulationConfig& cfg,
+                 std::vector<SessionRecord>* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = run_population(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool records_identical(const std::vector<SessionRecord>& a,
+                       const std::vector<SessionRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ff_size != b[i].ff_size || a[i].zero_rtt != b[i].zero_rtt ||
+        a[i].had_cookie != b[i].had_cookie ||
+        a[i].cookie_age != b[i].cookie_age ||
+        a[i].results.size() != b[i].results.size()) {
+      return false;
+    }
+    for (const auto& [scheme, res] : a[i].results) {
+      const auto it = b[i].results.find(scheme);
+      if (it == b[i].results.end()) return false;
+      const SessionResult& other = it->second;
+      if (res.ffct != other.ffct || res.fflr != other.fflr ||
+          res.init.init_cwnd != other.init.init_cwnd ||
+          res.init.init_pacing != other.init.init_pacing ||
+          res.server_stats.packets_sent != other.server_stats.packets_sent) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  auto cfg = bench::default_population(args);
+
+  const size_t par_threads =
+      args.threads == 1 ? std::thread::hardware_concurrency() : args.threads;
+
+  cfg.threads = 1;
+  std::vector<SessionRecord> serial_records;
+  const double serial_sec = run_timed(cfg, &serial_records);
+
+  cfg.threads = par_threads;
+  std::vector<SessionRecord> parallel_records;
+  const double parallel_sec = run_timed(cfg, &parallel_records);
+
+  const bool deterministic =
+      records_identical(serial_records, parallel_records);
+  const double n = static_cast<double>(args.sessions);
+  const size_t effective_threads =
+      par_threads == 0 ? std::thread::hardware_concurrency() : par_threads;
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"perf_smoke\",\n"
+      "  \"sessions\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"threads\": %zu,\n"
+      "  \"serial_sec\": %.3f,\n"
+      "  \"parallel_sec\": %.3f,\n"
+      "  \"sessions_per_sec_1t\": %.1f,\n"
+      "  \"sessions_per_sec_nt\": %.1f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"deterministic\": %s\n"
+      "}\n",
+      args.sessions, static_cast<unsigned long long>(args.seed),
+      effective_threads, serial_sec, parallel_sec, n / serial_sec,
+      n / parallel_sec, serial_sec / parallel_sec,
+      deterministic ? "true" : "false");
+  return deterministic ? 0 : 1;
+}

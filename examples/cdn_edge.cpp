@@ -70,9 +70,9 @@ Session start_viewer_session(sim::EventLoop& loop,
         p.reverse().send(std::move(dg));
       });
   s.path->forward().set_receiver(
-      [&c = *s.client](sim::Datagram d) { c.on_datagram(d.payload); });
+      [&c = *s.client](sim::Datagram& d) { c.on_datagram(d.payload); });
   s.path->reverse().set_receiver(
-      [&sv = *s.server](sim::Datagram d) { sv.on_datagram(d.payload); });
+      [&sv = *s.server](sim::Datagram& d) { sv.on_datagram(d.payload); });
 
   loop.schedule_at(start, [&c = *s.client] { c.start(); });
   return s;

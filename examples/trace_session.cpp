@@ -56,9 +56,9 @@ int main() {
                              path.reverse().send(std::move(dg));
                            });
   path.forward().set_receiver(
-      [&client](sim::Datagram d) { client.on_datagram(d.payload); });
+      [&client](sim::Datagram& d) { client.on_datagram(d.payload); });
   path.reverse().set_receiver(
-      [&server](sim::Datagram d) { server.on_datagram(d.payload); });
+      [&server](sim::Datagram& d) { server.on_datagram(d.payload); });
 
   trace::Tracer tracer;
   server.connection().set_tracer(&tracer);

@@ -1,79 +1,131 @@
 #include "exp/population_experiment.h"
 
+#include <atomic>
+
 #include "media/stream_source.h"
+#include "util/thread_pool.h"
 
 namespace wira::exp {
 
-std::vector<SessionRecord> run_population(const PopulationConfig& config) {
-  popgen::Population population(config.seed * 31 + 7, config.num_groups);
-  std::vector<SessionRecord> records;
-  records.reserve(config.sessions);
+namespace {
 
-  for (size_t i = 0; i < config.sessions; ++i) {
-    Rng rng(config.seed ^ (0x5DEECE66Dull * (i + 1)));
-    const popgen::OdPair od = population.random_od(rng);
+/// Simulates session `i` of the population sweep.  All randomness derives
+/// from (config.seed, i) and `population` is read-only, so sessions are
+/// independent: the parallel runner calls this from worker threads and the
+/// result is identical to the serial loop.
+SessionRecord run_one_session(const PopulationConfig& config,
+                              const popgen::Population& population,
+                              size_t i) {
+  Rng rng(config.seed ^ (0x5DEECE66Dull * (i + 1)));
+  const popgen::OdPair od = population.random_od(rng);
 
-    // Session timeline: the previous session happened `gap` before now;
-    // the absolute epoch is randomized for drift-phase diversity.
-    const TimeNs gap = popgen::Population::sample_session_gap(rng);
-    const TimeNs prev_time = from_seconds(rng.uniform(60.0, 7200.0));
-    const TimeNs start_time = prev_time + gap;
+  // Session timeline: the previous session happened `gap` before now;
+  // the absolute epoch is randomized for drift-phase diversity.
+  const TimeNs gap = popgen::Population::sample_session_gap(rng);
+  const TimeNs prev_time = from_seconds(rng.uniform(60.0, 7200.0));
+  const TimeNs start_time = prev_time + gap;
 
-    const popgen::PathSample prev = od.sample(prev_time, rng);
-    const popgen::PathSample now = od.sample(start_time, rng);
+  const popgen::PathSample prev = od.sample(prev_time, rng);
+  const popgen::PathSample now = od.sample(start_time, rng);
 
-    SessionRecord rec;
-    rec.conditions = now;
-    rec.cookie_age = gap;
-    rec.zero_rtt = rng.chance(config.p_zero_rtt);
-    rec.had_cookie = rng.chance(config.p_cookie);
+  SessionRecord rec;
+  rec.conditions = now;
+  rec.cookie_age = gap;
+  rec.zero_rtt = rng.chance(config.p_zero_rtt);
+  rec.had_cookie = rng.chance(config.p_cookie);
 
-    SessionConfig base;
-    base.path = popgen::OdPair::to_path_config(now);
-    base.cc_algo = config.cc_algo;
-    base.seed = rng.next() | 1;
-    base.stream = media::sample_stream_profile(rng, i + 1);
-    base.stream.container = config.container;
-    base.corpus_seed = config.seed * 1000 + 99;
-    base.start_time = start_time;
-    base.theta_vf = config.theta_vf;
-    base.zero_rtt = rec.zero_rtt;
-    base.defaults = config.defaults;
-    base.staleness_threshold = config.staleness_threshold;
-    base.sync_period = config.sync_period;
-    base.careful_resume = config.careful_resume;
-    if (rec.had_cookie) {
-      core::HxQosRecord cookie;
-      cookie.min_rtt = prev.min_rtt;
-      // The previous session's MaxBW is BBR's estimate from an
-      // app-limited live flow: it saturates the path only during the join
-      // burst, so it tends to *under*-estimate the true capacity.
-      cookie.max_bw = static_cast<Bandwidth>(
-          static_cast<double>(prev.max_bw) * rng.uniform(0.65, 1.0));
-      cookie.server_timestamp = prev_time;
-      // Extension triple: the loss the previous session experienced.
-      cookie.loss_rate = prev.loss_rate * rng.uniform(0.7, 1.3);
-      base.cookie = cookie;
-    }
-
-    // What a user-group model would predict for this client (§II-C).
-    const auto ug = population.group_average_qos(od.group_id());
-    core::HxQosRecord ug_qos;
-    ug_qos.min_rtt = ug.mean_rtt;
-    ug_qos.max_bw = ug.mean_bw;
-    ug_qos.server_timestamp = start_time;
-    base.ug_qos = ug_qos;
-
-    for (core::Scheme scheme : config.schemes) {
-      SessionConfig cfg = base;
-      cfg.scheme = scheme;
-      rec.results.emplace(scheme, run_session(cfg));
-    }
-    if (!rec.results.empty()) {
-      rec.ff_size = rec.results.begin()->second.ff_size;
-    }
-    records.push_back(std::move(rec));
+  SessionConfig base;
+  base.path = popgen::OdPair::to_path_config(now);
+  base.cc_algo = config.cc_algo;
+  base.seed = rng.next() | 1;
+  base.stream = media::sample_stream_profile(rng, i + 1);
+  base.stream.container = config.container;
+  base.corpus_seed = config.seed * 1000 + 99;
+  base.start_time = start_time;
+  base.theta_vf = config.theta_vf;
+  base.zero_rtt = rec.zero_rtt;
+  base.defaults = config.defaults;
+  base.staleness_threshold = config.staleness_threshold;
+  base.sync_period = config.sync_period;
+  base.careful_resume = config.careful_resume;
+  if (rec.had_cookie) {
+    core::HxQosRecord cookie;
+    cookie.min_rtt = prev.min_rtt;
+    // The previous session's MaxBW is BBR's estimate from an
+    // app-limited live flow: it saturates the path only during the join
+    // burst, so it tends to *under*-estimate the true capacity.
+    cookie.max_bw = static_cast<Bandwidth>(
+        static_cast<double>(prev.max_bw) * rng.uniform(0.65, 1.0));
+    cookie.server_timestamp = prev_time;
+    // Extension triple: the loss the previous session experienced.
+    cookie.loss_rate = prev.loss_rate * rng.uniform(0.7, 1.3);
+    base.cookie = cookie;
   }
+
+  // What a user-group model would predict for this client (§II-C).
+  const auto ug = population.group_average_qos(od.group_id());
+  core::HxQosRecord ug_qos;
+  ug_qos.min_rtt = ug.mean_rtt;
+  ug_qos.max_bw = ug.mean_bw;
+  ug_qos.server_timestamp = start_time;
+  base.ug_qos = ug_qos;
+
+  for (core::Scheme scheme : config.schemes) {
+    SessionConfig cfg = base;
+    cfg.scheme = scheme;
+    rec.results.emplace(scheme, run_session(cfg));
+  }
+  if (!rec.results.empty()) {
+    rec.ff_size = rec.results.begin()->second.ff_size;
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<SessionRecord> run_population(const PopulationConfig& config) {
+  const size_t threads =
+      util::ThreadPool::clamp_threads(config.threads, config.sessions);
+
+  if (threads <= 1) {
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    std::vector<SessionRecord> records;
+    records.reserve(config.sessions);
+    for (size_t i = 0; i < config.sessions; ++i) {
+      records.push_back(run_one_session(config, population, i));
+    }
+    return records;
+  }
+
+  // Parallel sweep: workers pull session indices from a shared counter and
+  // write into index-addressed slots, so scheduling order never affects
+  // the output.  Each worker builds its own Population (deterministic in
+  // config.seed, hence identical across workers) to keep everything it
+  // touches thread-private.
+  std::vector<SessionRecord> records(config.sessions);
+  std::atomic<size_t> next{0};
+  util::ThreadPool pool(threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    futures.push_back(pool.submit([&config, &records, &next] {
+      popgen::Population population(config.seed * 31 + 7, config.num_groups);
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= config.sessions) return;
+        records[i] = run_one_session(config, population, i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return records;
 }
 

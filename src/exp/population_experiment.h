@@ -19,6 +19,11 @@ struct PopulationConfig {
   uint64_t seed = 1;
   size_t sessions = 300;
   size_t num_groups = 64;
+  /// Worker threads for the session sweep: 1 = serial (default),
+  /// 0 = one per hardware thread, N = exactly N.  Sessions are seeded per
+  /// index, so any thread count produces bit-identical records in
+  /// identical order.
+  size_t threads = 1;
   /// Fraction of connections establishing in 0-RTT (paper: ~90%).
   double p_zero_rtt = 0.90;
   /// Fraction of clients arriving with a stored cookie.

@@ -94,10 +94,10 @@ SessionResult run_impl(const SessionConfig& cfg,
                              path.reverse().send(std::move(d));
                            });
 
-  path.forward().set_receiver([&client](sim::Datagram d) {
+  path.forward().set_receiver([&client](sim::Datagram& d) {
     client.on_datagram(d.payload);
   });
-  path.reverse().set_receiver([&server](sim::Datagram d) {
+  path.reverse().set_receiver([&server](sim::Datagram& d) {
     server.on_datagram(d.payload);
   });
 
@@ -129,14 +129,17 @@ SessionResult run_impl(const SessionConfig& cfg,
   result.ffct = m.ffct();
   result.frames.resize(cfg.track_frames);
   LinkSnapshot prev = start_snapshot;
+  // Guard on frame_snapshots itself (not frame_complete_at): the two are
+  // filled by different callbacks, so a mismatch must never index out of
+  // bounds here.
   for (uint32_t i = 0; i < cfg.track_frames; ++i) {
-    if (i < m.frame_complete_at.size()) {
+    if (i < m.frame_complete_at.size() && i < frame_snapshots.size()) {
       result.frames[i].completion = m.frame_time(i + 1);
       result.frames[i].loss_rate = window_loss(prev, frame_snapshots[i]);
       prev = frame_snapshots[i];
     }
   }
-  if (result.first_frame_completed) {
+  if (result.first_frame_completed && !frame_snapshots.empty()) {
     result.fflr = window_loss(start_snapshot, frame_snapshots[0]);
   }
   result.ff_size =

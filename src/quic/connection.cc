@@ -281,7 +281,7 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
     }
   }
 
-  auto bytes = serialize_packet(packet);
+  auto bytes = serialize_packet(packet, loop_.buffers().acquire());
   info.bytes = bytes.size() + kPacketOverhead;
 
   stats_.packets_sent++;

@@ -16,7 +16,13 @@ size_t Packet::wire_size() const {
 }
 
 std::vector<uint8_t> serialize_packet(const Packet& p) {
-  ByteWriter w(p.wire_size());
+  return serialize_packet(p, {});
+}
+
+std::vector<uint8_t> serialize_packet(const Packet& p,
+                                      std::vector<uint8_t> reuse) {
+  reuse.reserve(p.wire_size());
+  ByteWriter w(std::move(reuse));
   w.u8(static_cast<uint8_t>(p.type));
   w.u64be(p.conn_id);
   w.u64be(p.packet_number);

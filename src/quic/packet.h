@@ -22,6 +22,10 @@ struct Packet {
 };
 
 std::vector<uint8_t> serialize_packet(const Packet& p);
+/// As above, but serializes into `reuse` (cleared first) so a pooled
+/// buffer's capacity is recycled instead of allocating per packet.
+std::vector<uint8_t> serialize_packet(const Packet& p,
+                                      std::vector<uint8_t> reuse);
 std::optional<Packet> parse_packet(std::span<const uint8_t> data);
 
 /// Header size used in packing budgets.

@@ -2,41 +2,76 @@
 
 namespace wira::sim {
 
-EventId EventLoop::schedule_at(TimeNs when, std::function<void()> fn) {
+EventId EventLoop::schedule_at(TimeNs when, EventFn fn) {
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.cancelled = false;
+  const EventId id = (static_cast<uint64_t>(s.gen) << 32) | slot;
+  queue_.push(HeapEntry{when, next_seq_++, id});
+  ++live_;
   return id;
 }
 
-bool EventLoop::pop_one() {
+void EventLoop::cancel(EventId id) {
+  const uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen_of(id) || s.cancelled) return;  // already ran or stale
+  s.cancelled = true;
+  s.fn = EventFn();  // release captured state now; the heap entry lingers
+  --live_;
+}
+
+bool EventLoop::retire(EventId id) {
+  Slot& s = slots_[slot_of(id)];
+  const bool run = !s.cancelled;
+  // Bump the generation so outstanding handles to this event go stale,
+  // then recycle the slot.
+  ++s.gen;
+  s.cancelled = false;
+  free_slots_.push_back(slot_of(id));
+  return run;
+}
+
+void EventLoop::skip_cancelled() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; we need to move the callable out.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry& top = queue_.top();
+    if (!slots_[slot_of(top.id)].cancelled) return;
+    retire(top.id);
     queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.when;
-    ev.fn();
-    return true;
   }
-  return false;
+}
+
+bool EventLoop::pop_one() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  const HeapEntry top = queue_.top();
+  queue_.pop();
+  // Move the callable out before running: the handler may schedule into
+  // (and thus overwrite) the freshly recycled slot.
+  EventFn fn = std::move(slots_[slot_of(top.id)].fn);
+  retire(top.id);
+  --live_;
+  now_ = top.when;
+  fn();
+  return true;
 }
 
 size_t EventLoop::run_until(TimeNs deadline) {
   size_t executed = 0;
-  while (!queue_.empty()) {
+  for (;;) {
     // Skip leading cancelled events without advancing time.
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().when > deadline) break;
     if (pop_one()) ++executed;
   }
   if (now_ < deadline) now_ = deadline;

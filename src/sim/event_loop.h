@@ -3,24 +3,41 @@
 // All network, transport and application behaviour in this repository is
 // driven by one of these: events execute in (time, insertion-order) order on
 // a simulated nanosecond clock, so whole experiments are deterministic given
-// their seeds.
+// their seeds.  Many loops may run concurrently (one per simulated session)
+// — a loop and everything scheduled on it stay on one thread.
+//
+// Hot-path design (this is the inner loop of every experiment):
+//   - callbacks are SmallFn's: captures up to 64 bytes live inline in a
+//     pooled slot instead of behind a std::function heap allocation, and
+//     move-only captures (recycled buffers) are allowed;
+//   - the binary heap orders 24-byte POD entries {when, seq, id}; the
+//     callable never moves during sifting — it stays put in its slot;
+//   - cancel() is O(1) generation-stamped lazy deletion: the heap entry
+//     stays and is discarded when it surfaces, the callable (and anything
+//     it captured) is destroyed immediately — no hash-set lookup per pop;
+//   - the loop owns a BufferPool so links/connections recycle datagram
+//     buffers instead of allocating per packet.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/buffer_pool.h"
+#include "util/small_fn.h"
 #include "util/units.h"
 
 namespace wira::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event: packs a slot index and the
+/// slot's generation at scheduling time, so a handle outliving its event
+/// (slot since reused) cancels nothing.
 using EventId = uint64_t;
 
 class EventLoop {
  public:
+  using EventFn = util::SmallFn<64>;
+
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -28,15 +45,15 @@ class EventLoop {
   TimeNs now() const { return now_; }
 
   /// Schedules `fn` at absolute simulated time `when` (clamped to now()).
-  EventId schedule_at(TimeNs when, std::function<void()> fn);
+  EventId schedule_at(TimeNs when, EventFn fn);
 
   /// Schedules `fn` after `delay` nanoseconds.
-  EventId schedule_in(TimeNs delay, std::function<void()> fn) {
+  EventId schedule_in(TimeNs delay, EventFn fn) {
     return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 
   /// Cancels a pending event; no-op if it already ran or was cancelled.
-  void cancel(EventId id) { cancelled_.insert(id); }
+  void cancel(EventId id);
 
   /// Runs events until the queue is empty or the clock would pass
   /// `deadline`; returns the number of events executed.
@@ -46,28 +63,52 @@ class EventLoop {
   /// guard); returns the number of events executed.
   size_t run(size_t max_events = SIZE_MAX);
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
-  size_t pending() const { return queue_.size(); }
+  bool empty() const { return live_ == 0; }
+  /// Number of scheduled events that are neither run nor cancelled.
+  size_t pending() const { return live_; }
+
+  /// Scratch byte-buffer pool shared by everything driven by this loop.
+  util::BufferPool& buffers() { return buffers_; }
 
  private:
-  struct Event {
+  struct HeapEntry {
     TimeNs when;
+    uint64_t seq;  ///< FIFO tiebreak among simultaneous events
     EventId id;
-    std::function<void()> fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    EventFn fn;
+    uint32_t gen = 0;
+    bool cancelled = false;
+  };
+
+  static constexpr uint32_t slot_of(EventId id) {
+    return static_cast<uint32_t>(id);
+  }
+  static constexpr uint32_t gen_of(EventId id) {
+    return static_cast<uint32_t>(id >> 32);
+  }
 
   bool pop_one();  // executes the next non-cancelled event, if any
+  /// Invalidates outstanding handles to the popped event and recycles its
+  /// slot; true if the event is live (not cancelled) and should run.
+  bool retire(EventId id);
+  /// Discards cancelled events sitting at the top of the heap.
+  void skip_cancelled();
 
   TimeNs now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  util::BufferPool buffers_;
 };
 
 }  // namespace wira::sim

@@ -55,21 +55,27 @@ void Link::send(Datagram d) {
       config_.duplicate_rate > 0 && rng_.chance(config_.duplicate_rate);
   if (duplicate) {
     Datagram copy;
-    copy.payload = d.payload;
+    copy.payload = loop_.buffers().acquire();
+    copy.payload.assign(d.payload.begin(), d.payload.end());
     copy.size = d.size;
     loop_.schedule_at(arrive + milliseconds(1),
                       [this, c = std::move(copy), size]() mutable {
-                        stats_.delivered_packets++;
-                        stats_.delivered_bytes += size;
-                        if (deliver_) deliver_(std::move(c));
+                        deliver_one(c, size);
                       });
   }
   loop_.schedule_at(arrive,
                     [this, d = std::move(d), size]() mutable {
-                      stats_.delivered_packets++;
-                      stats_.delivered_bytes += size;
-                      if (deliver_) deliver_(std::move(d));
+                      deliver_one(d, size);
                     });
+}
+
+void Link::deliver_one(Datagram& d, uint64_t size) {
+  stats_.delivered_packets++;
+  stats_.delivered_bytes += size;
+  if (deliver_) deliver_(d);
+  // Whatever buffer the receiver left behind goes back into the pool for
+  // the next serialized packet.
+  loop_.buffers().release(std::move(d.payload));
 }
 
 }  // namespace wira::sim

@@ -61,7 +61,11 @@ struct LinkStats {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(Datagram)>;
+  /// Receives a delivered datagram.  The reference stays valid only for
+  /// the duration of the call; after it returns, the link reclaims any
+  /// payload buffer left in place into the loop's BufferPool (receivers
+  /// that keep the bytes simply move the payload out).
+  using DeliverFn = std::function<void(Datagram&)>;
 
   Link(EventLoop& loop, LinkConfig config, uint64_t seed);
 
@@ -81,6 +85,7 @@ class Link {
 
  private:
   bool roll_loss();
+  void deliver_one(Datagram& d, uint64_t size);
 
   EventLoop& loop_;
   LinkConfig config_;

@@ -1,0 +1,53 @@
+// Freelist of byte buffers for the per-packet hot path.
+//
+// A simulated session moves every datagram through the same cycle:
+// Connection serializes into a vector, the Link queues it, the receiver
+// parses it, the vector dies.  Pooling the vectors turns that steady-state
+// churn (two allocations per packet, both directions) into pointer swaps.
+// The pool is intentionally not thread-safe: it lives inside one
+// EventLoop, and each simulated session owns its loop exclusively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wira::util {
+
+class BufferPool {
+ public:
+  /// `max_buffers` bounds pooled memory; `max_capacity` drops unusually
+  /// large one-off buffers instead of caching them forever.
+  explicit BufferPool(size_t max_buffers = 64,
+                      size_t max_capacity = 256 * 1024)
+      : max_buffers_(max_buffers), max_capacity_(max_capacity) {}
+
+  /// Returns an empty buffer with whatever capacity it retired with.
+  std::vector<uint8_t> acquire() {
+    if (free_.empty()) return {};
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Returns a buffer to the pool (drops it if the pool is full or the
+  /// buffer is empty/oversized).
+  void release(std::vector<uint8_t>&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > max_capacity_ ||
+        free_.size() >= max_buffers_) {
+      return;
+    }
+    free_.push_back(std::move(buf));
+  }
+
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  size_t max_buffers_;
+  size_t max_capacity_;
+  std::vector<std::vector<uint8_t>> free_;
+};
+
+}  // namespace wira::util

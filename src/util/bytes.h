@@ -21,6 +21,11 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts an existing buffer, clearing it but keeping its capacity —
+  /// pairs with take() for allocation-free round trips through a pool.
+  explicit ByteWriter(std::vector<uint8_t>&& adopt) : buf_(std::move(adopt)) {
+    buf_.clear();
+  }
 
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16be(uint16_t v);

@@ -1,0 +1,121 @@
+// Small-buffer-optimized, move-only `void()` callable for the event loop's
+// hot path.
+//
+// std::function's inline buffer (16 bytes on common ABIs) is too small for
+// the simulator's typical captures — a Link delivery closure carries a
+// whole Datagram (~40 bytes) plus `this` — so nearly every scheduled event
+// used to heap-allocate.  SmallFn stores callables up to `Capacity` bytes
+// inline and only falls back to the heap for oversized ones.  Being
+// move-only it also accepts closures that capture move-only state (pooled
+// buffers), which std::function cannot hold at all.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wira::util {
+
+template <size_t Capacity = 64>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_at() call site
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_) vt_->relocate(other.storage_, storage_);
+    other.vt_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_) vt_->relocate(other.storage_, storage_);
+      other.vt_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(unsigned char*);
+    /// Moves the stored callable from `from` into raw storage `to` and
+    /// destroys the source (destructive move, never throws).
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt = {
+        [](unsigned char* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+        [](unsigned char* from, unsigned char* to) {
+          Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+          ::new (static_cast<void*>(to)) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](unsigned char* s) {
+          std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+        },
+    };
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt = {
+        [](unsigned char* s) {
+          (**std::launder(reinterpret_cast<Fn**>(s)))();
+        },
+        [](unsigned char* from, unsigned char* to) {
+          ::new (static_cast<void*>(to))
+              Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+        },
+        [](unsigned char* s) {
+          delete *std::launder(reinterpret_cast<Fn**>(s));
+        },
+    };
+    return &vt;
+  }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace wira::util

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wira::util {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions land in the packaged_task's future
+  }
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  const size_t lanes = std::min(size(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+size_t ThreadPool::clamp_threads(size_t requested, size_t n) {
+  if (requested == 0) {
+    requested = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<size_t>(1, std::min(requested, n));
+}
+
+}  // namespace wira::util

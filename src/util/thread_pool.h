@@ -1,0 +1,55 @@
+// Minimal fixed-size worker pool for embarrassingly parallel experiment
+// fan-out (one task per population shard).
+//
+// Deliberately small: a mutex/condvar task queue, std::future-based result
+// and exception propagation, and a dynamic parallel_for.  Determinism of
+// experiment output is the *caller's* job — workers write results into
+// index-addressed slots, so scheduling order never shows in the output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wira::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();  ///< drains the queue, then joins all workers
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future surfaces its result or exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), load-balanced across the pool via a
+  /// shared index counter.  Blocks until all indices complete; rethrows the
+  /// first task exception (remaining indices may be skipped once a task
+  /// has thrown).
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Threads worth using for `n` independent items given a requested
+  /// count (0 = hardware concurrency); always at least 1.
+  static size_t clamp_threads(size_t requested, size_t n);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wira::util

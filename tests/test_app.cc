@@ -53,9 +53,9 @@ struct Rig {
           path->reverse().send(std::move(dg));
         });
     path->forward().set_receiver(
-        [this](sim::Datagram d) { client->on_datagram(d.payload); });
+        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
     path->reverse().set_receiver(
-        [this](sim::Datagram d) { server->on_datagram(d.payload); });
+        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
   }
 
   void prime_zero_rtt(uint64_t server_id = 1) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace wira::sim {
@@ -105,6 +108,107 @@ TEST(EventLoop, RunUntilWithEmptyQueueAdvancesClock) {
   EventLoop loop;
   loop.run_until(seconds(5));
   EXPECT_EQ(loop.now(), seconds(5));
+}
+
+// ---- generation-stamped lazy deletion ----
+
+TEST(EventLoop, CancelIsIdempotentAndUpdatesPending) {
+  EventLoop loop;
+  const EventId id = loop.schedule_at(milliseconds(10), [] {});
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.empty());
+  loop.cancel(id);  // double-cancel must not underflow or resurrect
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.run(), 0u);
+}
+
+TEST(EventLoop, StaleHandleAfterRunCancelsNothing) {
+  EventLoop loop;
+  int runs = 0;
+  const EventId first = loop.schedule_at(milliseconds(1), [&] { runs++; });
+  loop.run();
+  EXPECT_EQ(runs, 1);
+  // `first` already ran; its slot may be reused by the next event.  The
+  // stale handle must not cancel the new occupant.
+  loop.schedule_at(milliseconds(2), [&] { runs++; });
+  loop.cancel(first);
+  loop.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventLoop, StaleHandleAfterCancelCancelsNothing) {
+  EventLoop loop;
+  bool victim_ran = false;
+  const EventId id = loop.schedule_at(milliseconds(5), [] {});
+  loop.cancel(id);
+  loop.run();  // lazily discards the cancelled event, freeing its slot
+  loop.schedule_at(milliseconds(6), [&] { victim_ran = true; });
+  loop.cancel(id);  // stale: generation advanced when the slot retired
+  loop.run();
+  EXPECT_TRUE(victim_ran);
+}
+
+TEST(EventLoop, ManyCancelledEventsAreSkippedWithoutRunning) {
+  EventLoop loop;
+  int runs = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(loop.schedule_at(milliseconds(i), [&] { runs++; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) loop.cancel(ids[i]);
+  EXPECT_EQ(loop.pending(), 500u);
+  EXPECT_EQ(loop.run(), 500u);
+  EXPECT_EQ(runs, 500);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, CancelledEventsDoNotBlockRunUntilDeadline) {
+  EventLoop loop;
+  bool late_ran = false;
+  const EventId early = loop.schedule_at(milliseconds(1), [] {});
+  loop.schedule_at(milliseconds(50), [&] { late_ran = true; });
+  loop.cancel(early);
+  EXPECT_EQ(loop.run_until(milliseconds(10)), 0u);
+  EXPECT_EQ(loop.now(), milliseconds(10));
+  EXPECT_FALSE(late_ran);
+  loop.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(EventLoop, SlotReuseKeepsFifoOrderForSimultaneousEvents) {
+  EventLoop loop;
+  // Churn slots so later events reuse freed slots with bumped generations.
+  for (int i = 0; i < 16; ++i) {
+    loop.cancel(loop.schedule_at(milliseconds(1), [] {}));
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    loop.schedule_at(milliseconds(10), [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventLoop, MoveOnlyCallablesAreSupported) {
+  EventLoop loop;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  loop.schedule_at(milliseconds(1),
+                   [p = std::move(payload), &seen] { seen = *p + 1; });
+  loop.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventLoop, OversizedCapturesFallBackToHeap) {
+  EventLoop loop;
+  std::array<uint64_t, 32> big{};  // 256 bytes: larger than SmallFn's SBO
+  big[31] = 7;
+  uint64_t seen = 0;
+  loop.schedule_at(milliseconds(1), [big, &seen] { seen = big[31]; });
+  loop.run();
+  EXPECT_EQ(seen, 7u);
 }
 
 }  // namespace

@@ -28,6 +28,61 @@ TEST(Harness, PopulationIsDeterministic) {
   }
 }
 
+// The tentpole contract of the parallel runner: any thread count yields
+// bit-identical records in identical order, because all per-session
+// randomness derives from (seed, index) alone.
+TEST(Harness, ParallelRunMatchesSerialExactly) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 24;
+  cfg.threads = 1;
+  const auto serial = run_population(cfg);
+  cfg.threads = 4;
+  const auto parallel = run_population(cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const SessionRecord& a = serial[i];
+    const SessionRecord& b = parallel[i];
+    EXPECT_EQ(a.cookie_age, b.cookie_age);
+    EXPECT_EQ(a.zero_rtt, b.zero_rtt);
+    EXPECT_EQ(a.had_cookie, b.had_cookie);
+    EXPECT_EQ(a.ff_size, b.ff_size);
+    EXPECT_EQ(a.conditions.min_rtt, b.conditions.min_rtt);
+    EXPECT_EQ(a.conditions.max_bw, b.conditions.max_bw);
+    EXPECT_DOUBLE_EQ(a.conditions.loss_rate, b.conditions.loss_rate);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (const auto& [scheme, res] : a.results) {
+      const auto& other = b.results.at(scheme);
+      EXPECT_EQ(res.ffct, other.ffct) << core::scheme_name(scheme);
+      EXPECT_DOUBLE_EQ(res.fflr, other.fflr);
+      EXPECT_EQ(res.first_frame_completed, other.first_frame_completed);
+      EXPECT_EQ(res.init.init_cwnd, other.init.init_cwnd);
+      EXPECT_EQ(res.init.init_pacing, other.init.init_pacing);
+      EXPECT_EQ(res.init.used_ff_size, other.init.used_ff_size);
+      EXPECT_EQ(res.init.used_hx_qos, other.init.used_hx_qos);
+      EXPECT_EQ(res.server_stats.packets_sent,
+                other.server_stats.packets_sent);
+      EXPECT_EQ(res.server_stats.packets_lost,
+                other.server_stats.packets_lost);
+    }
+  }
+}
+
+TEST(Harness, AutoThreadCountAlsoMatchesSerial) {
+  PopulationConfig cfg = small_config(5);
+  cfg.sessions = 8;
+  cfg.schemes = {core::Scheme::kWira};
+  cfg.threads = 1;
+  const auto serial = run_population(cfg);
+  cfg.threads = 0;  // hardware concurrency
+  const auto parallel = run_population(cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].results.at(core::Scheme::kWira).ffct,
+              parallel[i].results.at(core::Scheme::kWira).ffct);
+  }
+}
+
 TEST(Harness, DifferentSeedsDiffer) {
   const auto a = run_population(small_config(1));
   const auto b = run_population(small_config(2));

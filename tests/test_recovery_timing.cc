@@ -34,9 +34,9 @@ struct Pair {
           path->reverse().send(std::move(dg));
         });
     path->forward().set_receiver(
-        [this](sim::Datagram d) { client->on_datagram(d.payload); });
+        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
     path->reverse().set_receiver(
-        [this](sim::Datagram d) { server->on_datagram(d.payload); });
+        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
     server->set_server_options({});
   }
 };

@@ -1,0 +1,89 @@
+// Unit tests for the worker pool: execution, shutdown, exception
+// propagation, and parallel_for coverage.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace wira::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { count++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueueBeforeJoining) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count++; });
+    }
+  }  // ~ThreadPool must run every queued task, then join
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](size_t i) {
+                          if (i == 17) throw std::runtime_error("bad index");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForUsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  pool.parallel_for(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ClampThreads) {
+  EXPECT_EQ(ThreadPool::clamp_threads(8, 3), 3u);
+  EXPECT_EQ(ThreadPool::clamp_threads(2, 100), 2u);
+  EXPECT_GE(ThreadPool::clamp_threads(0, 100), 1u);
+  EXPECT_EQ(ThreadPool::clamp_threads(4, 0), 1u);
+}
+
+}  // namespace
+}  // namespace wira::util

@@ -88,7 +88,7 @@ TEST(WiraEdge, DemultiplexesByConnectionId) {
   egress.rate = mbps(100);
   SharedBottleneck net(loop, egress, 2);
   net.set_server_receiver(
-      [&edge](Datagram d) { edge.on_datagram(d.payload); });
+      [&edge](Datagram& d) { edge.on_datagram(d.payload); });
 
   struct V {
     std::unique_ptr<app::PlayerClient> client;
@@ -121,7 +121,7 @@ TEST(WiraEdge, DemultiplexesByConnectionId) {
               net.send_to_server(leg, std::move(dg));
             });
     net.set_client_receiver(
-        leg, [c = viewers[static_cast<size_t>(i)].client.get()](Datagram d) {
+        leg, [c = viewers[static_cast<size_t>(i)].client.get()](Datagram& d) {
           c->on_datagram(d.payload);
         });
     viewers[static_cast<size_t>(i)].cache.server_configs[7] =

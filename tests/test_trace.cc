@@ -79,9 +79,9 @@ TEST(TracerIntegration, ConnectionEmitsLifecycleEvents) {
         path.reverse().send(std::move(dg));
       });
   path.forward().set_receiver(
-      [&client](sim::Datagram d) { client.on_datagram(d.payload); });
+      [&client](sim::Datagram& d) { client.on_datagram(d.payload); });
   path.reverse().set_receiver(
-      [&server](sim::Datagram d) { server.on_datagram(d.payload); });
+      [&server](sim::Datagram& d) { server.on_datagram(d.payload); });
   server.set_server_options({});
 
   Tracer tracer;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke: Release build, quick ctest sanity, then run
+# bench/perf_smoke and record its JSON as BENCH_<date>.json at the repo
+# root.  Compare successive BENCH_*.json files to track sessions/sec.
+#
+# Usage: tools/run_perf_smoke.sh [sessions] [seed] [--threads N]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target perf_smoke test_thread_pool test_event_loop test_exp
+
+# Quick correctness gate before trusting the numbers.
+ctest --test-dir "${build_dir}" -R 'ThreadPool|EventLoop|Harness' \
+  --output-on-failure -j "$(nproc)"
+
+out="${repo_root}/BENCH_$(date +%Y-%m-%d).json"
+"${build_dir}/bench/perf_smoke" "$@" | tee "${out}"
+echo "wrote ${out}"
