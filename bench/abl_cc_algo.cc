@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.cc_algo = algo;
     cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
-    const auto records = run_population(cfg);
+    const auto records = bench::run_with_obs(cfg, args);
     const Samples base = collect_ffct(records, core::Scheme::kBaseline);
     const Samples wira = collect_ffct(records, core::Scheme::kWira);
     t.row({algo == cc::CcAlgo::kBbrV1 ? "BBRv1"

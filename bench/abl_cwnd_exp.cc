@@ -22,7 +22,7 @@ Samples run_baseline(const bench::Args& args, uint64_t cwnd_exp,
   cfg.defaults.init_cwnd_exp = cwnd_exp;
   cfg.defaults.init_rtt_exp = rtt_exp;
   cfg.schemes = {core::Scheme::kBaseline};
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
   return collect_ffct(records, core::Scheme::kBaseline);
 }
 

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.careful_resume = resume;
     cfg.schemes = {core::Scheme::kWira};
-    const auto records = run_population(cfg);
+    const auto records = bench::run_with_obs(cfg, args);
 
     Samples ffct, frame4, loss2;
     for (const auto& r : records) {

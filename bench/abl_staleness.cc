@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.staleness_threshold = minutes(delta_min);
     cfg.schemes = {core::Scheme::kWira};
-    const auto records = run_population(cfg);
+    const auto records = bench::run_with_obs(cfg, args);
 
     size_t used = 0, stale = 0, total = 0;
     Samples ffct;

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.sync_period = seconds(period_s);
     cfg.schemes = {core::Scheme::kWira};
-    const auto records = run_population(cfg);
+    const auto records = bench::run_with_obs(cfg, args);
 
     Samples syncs, ffct;
     size_t with_cookie = 0, total = 0;

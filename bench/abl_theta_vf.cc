@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed + theta;
     cfg.theta_vf = theta;
     cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
-    const auto records = run_population(cfg);
+    const auto records = bench::run_with_obs(cfg, args);
 
     Samples ff_kb;
     for (const auto& r : records) {

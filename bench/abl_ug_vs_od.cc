@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
                  core::Scheme::kWiraHx, core::Scheme::kWira};
   std::printf("Ablation: group-average vs OD-history initialization "
               "(%zu paired sessions)\n", cfg.sessions);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   Table t(bench::kFfctHeaders);
   const Samples base = collect_ffct(records, core::Scheme::kBaseline);

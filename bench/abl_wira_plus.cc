@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                  core::Scheme::kWiraPlus};
   std::printf("Ablation: loss-aware Wira+ (%zu paired sessions)\n",
               cfg.sessions);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   Table t({"scheme", "FFCT avg (ms)", "FFCT p90", "FFLR avg", "FFLR p90"});
   for (auto scheme : cfg.schemes) {

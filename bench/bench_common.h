@@ -5,16 +5,26 @@
 // argument overriding the seed, so `./fig11_overall 2000 7` scales the run.
 // `--threads N` (or env WIRA_THREADS) parallelizes the session sweep; any
 // thread count produces identical output (sessions are seeded per index).
+//
+// Observability flags (PR 2):
+//   --metrics-out FILE   write one JSONL line per (session, scheme) with
+//                        the FFCT phase breakdown; byte-identical at any
+//                        --threads N (written post-join in index order).
+//   --trace-sample N     dump a full streaming qlog of every Nth session
+//                        into --trace-dir (default "traces/").
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "exp/population_experiment.h"
+#include "exp/session_export.h"
 #include "exp/table.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace wira::bench {
@@ -26,6 +36,11 @@ struct Args {
   uint64_t seed = 1;
   /// Worker threads: 1 = serial, 0 = one per hardware thread.
   size_t threads = 1;
+  /// Per-session JSONL metrics file; empty = metrics collection off.
+  std::string metrics_out;
+  /// Dump a full qlog of every Nth session (0 = off) into trace_dir.
+  size_t trace_sample = 0;
+  std::string trace_dir = "traces";
 };
 
 /// strtoull with full validation: the whole token must be a base-10
@@ -41,9 +56,28 @@ inline bool parse_u64(const char* s, uint64_t* out) {
 }
 
 [[noreturn]] inline void usage_error(const char* prog, const char* msg) {
-  std::fprintf(stderr, "error: %s\nusage: %s [sessions] [seed] [--threads N]\n",
+  std::fprintf(stderr,
+               "error: %s\nusage: %s [sessions] [seed] [--threads N] "
+               "[--metrics-out FILE] [--trace-sample N] [--trace-dir DIR]\n",
                msg, prog);
   std::exit(2);
+}
+
+/// Extracts the value of `--name VALUE` / `--name=VALUE` style flags.
+/// Returns nullptr when argv[*i] is not this flag; exits on missing value.
+inline const char* flag_value(const char* name, int argc, char** argv,
+                              int* i) {
+  const size_t len = std::strlen(name);
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, name, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] != '\0') return nullptr;  // e.g. --trace-sampleX
+  if (++*i >= argc) {
+    std::string msg(name);
+    msg += " needs a value";
+    usage_error(argv[0], msg.c_str());
+  }
+  return argv[*i];
 }
 
 inline Args parse_args(int argc, char** argv) {
@@ -58,19 +92,31 @@ inline Args parse_args(int argc, char** argv) {
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--threads") == 0 ||
-        std::strncmp(arg, "--threads=", 10) == 0) {
-      const char* val = arg[9] == '=' ? arg + 10 : nullptr;
-      if (val == nullptr) {
-        if (++i >= argc) usage_error(argv[0], "--threads needs a value");
-        val = argv[i];
-      }
+    if (const char* val = flag_value("--threads", argc, argv, &i)) {
       uint64_t v = 0;
       // 0 is meaningful here: auto-detect hardware threads.
       if (!parse_u64(val, &v)) {
         usage_error(argv[0], "--threads must be a non-negative integer");
       }
       a.threads = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = flag_value("--metrics-out", argc, argv, &i)) {
+      if (*val == '\0') usage_error(argv[0], "--metrics-out needs a path");
+      a.metrics_out = val;
+      continue;
+    }
+    if (const char* val = flag_value("--trace-sample", argc, argv, &i)) {
+      uint64_t v = 0;
+      if (!parse_u64(val, &v) || v == 0) {
+        usage_error(argv[0], "--trace-sample must be a positive integer");
+      }
+      a.trace_sample = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = flag_value("--trace-dir", argc, argv, &i)) {
+      if (*val == '\0') usage_error(argv[0], "--trace-dir needs a path");
+      a.trace_dir = val;
       continue;
     }
     uint64_t v = 0;
@@ -99,7 +145,42 @@ inline exp::PopulationConfig default_population(const Args& a) {
   cfg.sessions = a.sessions;
   cfg.seed = a.seed;
   cfg.threads = a.threads;
+  cfg.collect_metrics = !a.metrics_out.empty();
+  cfg.trace_sample = a.trace_sample;
+  cfg.trace_dir = a.trace_dir;
   return cfg;
+}
+
+/// Runs the population sweep and honours the observability flags: when
+/// --metrics-out was given, writes the per-session JSONL (post-join, index
+/// order — byte-identical at any thread count).  All fig/abl binaries go
+/// through this instead of calling run_population directly.
+inline std::vector<exp::SessionRecord> run_with_obs(
+    exp::PopulationConfig cfg, const Args& a,
+    obs::MetricsRegistry* registry = nullptr) {
+  // Sweep binaries call this once per point: the first call truncates the
+  // metrics file, later calls append with an incremented "run" field.
+  static int run_counter = 0;
+  // Re-assert the obs flags so binaries that hand-build their config
+  // (instead of default_population) honour the flags too.
+  cfg.collect_metrics = cfg.collect_metrics || !a.metrics_out.empty();
+  if (cfg.trace_sample == 0) cfg.trace_sample = a.trace_sample;
+  cfg.trace_dir = a.trace_dir;
+  auto records = exp::run_population(cfg, registry);
+  if (!a.metrics_out.empty()) {
+    const int run = run_counter++;
+    std::ofstream os(a.metrics_out,
+                     run == 0 ? std::ios::trunc : std::ios::app);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot open --metrics-out file %s\n",
+                   a.metrics_out.c_str());
+      std::exit(2);
+    }
+    exp::write_records_jsonl(records, os, run);
+    std::fprintf(stderr, "wrote per-session metrics JSONL: %s (run %d)\n",
+                 a.metrics_out.c_str(), run);
+  }
+  return records;
 }
 
 /// Standard FFCT summary row: scheme, mean, p50, p70, p90, p95 (ms) and

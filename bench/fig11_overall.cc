@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   std::printf("Figure 11: overall FFCT benefits (%zu paired sessions, "
               "seed %llu)\n",
               cfg.sessions, static_cast<unsigned long long>(cfg.seed));
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   banner("Fig. 11(a)/(b): FFCT by scheme");
   Table t(bench::kFfctHeaders);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   auto cfg = bench::default_population(args);
   std::printf("Figure 12: 0-RTT vs 1-RTT FFCT (%zu paired sessions, "
               "~%.0f%% 0-RTT)\n", cfg.sessions, 100 * cfg.p_zero_rtt);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   for (bool zero_rtt : {true, false}) {
     auto filt = [zero_rtt](const SessionRecord& r) {

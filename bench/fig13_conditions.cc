@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   auto cfg = bench::default_population(args);
   std::printf("Figure 13: FFCT benefits by condition "
               "(%zu paired sessions; avg FFCT in ms)\n", cfg.sessions);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   auto ff_bucket = [](double lo_kb, double hi_kb) {
     return Filter([lo_kb, hi_kb](const SessionRecord& r) {

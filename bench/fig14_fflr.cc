@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   auto cfg = bench::default_population(args);
   std::printf("Figure 14: first-frame loss rate (%zu paired sessions)\n",
               cfg.sessions);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   fflr_table(records, cfg,
              "All streams (paper: avg 8.8%% -> 6.4%% = -27.3%%, p90 25.3%% "

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   auto cfg = bench::default_population(args);
   std::printf("Figure 15: follow-up frames 1-4 (%zu paired sessions)\n",
               cfg.sessions);
-  const auto records = run_population(cfg);
+  const auto records = bench::run_with_obs(cfg, args);
 
   auto frame_stats = [&](core::Scheme scheme, uint32_t frame_idx) {
     Samples completion, loss;

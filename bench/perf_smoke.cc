@@ -1,11 +1,14 @@
 // Performance smoke: runs the same Monte-Carlo population serially and in
 // parallel, verifies the records are identical (the determinism contract),
-// and prints one JSON object with sessions/sec so successive runs build a
-// perf trajectory (tools/run_perf_smoke.sh writes it to BENCH_<date>.json).
+// then reruns with full metrics collection to price the observability
+// overhead, and prints one JSON object with sessions/sec plus the aggregate
+// metrics registry so successive runs build a perf trajectory
+// (tools/run_perf_smoke.sh appends it to bench_history/).
 //
 // Usage: perf_smoke [sessions] [seed] [--threads N]   (N=0 -> hardware)
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.h"
@@ -15,10 +18,10 @@ using namespace wira::exp;
 
 namespace {
 
-double run_timed(const PopulationConfig& cfg,
-                 std::vector<SessionRecord>* out) {
+double run_timed(const PopulationConfig& cfg, std::vector<SessionRecord>* out,
+                 obs::MetricsRegistry* metrics = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
-  *out = run_population(cfg);
+  *out = run_population(cfg, metrics);
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }
@@ -67,9 +70,20 @@ int main(int argc, char** argv) {
 
   const bool deterministic =
       records_identical(serial_records, parallel_records);
+
+  // Third pass with the full observability stack on (phase tracers +
+  // per-worker registries): prices the opt-in overhead and produces the
+  // aggregate metrics object recorded in the perf trajectory.
+  cfg.collect_metrics = true;
+  obs::MetricsRegistry registry;
+  std::vector<SessionRecord> metrics_records;
+  const double metrics_sec = run_timed(cfg, &metrics_records, &registry);
+
   const double n = static_cast<double>(args.sessions);
   const size_t effective_threads =
       par_threads == 0 ? std::thread::hardware_concurrency() : par_threads;
+  std::ostringstream metrics_json;
+  registry.write_json(metrics_json);
 
   std::printf(
       "{\n"
@@ -79,14 +93,18 @@ int main(int argc, char** argv) {
       "  \"threads\": %zu,\n"
       "  \"serial_sec\": %.3f,\n"
       "  \"parallel_sec\": %.3f,\n"
+      "  \"metrics_sec\": %.3f,\n"
       "  \"sessions_per_sec_1t\": %.1f,\n"
       "  \"sessions_per_sec_nt\": %.1f,\n"
       "  \"speedup\": %.2f,\n"
-      "  \"deterministic\": %s\n"
+      "  \"metrics_overhead\": %.3f,\n"
+      "  \"deterministic\": %s,\n"
+      "  \"metrics\": %s\n"
       "}\n",
       args.sessions, static_cast<unsigned long long>(args.seed),
-      effective_threads, serial_sec, parallel_sec, n / serial_sec,
-      n / parallel_sec, serial_sec / parallel_sec,
-      deterministic ? "true" : "false");
+      effective_threads, serial_sec, parallel_sec, metrics_sec,
+      n / serial_sec, n / parallel_sec, serial_sec / parallel_sec,
+      metrics_sec / parallel_sec - 1.0, deterministic ? "true" : "false",
+      metrics_json.str().c_str());
   return deterministic ? 0 : 1;
 }

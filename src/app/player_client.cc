@@ -72,6 +72,9 @@ void PlayerClient::on_established() {
 }
 
 void PlayerClient::on_stream_data(std::span<const uint8_t> data) {
+  if (metrics_.first_byte_at == kNoTime && !data.empty()) {
+    metrics_.first_byte_at = loop_.now();
+  }
   metrics_.total_bytes_received += data.size();
   if (config_.container == media::Container::kMpegTs) {
     ts_demux_.feed(data);

@@ -61,6 +61,7 @@ class PlayerClient {
 
   struct Metrics {
     TimeNs request_sent_at = kNoTime;   ///< full-CHLO / request departure
+    TimeNs first_byte_at = kNoTime;     ///< first response-stream byte
     bool zero_rtt = false;
     /// Completion time of video frames 1..N (absolute sim time).
     std::vector<TimeNs> frame_complete_at;

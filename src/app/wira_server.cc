@@ -41,9 +41,12 @@ void WiraServer::on_handshake_message(const quic::HandshakeMessage& msg) {
           (config_.expected_od_key == 0 ||
            record->od_key == config_.expected_od_key)) {
         received_cookie_ = *record;
+        trace(trace::EventType::kCookieEvent, 0, 0, "opened");
+      } else {
+        // Tampered / mistargeted cookies fail AEAD or the OD check and are
+        // dropped: fail-closed to baseline behaviour (§VII).
+        trace(trace::EventType::kCookieEvent, 0, 0, "rejected");
       }
-      // Tampered / mistargeted cookies fail AEAD or the OD check and are
-      // dropped: fail-closed to baseline behaviour (§VII).
     }
   }
   // Initialize the send controller before any response byte is written.
@@ -77,6 +80,24 @@ void WiraServer::apply_init() {
 
   last_init_ = core::compute_init(config_.scheme, in, defaults);
 
+  // Corner-case accounting.  The FF fallback is the expected path for
+  // FF-consuming schemes on the handshake-time init (FLV header/script/
+  // audio tags precede the I frame, so parse completes only mid-burst);
+  // the counter tracks how often the substitution window was entered at
+  // all, and the phase.ff_parse histogram tracks how long it stayed open.
+  if (last_init_.ff_pending) {
+    ff_fallback_inits_++;
+    trace(trace::EventType::kCornerCase, last_init_.init_cwnd, 0,
+          "cwnd_before_parse");
+    WIRA_WARN("wira_server",
+              "init before FF_Size parse: substituting init_cwnd_exp");
+  }
+  if (last_init_.hx_stale) {
+    trace(trace::EventType::kCornerCase, 0, 0, "stale_cookie");
+    WIRA_WARN("wira_server", "Hx_QoS cookie stale: falling back to "
+                             "FF_Size-derived init (corner case 2)");
+  }
+
   if (config_.careful_resume && last_init_.used_hx_qos && in.hx_qos) {
     conn_.congestion().resume_from_history(in.hx_qos->max_bw,
                                            in.hx_qos->min_rtt);
@@ -99,6 +120,7 @@ void WiraServer::on_request(std::span<const uint8_t> data) {
                              data.size());
   if (streaming_ || req.find("PLAY") == std::string_view::npos) return;
   streaming_ = true;
+  trace(trace::EventType::kRequestReceived, data.size());
   start_streaming();
 }
 
@@ -126,10 +148,15 @@ void WiraServer::start_streaming() {
 
 void WiraServer::deliver_from_origin(media::StreamChunk chunk) {
   if (conn_.closed()) return;
+  if (!first_byte_sent_ && !chunk.bytes.empty()) {
+    first_byte_sent_ = true;
+    trace(trace::EventType::kOriginByte, chunk.bytes.size());
+  }
   // Frame Perception: the parser observes bytes on their way to the send
   // module; when FF_Size completes, re-initialize (corner case 1 ends).
   if (auto ff = parser_.feed(chunk.bytes)) {
     parsed_ff_size_ = *ff;
+    trace(trace::EventType::kFfParsed, *ff, parser_.bytes_seen());
     apply_init();
   }
   conn_.write_stream(quic::kResponseStream, chunk.bytes);
@@ -171,6 +198,8 @@ void WiraServer::sync_cookie() {
     frame.sealed_blob = sealer_.seal(record);
     conn_.send_hxqos(frame);
     cookies_synced_++;
+    trace(trace::EventType::kCookieEvent, frame.sealed_blob.size(), 0,
+          "sealed");
   }
   loop_.schedule_in(config_.sync_period, [this] { sync_cookie(); });
 }

@@ -14,6 +14,7 @@
 #include "media/stream_source.h"
 #include "quic/connection.h"
 #include "sim/event_loop.h"
+#include "trace/tracer.h"
 
 namespace wira::app {
 
@@ -77,6 +78,18 @@ class WiraServer {
   /// Server config id clients must cache for 0-RTT.
   const std::vector<uint8_t>& server_config_id() const { return scid_; }
 
+  /// Attaches an event tracer to the transport connection *and* the
+  /// server's application-level markers (request_received, origin_byte,
+  /// ff_parsed, cookie and corner-case events).  nullptr detaches; the
+  /// tracer must outlive the server's activity.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    conn_.set_tracer(tracer);
+  }
+  /// Times the send controller was initialized while FF_Size was still
+  /// unparsed (corner case 1: init_cwnd_exp substituted).
+  uint32_t ff_fallback_inits() const { return ff_fallback_inits_; }
+
  private:
   void on_handshake_message(const quic::HandshakeMessage& msg);
   void on_request(std::span<const uint8_t> data);
@@ -101,7 +114,15 @@ class WiraServer {
   TimeNs join_time_ = 0;
   Bandwidth session_max_bw_ = 0;   ///< running max of cc bandwidth estimate
   uint64_t cookies_synced_ = 0;
+  uint32_t ff_fallback_inits_ = 0;
+  bool first_byte_sent_ = false;
   std::vector<uint8_t> scid_ = {0x57, 0x49, 0x52, 0x41};  // "WIRA"
+
+  trace::Tracer* tracer_ = nullptr;
+  void trace(trace::EventType type, uint64_t a = 0, uint64_t b = 0,
+             std::string detail = {}) {
+    if (tracer_) tracer_->record(loop_.now(), type, a, b, std::move(detail));
+  }
 };
 
 }  // namespace wira::app

@@ -46,6 +46,7 @@ std::optional<uint64_t> FrameParser::feed(std::span<const uint8_t> data) {
   if (complete_ || state_ == State::kDone || state_ == State::kFailed) {
     return std::nullopt;  // Algorithm 1: FF_Complete -> return -1
   }
+  bytes_seen_ += data.size();
 
   size_t pos = 0;
   while (pos < data.size() || state_ == State::kSniff) {

@@ -56,6 +56,10 @@ class FrameParser {
   uint32_t video_frames_seen() const { return num_vf_; }
   /// Bytes of an incomplete tag header currently held (never payload).
   size_t bytes_buffered() const { return header_buf_.size(); }
+  /// Total bytes fed before parsing finished: the observability layer
+  /// reports this as the parse "latency" in bytes (how much of the join
+  /// burst had to flow past before FF_Size was known).
+  uint64_t bytes_seen() const { return bytes_seen_; }
   /// True when the parser gave up (non-FLV stream or malformed input);
   /// the sender then stays on init_cwnd_exp (corner case 1 forever).
   bool failed() const { return protocol_ == ProtocolType::kHls ||
@@ -79,6 +83,7 @@ class FrameParser {
   ProtocolType protocol_ = ProtocolType::kUnknown;
   std::vector<uint8_t> header_buf_;  ///< partial header/cell bytes only
   uint64_t ff_size_ = 0;
+  uint64_t bytes_seen_ = 0;
   uint32_t num_vf_ = 0;
   bool complete_ = false;
   bool malformed_ = false;

@@ -36,7 +36,6 @@ InitDecision compute_init(Scheme scheme, const InitInputs& in,
   const bool hx_fresh =
       hx_present && in.hx_qos->fresh(in.now, in.staleness_threshold);
   d.hx_stale = hx_present && !hx_fresh;
-  d.ff_pending = !have_ff;
 
   const uint64_t bdp =
       hx_fresh ? bdp_bytes(in.hx_qos->max_bw, in.hx_qos->min_rtt) : 0;
@@ -50,6 +49,7 @@ InitDecision compute_init(Scheme scheme, const InitInputs& in,
     case Scheme::kWiraFF:
       d.init_cwnd = ff;
       d.used_ff_size = have_ff;
+      d.ff_pending = !have_ff;
       d.init_pacing = pace_over_rtt(d.init_cwnd, defaults.init_rtt_exp);
       break;
 
@@ -66,6 +66,9 @@ InitDecision compute_init(Scheme scheme, const InitInputs& in,
       break;
 
     case Scheme::kWira:
+      // Corner case 1 only applies to the schemes that consume FF_Size:
+      // a pending parse is invisible to Baseline/Hx/UserGroup decisions.
+      d.ff_pending = !have_ff;
       if (hx_fresh) {
         d.init_cwnd = std::min(ff, bdp);  // Eq. 3
         d.init_pacing = in.hx_qos->max_bw;  // Eq. 2
@@ -96,6 +99,7 @@ InitDecision compute_init(Scheme scheme, const InitInputs& in,
       // Extension beyond the paper: like Wira, but the cookie's loss-rate
       // triple discounts the pacing rate so historically lossy paths get
       // recovery headroom instead of running flat out into a drop.
+      d.ff_pending = !have_ff;
       if (hx_fresh) {
         const double discount =
             1.0 - std::min(2.0 * in.hx_qos->loss_rate, 0.3);

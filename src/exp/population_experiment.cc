@@ -1,6 +1,8 @@
 #include "exp/population_experiment.h"
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 
 #include "media/stream_source.h"
 #include "util/thread_pool.h"
@@ -8,6 +10,55 @@
 namespace wira::exp {
 
 namespace {
+
+std::string metric_name(const char* prefix, core::Scheme scheme) {
+  std::string name(prefix);
+  name += '.';
+  name += core::scheme_name(scheme);
+  return name;
+}
+
+/// Folds one session's results into the (worker-private) registry.  Only
+/// additive quantities are recorded, so the post-join merge is
+/// order-independent.
+void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
+                            const PopulationConfig& config) {
+  for (const auto& [scheme, res] : rec.results) {
+    m.inc(metric_name("sessions", scheme));
+    if (!res.first_frame_completed) {
+      m.inc(metric_name("first_frame_incomplete", scheme));
+    } else {
+      m.histogram(metric_name("ffct_us", scheme))
+          .record(static_cast<uint64_t>(res.ffct / 1000));
+      m.histogram(metric_name("fflr_ppm", scheme))
+          .record(static_cast<uint64_t>(res.fflr * 1e6));
+    }
+    if (res.zero_rtt) m.inc(metric_name("zero_rtt", scheme));
+    if (res.cwnd_fallback) {
+      m.inc(metric_name("corner.cwnd_before_parse", scheme));
+    }
+    if (res.init.hx_stale) m.inc(metric_name("corner.stale_cookie", scheme));
+    if (res.zero_rtt_rejected) {
+      m.inc(metric_name("corner.zero_rtt_reject", scheme));
+    }
+    m.inc(metric_name("pto_fired", scheme), res.server_stats.ptos_fired);
+    m.inc(metric_name("packets_sent", scheme),
+          res.server_stats.packets_sent);
+    m.inc(metric_name("packets_lost", scheme),
+          res.server_stats.packets_lost);
+    m.inc(metric_name("cookies_synced", scheme), res.cookies_synced);
+    if (config.collect_metrics) {
+      for (const obs::PhaseSpan& span : res.phases) {
+        std::string name = "phase.";
+        name += span.name;
+        name += "_us.";
+        name += core::scheme_name(scheme);
+        m.histogram(name).record(
+            static_cast<uint64_t>(span.duration() / 1000));
+      }
+    }
+  }
+}
 
 /// Simulates session `i` of the population sweep.  All randomness derives
 /// from (config.seed, i) and `population` is read-only, so sessions are
@@ -70,9 +121,29 @@ SessionRecord run_one_session(const PopulationConfig& config,
   ug_qos.server_timestamp = start_time;
   base.ug_qos = ug_qos;
 
+  const bool sampled =
+      config.trace_sample > 0 && i % config.trace_sample == 0;
   for (core::Scheme scheme : config.schemes) {
     SessionConfig cfg = base;
     cfg.scheme = scheme;
+    cfg.collect_phases = config.collect_metrics;
+    trace::Tracer qlog_tracer;
+    std::ofstream qlog;
+    if (sampled) {
+      // One deterministic file per (session, scheme); workers never share
+      // a stream, so sampling is parallel-safe.
+      std::string path = config.trace_dir;
+      path += "/session_";
+      path += std::to_string(i);
+      path += '_';
+      path += core::scheme_name(scheme);
+      path += ".qlog.jsonl";
+      qlog.open(path, std::ios::trunc);
+      if (qlog) {
+        qlog_tracer.stream_to(&qlog, /*keep_buffer=*/cfg.collect_phases);
+        cfg.tracer = &qlog_tracer;
+      }
+    }
     rec.results.emplace(scheme, run_session(cfg));
   }
   if (!rec.results.empty()) {
@@ -83,9 +154,13 @@ SessionRecord run_one_session(const PopulationConfig& config,
 
 }  // namespace
 
-std::vector<SessionRecord> run_population(const PopulationConfig& config) {
+std::vector<SessionRecord> run_population(const PopulationConfig& config,
+                                          obs::MetricsRegistry* metrics) {
   const size_t threads =
       util::ThreadPool::clamp_threads(config.threads, config.sessions);
+  if (config.trace_sample > 0) {
+    std::filesystem::create_directories(config.trace_dir);
+  }
 
   if (threads <= 1) {
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
@@ -93,6 +168,7 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config) {
     records.reserve(config.sessions);
     for (size_t i = 0; i < config.sessions; ++i) {
       records.push_back(run_one_session(config, population, i));
+      if (metrics) record_session_metrics(*metrics, records.back(), config);
     }
     return records;
   }
@@ -101,19 +177,25 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config) {
   // write into index-addressed slots, so scheduling order never affects
   // the output.  Each worker builds its own Population (deterministic in
   // config.seed, hence identical across workers) to keep everything it
-  // touches thread-private.
+  // touches thread-private.  Metrics follow the same pattern: one private
+  // registry per worker, merged after the join; the merge is commutative
+  // (bucket-wise addition), so which worker ran which session cannot leak
+  // into the aggregate.
   std::vector<SessionRecord> records(config.sessions);
+  std::vector<obs::MetricsRegistry> worker_metrics(metrics ? threads : 0);
   std::atomic<size_t> next{0};
   util::ThreadPool pool(threads);
   std::vector<std::future<void>> futures;
   futures.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
-    futures.push_back(pool.submit([&config, &records, &next] {
+    obs::MetricsRegistry* local = metrics ? &worker_metrics[w] : nullptr;
+    futures.push_back(pool.submit([&config, &records, &next, local] {
       popgen::Population population(config.seed * 31 + 7, config.num_groups);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= config.sessions) return;
         records[i] = run_one_session(config, population, i);
+        if (local) record_session_metrics(*local, records[i], config);
       }
     }));
   }
@@ -126,6 +208,11 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config) {
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  if (metrics) {
+    for (const obs::MetricsRegistry& local : worker_metrics) {
+      metrics->merge(local);
+    }
+  }
   return records;
 }
 

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/init_config.h"
 #include "exp/session_runner.h"
+#include "obs/metrics.h"
 #include "popgen/population.h"
 #include "util/stats.h"
 
@@ -38,6 +40,17 @@ struct PopulationConfig {
   TimeNs sync_period = core::kDefaultSyncPeriod;
   bool careful_resume = false;
   media::Container container = media::Container::kFlv;
+
+  // ---- observability (PR 2) ----
+  /// Collect per-session FFCT phase decompositions (SessionResult::phases)
+  /// and, when a registry is passed to run_population, per-phase latency
+  /// histograms.  Off by default: enabling it attaches a tracer to every
+  /// session's server connection.
+  bool collect_metrics = false;
+  /// Dump a full streaming qlog (JSONL) of every Nth session into
+  /// trace_dir, one file per (session, scheme).  0 = off.
+  size_t trace_sample = 0;
+  std::string trace_dir = "traces";
 };
 
 struct SessionRecord {
@@ -49,7 +62,20 @@ struct SessionRecord {
   std::map<core::Scheme, SessionResult> results;
 };
 
-std::vector<SessionRecord> run_population(const PopulationConfig& config);
+/// Runs the population sweep.  When `metrics` is non-null, per-scheme
+/// counters and histograms (FFCT, corner-case rates, and — with
+/// config.collect_metrics — the per-phase breakdown) are accumulated into
+/// it.  Each worker owns a private registry; the locals are merged in
+/// worker-index order after the join, and because the merge is
+/// order-independent (bucket-wise addition) the aggregate is bit-identical
+/// at any thread count.
+std::vector<SessionRecord> run_population(const PopulationConfig& config,
+                                          obs::MetricsRegistry* metrics);
+
+inline std::vector<SessionRecord> run_population(
+    const PopulationConfig& config) {
+  return run_population(config, nullptr);
+}
 
 /// Collects per-scheme FFCT samples (ms) over records passing `filter`.
 template <typename Filter>

@@ -1,0 +1,111 @@
+#include "exp/session_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace wira::exp {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_kv_signed(std::string& out, const char* key, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_kv_double(std::string& out, const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_kv_bool(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += v ? "true" : "false";
+}
+
+}  // namespace
+
+void write_records_jsonl(const std::vector<SessionRecord>& records,
+                         std::ostream& os, int run) {
+  std::string line;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SessionRecord& rec = records[i];
+    for (const auto& [scheme, res] : rec.results) {
+      line.clear();
+      line += "{";
+      append_kv(line, "run", static_cast<uint64_t>(run));
+      line += ',';
+      append_kv(line, "session", i);
+      line += ",\"scheme\":\"";
+      util::append_json_escaped(line, core::scheme_name(scheme));
+      line += '"';
+      line += ',';
+      append_kv_bool(line, "zero_rtt", res.zero_rtt);
+      line += ',';
+      append_kv_bool(line, "had_cookie", rec.had_cookie);
+      line += ',';
+      append_kv(line, "cookie_age_ms",
+                static_cast<uint64_t>(to_ms(rec.cookie_age)));
+      line += ',';
+      append_kv_bool(line, "first_frame_completed",
+                     res.first_frame_completed);
+      line += ',';
+      append_kv_signed(line, "ffct_ns", res.ffct);
+      line += ',';
+      append_kv_double(line, "fflr", res.fflr);
+      line += ',';
+      append_kv(line, "ff_size", res.ff_size);
+      line += ',';
+      append_kv(line, "init_cwnd", res.init.init_cwnd);
+      line += ',';
+      append_kv(line, "init_pacing", res.init.init_pacing);
+      line += ',';
+      append_kv_bool(line, "cwnd_before_parse", res.cwnd_fallback);
+      line += ',';
+      append_kv_bool(line, "hx_stale", res.init.hx_stale);
+      line += ',';
+      append_kv_bool(line, "zero_rtt_rejected", res.zero_rtt_rejected);
+      line += ',';
+      append_kv(line, "ptos", res.server_stats.ptos_fired);
+      line += ",\"phases\":{";
+      int64_t phase_sum = 0;
+      for (size_t p = 0; p < res.phases.size(); ++p) {
+        const obs::PhaseSpan& span = res.phases[p];
+        if (p > 0) line += ',';
+        line += '"';
+        line += span.name;
+        line += "_ns\":";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, span.duration());
+        line += buf;
+        phase_sum += span.duration();
+      }
+      line += "},";
+      append_kv_signed(line, "phase_sum_ns", phase_sum);
+      line += "}\n";
+      os << line;
+    }
+  }
+}
+
+}  // namespace wira::exp

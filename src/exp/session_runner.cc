@@ -32,6 +32,8 @@ SessionResult run_impl(const SessionConfig& cfg,
   sim::EventLoop loop;
   sim::Path path(loop, cfg.path, cfg.seed);
   media::LiveStream stream(cfg.stream, cfg.corpus_seed);
+  // Declared before the server so it outlives every trace() call site.
+  trace::Tracer local_tracer;
 
   const uint64_t server_id = 7;
   const uint64_t client_id = cfg.seed;
@@ -101,6 +103,12 @@ SessionResult run_impl(const SessionConfig& cfg,
     server.on_datagram(d.payload);
   });
 
+  // Observability: attach the caller's tracer, or a session-local one when
+  // only the phase decomposition is wanted.
+  trace::Tracer* tracer = cfg.tracer;
+  if (tracer == nullptr && cfg.collect_phases) tracer = &local_tracer;
+  if (tracer) server.set_tracer(tracer);
+
   // Per-frame loss windows over the bottleneck (data) direction.
   std::vector<LinkSnapshot> frame_snapshots;
   LinkSnapshot start_snapshot;
@@ -153,6 +161,16 @@ SessionResult run_impl(const SessionConfig& cfg,
   }
   result.cookies_synced = server.cookies_synced();
   result.client_cookies_received = m.cookies_received;
+  result.cwnd_fallback = server.ff_fallback_inits() > 0;
+  result.zero_rtt_rejected = cfg.zero_rtt && !m.zero_rtt;
+  if (cfg.collect_phases && tracer != nullptr) {
+    obs::FfctBoundaries b = obs::boundaries_from_trace(*tracer);
+    b.request_sent = m.request_sent_at;
+    b.first_byte_received = m.first_byte_at;
+    b.first_frame_complete =
+        m.frame_complete_at.empty() ? kNoTime : m.frame_complete_at[0];
+    result.phases = obs::ffct_phases(b);
+  }
   return result;
 }
 

@@ -9,7 +9,9 @@
 #include "app/wira_server.h"
 #include "core/init_config.h"
 #include "media/stream_source.h"
+#include "obs/phase_timeline.h"
 #include "sim/path.h"
+#include "trace/tracer.h"
 
 namespace wira::exp {
 
@@ -44,6 +46,16 @@ struct SessionConfig {
   TimeNs origin_latency = milliseconds(5);
   uint32_t track_frames = 4;
   TimeNs max_session_time = seconds(10);
+
+  /// Decompose FFCT into phase spans (SessionResult::phases).  Off by
+  /// default: it attaches a tracer to the server connection, which costs
+  /// an event record per packet.
+  bool collect_phases = false;
+  /// External tracer to attach to the server (e.g. a streaming qlog
+  /// dumper); not owned.  When collect_phases is also set, the tracer
+  /// must keep its event buffer (Tracer::stream_to keep_buffer=true) so
+  /// phase boundaries can be extracted after the run.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct FrameStat {
@@ -63,6 +75,16 @@ struct SessionResult {
   double retransmission_ratio = 0; ///< retransmitted/sent stream bytes
   uint64_t cookies_synced = 0;
   uint64_t client_cookies_received = 0;
+
+  // ---- observability (PR 2) ----
+  /// FFCT phase partition (empty unless SessionConfig::collect_phases and
+  /// the first frame completed).  Spans sum to exactly `ffct`.
+  std::vector<obs::PhaseSpan> phases;
+  /// Corner case 1 fired: the send controller was initialized at least
+  /// once before FF_Size was parsed (init_cwnd_exp substituted).
+  bool cwnd_fallback = false;
+  /// The client attempted 0-RTT but the handshake fell back to 1-RTT.
+  bool zero_rtt_rejected = false;
 };
 
 SessionResult run_session(const SessionConfig& config);

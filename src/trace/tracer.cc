@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <ostream>
 
+#include "util/json.h"
+
 namespace wira::trace {
+
+namespace {
+
+void write_event_object(std::ostream& os, const Event& e) {
+  // Integer microseconds: ostream's default 6-significant-digit double
+  // formatting would lose precision on absolute sim times (~1e9 us).
+  os << "{\"time_us\": " << e.time / 1000 << ", \"name\": \""
+     << event_type_name(e.type) << "\", \"a\": " << e.a
+     << ", \"b\": " << e.b;
+  if (!e.detail.empty()) {
+    os << ", \"detail\": \"" << util::json_escape(e.detail) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
 
 const char* event_type_name(EventType t) {
   switch (t) {
@@ -19,13 +37,28 @@ const char* event_type_name(EventType t) {
     case EventType::kInitApplied: return "init_applied";
     case EventType::kCookieEvent: return "cookie";
     case EventType::kFrameComplete: return "frame_complete";
+    case EventType::kRequestReceived: return "request_received";
+    case EventType::kOriginByte: return "origin_byte";
+    case EventType::kFfParsed: return "ff_parsed";
+    case EventType::kCornerCase: return "corner_case";
   }
   return "?";
 }
 
 void Tracer::record(TimeNs time, EventType type, uint64_t a, uint64_t b,
                     std::string detail) {
-  events_.push_back(Event{time, type, a, b, std::move(detail)});
+  Event e{time, type, a, b, std::move(detail)};
+  if (sink_) {
+    write_event_object(*sink_, e);
+    *sink_ << "\n";
+    if (!keep_buffer_) return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void Tracer::stream_to(std::ostream* os, bool keep_buffer) {
+  sink_ = os;
+  keep_buffer_ = os == nullptr ? true : keep_buffer;
 }
 
 size_t Tracer::count(EventType type) const {
@@ -42,24 +75,41 @@ std::vector<Event> Tracer::of_type(EventType type) const {
   return out;
 }
 
+TimeNs Tracer::first_time(EventType type) const {
+  for (const Event& e : events_) {
+    if (e.type == type) return e.time;
+  }
+  return kNoTime;
+}
+
 void Tracer::write_csv(std::ostream& os) const {
   os << "time_us,event,a,b,detail\n";
   for (const Event& e : events_) {
-    os << to_us(e.time) << ',' << event_type_name(e.type) << ',' << e.a
-       << ',' << e.b << ',' << e.detail << '\n';
+    os << e.time / 1000 << ',' << event_type_name(e.type) << ',' << e.a
+       << ',' << e.b << ',';
+    // RFC-4180 quoting: details containing a delimiter, quote or newline
+    // are wrapped in quotes with embedded quotes doubled.
+    if (e.detail.find_first_of(",\"\n\r") != std::string::npos) {
+      os << '"';
+      for (char c : e.detail) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << e.detail;
+    }
+    os << '\n';
   }
 }
 
 void Tracer::write_json(std::ostream& os, const std::string& title) const {
-  os << "{\n  \"qlog_version\": \"wira-0.1\",\n  \"title\": \"" << title
-     << "\",\n  \"events\": [\n";
+  os << "{\n  \"qlog_version\": \"wira-0.1\",\n  \"title\": \""
+     << util::json_escape(title) << "\",\n  \"events\": [\n";
   for (size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    os << "    {\"time_us\": " << to_us(e.time) << ", \"name\": \""
-       << event_type_name(e.type) << "\", \"a\": " << e.a
-       << ", \"b\": " << e.b;
-    if (!e.detail.empty()) os << ", \"detail\": \"" << e.detail << "\"";
-    os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+    os << "    ";
+    write_event_object(os, events_[i]);
+    os << (i + 1 < events_.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

@@ -1,6 +1,15 @@
 // Connection event tracing (qlog-flavoured): records transport events on
 // the simulated clock for debugging, visualization and assertions in
 // tests.  Tracing is opt-in per connection and free when disabled.
+//
+// Two capture modes, combinable:
+//   - buffered (default): events accumulate in a vector for queries and
+//     batch export (write_csv / write_json);
+//   - streaming: stream_to(os) writes each event as one JSON line (JSONL
+//     qlog) the moment it is recorded, so arbitrarily long sessions never
+//     buffer everything.  stream_to(os, /*keep_buffer=*/true) does both —
+//     the observability layer uses that to extract phase boundaries from
+//     a session that is also being dumped.
 #pragma once
 
 #include <cstdint>
@@ -18,13 +27,17 @@ enum class EventType {
   kPacketAcked,
   kPacketLost,
   kPtoFired,
-  kRttSample,       ///< a = latest rtt (us), b = smoothed (us)
-  kCwndSample,      ///< a = cwnd bytes, b = bytes in flight
-  kPacingSample,    ///< a = pacing rate (bytes/s)
-  kHandshakeEvent,  ///< detail = "chlo"/"rej"/"shlo"/"established"
-  kInitApplied,     ///< a = init_cwnd, b = init_pacing
-  kCookieEvent,     ///< detail = "sealed"/"opened"/"rejected"
-  kFrameComplete,   ///< a = frame index, b = bytes
+  kRttSample,        ///< a = latest rtt (us), b = smoothed (us)
+  kCwndSample,       ///< a = cwnd bytes, b = bytes in flight
+  kPacingSample,     ///< a = pacing rate (bytes/s)
+  kHandshakeEvent,   ///< detail = "chlo"/"rej"/"shlo"/"established"
+  kInitApplied,      ///< a = init_cwnd, b = init_pacing
+  kCookieEvent,      ///< detail = "sealed"/"opened"/"rejected"
+  kFrameComplete,    ///< a = frame index, b = bytes
+  kRequestReceived,  ///< server saw the PLAY request
+  kOriginByte,       ///< first stream byte left the proxy; a = chunk bytes
+  kFfParsed,         ///< a = FF_Size, b = bytes fed until parse completed
+  kCornerCase,       ///< detail = "cwnd_before_parse"/"stale_cookie"
 };
 
 const char* event_type_name(EventType t);
@@ -42,10 +55,17 @@ class Tracer {
   void record(TimeNs time, EventType type, uint64_t a = 0, uint64_t b = 0,
               std::string detail = {});
 
+  /// Streams every subsequent event to `os` as one JSON object per line
+  /// (nullptr stops streaming).  Unless `keep_buffer` is set, streamed
+  /// events are not retained in memory.
+  void stream_to(std::ostream* os, bool keep_buffer = false);
+
   const std::vector<Event>& events() const { return events_; }
   size_t count(EventType type) const;
   /// Events of one type, in order.
   std::vector<Event> of_type(EventType type) const;
+  /// Time of the first event of `type`, or kNoTime if none was recorded.
+  TimeNs first_time(EventType type) const;
 
   /// CSV: time_us,event,a,b,detail
   void write_csv(std::ostream& os) const;
@@ -59,6 +79,8 @@ class Tracer {
 
  private:
   std::vector<Event> events_;
+  std::ostream* sink_ = nullptr;
+  bool keep_buffer_ = true;
 };
 
 }  // namespace wira::trace

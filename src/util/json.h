@@ -1,0 +1,18 @@
+// Minimal JSON string escaping shared by every JSON-emitting writer in the
+// repo (qlog tracer, metrics JSONL, bench summaries).  Escapes exactly what
+// RFC 8259 requires: quote, backslash, and control characters below 0x20.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wira::util {
+
+/// Appends `s` to `out` with JSON string escaping applied (no surrounding
+/// quotes).  Multi-byte UTF-8 sequences pass through untouched.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Returns the escaped form of `s` (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace wira::util

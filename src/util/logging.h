@@ -9,8 +9,10 @@ namespace wira {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log threshold (not thread-safe by design: the emulator is
-/// single-threaded and deterministic).
+/// Process-wide log threshold.  Read on hot paths from bench worker
+/// threads (the parallel population runner), so it is backed by an atomic
+/// with relaxed ordering: levels are advisory and a racing set_log_level
+/// only affects which messages appear, never memory safety.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

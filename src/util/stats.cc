@@ -9,6 +9,7 @@ namespace wira {
 
 void Samples::add_all(const std::vector<double>& vs) {
   values_.insert(values_.end(), vs.begin(), vs.end());
+  sorted_valid_ = false;
 }
 
 double Samples::sum() const {
@@ -47,9 +48,10 @@ double Samples::cv() const {
 }
 
 void Samples::ensure_sorted() const {
-  if (sorted_.size() != values_.size()) {
+  if (!sorted_valid_) {
     sorted_ = values_;
     std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
 }
 

@@ -11,7 +11,10 @@ namespace wira {
 /// Accumulates scalar samples; percentile queries sort a copy on demand.
 class Samples {
  public:
-  void add(double v) { values_.push_back(v); }
+  void add(double v) {
+    values_.push_back(v);
+    sorted_valid_ = false;
+  }
   void add_all(const std::vector<double>& vs);
 
   size_t count() const { return values_.size(); }
@@ -34,11 +37,18 @@ class Samples {
   double percentile(double p) const;
 
   const std::vector<double>& values() const { return values_; }
-  void clear() { values_.clear(); }
+  void clear() {
+    values_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
  private:
   std::vector<double> values_;
-  mutable std::vector<double> sorted_;  // cache; invalidated on add
+  /// Cache for percentile(); explicitly invalidated by add/add_all/clear
+  /// (a size-based heuristic breaks on clear-then-refill with equal count).
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
   void ensure_sorted() const;
 };
 

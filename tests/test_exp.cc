@@ -2,7 +2,11 @@
 // determinism, metric plausibility, and the bucketing collectors.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "exp/population_experiment.h"
+#include "exp/session_export.h"
+#include "obs/metrics.h"
 
 namespace wira::exp {
 namespace {
@@ -64,6 +68,88 @@ TEST(Harness, ParallelRunMatchesSerialExactly) {
                 other.server_stats.packets_sent);
       EXPECT_EQ(res.server_stats.packets_lost,
                 other.server_stats.packets_lost);
+    }
+  }
+}
+
+// Metrics extension of the same contract: per-worker registries merged in
+// index order must equal the registry filled by a serial run — exactly,
+// down to raw histogram buckets.
+TEST(Harness, ParallelMetricsMatchSerialExactly) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 24;
+  cfg.collect_metrics = true;
+
+  cfg.threads = 1;
+  obs::MetricsRegistry serial;
+  const auto serial_records = run_population(cfg, &serial);
+  cfg.threads = 4;
+  obs::MetricsRegistry parallel;
+  const auto parallel_records = run_population(cfg, &parallel);
+
+  EXPECT_EQ(serial.counters(), parallel.counters());
+  EXPECT_EQ(serial.gauges(), parallel.gauges());
+  ASSERT_EQ(serial.histograms().size(), parallel.histograms().size());
+  for (const auto& [name, hist] : serial.histograms()) {
+    const obs::LatencyHistogram* other = parallel.find_histogram(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(hist.count(), other->count()) << name;
+    EXPECT_EQ(hist.sum(), other->sum()) << name;
+    EXPECT_EQ(hist.min(), other->min()) << name;
+    EXPECT_EQ(hist.max(), other->max()) << name;
+    EXPECT_EQ(hist.bucket_counts(), other->bucket_counts()) << name;
+  }
+  // The aggregate JSON and the per-session JSONL are byte-identical too
+  // (the --metrics-out acceptance check).
+  std::ostringstream js, jp, ls, lp;
+  serial.write_json(js);
+  parallel.write_json(jp);
+  EXPECT_EQ(js.str(), jp.str());
+  write_records_jsonl(serial_records, ls);
+  write_records_jsonl(parallel_records, lp);
+  EXPECT_EQ(ls.str(), lp.str());
+  // Sanity: the registry actually saw every (session, scheme) pair.
+  uint64_t sessions_counted = 0;
+  for (const auto& [name, v] : serial.counters()) {
+    if (name.rfind("sessions.", 0) == 0) sessions_counted += v;
+  }
+  EXPECT_EQ(sessions_counted, cfg.sessions * cfg.schemes.size());
+}
+
+// Phase spans are only collected when metrics are on, and they partition
+// FFCT exactly for every completed session.
+TEST(Harness, PhaseSpansPartitionFfctExactly) {
+  PopulationConfig cfg = small_config(31);
+  cfg.sessions = 16;
+  cfg.collect_metrics = true;
+  const auto records = run_population(cfg);
+  size_t checked = 0;
+  for (const auto& r : records) {
+    for (const auto& [scheme, res] : r.results) {
+      if (!res.first_frame_completed) {
+        continue;
+      }
+      ASSERT_EQ(res.phases.size(), obs::kNumPhases)
+          << core::scheme_name(scheme);
+      TimeNs sum = 0;
+      for (const auto& span : res.phases) {
+        EXPECT_GE(span.duration(), 0);
+        sum += span.duration();
+      }
+      EXPECT_EQ(sum, res.ffct) << core::scheme_name(scheme);
+      checked++;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Harness, MetricsOffLeavesRecordsLean) {
+  PopulationConfig cfg = small_config(7);
+  cfg.sessions = 4;
+  const auto records = run_population(cfg);
+  for (const auto& r : records) {
+    for (const auto& [scheme, res] : r.results) {
+      EXPECT_TRUE(res.phases.empty());
     }
   }
 }

@@ -41,6 +41,31 @@ TEST(Samples, PercentileCacheInvalidatedByAdd) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
 }
 
+TEST(Samples, PercentileCacheInvalidatedByAddAll) {
+  Samples s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);  // populates the sorted cache
+  s.add_all({99.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.percentile(100), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+}
+
+// Regression: the cache used to be validated by comparing sizes, so
+// clearing and refilling with the SAME number of values served stale
+// percentiles from the old data.
+TEST(Samples, ClearThenRefillSameCountResortsCache) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.5);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(100.0);
+  s.add(200.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 150.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 100.0);
+}
+
 TEST(Samples, SingleValueCvIsZero) {
   Samples s;
   s.add(42.0);

@@ -49,6 +49,66 @@ TEST(Tracer, JsonOutputWellFormedish) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '}'), 3L);
 }
 
+// Golden outputs: the exporters escape hostile title/detail strings so the
+// files stay machine-parseable (qlog consumers, CSV importers).
+TEST(Tracer, CsvGoldenEscapesDelimitersAndQuotes) {
+  Tracer t;
+  t.record(microseconds(1), EventType::kHandshakeEvent, 0, 0, "plain");
+  t.record(microseconds(2), EventType::kCookieEvent, 1, 2, "a,b");
+  t.record(microseconds(3), EventType::kCornerCase, 3, 4, "say \"hi\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_us,event,a,b,detail\n"
+            "1,handshake,0,0,plain\n"
+            "2,cookie,1,2,\"a,b\"\n"
+            "3,corner_case,3,4,\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Tracer, JsonGoldenEscapesTitleAndDetail) {
+  Tracer t;
+  t.record(0, EventType::kHandshakeEvent, 0, 0, "quote\" back\\ nl\n");
+  std::ostringstream os;
+  t.write_json(os, "run \"7\"\ttab");
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"qlog_version\": \"wira-0.1\",\n"
+            "  \"title\": \"run \\\"7\\\"\\ttab\",\n"
+            "  \"events\": [\n"
+            "    {\"time_us\": 0, \"name\": \"handshake\", \"a\": 0, "
+            "\"b\": 0, \"detail\": \"quote\\\" back\\\\ nl\\n\"}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Tracer, StreamingSinkWritesJsonlImmediately) {
+  Tracer t;
+  std::ostringstream os;
+  t.stream_to(&os);  // default: do not also buffer
+  t.record(microseconds(5), EventType::kPacketSent, 1, 1200);
+  EXPECT_EQ(os.str(),
+            "{\"time_us\": 5, \"name\": \"packet_sent\", \"a\": 1, "
+            "\"b\": 1200}\n");
+  EXPECT_TRUE(t.events().empty());
+  // keep_buffer = true streams AND buffers (phase extraction needs both).
+  t.stream_to(&os, /*keep_buffer=*/true);
+  t.record(microseconds(6), EventType::kPacketAcked, 1, 1200);
+  EXPECT_EQ(t.events().size(), 1u);
+  EXPECT_NE(os.str().find("packet_acked"), std::string::npos);
+  // Detaching restores buffer-only behaviour.
+  t.stream_to(nullptr);
+  t.record(microseconds(7), EventType::kPacketLost, 2, 1200);
+  EXPECT_EQ(t.events().size(), 2u);
+}
+
+TEST(Tracer, FirstTimeReturnsEarliestOrNoTime) {
+  Tracer t;
+  EXPECT_EQ(t.first_time(EventType::kFfParsed), kNoTime);
+  t.record(milliseconds(4), EventType::kFfParsed, 1, 1);
+  t.record(milliseconds(9), EventType::kFfParsed, 2, 2);
+  EXPECT_EQ(t.first_time(EventType::kFfParsed), milliseconds(4));
+}
+
 TEST(Tracer, PeakBytesInFlight) {
   Tracer t;
   t.record(0, EventType::kCwndSample, 50'000, 10'000);

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Render the FFCT phase breakdown from a --metrics-out JSONL file.
+
+Reads the per-(session, scheme) lines written by the fig/abl binaries when
+run with `--metrics-out FILE` and prints, per scheme, the mean/p50/p90 of
+each phase (handshake, origin_fetch, ff_parse, delivery, frame_recv) plus
+an ASCII stacked bar of the mean breakdown.  Stdlib only — no third-party
+dependencies.
+
+Usage:
+  tools/plot_ffct_phases.py m.jsonl
+  tools/plot_ffct_phases.py m.jsonl --run 2      # sweep binaries: one run
+  tools/plot_ffct_phases.py m.jsonl --width 72
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = ["handshake", "origin_fetch", "ff_parse", "delivery", "frame_recv"]
+BAR_CHARS = ["#", "=", "+", "-", "."]
+
+
+def percentile(sorted_vals, p):
+    """Linear interpolation between order statistics, p in [0, 100]."""
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    idx = p / 100.0 * (len(sorted_vals) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = idx - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def load(path, run):
+    """Returns {scheme: {phase: [ms, ...]}} for completed sessions."""
+    per_scheme = {}
+    total = kept = bad = 0
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            total += 1
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if run is not None and rec.get("run", 0) != run:
+                continue
+            if not rec.get("first_frame_completed"):
+                continue
+            phases = rec.get("phases") or {}
+            if not phases:
+                continue
+            kept += 1
+            bucket = per_scheme.setdefault(
+                rec.get("scheme", "?"), {p: [] for p in PHASES})
+            for p in PHASES:
+                bucket[p].append(phases.get(p + "_ns", 0) / 1e6)
+    if bad:
+        print(f"warning: skipped {bad} unparseable lines", file=sys.stderr)
+    if not kept:
+        sys.exit(f"error: no completed sessions with phases in {path} "
+                 f"(saw {total} lines; was --metrics-out enabled?)")
+    return per_scheme
+
+
+def render(per_scheme, width):
+    for scheme in sorted(per_scheme):
+        buckets = per_scheme[scheme]
+        n = len(buckets[PHASES[0]])
+        means = {p: sum(v) / n for p, v in buckets.items()}
+        total_mean = sum(means.values()) or 1e-9
+        print(f"\n{scheme}  (n={n}, mean FFCT {total_mean:.1f} ms)")
+        print(f"  {'phase':<13}{'mean(ms)':>10}{'p50':>10}{'p90':>10}"
+              f"{'share':>8}")
+        for p in PHASES:
+            vals = sorted(buckets[p])
+            share = means[p] / total_mean
+            print(f"  {p:<13}{means[p]:>10.2f}"
+                  f"{percentile(vals, 50):>10.2f}"
+                  f"{percentile(vals, 90):>10.2f}"
+                  f"{share:>7.1%}")
+        # Stacked mean-share bar; every non-zero phase gets >= 1 cell.
+        bar = ""
+        for p, ch in zip(PHASES, BAR_CHARS):
+            cells = round(means[p] / total_mean * width)
+            if means[p] > 0 and cells == 0:
+                cells = 1
+            bar += ch * cells
+        print(f"  [{bar[:width]:<{width}}]")
+    legend = "  ".join(f"{ch}={p}" for p, ch in zip(PHASES, BAR_CHARS))
+    print(f"\nlegend: {legend}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="FFCT phase breakdown from --metrics-out JSONL")
+    ap.add_argument("jsonl", help="file written via --metrics-out")
+    ap.add_argument("--run", type=int, default=None,
+                    help="restrict to one sweep run index (default: all)")
+    ap.add_argument("--width", type=int, default=60,
+                    help="bar width in characters (default 60)")
+    args = ap.parse_args()
+    render(load(args.jsonl, args.run), max(10, args.width))
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

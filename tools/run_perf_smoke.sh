@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke: Release build, quick ctest sanity, then run
 # bench/perf_smoke and record its JSON as BENCH_<date>.json at the repo
-# root.  Compare successive BENCH_*.json files to track sessions/sec.
+# root.  Each run also appends a one-line record to
+# bench_history/perf_trajectory.jsonl so the sessions/sec trajectory
+# accumulates across days, and the script FAILS if the run was not
+# deterministic (parallel records diverged from serial).
 #
 # Usage: tools/run_perf_smoke.sh [sessions] [seed] [--threads N]
 set -euo pipefail
@@ -11,7 +14,7 @@ build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target perf_smoke test_thread_pool test_event_loop test_exp
+  --target perf_smoke test_thread_pool test_event_loop test_exp test_obs
 
 # Quick correctness gate before trusting the numbers.
 ctest --test-dir "${build_dir}" -R 'ThreadPool|EventLoop|Harness' \
@@ -20,3 +23,26 @@ ctest --test-dir "${build_dir}" -R 'ThreadPool|EventLoop|Harness' \
 out="${repo_root}/BENCH_$(date +%Y-%m-%d).json"
 "${build_dir}/bench/perf_smoke" "$@" | tee "${out}"
 echo "wrote ${out}"
+
+# Hard determinism gate: perf_smoke already exits non-zero on divergence
+# (caught by `set -e` through the pipe above only if pipefail sees it), so
+# double-check the recorded output as well.
+if ! grep -q '"deterministic": true' "${out}"; then
+  echo "FAIL: perf_smoke reported a non-deterministic run" >&2
+  exit 1
+fi
+
+# Append the scalar fields (the aggregate "metrics" object stays in the
+# dated file only) as one line into the long-term trajectory.
+history_dir="${repo_root}/bench_history"
+mkdir -p "${history_dir}"
+trajectory="${history_dir}/perf_trajectory.jsonl"
+python3 - "${out}" "$(date +%Y-%m-%dT%H:%M:%S)" >> "${trajectory}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+row = {"date": sys.argv[2]}
+row.update((k, v) for k, v in bench.items() if k != "metrics")
+print(json.dumps(row))
+PY
+echo "appended trajectory record to ${trajectory}"
