@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   Table t({"cc", "Baseline (ms)", "Wira (ms)", "gain", "Baseline p90",
            "Wira p90"});
+  std::vector<SessionRecord> all_records;
   for (auto algo : {cc::CcAlgo::kBbrV1, cc::CcAlgo::kCubic, cc::CcAlgo::kNewReno}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     cfg.cc_algo = algo;
     cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
     const Samples base = collect_ffct(records, core::Scheme::kBaseline);
     const Samples wira = collect_ffct(records, core::Scheme::kWira);
     t.row({algo == cc::CcAlgo::kBbrV1 ? "BBRv1"
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
            fmt(base.percentile(90)), fmt(wira.percentile(90))});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(pacing-based BBR benefits most from Eq. 2, as the paper "
               "argues in §II-B)\n");
   return 0;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   Table t({"container", "avg FF (KB)", "Baseline (ms)", "Wira (ms)",
            "gain"});
+  std::vector<SessionRecord> all_records;
   for (auto container : {media::Container::kFlv, media::Container::kMpegTs}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
     cfg.container = container;
     cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
 
     Samples ff_kb;
     for (const auto& r : records) {
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
            fmt_gain(base.mean(), wira.mean())});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(Frame Perception generalizes beyond the paper's FLV "
               "prototype)\n");
   return 0;

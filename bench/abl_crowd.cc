@@ -12,6 +12,7 @@
 #include "app/edge.h"
 #include "app/player_client.h"
 #include "bench_common.h"
+#include "obs/phase_timeline.h"
 #include "sim/topology.h"
 
 using namespace wira;
@@ -21,6 +22,12 @@ namespace {
 struct CrowdResult {
   Samples ffct_ms;
   double uplink_loss = 0;
+  /// Client-side phase decompositions of the completed sessions.  This
+  /// harness drives raw PlayerClients (no per-session server tracer), so
+  /// the server-side boundaries are unknown and handshake/origin_fetch/
+  /// ff_parse clamp to zero: wait before the first video byte shows up as
+  /// delivery, the rest as frame_recv.
+  std::vector<exp::SessionResult> sessions;
 };
 
 CrowdResult run_crowd(core::Scheme scheme, int viewers, uint64_t seed) {
@@ -100,8 +107,20 @@ CrowdResult run_crowd(core::Scheme scheme, int viewers, uint64_t seed) {
 
   CrowdResult out;
   for (const auto& v : crowd) {
-    if (v.client->metrics().first_frame_done()) {
-      out.ffct_ms.add(to_ms(v.client->metrics().ffct()));
+    const auto& m = v.client->metrics();
+    if (m.first_frame_done()) {
+      out.ffct_ms.add(to_ms(m.ffct()));
+      obs::FfctBoundaries b;
+      b.request_sent = m.request_sent_at;
+      b.first_byte_received = m.first_frame_byte_at != kNoTime
+                                  ? m.first_frame_byte_at
+                                  : m.first_byte_at;
+      b.first_frame_complete = m.frame_complete_at[0];
+      exp::SessionResult sr;
+      sr.first_frame_completed = true;
+      sr.ffct = m.ffct();
+      sr.phases = obs::ffct_phases(b);
+      out.sessions.push_back(std::move(sr));
     }
   }
   const auto& st = net.egress().stats();
@@ -123,6 +142,7 @@ int main(int argc, char** argv) {
 
   exp::Table t({"viewers", "Baseline avg/max (ms)", "Wira avg/max (ms)",
                 "avg gain", "uplink loss B/W"});
+  std::vector<exp::SessionResult> base_sessions, wira_sessions;
   for (int viewers : {2, 4, 8, 16}) {
     Samples base_ffct, wira_ffct;
     double base_loss = 0, wira_loss = 0;
@@ -135,6 +155,8 @@ int main(int argc, char** argv) {
       wira_ffct.add_all(w.ffct_ms.values());
       base_loss += b.uplink_loss / repeats;
       wira_loss += w.uplink_loss / repeats;
+      for (auto& s : b.sessions) base_sessions.push_back(std::move(s));
+      for (auto& s : w.sessions) wira_sessions.push_back(std::move(s));
     }
     t.row({std::to_string(viewers),
            fmt(base_ffct.mean()) + " / " + fmt(base_ffct.max()),
@@ -143,6 +165,19 @@ int main(int argc, char** argv) {
            fmt(100 * base_loss, 2) + "% / " + fmt(100 * wira_loss, 2) + "%"});
   }
   t.print();
+  {
+    auto ptrs = [](const std::vector<exp::SessionResult>& v) {
+      std::vector<const exp::SessionResult*> p;
+      p.reserve(v.size());
+      for (const auto& s : v) p.push_back(&s);
+      return p;
+    };
+    exp::banner("FFCT phase breakdown (ms; client-side view — server "
+                "phases read as 0)");
+    exp::ffct_phase_table({{"baseline", ptrs(base_sessions)},
+                           {"wira", ptrs(wira_sessions)}})
+        .print();
+  }
   std::printf("(per-flow initialization keeps the joint startup burst "
               "proportional to each viewer's access capacity)\n");
   return 0;

@@ -15,7 +15,7 @@ using namespace wira::exp;
 namespace {
 
 Samples run_baseline(const bench::Args& args, uint64_t cwnd_exp,
-                     TimeNs rtt_exp) {
+                     TimeNs rtt_exp, std::vector<SessionRecord>* all) {
   PopulationConfig cfg;
   cfg.sessions = args.sessions / 2;
   cfg.seed = args.seed;
@@ -23,6 +23,7 @@ Samples run_baseline(const bench::Args& args, uint64_t cwnd_exp,
   cfg.defaults.init_rtt_exp = rtt_exp;
   cfg.schemes = {core::Scheme::kBaseline};
   const auto records = bench::run_with_obs(cfg, args);
+  all->insert(all->end(), records.begin(), records.end());
   return collect_ffct(records, core::Scheme::kBaseline);
 }
 
@@ -37,8 +38,9 @@ int main(int argc, char** argv) {
          "fleet-average FF_Size -> 158.9/409.6 ms)");
   Table t({"init_cwnd_exp", "avg FFCT (ms)", "p90 FFCT (ms)"});
   const TimeNs rtt_exp = milliseconds(40);
+  std::vector<SessionRecord> all_records;
   for (uint64_t kb : {15, 29, 43, 64, 90}) {
-    const auto s = run_baseline(args, kb * 1000, rtt_exp);
+    const auto s = run_baseline(args, kb * 1000, rtt_exp, &all_records);
     std::string label = std::to_string(kb) + " KB";
     if (kb == 15) label += " (~10 pkts, RFC 6928)";
     if (kb == 43) label += " (fleet-avg FF_Size)";
@@ -49,10 +51,11 @@ int main(int argc, char** argv) {
   banner("init_RTT_exp choice (pacing divisor)");
   Table r({"init_RTT_exp (ms)", "avg FFCT (ms)", "p90 FFCT (ms)"});
   for (int ms : {20, 40, 80, 160}) {
-    const auto s = run_baseline(args, 43'000, milliseconds(ms));
+    const auto s = run_baseline(args, 43'000, milliseconds(ms), &all_records);
     r.row({std::to_string(ms), fmt(s.mean()), fmt(s.percentile(90))});
   }
   r.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(the experienced values beat the fixed RFC 6928 window, "
               "matching the paper's A/B finding)\n");
   return 0;

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   Table t({"mode", "FFCT avg (ms)", "FFCT p90", "frame4 avg (ms)",
            "frame2 loss"});
+  std::vector<SessionRecord> all_records;
   for (bool resume : {false, true}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     cfg.careful_resume = resume;
     cfg.schemes = {core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
 
     Samples ffct, frame4, loss2;
     for (const auto& r : records) {
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
            fmt(100 * loss2.mean()) + "%"});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(resume trades a small first-frame smoothing for a large "
               "follow-up throughput loss on under-estimated cookies)\n");
   return 0;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   Table t({"Delta (min)", "cookie used", "stale rejected", "Wira avg (ms)",
            "Wira p90"});
+  std::vector<SessionRecord> all_records;
   for (int delta_min : {1, 5, 15, 60, 240, 100000}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     cfg.staleness_threshold = minutes(delta_min);
     cfg.schemes = {core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
 
     size_t used = 0, stale = 0, total = 0;
     Samples ffct;
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
            fmt(ffct.mean()), fmt(ffct.percentile(90))});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(the paper's Delta = 60 min keeps most history usable "
               "while bounding drift)\n");
   return 0;

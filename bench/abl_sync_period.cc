@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   Table t({"period (s)", "syncs/session", "clients w/ cookie",
            "Wira avg (ms)"});
+  std::vector<SessionRecord> all_records;
   for (int period_s : {1, 3, 10, 30}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
     cfg.sync_period = seconds(period_s);
     cfg.schemes = {core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
 
     Samples syncs, ffct;
     size_t with_cookie = 0, total = 0;
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
            fmt(ffct.mean())});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(3 s keeps per-session overhead at a couple of small "
               "packets while guaranteeing even short sessions leave a "
               "cookie behind)\n");

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   Table t({"Theta_VF", "avg FF (KB)", "Baseline (ms)", "Wira (ms)",
            "gain"});
+  std::vector<SessionRecord> all_records;
   for (uint32_t theta : {1u, 2u, 3u, 5u}) {
     PopulationConfig cfg;
     cfg.sessions = args.sessions / 2;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     cfg.theta_vf = theta;
     cfg.schemes = {core::Scheme::kBaseline, core::Scheme::kWira};
     const auto records = bench::run_with_obs(cfg, args);
+    all_records.insert(all_records.end(), records.begin(), records.end());
 
     Samples ff_kb;
     for (const auto& r : records) {
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
            fmt(wira.mean()), fmt_gain(base.mean(), wira.mean())});
   }
   t.print();
+  bench::print_phase_breakdown(all_records);
   std::printf("(larger playback conditions inflate the first frame; "
               "per-flow adaptation keeps paying off)\n");
   return 0;

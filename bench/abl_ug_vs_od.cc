@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
            fmt(wira.mean()), fmt_gain(ug.mean(), wira.mean())});
   }
   d.print();
+  bench::print_phase_breakdown(records);
   std::printf("(per-flow OD history beats the group average exactly where "
               "the group is heterogeneous — the paper's §II-C argument)\n");
   return 0;

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
            fmt(100 * wpl.mean()) + "%"});
   }
   s.print();
+  bench::print_phase_breakdown(records);
   std::printf("(the discount should pay off only where history predicts "
               "loss; elsewhere it just slows the frame)\n");
   return 0;

@@ -10,8 +10,9 @@
 //   --metrics-out FILE   write one JSONL line per (session, scheme) with
 //                        the FFCT phase breakdown; byte-identical at any
 //                        --threads N (written post-join in index order).
-//   --trace-sample N     dump a full streaming qlog of every Nth session
-//                        into --trace-dir (default "traces/").
+//   --trace-sample N     dump a standard qlog (.sqlog, draft-ietf-quic-qlog
+//                        as JSONL) of every Nth session into --trace-dir
+//                        (default "traces/").
 #pragma once
 
 #include <cstdio>
@@ -161,9 +162,10 @@ inline std::vector<exp::SessionRecord> run_with_obs(
   // Sweep binaries call this once per point: the first call truncates the
   // metrics file, later calls append with an incremented "run" field.
   static int run_counter = 0;
-  // Re-assert the obs flags so binaries that hand-build their config
-  // (instead of default_population) honour the flags too.
-  cfg.collect_metrics = cfg.collect_metrics || !a.metrics_out.empty();
+  // Phase decompositions feed the per-phase breakdown table every binary
+  // prints (PR 3), so they are always collected here; --metrics-out only
+  // controls the per-session JSONL dump.
+  cfg.collect_metrics = true;
   if (cfg.trace_sample == 0) cfg.trace_sample = a.trace_sample;
   cfg.trace_dir = a.trace_dir;
   auto records = exp::run_population(cfg, registry);
@@ -181,6 +183,16 @@ inline std::vector<exp::SessionRecord> run_with_obs(
                  a.metrics_out.c_str(), run);
   }
   return records;
+}
+
+/// Appends the per-phase p50/p90/p99 breakdown to the binary's output.
+/// Built from the same post-join records as the main tables, so it is
+/// byte-identical at any --threads N.  Sweep binaries pass the records of
+/// every point they visited, accumulated in visit order.
+inline void print_phase_breakdown(
+    const std::vector<exp::SessionRecord>& records) {
+  exp::banner("FFCT phase breakdown (ms per scheme)");
+  exp::ffct_phase_table(records).print();
 }
 
 /// Standard FFCT summary row: scheme, mean, p50, p70, p90, p95 (ms) and

@@ -28,6 +28,7 @@ media::StreamProfile stream_66k() {
 struct SweepPoint {
   Samples ffct_ms;
   Samples loss;
+  std::vector<SessionResult> results;  ///< completed sessions, with phases
 };
 
 SweepPoint sweep(uint64_t cwnd_bytes, Bandwidth pacing, size_t trials,
@@ -41,12 +42,34 @@ SweepPoint sweep(uint64_t cwnd_bytes, Bandwidth pacing, size_t trials,
     cfg.seed = seed * 1000 + i + 1;
     cfg.init_cwnd_bytes = cwnd_bytes;
     cfg.init_pacing = pacing;
-    const SessionResult r = run_manual_init_session(cfg);
+    cfg.collect_phases = true;
+    SessionResult r = run_manual_init_session(cfg);
     if (!r.first_frame_completed) continue;
     out.ffct_ms.add(to_ms(r.ffct));
     out.loss.add(r.fflr);
+    out.results.push_back(std::move(r));
   }
   return out;
+}
+
+/// (label, sessions) pairs accumulated per sweep point, turned into the
+/// labeled-group phase table at the end of main.
+std::vector<std::pair<std::string, std::vector<SessionResult>>> phase_data;
+
+void keep_for_phases(std::string label, std::vector<SessionResult> results) {
+  phase_data.emplace_back(std::move(label), std::move(results));
+}
+
+void print_phases() {
+  std::vector<PhaseGroup> groups;
+  for (const auto& [label, results] : phase_data) {
+    std::vector<const SessionResult*> ptrs;
+    ptrs.reserve(results.size());
+    for (const auto& r : results) ptrs.push_back(&r);
+    groups.emplace_back(label, std::move(ptrs));
+  }
+  banner("FFCT phase breakdown (ms per sweep point)");
+  ffct_phase_table(groups).print();
 }
 
 }  // namespace
@@ -71,10 +94,12 @@ int main(int argc, char** argv) {
     // The paper's 2(a) keeps the stock pacing recipe: cwnd over the
     // experienced RTT.
     const Bandwidth pace = delivery_rate(cwnd, milliseconds(40));
-    const auto pt = sweep(cwnd, pace, trials, args.seed);
+    auto pt = sweep(cwnd, pace, trials, args.seed);
     a.row({std::to_string(pkts), fmt(pt.ffct_ms.mean()),
            fmt(pt.ffct_ms.percentile(90)),
            fmt(100 * pt.loss.mean()) + "%"});
+    keep_for_phases("cwnd=" + std::to_string(pkts) + "pkt",
+                    std::move(pt.results));
   }
   a.print();
   std::printf("(paper: 4 and 10 pkts cost extra RTTs; 80-100 pkts suffer "
@@ -88,13 +113,16 @@ int main(int argc, char** argv) {
       {0.8, "302"}, {4, "186"}, {8, "157 (3.8% loss)"},
       {16, "210+ (>40% loss)"}, {40, "210+ (>40% loss)"}};
   for (const auto& pt : points) {
-    const auto r = sweep(ff_cwnd, mbps_f(pt.mbps), trials, args.seed + 1);
+    auto r = sweep(ff_cwnd, mbps_f(pt.mbps), trials, args.seed + 1);
     b.row({fmt(pt.mbps, 1), fmt(r.ffct_ms.mean()),
            fmt(r.ffct_ms.percentile(90)), fmt(100 * r.loss.mean()) + "%",
            pt.paper});
+    keep_for_phases("pacing=" + fmt(pt.mbps, 1) + "Mbps",
+                    std::move(r.results));
   }
   b.print();
   std::printf("(paper: both under- and over-pacing hurt; init_pacing = "
               "MaxBW = 8 Mbps is best)\n");
+  print_phases();
   return 0;
 }

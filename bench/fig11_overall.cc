@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
            fmt_gain(base.percentile(90), s.percentile(90))});
   }
   g.print();
+  bench::print_phase_breakdown(records);
   return 0;
 }

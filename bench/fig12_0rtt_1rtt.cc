@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
                 zero_rtt ? "avg -9.5%, p90 -16.6%"
                          : "avg -21.3%, p90 -32.5%");
   }
+  bench::print_phase_breakdown(records);
   return 0;
 }

@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
                 {"(10,30]%", retx_bucket(10, 30)}},
                "Fig. 13(d): by baseline retransmission ratio (paper: "
                "-8.6..-17.2% in (1,10]%)");
+  bench::print_phase_breakdown(records);
   return 0;
 }

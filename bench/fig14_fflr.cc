@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
              [](const SessionRecord& r) { return r.zero_rtt; });
   fflr_table(records, cfg, "1-RTT streams (paper: Wira avg gain -21.4%)",
              [](const SessionRecord& r) { return !r.zero_rtt; });
+  bench::print_phase_breakdown(records);
   return 0;
 }

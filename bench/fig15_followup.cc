@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
            f == 0 ? "8.8% -> 6.4%" : "~9.0% -> ~6.9%"});
   }
   l.print();
+  bench::print_phase_breakdown(records);
   std::printf("(paper: no significant negative effect on follow-up "
               "frames)\n");
   return 0;

@@ -9,9 +9,11 @@
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "bench_common.h"
+#include "obs/phase_timeline.h"
 
 using namespace wira;
 using namespace wira::exp;
@@ -24,6 +26,60 @@ double run_timed(const PopulationConfig& cfg, std::vector<SessionRecord>* out,
   *out = run_population(cfg, metrics);
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Formats microseconds as fixed-point milliseconds.  All inputs are
+// integer-derived (histogram means/percentiles over integer buckets), so
+// the string is identical across runs and thread counts.
+std::string ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", us / 1000.0);
+  return buf;
+}
+
+// Per-scheme mean FFCT (ms) and per-scheme-per-phase {p50,p90,p99} (ms)
+// from the aggregate registry.  These two objects are the QoE half of the
+// perf trajectory: tools/bench_gate.py compares them across runs, so they
+// must stay deterministic at any --threads N (they are: the registry merge
+// is order-independent and percentiles are pure functions of the counts).
+void summarize_qoe(const obs::MetricsRegistry& registry,
+                   const std::vector<core::Scheme>& schemes,
+                   std::string* ffct_json, std::string* phases_json) {
+  std::ostringstream ff, ph;
+  ff << "{";
+  ph << "{";
+  bool first = true;
+  for (const core::Scheme scheme : schemes) {
+    const char* sname = core::scheme_name(scheme);
+    const obs::LatencyHistogram* ffct =
+        registry.find_histogram(std::string("ffct_us.") + sname);
+    if (ffct == nullptr || ffct->count() == 0) continue;
+    if (!first) {
+      ff << ", ";
+      ph << ", ";
+    }
+    first = false;
+    ff << "\"" << sname << "\": " << ms(ffct->mean());
+    ph << "\"" << sname << "\": {";
+    for (size_t p = 0; p < obs::kNumPhases; ++p) {
+      if (p != 0) ph << ", ";
+      ph << "\"" << obs::kPhaseNames[p] << "\": ";
+      const obs::LatencyHistogram* h = registry.find_histogram(
+          std::string("phase.") + obs::kPhaseNames[p] + "_us." + sname);
+      if (h == nullptr || h->count() == 0) {
+        ph << "null";
+        continue;
+      }
+      ph << "{\"p50\": " << ms(h->percentile(50)) << ", \"p90\": "
+         << ms(h->percentile(90)) << ", \"p99\": " << ms(h->percentile(99))
+         << "}";
+    }
+    ph << "}";
+  }
+  ff << "}";
+  ph << "}";
+  *ffct_json = ff.str();
+  *phases_json = ph.str();
 }
 
 bool records_identical(const std::vector<SessionRecord>& a,
@@ -84,6 +140,8 @@ int main(int argc, char** argv) {
       par_threads == 0 ? std::thread::hardware_concurrency() : par_threads;
   std::ostringstream metrics_json;
   registry.write_json(metrics_json);
+  std::string ffct_json, phases_json;
+  summarize_qoe(registry, cfg.schemes, &ffct_json, &phases_json);
 
   std::printf(
       "{\n"
@@ -99,12 +157,14 @@ int main(int argc, char** argv) {
       "  \"speedup\": %.2f,\n"
       "  \"metrics_overhead\": %.3f,\n"
       "  \"deterministic\": %s,\n"
+      "  \"ffct_ms\": %s,\n"
+      "  \"phases\": %s,\n"
       "  \"metrics\": %s\n"
       "}\n",
       args.sessions, static_cast<unsigned long long>(args.seed),
       effective_threads, serial_sec, parallel_sec, metrics_sec,
       n / serial_sec, n / parallel_sec, serial_sec / parallel_sec,
       metrics_sec / parallel_sec - 1.0, deterministic ? "true" : "false",
-      metrics_json.str().c_str());
+      ffct_json.c_str(), phases_json.c_str(), metrics_json.str().c_str());
   return deterministic ? 0 : 1;
 }

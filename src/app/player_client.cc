@@ -81,6 +81,12 @@ void PlayerClient::on_stream_data(std::span<const uint8_t> data) {
   } else {
     demux_.feed(data);
   }
+  if (metrics_.first_frame_byte_at == kNoTime) {
+    const bool video = config_.container == media::Container::kMpegTs
+                           ? ts_demux_.video_started()
+                           : demux_.video_started();
+    if (video) metrics_.first_frame_byte_at = loop_.now();
+  }
 }
 
 void PlayerClient::on_video_frame_boundary(uint64_t bytes_at_boundary) {

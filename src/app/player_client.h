@@ -62,6 +62,13 @@ class PlayerClient {
   struct Metrics {
     TimeNs request_sent_at = kNoTime;   ///< full-CHLO / request departure
     TimeNs first_byte_at = kNoTime;     ///< first response-stream byte
+    /// When the contiguously-delivered stream first reached the first
+    /// byte of video payload (demuxer saw the first video tag / video-PID
+    /// packet).  Later than first_byte_at when the container prelude
+    /// (header, metadata, audio) precedes video, or when reordering holes
+    /// stall reassembly; the delivery phase ends here, so reorder wait on
+    /// any pre-video byte is charged to delivery, not frame_recv.
+    TimeNs first_frame_byte_at = kNoTime;
     bool zero_rtt = false;
     /// Completion time of video frames 1..N (absolute sim time).
     std::vector<TimeNs> frame_complete_at;

@@ -36,6 +36,16 @@ class BbrV1 : public CongestionController {
   void resume_from_history(Bandwidth max_bw, TimeNs min_rtt) override;
 
   std::string name() const override { return "bbr1"; }
+  const char* state_name() const override {
+    if (in_recovery_) return "recovery";
+    switch (mode_) {
+      case Mode::kStartup: return "startup";
+      case Mode::kDrain: return "drain";
+      case Mode::kProbeBw: return "probe_bw";
+      case Mode::kProbeRtt: return "probe_rtt";
+    }
+    return "startup";
+  }
 
   // Introspection for tests and benches.
   enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };

@@ -87,6 +87,11 @@ class CongestionController {
                                    TimeNs /*min_rtt*/) {}
 
   virtual std::string name() const = 0;
+
+  /// Machine-readable state-machine position ("startup", "probe_bw",
+  /// "slow_start", ...).  Feeds the recovery:congestion_state_updated qlog
+  /// event; the connection emits one event whenever this string changes.
+  virtual const char* state_name() const { return "unknown"; }
 };
 
 enum class CcAlgo { kBbrV1, kNewReno, kCubic };

@@ -27,6 +27,9 @@ class Cubic : public CongestionController {
                               Bandwidth init_pacing) override;
 
   std::string name() const override { return "cubic"; }
+  const char* state_name() const override {
+    return in_slow_start() ? "slow_start" : "congestion_avoidance";
+  }
 
   bool in_slow_start() const { return cwnd_ < ssthresh_; }
 

@@ -3,8 +3,10 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "media/stream_source.h"
+#include "obs/qlog.h"
 #include "util/thread_pool.h"
 
 namespace wira::exp {
@@ -129,18 +131,27 @@ SessionRecord run_one_session(const PopulationConfig& config,
     cfg.collect_phases = config.collect_metrics;
     trace::Tracer qlog_tracer;
     std::ofstream qlog;
+    std::optional<obs::QlogStreamWriter> qlog_writer;
     if (sampled) {
       // One deterministic file per (session, scheme); workers never share
-      // a stream, so sampling is parallel-safe.
+      // a stream, so sampling is parallel-safe.  The dump is standard
+      // qlog (draft-ietf-quic-qlog written as JSONL, see obs/qlog.h).
+      std::string name = "session_";
+      name += std::to_string(i);
+      name += '_';
+      name += core::scheme_name(scheme);
       std::string path = config.trace_dir;
-      path += "/session_";
-      path += std::to_string(i);
-      path += '_';
-      path += core::scheme_name(scheme);
-      path += ".qlog.jsonl";
+      path += '/';
+      path += name;
+      path += ".sqlog";
       qlog.open(path, std::ios::trunc);
       if (qlog) {
-        qlog_tracer.stream_to(&qlog, /*keep_buffer=*/cfg.collect_phases);
+        obs::QlogTraceInfo info;
+        info.title = name;
+        info.group_id = name;
+        qlog_writer.emplace(qlog, info);
+        qlog_tracer.stream_to(&*qlog_writer,
+                              /*keep_buffer=*/cfg.collect_phases);
         cfg.tracer = &qlog_tracer;
       }
     }

@@ -47,8 +47,9 @@ struct PopulationConfig {
   /// histograms.  Off by default: enabling it attaches a tracer to every
   /// session's server connection.
   bool collect_metrics = false;
-  /// Dump a full streaming qlog (JSONL) of every Nth session into
-  /// trace_dir, one file per (session, scheme).  0 = off.
+  /// Dump a standard qlog (draft-ietf-quic-qlog as JSONL, obs/qlog.h) of
+  /// every Nth session into trace_dir, one `.sqlog` file per
+  /// (session, scheme).  0 = off.
   size_t trace_sample = 0;
   std::string trace_dir = "traces";
 };

@@ -166,7 +166,11 @@ SessionResult run_impl(const SessionConfig& cfg,
   if (cfg.collect_phases && tracer != nullptr) {
     obs::FfctBoundaries b = obs::boundaries_from_trace(*tracer);
     b.request_sent = m.request_sent_at;
-    b.first_byte_received = m.first_byte_at;
+    // Delivery ends at the first *video* byte so reorder/reassembly stalls
+    // anywhere in the container prelude stay attributed to delivery.
+    b.first_byte_received = m.first_frame_byte_at != kNoTime
+                                ? m.first_frame_byte_at
+                                : m.first_byte_at;
     b.first_frame_complete =
         m.frame_complete_at.empty() ? kNoTime : m.frame_complete_at[0];
     result.phases = obs::ffct_phases(b);
@@ -189,6 +193,7 @@ SessionResult run_manual_init_session(const ManualInitConfig& config) {
   cfg.start_time = config.start_time;
   cfg.zero_rtt = true;
   cfg.cookie_sync_enabled = false;
+  cfg.collect_phases = config.collect_phases;
   app::ServerConfig::ManualInit manual{config.init_cwnd_bytes,
                                        config.init_pacing};
   return run_impl(cfg, manual);

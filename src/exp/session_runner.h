@@ -99,6 +99,7 @@ struct ManualInitConfig {
   uint64_t corpus_seed = 42;
   uint64_t seed = 1;
   TimeNs start_time = 0;
+  bool collect_phases = false;  ///< see SessionConfig::collect_phases
 };
 SessionResult run_manual_init_session(const ManualInitConfig& config);
 

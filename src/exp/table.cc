@@ -1,7 +1,12 @@
 #include "exp/table.h"
 
 #include <algorithm>
+#include <array>
 #include <iostream>
+
+#include "exp/population_experiment.h"
+#include "obs/metrics.h"
+#include "obs/phase_timeline.h"
 
 namespace wira::exp {
 
@@ -31,6 +36,60 @@ void Table::print() const { print(std::cout); }
 
 void banner(const std::string& title) {
   std::cout << "\n== " << title << " ==\n";
+}
+
+namespace {
+
+std::string ms_cell(double us) { return fmt(us / 1000.0, 2); }
+
+}  // namespace
+
+Table ffct_phase_table(const std::vector<PhaseGroup>& groups) {
+  Table t({"scheme", "phase", "mean(ms)", "p50", "p90", "p99", "share",
+           "n"});
+  for (const auto& [label, results] : groups) {
+    std::array<obs::LatencyHistogram, obs::kNumPhases> hists;
+    for (const SessionResult* r : results) {
+      if (r == nullptr || r->phases.size() != obs::kNumPhases) continue;
+      for (size_t p = 0; p < obs::kNumPhases; ++p) {
+        hists[p].record(
+            static_cast<uint64_t>(r->phases[p].duration() / 1000));
+      }
+    }
+    // Phases partition FFCT exactly, so the sum of phase means is the
+    // group's mean FFCT — the share denominator.
+    double mean_ffct_us = 0;
+    for (const auto& h : hists) mean_ffct_us += h.mean();
+    for (size_t p = 0; p < obs::kNumPhases; ++p) {
+      const obs::LatencyHistogram& h = hists[p];
+      t.row({label, obs::kPhaseNames[p], ms_cell(h.mean()),
+             ms_cell(h.percentile(50)), ms_cell(h.percentile(90)),
+             ms_cell(h.percentile(99)),
+             mean_ffct_us > 0 ? fmt(100.0 * h.mean() / mean_ffct_us) + "%"
+                              : "-",
+             std::to_string(h.count())});
+    }
+  }
+  return t;
+}
+
+Table ffct_phase_table(const std::vector<SessionRecord>& records) {
+  std::vector<PhaseGroup> groups;
+  for (const SessionRecord& rec : records) {
+    for (const auto& [scheme, res] : rec.results) {
+      const std::string name = core::scheme_name(scheme);
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const PhaseGroup& g) {
+                               return g.first == name;
+                             });
+      if (it == groups.end()) {
+        groups.emplace_back(name, std::vector<const SessionResult*>{});
+        it = groups.end() - 1;
+      }
+      it->second.push_back(&res);
+    }
+  }
+  return ffct_phase_table(groups);
 }
 
 }  // namespace wira::exp

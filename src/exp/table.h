@@ -1,13 +1,18 @@
-// Fixed-width table printer for the figure/table benches.
+// Fixed-width table printer for the figure/table benches, plus the shared
+// FFCT-phase breakdown table every fig/abl binary appends to its output.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.h"
 
 namespace wira::exp {
+
+struct SessionRecord;
+struct SessionResult;
 
 class Table {
  public:
@@ -25,5 +30,22 @@ class Table {
 
 /// Prints a section banner ("== Figure 11 ... ==").
 void banner(const std::string& title);
+
+/// One labeled group of sessions for the phase breakdown ("wira" -> its
+/// completed SessionResults).  Null pointers and sessions without a phase
+/// decomposition are skipped.
+using PhaseGroup =
+    std::pair<std::string, std::vector<const SessionResult*>>;
+
+/// Per-phase FFCT breakdown: one row per (group, phase) with mean / p50 /
+/// p90 / p99 in ms plus the phase's share of the group's mean FFCT.
+/// Samples are recorded into obs::LatencyHistogram at microsecond
+/// resolution — the same log-bucket quantization the metrics registry
+/// exports — so table and BENCH JSON agree.
+Table ffct_phase_table(const std::vector<PhaseGroup>& groups);
+
+/// Convenience overload: groups a population run by scheme (in the scheme
+/// enum order the records carry).
+Table ffct_phase_table(const std::vector<SessionRecord>& records);
 
 }  // namespace wira::exp

@@ -106,6 +106,7 @@ bool FlvDemuxer::process() {
         return false;
       }
       current_.type = static_cast<TagType>(type);
+      if (type == 9) video_started_ = true;
       consume(kFlvTagHeaderSize);
       state_ = State::kTagBody;
       return true;

@@ -77,6 +77,10 @@ class FlvDemuxer {
   uint64_t tags_parsed() const { return tags_parsed_; }
   /// Total bytes consumed so far (for byte-offset bookkeeping).
   uint64_t bytes_consumed() const { return bytes_consumed_; }
+  /// True once the header of the first *video* tag has been parsed, i.e.
+  /// the stream position has reached the first byte of video payload.
+  /// Marks the delivery -> frame_recv phase boundary on the client.
+  bool video_started() const { return video_started_; }
 
  private:
   enum class State { kHeader, kPrevTagSize, kTagHeader, kTagBody, kError };
@@ -89,6 +93,7 @@ class FlvDemuxer {
   FlvTag current_;
   uint64_t tags_parsed_ = 0;
   uint64_t bytes_consumed_ = 0;
+  bool video_started_ = false;
 };
 
 }  // namespace wira::media

@@ -306,7 +306,10 @@ void TsDemuxer::begin_or_append_pes(uint16_t pid, bool payload_start,
     asmbl.random_access = random_access;
     asmbl.buffer.clear();
   }
-  if (!asmbl.active) return;  // continuation without a start: drop
+  if (!asmbl.active) return;
+  if (video_pid_ && pid == *video_pid_ && !payload.empty()) {
+    video_started_ = true;
+  }  // continuation without a start: drop
   asmbl.buffer.insert(asmbl.buffer.end(), payload.begin(), payload.end());
 
   // Early completion when the PES declared its length.

@@ -81,6 +81,10 @@ class TsDemuxer {
   /// PIDs announced by the PMT as video / audio.
   std::optional<uint16_t> video_pid() const { return video_pid_; }
   std::optional<uint16_t> audio_pid() const { return audio_pid_; }
+  /// True once payload for the video PID has been seen, i.e. the stream
+  /// position has reached the first byte of video data.  Marks the
+  /// delivery -> frame_recv phase boundary on the client.
+  bool video_started() const { return video_started_; }
 
   /// Flushes a pending (unterminated) PES unit — call at end of stream.
   void flush();
@@ -105,6 +109,7 @@ class TsDemuxer {
   std::map<uint16_t, PesAssembly> pes_;
   std::optional<uint16_t> video_pid_;
   std::optional<uint16_t> audio_pid_;
+  bool video_started_ = false;
   bool failed_ = false;
   uint64_t packets_parsed_ = 0;
 };

@@ -34,7 +34,8 @@ struct FfctBoundaries {
   TimeNs request_received = kNoTime;     ///< server: PLAY seen (kRequestReceived)
   TimeNs first_origin_byte = kNoTime;    ///< server: first stream byte sent (kOriginByte)
   TimeNs ff_parsed = kNoTime;            ///< server: FF_Size known (kFfParsed)
-  TimeNs first_byte_received = kNoTime;  ///< client: first stream byte
+  TimeNs first_byte_received = kNoTime;  ///< client: first video byte
+                                         ///< (fallback: first stream byte)
   TimeNs first_frame_complete = kNoTime; ///< client: frame 1 done
 };
 
@@ -44,7 +45,10 @@ struct FfctBoundaries {
 ///   origin_fetch -> first stream byte leaves the proxy
 ///   ff_parse     -> FF_Size parse completes / re-init (the corner-case-1
 ///                window during which init_cwnd_exp substitutes)
-///   delivery     -> first stream byte reaches the client
+///   delivery     -> the contiguously-delivered stream reaches the first
+///                byte of video payload at the client (so propagation,
+///                container prelude and any reordering/reassembly stall
+///                before the video data all land here)
 ///   frame_recv   -> first frame completely received
 /// Later boundaries that fired before earlier ones (e.g. the client
 /// received bytes before the parser finished) clamp to zero-length spans.

@@ -1,6 +1,7 @@
 #include "quic/connection.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -448,6 +449,7 @@ void Connection::handle_ack(const AckFrame& ack) {
     trace(trace::EventType::kCwndSample, cc_->congestion_window(),
           bytes_in_flight_);
     trace(trace::EventType::kPacingSample, cc_->pacing_rate());
+    trace_cc_state();
   }
 
   if (sent_.empty()) {
@@ -513,6 +515,14 @@ void Connection::on_packet_lost_internal(PacketNumber pn,
   }
 }
 
+void Connection::trace_cc_state() {
+  if (!tracer_) return;
+  const char* state = cc_->state_name();
+  if (last_cc_state_ && std::strcmp(last_cc_state_, state) == 0) return;
+  last_cc_state_ = state;
+  trace(trace::EventType::kCcStateChanged, 0, 0, state);
+}
+
 // ------------------------------------------------------------------- timers
 
 void Connection::cancel_timer(std::optional<sim::EventId>& id) {
@@ -543,6 +553,7 @@ void Connection::on_loss_timer() {
     event.min_rtt = rtt_.min();
     event.smoothed_rtt = rtt_.smoothed();
     cc_->on_congestion_event(event);
+    trace_cc_state();
     pump();
   }
 }
@@ -584,6 +595,7 @@ void Connection::on_pto() {
   }
   if (pto_count_ >= 2) {
     cc_->on_retransmission_timeout(loop_.now());
+    trace_cc_state();
   }
   arm_pto();
   pump();

@@ -122,6 +122,7 @@ class Connection {
   void set_initial_parameters(uint64_t init_cwnd, Bandwidth init_pacing) {
     cc_->set_initial_parameters(init_cwnd, init_pacing);
     trace(trace::EventType::kInitApplied, init_cwnd, init_pacing);
+    trace_cc_state();
   }
   /// Seeds the RTT estimator (e.g. from Hx_QoS MinRTT or the 1-RTT
   /// handshake measurement) so PTO and pacing fallbacks are sane.
@@ -229,10 +230,14 @@ class Connection {
   int pto_count_ = 0;
 
   trace::Tracer* tracer_ = nullptr;
+  const char* last_cc_state_ = nullptr;  ///< last state traced (literal)
   void trace(trace::EventType type, uint64_t a = 0, uint64_t b = 0,
              std::string detail = {}) {
     if (tracer_) tracer_->record(loop_.now(), type, a, b, std::move(detail));
   }
+  /// Emits kCcStateChanged when the controller's state-machine position
+  /// moved since the last call (first call emits the initial state).
+  void trace_cc_state();
 
   ConnStats stats_;
 };

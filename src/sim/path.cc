@@ -19,6 +19,9 @@ Path::Path(EventLoop& loop, const PathConfig& config, uint64_t seed)
   fwd.buffer_bytes = config.buffer_bytes;
   fwd.loss = config.extra_loss;
   fwd.loss.loss_rate = config.loss_rate;
+  fwd.jitter = config.jitter;
+  fwd.reorder_rate = config.reorder_rate;
+  fwd.reorder_extra_delay = config.reorder_extra_delay;
 
   LinkConfig rev;
   rev.rate = config.reverse_bandwidth;

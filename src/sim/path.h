@@ -19,6 +19,11 @@ struct PathConfig {
   double reverse_loss_rate = 0.0;      ///< ACK-path loss (usually 0)
   Bandwidth reverse_bandwidth = mbps(100);
   LossModel extra_loss;                ///< optional burst-loss overlay (fwd)
+  /// Forward-direction reordering (see LinkConfig): per-packet propagation
+  /// jitter plus an optional extra reorder kick.  Radio-like paths.
+  TimeNs jitter = 0;
+  double reorder_rate = 0;
+  TimeNs reorder_extra_delay = milliseconds(5);
 };
 
 /// The paper's Fig. 2 testbed path: 8 Mbps, 3% loss, 50 ms RTT, 25 KB buffer.

@@ -41,6 +41,7 @@ const char* event_type_name(EventType t) {
     case EventType::kOriginByte: return "origin_byte";
     case EventType::kFfParsed: return "ff_parsed";
     case EventType::kCornerCase: return "corner_case";
+    case EventType::kCcStateChanged: return "cc_state_changed";
   }
   return "?";
 }
@@ -51,14 +52,20 @@ void Tracer::record(TimeNs time, EventType type, uint64_t a, uint64_t b,
   if (sink_) {
     write_event_object(*sink_, e);
     *sink_ << "\n";
-    if (!keep_buffer_) return;
   }
+  if (event_sink_) event_sink_->on_event(e);
+  if ((sink_ || event_sink_) && !keep_buffer_) return;
   events_.push_back(std::move(e));
 }
 
 void Tracer::stream_to(std::ostream* os, bool keep_buffer) {
   sink_ = os;
-  keep_buffer_ = os == nullptr ? true : keep_buffer;
+  keep_buffer_ = (os == nullptr && event_sink_ == nullptr) ? true : keep_buffer;
+}
+
+void Tracer::stream_to(EventSink* sink, bool keep_buffer) {
+  event_sink_ = sink;
+  keep_buffer_ = (sink == nullptr && sink_ == nullptr) ? true : keep_buffer;
 }
 
 size_t Tracer::count(EventType type) const {

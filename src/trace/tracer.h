@@ -9,7 +9,10 @@
 //     qlog) the moment it is recorded, so arbitrarily long sessions never
 //     buffer everything.  stream_to(os, /*keep_buffer=*/true) does both —
 //     the observability layer uses that to extract phase boundaries from
-//     a session that is also being dumped.
+//     a session that is also being dumped.  stream_to(EventSink*) is the
+//     structured flavour of the same hook: the sink sees each Event object
+//     and owns its own serialization (obs::QlogStreamWriter emits
+//     standard draft-ietf-quic-qlog from it).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +41,7 @@ enum class EventType {
   kOriginByte,       ///< first stream byte left the proxy; a = chunk bytes
   kFfParsed,         ///< a = FF_Size, b = bytes fed until parse completed
   kCornerCase,       ///< detail = "cwnd_before_parse"/"stale_cookie"
+  kCcStateChanged,   ///< detail = new controller state ("startup", ...)
 };
 
 const char* event_type_name(EventType t);
@@ -50,6 +54,15 @@ struct Event {
   std::string detail;
 };
 
+/// Receives each event the moment it is recorded.  Implementations own
+/// their serialization format; the tracer never writes through a sink
+/// concurrently with itself (one tracer == one simulated connection).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
 class Tracer {
  public:
   void record(TimeNs time, EventType type, uint64_t a = 0, uint64_t b = 0,
@@ -59,6 +72,18 @@ class Tracer {
   /// (nullptr stops streaming).  Unless `keep_buffer` is set, streamed
   /// events are not retained in memory.
   void stream_to(std::ostream* os, bool keep_buffer = false);
+  /// Structured streaming: forwards every subsequent event to `sink`
+  /// (nullptr stops).  Same keep_buffer semantics as the ostream flavour.
+  /// An ostream sink and an EventSink may be active simultaneously; each
+  /// writes to its own destination, so outputs never interleave.
+  void stream_to(EventSink* sink, bool keep_buffer = false);
+  /// Detaches both sinks and resumes buffering (bare `stream_to(nullptr)`
+  /// would be ambiguous between the two overloads).
+  void stop_streaming() {
+    sink_ = nullptr;
+    event_sink_ = nullptr;
+    keep_buffer_ = true;
+  }
 
   const std::vector<Event>& events() const { return events_; }
   size_t count(EventType type) const;
@@ -80,6 +105,7 @@ class Tracer {
  private:
   std::vector<Event> events_;
   std::ostream* sink_ = nullptr;
+  EventSink* event_sink_ = nullptr;
   bool keep_buffer_ = true;
 };
 

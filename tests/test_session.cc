@@ -121,6 +121,61 @@ TEST(Session, LossyPathStillCompletes) {
   EXPECT_LT(to_ms(r.ffct), 2000.0);
 }
 
+// Regression test for the delivery/frame_recv boundary: the delivery
+// phase ends at the first *video* byte contiguously delivered, so a
+// reordering hole anywhere in the container prelude (header/script/audio
+// tags before the I frame) charges the stall to `delivery`, not to
+// `frame_recv`.  Before the fix, the boundary was the first stream byte
+// and a head-of-line hole after byte 0 inflated frame_recv instead.
+TEST(Session, ReorderingStallChargesDeliveryNotFrameRecv) {
+  SessionConfig cfg = clean_path_session();
+  cfg.collect_phases = true;
+  cfg.seed = 3;
+  auto clean = run_session(cfg);
+  ASSERT_TRUE(clean.first_frame_completed);
+  ASSERT_EQ(clean.phases.size(), obs::kNumPhases);
+
+  SessionConfig reordered_cfg = cfg;
+  reordered_cfg.path.jitter = milliseconds(2);
+  reordered_cfg.path.reorder_rate = 0.3;
+  reordered_cfg.path.reorder_extra_delay = milliseconds(30);
+  auto reordered = run_session(reordered_cfg);
+  ASSERT_TRUE(reordered.first_frame_completed);
+  ASSERT_EQ(reordered.phases.size(), obs::kNumPhases);
+
+  // The partition is exact on both runs: spans sum to FFCT identically.
+  const auto span_sum = [](const SessionResult& r) {
+    TimeNs sum = 0;
+    for (const auto& p : r.phases) sum += p.duration();
+    return sum;
+  };
+  EXPECT_EQ(span_sum(clean), clean.ffct);
+  EXPECT_EQ(span_sum(reordered), reordered.ffct);
+
+  const auto phase_ms = [](const SessionResult& r, const char* name) {
+    for (const auto& p : r.phases) {
+      if (std::string_view(p.name) == name) return to_ms(p.duration());
+    }
+    ADD_FAILURE() << "phase " << name << " missing";
+    return 0.0;
+  };
+
+  // Reordering must actually have stalled the first frame.
+  const double delta_ms = to_ms(reordered.ffct) - to_ms(clean.ffct);
+  ASSERT_GT(delta_ms, 10.0) << "seed/path no longer produce a stall; "
+                               "pick a new probe seed";
+
+  // The stall lands in delivery; frame_recv barely moves.
+  const double delivery_delta =
+      phase_ms(reordered, "delivery") - phase_ms(clean, "delivery");
+  const double frame_recv_delta =
+      phase_ms(reordered, "frame_recv") - phase_ms(clean, "frame_recv");
+  EXPECT_GT(delivery_delta, 0.5 * delta_ms)
+      << "delivery must absorb the reordering stall";
+  EXPECT_LT(std::abs(frame_recv_delta), 0.5 * delivery_delta)
+      << "frame_recv must not be charged for a pre-video stall";
+}
+
 TEST(Session, DeterministicGivenSeed) {
   SessionConfig cfg = clean_path_session();
   cfg.path.loss_rate = 0.02;

@@ -96,7 +96,7 @@ TEST(Tracer, StreamingSinkWritesJsonlImmediately) {
   EXPECT_EQ(t.events().size(), 1u);
   EXPECT_NE(os.str().find("packet_acked"), std::string::npos);
   // Detaching restores buffer-only behaviour.
-  t.stream_to(nullptr);
+  t.stop_streaming();
   t.record(microseconds(7), EventType::kPacketLost, 2, 1200);
   EXPECT_EQ(t.events().size(), 2u);
 }

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Noise-aware perf/QoE regression gate over the perf trajectory.
+
+Compares one bench/perf_smoke JSON (a BENCH_<date>.json file) against the
+median of the last K comparable records in bench_history/
+perf_trajectory.jsonl and exits non-zero when any guarded metric regressed
+past its budget.  "Comparable" means same session count, seed and thread
+count: records from differently shaped runs are skipped (throughput is
+not comparable across thread counts), so resizing the smoke run never
+trips the gate, it just restarts the history window.
+
+Guarded metrics and their default budgets:
+
+  sessions_per_sec_1t   relative, --budget-throughput (default 0.15):
+  sessions_per_sec_nt   fail when current < median * (1 - budget).
+                        Wall-clock throughput is the noisy one (shared
+                        container, turbo states), hence the wide budget;
+                        widen it with the flag if the host is noisier.
+
+  ffct_ms.<scheme>      relative, --budget-ffct (default 0.02): fail when
+                        current > median * (1 + budget).  The simulation
+                        is deterministic for a fixed (sessions, seed), so
+                        mean FFCT per scheme should be bit-identical run
+                        to run; the 2% budget only absorbs histogram
+                        requantization if bucket shapes ever change.
+
+  metrics_overhead      absolute, --budget-overhead (default 0.10): fail
+                        when current > median + budget.  A ratio near 0;
+                        relative budgets are meaningless for it.
+
+Directionality is enforced: improvements (faster, lower FFCT) never fail.
+Metrics absent from history (e.g. ffct_ms before it was recorded) are
+skipped with a note — the gate only compares what both sides have.
+
+Exit codes: 0 pass (or insufficient history, with a warning), 1 regression,
+2 usage/IO error.  Stdlib only.
+
+Usage:
+  tools/bench_gate.py BENCH_2026-08-06.json
+  tools/bench_gate.py BENCH.json --history bench_history/perf_trajectory.jsonl
+  tools/bench_gate.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+GATED_THROUGHPUT = ["sessions_per_sec_1t", "sessions_per_sec_nt"]
+
+
+def median(vals):
+    s = sorted(vals)
+    n = len(s)
+    if n == 0:
+        raise ValueError("median of empty list")
+    mid = n // 2
+    if n % 2 == 1:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def load_history(path):
+    """Returns the list of parsed trajectory rows (bad lines skipped)."""
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict):
+                rows.append(row)
+    return rows
+
+
+def flatten_ffct(record):
+    """{"ffct_ms.Wira": 138.0, ...} from a bench record (may be empty)."""
+    out = {}
+    ffct = record.get("ffct_ms")
+    if isinstance(ffct, dict):
+        for scheme, value in ffct.items():
+            if isinstance(value, (int, float)):
+                out["ffct_ms." + scheme] = float(value)
+    return out
+
+
+class Gate:
+    """Collects per-metric verdicts; pass/fail decided at the end."""
+
+    def __init__(self, out=sys.stdout):
+        self.failures = []
+        self.checks = 0
+        self.out = out
+
+    def note(self, msg):
+        print("bench_gate: " + msg, file=self.out)
+
+    def check(self, name, current, baseline, budget, kind):
+        """kind: 'lower_fails' (throughput) or 'higher_fails' (latency).
+
+        budget is relative unless kind ends with '_abs'.
+        """
+        self.checks += 1
+        absolute = kind.endswith("_abs")
+        direction = "lower_fails" if kind.startswith("lower") else "higher_fails"
+        if absolute:
+            if direction == "lower_fails":
+                limit = baseline - budget
+                bad = current < limit
+            else:
+                limit = baseline + budget
+                bad = current > limit
+        else:
+            if direction == "lower_fails":
+                limit = baseline * (1.0 - budget)
+                bad = current < limit
+            else:
+                limit = baseline * (1.0 + budget)
+                bad = current > limit
+        verdict = "FAIL" if bad else "ok"
+        self.note(
+            "%-28s current=%-10.4g median=%-10.4g limit=%-10.4g %s"
+            % (name, current, baseline, limit, verdict)
+        )
+        if bad:
+            self.failures.append(name)
+
+    def passed(self):
+        return not self.failures
+
+
+def run_gate(current, history, args, out=sys.stdout):
+    """Returns process exit code (0 pass, 1 regression)."""
+    gate = Gate(out)
+    comparable = [
+        r
+        for r in history
+        if r.get("sessions") == current.get("sessions")
+        and r.get("seed") == current.get("seed")
+        and r.get("threads") == current.get("threads")
+    ]
+    window = comparable[-args.window :]
+    if len(window) < args.min_history:
+        gate.note(
+            "only %d comparable history record(s) (need %d) — passing "
+            "without comparison" % (len(window), args.min_history)
+        )
+        return 0
+    gate.note(
+        "comparing against median of last %d comparable record(s)"
+        % len(window)
+    )
+
+    for name in GATED_THROUGHPUT:
+        cur = current.get(name)
+        base = [r[name] for r in window if isinstance(r.get(name), (int, float))]
+        if not isinstance(cur, (int, float)) or not base:
+            gate.note("%-28s skipped (absent from run or history)" % name)
+            continue
+        gate.check(name, float(cur), median(base), args.budget_throughput,
+                   "lower_fails")
+
+    cur_ffct = flatten_ffct(current)
+    hist_ffct = [flatten_ffct(r) for r in window]
+    for name in sorted(cur_ffct):
+        base = [h[name] for h in hist_ffct if name in h]
+        if not base:
+            gate.note("%-28s skipped (absent from history)" % name)
+            continue
+        gate.check(name, cur_ffct[name], median(base), args.budget_ffct,
+                   "higher_fails")
+
+    cur_ov = current.get("metrics_overhead")
+    base_ov = [
+        r["metrics_overhead"]
+        for r in window
+        if isinstance(r.get("metrics_overhead"), (int, float))
+    ]
+    if isinstance(cur_ov, (int, float)) and base_ov:
+        gate.check("metrics_overhead", float(cur_ov), median(base_ov),
+                   args.budget_overhead, "higher_fails_abs")
+    else:
+        gate.note("metrics_overhead             skipped (absent)")
+
+    if gate.passed():
+        gate.note("PASS (%d metric(s) checked)" % gate.checks)
+        return 0
+    gate.note("REGRESSION in: " + ", ".join(gate.failures))
+    return 1
+
+
+def self_test(args):
+    """Synthetic-data checks of the gate logic itself (used as a ctest)."""
+
+    def rec(sps=50.0, ffct=150.0, overhead=0.05, sessions=300, seed=1):
+        return {
+            "sessions": sessions,
+            "seed": seed,
+            "threads": 4,
+            "sessions_per_sec_1t": sps,
+            "sessions_per_sec_nt": sps * 1.8,
+            "metrics_overhead": overhead,
+            "ffct_ms": {"Baseline": ffct * 1.1, "Wira": ffct},
+        }
+
+    # Mild run-to-run jitter in the history; medians sit near the nominal.
+    history = [rec(sps=50.0 + d, overhead=0.05 + d / 1000.0)
+               for d in (-2.0, -1.0, 0.0, 1.0, 2.0)]
+    sink = open(os.devnull, "w")
+    cases = [
+        ("clean rerun passes", rec(), 0),
+        ("20% sessions/sec regression fails", rec(sps=40.0), 1),
+        ("small throughput jitter passes", rec(sps=46.0), 0),
+        ("throughput improvement passes", rec(sps=70.0), 0),
+        ("5% mean FFCT regression fails", rec(ffct=157.5), 1),
+        ("FFCT improvement passes", rec(ffct=120.0), 0),
+        ("overhead above absolute budget fails", rec(overhead=0.2), 1),
+        ("overhead within absolute budget passes", rec(overhead=0.12), 0),
+        ("different workload skips comparison", rec(sps=10.0, sessions=50), 0),
+        ("scheme absent from history is skipped",
+         {**rec(), "ffct_ms": {"Wira": 150.0, "NewScheme": 1e9}}, 0),
+    ]
+    failures = []
+    for name, current, expect in cases:
+        got = run_gate(current, history, args, out=sink)
+        status = "ok" if got == expect else "FAIL"
+        print("self-test: %-42s expect=%d got=%d %s"
+              % (name, expect, got, status))
+        if got != expect:
+            failures.append(name)
+    if failures:
+        print("self-test FAILED: " + ", ".join(failures))
+        return 1
+    print("self-test passed (%d cases)" % len(cases))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="perf/QoE regression gate vs the perf trajectory")
+    ap.add_argument("bench_json", nargs="?",
+                    help="current perf_smoke JSON (BENCH_<date>.json)")
+    ap.add_argument("--history",
+                    default="bench_history/perf_trajectory.jsonl",
+                    help="trajectory JSONL (default: %(default)s)")
+    ap.add_argument("--window", type=int, default=5,
+                    help="median over the last K comparable records")
+    ap.add_argument("--min-history", type=int, default=1,
+                    help="pass without comparison below this many records")
+    ap.add_argument("--budget-throughput", type=float, default=0.15,
+                    help="relative slowdown allowed on sessions/sec")
+    ap.add_argument("--budget-ffct", type=float, default=0.02,
+                    help="relative increase allowed on mean FFCT per scheme")
+    ap.add_argument("--budget-overhead", type=float, default=0.10,
+                    help="absolute increase allowed on metrics_overhead")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in logic checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args))
+
+    if not args.bench_json:
+        ap.error("bench_json is required unless --self-test")
+    try:
+        with open(args.bench_json) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench_gate: cannot read %s: %s" % (args.bench_json, e),
+              file=sys.stderr)
+        sys.exit(2)
+    if not os.path.exists(args.history):
+        print("bench_gate: no history at %s — passing without comparison"
+              % args.history)
+        sys.exit(0)
+    history = load_history(args.history)
+    sys.exit(run_gate(current, history, args))
+
+
+if __name__ == "__main__":
+    main()

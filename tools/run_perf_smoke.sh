@@ -32,11 +32,24 @@ if ! grep -q '"deterministic": true' "${out}"; then
   exit 1
 fi
 
-# Append the scalar fields (the aggregate "metrics" object stays in the
-# dated file only) as one line into the long-term trajectory.
 history_dir="${repo_root}/bench_history"
 mkdir -p "${history_dir}"
 trajectory="${history_dir}/perf_trajectory.jsonl"
+
+# Regression gate BEFORE the append: compare this run against the median
+# of recent comparable records (same sessions+seed).  A regressed run is
+# NOT appended, so it cannot drag the baseline down for the next run.
+# Budgets and their rationale: tools/bench_gate.py --help.
+if ! python3 "${repo_root}/tools/bench_gate.py" "${out}" \
+    --history "${trajectory}"; then
+  echo "FAIL: bench_gate detected a perf/QoE regression (record not" \
+       "appended to the trajectory)" >&2
+  exit 1
+fi
+
+# Append the scalar fields plus the QoE summary (the aggregate "metrics"
+# object stays in the dated file only) as one line into the long-term
+# trajectory.
 python3 - "${out}" "$(date +%Y-%m-%dT%H:%M:%S)" >> "${trajectory}" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
