@@ -46,8 +46,9 @@ CrowdResult run_crowd(core::Scheme scheme, int viewers, uint64_t seed) {
   base.scheme = scheme;
   base.master_key = crypto::key_from_string("edge");
   app::WiraEdge edge(loop, stream, base);
-  net.set_server_receiver(
-      [&edge](sim::Datagram& d) { edge.on_datagram(d.payload); });
+  net.set_server_receiver([&edge](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) edge.on_datagram(d.payload);
+  });
 
   struct Viewer {
     std::unique_ptr<app::PlayerClient> client;
@@ -87,8 +88,8 @@ CrowdResult run_crowd(core::Scheme scheme, int viewers, uint64_t seed) {
           net.send_to_server(leg, std::move(dg));
         });
     net.set_client_receiver(
-        leg, [c = v.client.get()](sim::Datagram& d) {
-          c->on_datagram(d.payload);
+        leg, [c = v.client.get()](std::span<sim::Datagram> batch) {
+          for (sim::Datagram& d : batch) c->on_datagram(d.payload);
         });
     v.cache.server_configs[7] = server.server_config_id();
     core::CookieSealer sealer(crypto::key_from_string("edge"));

@@ -18,12 +18,15 @@ Packet make_data_packet() {
   RangeSet acked;
   acked.add(100, 200);
   acked.add(250, 300);
-  p.frames.push_back(build_ack(acked, milliseconds(1)));
+  p.frames.emplace_back(build_ack(acked, milliseconds(1)));
   StreamFrame f;
   f.stream_id = 3;
   f.offset = 1 << 20;
-  f.data.assign(1350, 0xCD);
-  p.frames.push_back(std::move(f));
+  // Spans borrow; back the payload with function-static storage so the
+  // returned packet stays valid for the benchmark's lifetime.
+  static const std::vector<uint8_t> payload(1350, 0xCD);
+  f.data = payload;
+  p.frames.emplace_back(std::move(f));
   return p;
 }
 

@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "obs/phase_timeline.h"
+#include "util/alloc_stats.h"
 
 using namespace wira;
 using namespace wira::exp;
@@ -118,7 +119,24 @@ int main(int argc, char** argv) {
 
   cfg.threads = 1;
   std::vector<SessionRecord> serial_records;
+  const uint64_t allocs_before = util::heap_alloc_count();
   const double serial_sec = run_timed(cfg, &serial_records);
+  const uint64_t allocs_serial = util::heap_alloc_count() - allocs_before;
+
+  // Allocation accounting over the serial pass: operator-new calls (live
+  // because this binary links alloc_hook.cc) and arena bytes, both per
+  // (session, scheme) run.  Heap-side is the gated metric; arena-side
+  // shows where the traffic moved.
+  uint64_t session_runs = 0;
+  uint64_t arena_bytes = 0;
+  for (const SessionRecord& rec : serial_records) {
+    session_runs += rec.results.size();
+    for (const auto& [scheme, res] : rec.results) arena_bytes += res.arena_bytes;
+  }
+  const double runs = session_runs > 0 ? static_cast<double>(session_runs) : 1;
+  const double allocs_per_session = static_cast<double>(allocs_serial) / runs;
+  const double arena_bytes_per_session =
+      static_cast<double>(arena_bytes) / runs;
 
   cfg.threads = par_threads;
   std::vector<SessionRecord> parallel_records;
@@ -156,6 +174,8 @@ int main(int argc, char** argv) {
       "  \"sessions_per_sec_nt\": %.1f,\n"
       "  \"speedup\": %.2f,\n"
       "  \"metrics_overhead\": %.3f,\n"
+      "  \"allocs_per_session\": %.1f,\n"
+      "  \"arena_bytes_per_session\": %.1f,\n"
       "  \"deterministic\": %s,\n"
       "  \"ffct_ms\": %s,\n"
       "  \"phases\": %s,\n"
@@ -164,7 +184,8 @@ int main(int argc, char** argv) {
       args.sessions, static_cast<unsigned long long>(args.seed),
       effective_threads, serial_sec, parallel_sec, metrics_sec,
       n / serial_sec, n / parallel_sec, serial_sec / parallel_sec,
-      metrics_sec / parallel_sec - 1.0, deterministic ? "true" : "false",
+      metrics_sec / parallel_sec - 1.0, allocs_per_session,
+      arena_bytes_per_session, deterministic ? "true" : "false",
       ffct_json.c_str(), phases_json.c_str(), metrics_json.str().c_str());
   return deterministic ? 0 : 1;
 }

@@ -70,9 +70,13 @@ Session start_viewer_session(sim::EventLoop& loop,
         p.reverse().send(std::move(dg));
       });
   s.path->forward().set_receiver(
-      [&c = *s.client](sim::Datagram& d) { c.on_datagram(d.payload); });
+      [&c = *s.client](std::span<sim::Datagram> batch) {
+        for (sim::Datagram& d : batch) c.on_datagram(d.payload);
+      });
   s.path->reverse().set_receiver(
-      [&sv = *s.server](sim::Datagram& d) { sv.on_datagram(d.payload); });
+      [&sv = *s.server](std::span<sim::Datagram> batch) {
+        for (sim::Datagram& d : batch) sv.on_datagram(d.payload);
+      });
 
   loop.schedule_at(start, [&c = *s.client] { c.start(); });
   return s;

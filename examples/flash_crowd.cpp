@@ -38,8 +38,9 @@ double run_crowd(core::Scheme scheme, int viewers, Samples& ffcts) {
   base.scheme = scheme;
   base.master_key = crypto::key_from_string("edge");
   app::WiraEdge edge(loop, stream, base);
-  net.set_server_receiver(
-      [&edge](sim::Datagram& d) { edge.on_datagram(d.payload); });
+  net.set_server_receiver([&edge](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) edge.on_datagram(d.payload);
+  });
 
   std::vector<Viewer> crowd(static_cast<size_t>(viewers));
   Rng rng(4);
@@ -78,8 +79,8 @@ double run_crowd(core::Scheme scheme, int viewers, Samples& ffcts) {
           dg.payload = std::move(d);
           net.send_to_server(leg, std::move(dg));
         });
-    net.set_client_receiver(leg, [&v](sim::Datagram& d) {
-      v.client->on_datagram(d.payload);
+    net.set_client_receiver(leg, [&v](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) v.client->on_datagram(d.payload);
     });
 
     // 0-RTT, with a plausible cookie for this leg.

@@ -55,10 +55,12 @@ int main() {
                              dg.payload = std::move(d);
                              path.reverse().send(std::move(dg));
                            });
-  path.forward().set_receiver(
-      [&client](sim::Datagram& d) { client.on_datagram(d.payload); });
-  path.reverse().set_receiver(
-      [&server](sim::Datagram& d) { server.on_datagram(d.payload); });
+  path.forward().set_receiver([&client](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) client.on_datagram(d.payload);
+  });
+  path.reverse().set_receiver([&server](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) server.on_datagram(d.payload);
+  });
 
   trace::Tracer tracer;
   server.connection().set_tracer(&tracer);

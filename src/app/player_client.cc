@@ -119,7 +119,11 @@ void PlayerClient::on_ts_unit(const media::TsPesUnit& unit) {
 
 void PlayerClient::on_hxqos(const quic::HxQosFrame& frame) {
   metrics_.cookies_received++;
-  cache_.cookies.store(od_key_, frame.sealed_blob, loop_.now());
+  // The blob span borrows the datagram buffer; the cache outlives it.
+  cache_.cookies.store(
+      od_key_,
+      std::vector<uint8_t>(frame.sealed_blob.begin(), frame.sealed_blob.end()),
+      loop_.now());
 }
 
 }  // namespace wira::app

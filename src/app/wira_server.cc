@@ -193,9 +193,11 @@ void WiraServer::sync_cookie() {
       record.loss_rate = static_cast<double>(st.packets_lost) /
                          static_cast<double>(st.data_packets_sent);
     }
+    // The frame borrows `blob`; send_hxqos serializes synchronously.
+    const std::vector<uint8_t> blob = sealer_.seal(record);
     quic::HxQosFrame frame;
     frame.server_time_ms = static_cast<uint64_t>(to_ms(loop_.now()));
-    frame.sealed_blob = sealer_.seal(record);
+    frame.sealed_blob = blob;
     conn_.send_hxqos(frame);
     cookies_synced_++;
     trace(trace::EventType::kCookieEvent, frame.sealed_blob.size(), 0,

@@ -20,8 +20,25 @@ void BandwidthSampler::on_packet_sent(TimeNs now, uint64_t packet_number,
   st.first_sent_time = first_sent_time_;
   st.sent_time = now;
   st.app_limited = delivered_ < app_limited_until_;
-  packets_[packet_number] = st;
+  store(packet_number, st);
   first_sent_time_ = now;
+}
+
+void BandwidthSampler::store(uint64_t packet_number, const PacketState& st) {
+  if (!free_nodes_.empty()) {
+    auto nh = std::move(free_nodes_.back());
+    free_nodes_.pop_back();
+    nh.key() = packet_number;
+    nh.mapped() = st;
+    packets_.insert(std::move(nh));
+    return;
+  }
+  packets_.emplace(packet_number, st);
+}
+
+void BandwidthSampler::recycle(
+    std::unordered_map<uint64_t, PacketState>::iterator it) {
+  free_nodes_.push_back(packets_.extract(it));
 }
 
 RateSample BandwidthSampler::on_packet_acked(TimeNs now,
@@ -30,7 +47,7 @@ RateSample BandwidthSampler::on_packet_acked(TimeNs now,
   auto it = packets_.find(packet_number);
   if (it == packets_.end()) return sample;
   const PacketState st = it->second;
-  packets_.erase(it);
+  recycle(it);
 
   delivered_ += st.bytes;
   delivered_time_ = now;
@@ -50,7 +67,8 @@ RateSample BandwidthSampler::on_packet_acked(TimeNs now,
 }
 
 void BandwidthSampler::on_packet_lost(uint64_t packet_number) {
-  packets_.erase(packet_number);
+  auto it = packets_.find(packet_number);
+  if (it != packets_.end()) recycle(it);
 }
 
 }  // namespace wira::cc

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "util/units.h"
 
@@ -46,11 +47,19 @@ class BandwidthSampler {
     bool app_limited = false;
   };
 
+  /// Inserts `st` under `packet_number`, reusing a recycled map node
+  /// when one is available (per-packet path: no steady-state allocation).
+  void store(uint64_t packet_number, const PacketState& st);
+  /// Erases `it`, stashing its node for reuse.
+  void recycle(std::unordered_map<uint64_t, PacketState>::iterator it);
+
   uint64_t delivered_ = 0;
   TimeNs delivered_time_ = 0;
   TimeNs first_sent_time_ = 0;
   uint64_t app_limited_until_ = 0;
   std::unordered_map<uint64_t, PacketState> packets_;
+  std::vector<std::unordered_map<uint64_t, PacketState>::node_type>
+      free_nodes_;
 };
 
 }  // namespace wira::cc

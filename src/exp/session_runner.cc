@@ -96,11 +96,11 @@ SessionResult run_impl(const SessionConfig& cfg,
                              path.reverse().send(std::move(d));
                            });
 
-  path.forward().set_receiver([&client](sim::Datagram& d) {
-    client.on_datagram(d.payload);
+  path.forward().set_receiver([&client](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) client.on_datagram(d.payload);
   });
-  path.reverse().set_receiver([&server](sim::Datagram& d) {
-    server.on_datagram(d.payload);
+  path.reverse().set_receiver([&server](std::span<sim::Datagram> batch) {
+    for (sim::Datagram& d : batch) server.on_datagram(d.payload);
   });
 
   // Observability: attach the caller's tracer, or a session-local one when
@@ -175,6 +175,7 @@ SessionResult run_impl(const SessionConfig& cfg,
         m.frame_complete_at.empty() ? kNoTime : m.frame_complete_at[0];
     result.phases = obs::ffct_phases(b);
   }
+  result.arena_bytes = loop.arena().total_allocated();
   return result;
 }
 

@@ -85,6 +85,11 @@ struct SessionResult {
   bool cwnd_fallback = false;
   /// The client attempted 0-RTT but the handshake fell back to 1-RTT.
   bool zero_rtt_rejected = false;
+
+  // ---- allocation accounting (PR 4) ----
+  /// Cumulative bytes the session's event loop handed out of its bump
+  /// arena (perf diagnostics only; never exported to session JSONL).
+  uint64_t arena_bytes = 0;
 };
 
 SessionResult run_session(const SessionConfig& config);

@@ -34,18 +34,33 @@ void FlvMuxer::write_tag(TagType type, TimeNs pts,
 }
 
 void FlvMuxer::write_frame(const MediaFrame& frame) {
-  std::vector<uint8_t> body;
-  body.reserve(frame.payload_bytes);
+  // Synthetic payloads are generated straight into the writer (one exact
+  // reserve, no intermediate body buffer): this is the origin's per-frame
+  // hot path, and the byte-by-byte vector growth dominated its allocs.
+  const bool has_marker =
+      frame.type == TagType::kVideo || frame.type == TagType::kAudio;
+  const size_t body_size =
+      std::max<size_t>(frame.payload_bytes, has_marker ? 1 : 0);
+  writer_.reserve(writer_.size() + kFlvTagHeaderSize + body_size +
+                  kFlvPreviousTagSize);
+  const uint32_t ts = static_cast<uint32_t>(to_ms(frame.pts));
+  writer_.u8(static_cast<uint8_t>(frame.type));
+  writer_.u24be(static_cast<uint32_t>(body_size));
+  writer_.u24be(ts & 0xFFFFFF);
+  writer_.u8(static_cast<uint8_t>(ts >> 24));  // extended timestamp
+  writer_.u24be(0);                            // stream id
   if (frame.type == TagType::kVideo) {
     // FrameType(4) | CodecID(4); codec 7 = AVC.
-    body.push_back(static_cast<uint8_t>(
+    writer_.u8(static_cast<uint8_t>(
         (static_cast<uint8_t>(frame.video_kind) << 4) | 0x07));
   } else if (frame.type == TagType::kAudio) {
     // SoundFormat 10 (AAC), 44kHz stereo 16-bit.
-    body.push_back(0xAF);
+    writer_.u8(0xAF);
   }
-  while (body.size() < frame.payload_bytes) body.push_back(filler(body.size()));
-  write_tag(frame.type, frame.pts, body);
+  for (size_t i = has_marker ? 1 : 0; i < body_size; ++i) {
+    writer_.u8(filler(i));
+  }
+  writer_.u32be(static_cast<uint32_t>(kFlvTagHeaderSize + body_size));
 }
 
 void FlvMuxer::write_metadata(

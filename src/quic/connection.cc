@@ -38,19 +38,22 @@ void Connection::connect(const ClientConnectOptions& opts) {
 
 void Connection::send_crypto_message(const HandshakeMessage& msg,
                                      PacketType packet_type) {
+  // The frame borrows `wire`; send_packet serializes synchronously (and
+  // copies the crypto bytes into SentPacketInfo), so the local suffices.
+  const std::vector<uint8_t> wire = serialize_handshake(msg);
   CryptoFrame frame;
-  frame.data = serialize_handshake(msg);
+  frame.data = wire;
 
-  Packet p;
+  Packet p(&loop_.arena());
   p.type = packet_type;
   p.conn_id = config_.conn_id;
   if (ack_pending_) {
-    p.frames.push_back(build_ack(received_, 0));
+    p.frames.push_back(build_ack(received_, 0, 32, &loop_.arena()));
     ack_pending_ = false;
     unacked_retransmittable_ = 0;
     cancel_timer(ack_timer_);
   }
-  p.frames.push_back(std::move(frame));
+  p.frames.emplace_back(frame);
   send_packet(std::move(p), /*bypass_pacer=*/true);
 }
 
@@ -181,17 +184,17 @@ void Connection::write_stream(StreamId id, std::span<const uint8_t> data,
 
 void Connection::send_hxqos(const HxQosFrame& frame) {
   if (closed_) return;
-  Packet p;
+  Packet p(&loop_.arena());
   p.type = PacketType::kHxQos;
   p.conn_id = config_.conn_id;
-  p.frames.push_back(frame);
+  p.frames.emplace_back(frame);
   // Small periodic beacon: not paced, but tracked so losses are visible.
   send_packet(std::move(p), /*bypass_pacer=*/true);
 }
 
 void Connection::close(uint64_t error_code, std::string reason) {
   if (closed_) return;
-  Packet p;
+  Packet p(&loop_.arena());
   p.type = PacketType::kOneRtt;
   p.conn_id = config_.conn_id;
   p.frames.push_back(ConnectionCloseFrame{error_code, std::move(reason)});
@@ -228,14 +231,14 @@ void Connection::pump() {
       return;
     }
 
-    Packet p;
+    Packet p(&loop_.arena());
     p.type = zero_rtt_ && config_.is_server == false && !rtt_.has_sample()
                  ? PacketType::kZeroRtt
                  : PacketType::kOneRtt;
     p.conn_id = config_.conn_id;
     size_t budget = kMaxPacketPayload;
     if (ack_pending_) {
-      AckFrame ack = build_ack(received_, 0);
+      AckFrame ack = build_ack(received_, 0, 32, &loop_.arena());
       budget -= std::min(budget, frame_wire_size(Frame{ack}));
       p.frames.push_back(std::move(ack));
       ack_pending_ = false;
@@ -250,9 +253,9 @@ void Connection::pump() {
         f.stream_id = id;
         f.offset = chunk->offset;
         f.fin = chunk->fin;
-        f.data = std::move(chunk->data);
+        f.data = chunk->data;  // borrows the stream's retained buffer
         budget -= std::min(budget, frame_wire_size(Frame{f}));
-        p.frames.push_back(std::move(f));
+        p.frames.emplace_back(f);
       }
       if (budget <= 24) break;
     }
@@ -265,20 +268,46 @@ void Connection::pump() {
   }
 }
 
+Connection::SentPacketInfo& Connection::acquire_sent_slot(PacketNumber pn) {
+  if (!free_sent_nodes_.empty()) {
+    auto nh = std::move(free_sent_nodes_.back());
+    free_sent_nodes_.pop_back();
+    nh.key() = pn;
+    return sent_.insert(std::move(nh)).position->second;
+  }
+  return sent_.emplace(pn, SentPacketInfo{}).first->second;
+}
+
+Connection::SentMap::iterator Connection::release_sent_node(
+    SentMap::iterator it) {
+  auto next = std::next(it);
+  free_sent_nodes_.push_back(sent_.extract(it));
+  return next;
+}
+
 PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
   packet.packet_number = next_packet_number_++;
   const PacketNumber pn = packet.packet_number;
 
-  SentPacketInfo info;
+  // Fill the tracking slot in place: retransmittable packets land
+  // directly in a recycled sent_ node (vector capacity retained), pure
+  // ACKs reuse the scratch slot — no allocation either way.
+  const bool retransmittable = packet.retransmittable();
+  SentPacketInfo& info =
+      retransmittable ? acquire_sent_slot(pn) : scratch_sent_info_;
   info.sent_time = loop_.now();
-  info.retransmittable = packet.retransmittable();
+  info.retransmittable = retransmittable;
+  info.stream_refs.clear();
+  info.crypto_data.clear();
   for (const Frame& f : packet.frames) {
     if (const auto* sf = std::get_if<StreamFrame>(&f)) {
       info.stream_refs.push_back(
           StreamRef{sf->stream_id, sf->offset, sf->data.size(), sf->fin});
       stats_.stream_bytes_sent += sf->data.size();
     } else if (const auto* cf = std::get_if<CryptoFrame>(&f)) {
-      info.crypto_data = cf->data;
+      // Explicit copy: the span dies with the packet, the retransmit
+      // payload must survive in sent_.
+      info.crypto_data.assign(cf->data.begin(), cf->data.end());
     }
   }
 
@@ -289,7 +318,7 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
   stats_.bytes_sent += info.bytes;
   trace(trace::EventType::kPacketSent, pn, info.bytes);
 
-  if (info.retransmittable) {
+  if (retransmittable) {
     stats_.data_packets_sent++;
     sampler_.on_packet_sent(loop_.now(), pn, info.bytes, bytes_in_flight_);
     bytes_in_flight_ += info.bytes;
@@ -297,7 +326,6 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
     if (!bypass_pacer) {
       pacer_.on_packet_sent(loop_.now(), info.bytes, cc_->pacing_rate());
     }
-    sent_.emplace(pn, std::move(info));
     arm_pto();
   }
 
@@ -309,7 +337,11 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
 
 void Connection::on_datagram(std::span<const uint8_t> data) {
   if (closed_) return;
-  auto packet = parse_packet(data);
+  // Zero-copy parse: the packet's frame vector and ACK ranges live in the
+  // loop's arena, payload spans borrow `data` — nothing below may retain
+  // either past this call (RecvStream copies at reassembly, crypto/cookie
+  // consumers copy explicitly).
+  auto packet = parse_packet(data, &loop_.arena());
   if (!packet) return;
   stats_.packets_received++;
   if (received_.contains(packet->packet_number)) return;  // duplicate
@@ -367,10 +399,10 @@ void Connection::send_ack_now() {
   if (oldest_unacked_recv_time_ != kNoTime) {
     delay = loop_.now() - oldest_unacked_recv_time_;
   }
-  Packet p;
+  Packet p(&loop_.arena());
   p.type = PacketType::kOneRtt;
   p.conn_id = config_.conn_id;
-  p.frames.push_back(build_ack(received_, delay));
+  p.frames.push_back(build_ack(received_, delay, 32, &loop_.arena()));
   ack_pending_ = false;
   unacked_retransmittable_ = 0;
   oldest_unacked_recv_time_ = kNoTime;
@@ -383,9 +415,13 @@ void Connection::handle_stream(const StreamFrame& frame) {
 }
 
 void Connection::handle_ack(const AckFrame& ack) {
-  cc::CongestionEvent event;
+  cc::CongestionEvent& event = scratch_event_;
+  event.acked.clear();
+  event.lost.clear();
   event.now = loop_.now();
   event.prior_bytes_in_flight = bytes_in_flight_;
+  event.bandwidth_sample = 0;
+  event.app_limited_sample = false;
 
   PacketNumber largest_newly_acked = 0;
   TimeNs largest_sent_time = kNoTime;
@@ -417,7 +453,7 @@ void Connection::handle_ack(const AckFrame& ack) {
       send_stream(ref.stream_id)
           .on_range_acked(ref.offset, ref.length, ref.fin);
     }
-    it = sent_.erase(it);
+    it = release_sent_node(it);
   }
 
   if (event.acked.empty()) return;
@@ -483,7 +519,7 @@ void Connection::detect_losses(PacketNumber largest_acked,
     if (packet_thresh || time_thresh) {
       lost.push_back(cc::LostPacket{pn, info.bytes});
       on_packet_lost_internal(pn, info);
-      it = sent_.erase(it);
+      it = release_sent_node(it);
     } else {
       if (next_loss_time == kNoTime || lost_at < next_loss_time) {
         next_loss_time = lost_at;
@@ -507,10 +543,10 @@ void Connection::on_packet_lost_internal(PacketNumber pn,
   if (!info.crypto_data.empty()) {
     CryptoFrame f;
     f.data = info.crypto_data;
-    Packet p;
+    Packet p(&loop_.arena());
     p.type = PacketType::kInitial;
     p.conn_id = config_.conn_id;
-    p.frames.push_back(std::move(f));
+    p.frames.emplace_back(f);
     send_packet(std::move(p), /*bypass_pacer=*/true);
   }
 }
@@ -542,16 +578,18 @@ void Connection::arm_loss_timer(TimeNs when) {
 
 void Connection::on_loss_timer() {
   if (closed_) return;
-  std::vector<cc::LostPacket> lost;
-  detect_losses(largest_acked_, lost);
-  if (!lost.empty()) {
-    cc::CongestionEvent event;
+  cc::CongestionEvent& event = scratch_event_;
+  event.acked.clear();
+  event.lost.clear();
+  detect_losses(largest_acked_, event.lost);
+  if (!event.lost.empty()) {
     event.now = loop_.now();
     event.prior_bytes_in_flight = bytes_in_flight_;
-    event.lost = std::move(lost);
     event.latest_rtt = rtt_.latest();
     event.min_rtt = rtt_.min();
     event.smoothed_rtt = rtt_.smoothed();
+    event.bandwidth_sample = 0;
+    event.app_limited_sample = false;
     cc_->on_congestion_event(event);
     trace_cc_state();
     pump();
@@ -574,10 +612,13 @@ void Connection::on_pto() {
   pto_count_ = std::min(pto_count_ + 1, 6);
 
   // Probe: treat the oldest in-flight packet's payload as needing resend.
-  auto it = sent_.begin();
-  const PacketNumber pn = it->first;
-  SentPacketInfo info = std::move(it->second);
-  sent_.erase(it);
+  // Extract (not erase) so the node can be recycled at the end; the node
+  // must stay out of the free list until after the crypto re-send below,
+  // whose frame span borrows info.crypto_data — recycling earlier would
+  // let send_packet assign into the very buffer the span points at.
+  auto nh = sent_.extract(sent_.begin());
+  const PacketNumber pn = nh.key();
+  const SentPacketInfo& info = nh.mapped();
   bytes_in_flight_ -= std::min(bytes_in_flight_, info.bytes);
   sampler_.on_packet_lost(pn);
   for (const StreamRef& ref : info.stream_refs) {
@@ -587,10 +628,10 @@ void Connection::on_pto() {
   if (!info.crypto_data.empty()) {
     CryptoFrame f;
     f.data = info.crypto_data;
-    Packet p;
+    Packet p(&loop_.arena());
     p.type = PacketType::kInitial;
     p.conn_id = config_.conn_id;
-    p.frames.push_back(std::move(f));
+    p.frames.emplace_back(f);
     send_packet(std::move(p), /*bypass_pacer=*/true);
   }
   if (pto_count_ >= 2) {
@@ -603,6 +644,9 @@ void Connection::on_pto() {
   // Nothing pending (e.g. pure-probe case): keep the timer armed while
   // packets remain in flight.
   if (!sent_.empty() && !pto_timer_) arm_pto();
+
+  // Safe to recycle now — no borrowed span into the node is live anymore.
+  free_sent_nodes_.push_back(std::move(nh));
 }
 
 }  // namespace wira::quic

@@ -146,6 +146,7 @@ class Connection {
     std::vector<StreamRef> stream_refs;
     std::vector<uint8_t> crypto_data;  ///< handshake message to re-send
   };
+  using SentMap = std::map<PacketNumber, SentPacketInfo>;
 
   // Handshake machinery.
   void send_crypto_message(const HandshakeMessage& msg,
@@ -180,6 +181,15 @@ class Connection {
   void on_loss_timer();
   void cancel_timer(std::optional<sim::EventId>& id);
 
+  // sent_ node recycling: per-packet tracking reuses extracted map nodes
+  // (and the stream_refs/crypto_data capacity inside them), so the
+  // steady-state send path performs no heap allocation.
+  /// Inserts `pn` with a recycled (or fresh) slot and returns it; caller
+  /// fills the fields.  Vectors in the slot are cleared, not shrunk.
+  SentPacketInfo& acquire_sent_slot(PacketNumber pn);
+  /// Erases `*it`, stashing its node for reuse; returns the next iterator.
+  SentMap::iterator release_sent_node(SentMap::iterator it);
+
   sim::EventLoop& loop_;
   ConnectionConfig config_;
   SendDatagramFn send_datagram_;
@@ -207,7 +217,10 @@ class Connection {
 
   // Packet number spaces (single space).
   PacketNumber next_packet_number_ = 1;
-  std::map<PacketNumber, SentPacketInfo> sent_;  ///< retransmittable only
+  SentMap sent_;  ///< retransmittable only
+  std::vector<SentMap::node_type> free_sent_nodes_;
+  /// Per-packet scratch for non-retransmittable sends (never stored).
+  SentPacketInfo scratch_sent_info_;
   uint64_t bytes_in_flight_ = 0;
   PacketNumber largest_acked_ = 0;
 
@@ -228,6 +241,11 @@ class Connection {
   std::optional<sim::EventId> pto_timer_;
   std::optional<sim::EventId> send_timer_;
   int pto_count_ = 0;
+
+  /// Reused across acks/loss-timer firings so the acked/lost vectors keep
+  /// their capacity instead of heap-allocating per ACK.  Every field is
+  /// re-set at each use site.
+  cc::CongestionEvent scratch_event_;
 
   trace::Tracer* tracer_ = nullptr;
   const char* last_cc_state_ = nullptr;  ///< last state traced (literal)

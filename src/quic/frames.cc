@@ -121,7 +121,7 @@ void serialize_frame(const Frame& frame, ByteWriter& out) {
   std::visit(SerializeVisitor{out}, frame);
 }
 
-std::optional<Frame> parse_frame(ByteReader& in) {
+std::optional<Frame> parse_frame(ByteReader& in, util::Arena* arena) {
   const uint8_t type = in.u8();
   if (!in.ok()) return std::nullopt;
   switch (static_cast<FrameType>(type)) {
@@ -138,10 +138,12 @@ std::optional<Frame> parse_frame(ByteReader& in) {
       return Frame{PingFrame{}};
     case FrameType::kAck: {
       AckFrame f;
+      f.ranges = util::ArenaVector<Range>(util::ArenaAllocator<Range>(arena));
       f.largest_acked = in.varint();
       f.ack_delay = microseconds(static_cast<int64_t>(in.varint()));
       const uint64_t count = in.varint();
       if (count > 1024) return std::nullopt;
+      if (in.ok()) f.ranges.reserve(count);
       uint64_t prev_lo = 0;
       for (uint64_t i = 0; i < count && in.ok(); ++i) {
         Range r;
@@ -168,10 +170,9 @@ std::optional<Frame> parse_frame(ByteReader& in) {
       CryptoFrame f;
       f.offset = in.varint();
       const uint64_t len = in.varint();
-      auto d = in.bytes(len);
+      f.data = in.bytes(len);  // borrowed view into the datagram buffer
       if (!in.ok()) return std::nullopt;
-      f.data.assign(d.begin(), d.end());
-      return Frame{std::move(f)};
+      return Frame{f};
     }
     case FrameType::kStream: {
       StreamFrame f;
@@ -179,10 +180,9 @@ std::optional<Frame> parse_frame(ByteReader& in) {
       f.offset = in.varint();
       const uint64_t len = in.varint();
       f.fin = in.u8() != 0;
-      auto d = in.bytes(len);
+      f.data = in.bytes(len);  // borrowed view into the datagram buffer
       if (!in.ok()) return std::nullopt;
-      f.data.assign(d.begin(), d.end());
-      return Frame{std::move(f)};
+      return Frame{f};
     }
     case FrameType::kConnectionClose: {
       ConnectionCloseFrame f;
@@ -196,10 +196,9 @@ std::optional<Frame> parse_frame(ByteReader& in) {
       HxQosFrame f;
       f.server_time_ms = in.varint();
       const uint64_t len = in.varint();
-      auto d = in.bytes(len);
+      f.sealed_blob = in.bytes(len);  // borrowed view
       if (!in.ok()) return std::nullopt;
-      f.sealed_blob.assign(d.begin(), d.end());
-      return Frame{std::move(f)};
+      return Frame{f};
     }
     default:
       return std::nullopt;
@@ -212,14 +211,15 @@ bool is_retransmittable(const Frame& frame) {
 }
 
 AckFrame build_ack(const RangeSet& received, TimeNs ack_delay,
-                   size_t max_ranges) {
+                   size_t max_ranges, util::Arena* arena) {
   AckFrame f;
+  f.ranges = util::ArenaVector<Range>(util::ArenaAllocator<Range>(arena));
   f.ack_delay = ack_delay;
   if (received.empty()) return f;
   f.largest_acked = received.max();
-  auto desc = received.descending();
-  if (desc.size() > max_ranges) desc.resize(max_ranges);
-  f.ranges = std::move(desc);
+  f.ranges.reserve(std::min(received.size(), max_ranges));
+  received.visit_descending(
+      [&f](const Range& r) { f.ranges.push_back(r); }, max_ranges);
   return f;
 }
 

@@ -30,9 +30,10 @@ std::vector<uint8_t> serialize_packet(const Packet& p,
   return w.take();
 }
 
-std::optional<Packet> parse_packet(std::span<const uint8_t> data) {
+std::optional<Packet> parse_packet(std::span<const uint8_t> data,
+                                   util::Arena* arena) {
   ByteReader r(data);
-  Packet p;
+  Packet p(arena);
   const uint8_t type = r.u8();
   switch (static_cast<PacketType>(type)) {
     case PacketType::kInitial:
@@ -48,7 +49,7 @@ std::optional<Packet> parse_packet(std::span<const uint8_t> data) {
   p.packet_number = r.u64be();
   if (!r.ok()) return std::nullopt;
   while (r.ok() && r.remaining() > 0) {
-    auto f = parse_frame(r);
+    auto f = parse_frame(r, arena);
     if (!f) return std::nullopt;
     p.frames.push_back(std::move(*f));
   }

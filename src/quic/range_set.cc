@@ -18,6 +18,10 @@ void RangeSet::add(uint64_t lo, uint64_t hi) {
     }
   }
   uint64_t new_lo = lo, new_hi = hi;
+  // `keep` is the first merged node whose key already equals the merged
+  // lo: it is extended in place instead of erase+reinsert, so the common
+  // contiguous-append case (every received packet) allocates nothing.
+  auto keep = ranges_.end();
   while (it != ranges_.end() && it->first <= (hi == UINT64_MAX ? hi : hi + 1)) {
     if (it->second + 1 < lo && it->second != UINT64_MAX) {
       ++it;
@@ -25,9 +29,17 @@ void RangeSet::add(uint64_t lo, uint64_t hi) {
     }
     new_lo = std::min(new_lo, it->first);
     new_hi = std::max(new_hi, it->second);
-    it = ranges_.erase(it);
+    if (keep == ranges_.end() && it->first == new_lo) {
+      keep = it++;
+    } else {
+      it = ranges_.erase(it);
+    }
   }
-  ranges_[new_lo] = new_hi;
+  if (keep != ranges_.end()) {
+    keep->second = new_hi;
+  } else {
+    ranges_[new_lo] = new_hi;
+  }
 }
 
 void RangeSet::subtract(uint64_t lo, uint64_t hi) {

@@ -39,6 +39,17 @@ class RangeSet {
   /// Ranges in descending order (ACK frame layout).
   std::vector<Range> descending() const;
 
+  /// Visits up to `max_ranges` ranges in descending order without
+  /// materializing a vector (the ACK build path calls this per ack).
+  template <typename Fn>
+  void visit_descending(Fn&& fn, size_t max_ranges = SIZE_MAX) const {
+    size_t n = 0;
+    for (auto it = ranges_.rbegin(); it != ranges_.rend() && n < max_ranges;
+         ++it, ++n) {
+      fn(Range{it->first, it->second});
+    }
+  }
+
   /// Pops up to `max_len` values from the lowest range; returns the popped
   /// range (length 0 length field == 0 means empty -> check before).
   Range pop_front(uint64_t max_len);

@@ -24,8 +24,7 @@ std::optional<SendStream::Chunk> SendStream::next_chunk(uint64_t max_len) {
   if (!retx_.empty()) {
     const Range r = retx_.pop_front(max_len);
     c.offset = r.lo;
-    c.data.assign(buffer_.begin() + static_cast<long>(r.lo),
-                  buffer_.begin() + static_cast<long>(r.hi + 1));
+    c.data = std::span<const uint8_t>(buffer_).subspan(r.lo, r.hi + 1 - r.lo);
     c.fin = fin_written_ && r.hi + 1 == buffer_.size();
     return c;
   }
@@ -33,8 +32,7 @@ std::optional<SendStream::Chunk> SendStream::next_chunk(uint64_t max_len) {
     const uint64_t len =
         std::min<uint64_t>(max_len, buffer_.size() - next_offset_);
     c.offset = next_offset_;
-    c.data.assign(buffer_.begin() + static_cast<long>(next_offset_),
-                  buffer_.begin() + static_cast<long>(next_offset_ + len));
+    c.data = std::span<const uint8_t>(buffer_).subspan(next_offset_, len);
     next_offset_ += len;
     c.fin = fin_written_ && next_offset_ == buffer_.size();
     if (c.fin) fin_needs_send_ = false;
@@ -88,6 +86,18 @@ void RecvStream::on_frame(uint64_t offset, std::span<const uint8_t> data,
     // Trim the already-delivered prefix.
     size_t skip = 0;
     if (offset < contiguous_) skip = contiguous_ - offset;
+    if (offset <= contiguous_ && segments_.empty()) {
+      // Zero-copy fast path: in-order data with nothing buffered delivers
+      // the borrowed span straight through — the common case by far.  The
+      // bytes, callback count and fin flag match the buffered path exactly.
+      std::span<const uint8_t> fresh = data.subspan(skip);
+      contiguous_ = offset + data.size();
+      const bool at_fin = fin_offset_ && contiguous_ >= *fin_offset_;
+      if (on_data_) on_data_(fresh, at_fin);
+      return;
+    }
+    // Out-of-order (or behind buffered data): copy into the reassembly
+    // map.  This is the single copy point on the receive path.
     segments_[offset + skip].assign(data.begin() + static_cast<long>(skip),
                                     data.end());
   }

@@ -30,10 +30,13 @@ class SendStream {
   bool has_data_to_send() const;
 
   /// Next chunk to transmit (retransmissions take priority over new data);
-  /// at most `max_len` bytes.  Returns nullopt when idle.
+  /// at most `max_len` bytes.  Returns nullopt when idle.  `data` borrows
+  /// from the stream's retained buffer: valid until the next write() (which
+  /// may reallocate), which is fine for the synchronous pack-and-serialize
+  /// in Connection::pump.
   struct Chunk {
     uint64_t offset = 0;
-    std::vector<uint8_t> data;
+    std::span<const uint8_t> data;
     bool fin = false;
   };
   std::optional<Chunk> next_chunk(uint64_t max_len);

@@ -61,6 +61,9 @@ bool EventLoop::pop_one() {
   EventFn fn = std::move(slots_[slot_of(top.id)].fn);
   retire(top.id);
   --live_;
+  // Tick boundary: everything bump-allocated during the previous tick is
+  // dead by contract, so the arena rewinds before the clock moves.
+  if (top.when > now_) arena_.reset();
   now_ = top.when;
   fn();
   return true;

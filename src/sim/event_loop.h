@@ -16,13 +16,17 @@
 //     stays and is discarded when it surfaces, the callable (and anything
 //     it captured) is destroyed immediately — no hash-set lookup per pop;
 //   - the loop owns a BufferPool so links/connections recycle datagram
-//     buffers instead of allocating per packet.
+//     buffers instead of allocating per packet;
+//   - the loop owns a bump Arena for tick-scoped scratch (parsed packets,
+//     frame vectors, ACK ranges): it rewinds in O(1) whenever the clock
+//     advances, so the per-datagram structures never touch the heap.
 #pragma once
 
 #include <cstdint>
 #include <queue>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/buffer_pool.h"
 #include "util/small_fn.h"
 #include "util/units.h"
@@ -70,6 +74,10 @@ class EventLoop {
   /// Scratch byte-buffer pool shared by everything driven by this loop.
   util::BufferPool& buffers() { return buffers_; }
 
+  /// Tick-scoped bump arena: reset whenever the clock advances, so
+  /// anything allocated from it must die before the next tick boundary.
+  util::Arena& arena() { return arena_; }
+
  private:
   struct HeapEntry {
     TimeNs when;
@@ -109,6 +117,7 @@ class EventLoop {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   util::BufferPool buffers_;
+  util::Arena arena_;
 };
 
 }  // namespace wira::sim

@@ -23,6 +23,7 @@ bool Link::roll_loss() {
 
 void Link::send(Datagram d) {
   const uint64_t size = d.size ? d.size : d.payload.size();
+  d.size = size;  // normalize so delivery stats need no side-channel
   if (queued_bytes_ + size > config_.buffer_bytes) {
     stats_.queue_drops++;
     return;
@@ -57,25 +58,52 @@ void Link::send(Datagram d) {
     Datagram copy;
     copy.payload = loop_.buffers().acquire();
     copy.payload.assign(d.payload.begin(), d.payload.end());
-    copy.size = d.size;
-    loop_.schedule_at(arrive + milliseconds(1),
-                      [this, c = std::move(copy), size]() mutable {
-                        deliver_one(c, size);
-                      });
+    copy.size = d.size;  // duplicates carry dest 0: the tag only matters
+                         // on the egress hop, which never duplicates
+    schedule_delivery(std::move(copy), arrive + milliseconds(1));
   }
-  loop_.schedule_at(arrive,
-                    [this, d = std::move(d), size]() mutable {
-                      deliver_one(d, size);
-                    });
+  schedule_delivery(std::move(d), arrive);
 }
 
-void Link::deliver_one(Datagram& d, uint64_t size) {
-  stats_.delivered_packets++;
-  stats_.delivered_bytes += size;
-  if (deliver_) deliver_(d);
-  // Whatever buffer the receiver left behind goes back into the pool for
-  // the next serialized packet.
-  loop_.buffers().release(std::move(d.payload));
+Link::Batch* Link::acquire_batch() {
+  if (!free_batches_.empty()) {
+    Batch* b = free_batches_.back();
+    free_batches_.pop_back();
+    return b;
+  }
+  batch_pool_.push_back(std::make_unique<Batch>());
+  return batch_pool_.back().get();
+}
+
+void Link::schedule_delivery(Datagram d, TimeNs arrive) {
+  if (pending_batch_ != nullptr && pending_time_ == arrive) {
+    // Same instant as the batch scheduled last: ride its event.
+    pending_batch_->dgrams.push_back(std::move(d));
+    return;
+  }
+  Batch* b = acquire_batch();
+  b->dgrams.push_back(std::move(d));
+  pending_batch_ = b;
+  pending_time_ = arrive;
+  loop_.schedule_at(arrive, [this, b] {
+    if (pending_batch_ == b) pending_batch_ = nullptr;
+    deliver_batch(b);
+  });
+}
+
+void Link::deliver_batch(Batch* b) {
+  for (const Datagram& d : b->dgrams) {
+    stats_.delivered_packets++;
+    stats_.delivered_bytes += d.size;
+  }
+  if (deliver_) deliver_(std::span<Datagram>(b->dgrams));
+  // Whatever buffers the receiver left behind go back into the pool for
+  // the next serialized packets.
+  for (Datagram& d : b->dgrams) {
+    loop_.buffers().release(std::move(d.payload));
+  }
+  b->dgrams.clear();
+  free_batches_.push_back(b);
 }
 
 }  // namespace wira::sim

@@ -3,10 +3,19 @@
 //
 // This is the emulator analogue of the paper's testbed configuration
 // ("8Mbps bandwidth, 3% loss rate, 50ms RTT and 25KB network buffer").
+//
+// Delivery is batched: datagrams arriving at the same simulated instant
+// coalesce into one event and reach the receiver as a single span, so a
+// burst costs one scheduled event instead of one per packet.  Coalescing
+// only joins a datagram onto the most recently scheduled batch and only
+// when the arrival times are exactly equal — arrivals at distinct times
+// keep their own events, preserving (time, insertion-order) semantics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -61,11 +70,12 @@ struct LinkStats {
 
 class Link {
  public:
-  /// Receives a delivered datagram.  The reference stays valid only for
-  /// the duration of the call; after it returns, the link reclaims any
-  /// payload buffer left in place into the loop's BufferPool (receivers
-  /// that keep the bytes simply move the payload out).
-  using DeliverFn = std::function<void(Datagram&)>;
+  /// Receives the batch of datagrams arriving at this instant (usually
+  /// one).  The span stays valid only for the duration of the call; after
+  /// it returns, the link reclaims any payload buffers left in place into
+  /// the loop's BufferPool (receivers that keep the bytes simply move the
+  /// payload out).
+  using DeliverFn = std::function<void(std::span<Datagram>)>;
 
   Link(EventLoop& loop, LinkConfig config, uint64_t seed);
 
@@ -84,8 +94,18 @@ class Link {
   const LinkStats& stats() const { return stats_; }
 
  private:
+  /// Datagrams sharing one arrival instant; recycled through free_batches_
+  /// so steady-state delivery allocates nothing.
+  struct Batch {
+    std::vector<Datagram> dgrams;
+  };
+
   bool roll_loss();
-  void deliver_one(Datagram& d, uint64_t size);
+  /// Appends to the pending batch when `arrive` matches its instant,
+  /// otherwise opens (and schedules) a new batch.
+  void schedule_delivery(Datagram d, TimeNs arrive);
+  void deliver_batch(Batch* b);
+  Batch* acquire_batch();
 
   EventLoop& loop_;
   LinkConfig config_;
@@ -94,6 +114,10 @@ class Link {
   TimeNs busy_until_ = 0;   ///< when the serializer frees up
   uint64_t queued_bytes_ = 0;
   bool ge_bad_state_ = false;
+  std::vector<std::unique_ptr<Batch>> batch_pool_;  ///< owns every batch
+  std::vector<Batch*> free_batches_;
+  Batch* pending_batch_ = nullptr;  ///< most recently scheduled, not yet run
+  TimeNs pending_time_ = 0;         ///< its arrival instant
   LinkStats stats_;
 };
 

@@ -8,9 +8,11 @@ SharedBottleneck::SharedBottleneck(EventLoop& loop, LinkConfig egress,
   egress_ = std::make_unique<Link>(loop, egress, seed * 101 + 1);
   // The egress link routes each delivered datagram onto its leg's access
   // link; the destination rides in Datagram::dest.
-  egress_->set_receiver([this](Datagram& d) {
-    const size_t leg = static_cast<size_t>(d.dest);
-    if (leg < access_.size()) access_[leg]->send(std::move(d));
+  egress_->set_receiver([this](std::span<Datagram> batch) {
+    for (Datagram& d : batch) {
+      const size_t leg = static_cast<size_t>(d.dest);
+      if (leg < access_.size()) access_[leg]->send(std::move(d));
+    }
   });
 }
 
@@ -26,11 +28,11 @@ size_t SharedBottleneck::add_leg(const LinkConfig& access) {
       std::make_unique<Link>(loop_, rev, seed_ * 509 + 13 * leg + 3));
   client_rx_.emplace_back();
 
-  access_[leg]->set_receiver([this, leg](Datagram& d) {
-    if (client_rx_[leg]) client_rx_[leg](d);
+  access_[leg]->set_receiver([this, leg](std::span<Datagram> batch) {
+    if (client_rx_[leg]) client_rx_[leg](batch);
   });
-  reverse_[leg]->set_receiver([this](Datagram& d) {
-    if (server_rx_) server_rx_(d);
+  reverse_[leg]->set_receiver([this](std::span<Datagram> batch) {
+    if (server_rx_) server_rx_(batch);
   });
   return leg;
 }

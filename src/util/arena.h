@@ -1,0 +1,192 @@
+// Per-event-loop bump arena for tick-scoped scratch allocations.
+//
+// The receive/deliver hot path materializes short-lived structures for
+// every datagram (a Packet, its frame vector, ACK ranges).  All of them
+// die before the simulated clock advances, so instead of hitting the heap
+// per packet they bump-allocate here and the whole arena rewinds in O(1)
+// at the next tick boundary (EventLoop resets it whenever time advances).
+//
+// Rules:
+//   - allocations are valid only until the owning loop's clock moves: no
+//     arena pointer may be stored across events at different times;
+//   - reset() rewinds to the first block and bumps the epoch; normal
+//     blocks are retained (steady state allocates nothing), oversized
+//     fallback blocks are freed so a one-off giant packet cannot pin
+//     memory forever;
+//   - not thread-safe by design: one arena per EventLoop, one loop per
+//     thread (the same contract as BufferPool).
+//
+// ArenaAllocator<T> adapts the arena to allocator-aware containers.  A
+// default-constructed allocator (arena == nullptr) falls back to the heap,
+// so container types like ArenaVector<T> stay drop-in usable in tests and
+// cold paths.  Copies of arena-backed containers deliberately fall back to
+// the heap (select_on_container_copy_construction), so copying a borrowed
+// structure out of the hot path never creates a dangling arena reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace wira::util {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 16 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `size` bytes aligned to `align` (a power of two).
+  /// Allocations larger than the block size get a dedicated fallback
+  /// block, freed at the next reset().
+  void* allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    if (size > block_size_) return allocate_large(size, align);
+    // Alignment is on the ADDRESS, not the block offset: operator new
+    // only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block
+    // base, so extended alignments need the real pointer value.
+    void* p = try_bump(size, align);
+    if (p == nullptr) {
+      new_block();
+      p = try_bump(size, align);
+      // Extended alignment can eat enough of a fresh block that the
+      // request no longer fits; fall through to a dedicated block.
+      if (p == nullptr) return allocate_large(size, align);
+    }
+    bytes_epoch_ += size;
+    bytes_total_ += size;
+    return p;
+  }
+
+  template <typename T>
+  T* allocate_array(size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Epoch reset: O(1) rewind.  Every pointer handed out since the last
+  /// reset becomes invalid; retained blocks are reused verbatim.
+  void reset() {
+    block_index_ = 0;
+    cursor_ = 0;
+    bytes_epoch_ = 0;
+    large_blocks_.clear();
+    ++epoch_;
+  }
+
+  uint64_t epoch() const { return epoch_; }
+  /// Bytes handed out in the current epoch.
+  size_t bytes_allocated() const { return bytes_epoch_; }
+  /// Cumulative bytes handed out since construction (monotone; the
+  /// allocs-per-session accounting in perf_smoke reads this).
+  uint64_t total_allocated() const { return bytes_total_; }
+  /// Retained capacity: normal blocks only (large fallbacks are freed on
+  /// reset and so never count as retained).
+  size_t retained_bytes() const { return blocks_.size() * block_size_; }
+  size_t block_count() const { return blocks_.size(); }
+  size_t large_block_count() const { return large_blocks_.size(); }
+
+ private:
+  static size_t align_up(size_t v, size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  /// Carves an aligned span out of the current block; nullptr when there
+  /// is no current block or the aligned request does not fit.
+  void* try_bump(size_t size, size_t align) {
+    if (blocks_.empty()) return nullptr;
+    unsigned char* base = blocks_[block_index_].get();
+    const uintptr_t addr =
+        align_up(reinterpret_cast<uintptr_t>(base) + cursor_, align);
+    const size_t offset = addr - reinterpret_cast<uintptr_t>(base);
+    if (offset + size > block_size_) return nullptr;
+    cursor_ = offset + size;
+    return base + offset;
+  }
+
+  void new_block() {
+    if (block_index_ + 1 < blocks_.size()) {
+      ++block_index_;
+    } else {
+      blocks_.push_back(std::make_unique<unsigned char[]>(block_size_));
+      block_index_ = blocks_.size() - 1;
+    }
+    cursor_ = 0;
+  }
+
+  void* allocate_large(size_t size, size_t align) {
+    // Dedicated block; operator new guarantees max_align_t alignment, and
+    // extended alignment requests get headroom to align manually.
+    const size_t extra = align > alignof(std::max_align_t) ? align : 0;
+    large_blocks_.push_back(std::make_unique<unsigned char[]>(size + extra));
+    unsigned char* base = large_blocks_.back().get();
+    void* p = base;
+    if (extra > 0) {
+      p = reinterpret_cast<void*>(
+          align_up(reinterpret_cast<uintptr_t>(base), align));
+    }
+    bytes_epoch_ += size;
+    bytes_total_ += size;
+    return p;
+  }
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+  std::vector<std::unique_ptr<unsigned char[]>> large_blocks_;
+  size_t block_index_ = 0;  ///< valid only when !blocks_.empty()
+  size_t cursor_ = 0;       ///< offset into blocks_[block_index_]
+  size_t bytes_epoch_ = 0;
+  uint64_t bytes_total_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+/// Allocator adapter: null arena -> heap fallback.  deallocate() is a
+/// no-op for arena-backed memory (the epoch reset reclaims it wholesale).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // Moves/swaps carry the allocator with the elements, so an arena-backed
+  // vector moved into another stays arena-backed instead of reallocating.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  /// Copies of arena containers fall back to the heap: they may outlive
+  /// the epoch (tests stash parsed frames; cold paths keep copies).
+  ArenaAllocator select_on_container_copy_construction() const {
+    return ArenaAllocator();
+  }
+
+  T* allocate(size_t n) {
+    if (arena_ != nullptr) {
+      return arena_->allocate_array<T>(n);
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Vector whose storage may live in an Arena (heap when default-built).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace wira::util

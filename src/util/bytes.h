@@ -43,6 +43,8 @@ class ByteWriter {
   void bytes(std::span<const uint8_t> data);
   void bytes(const void* data, size_t len);
   void str(std::string_view s) { bytes(s.data(), s.size()); }
+  /// Grows capacity to at least `n` total bytes (content unchanged).
+  void reserve(size_t n) { buf_.reserve(n); }
   /// Appends `n` zero bytes.
   void zeros(size_t n) { buf_.insert(buf_.end(), n, 0); }
 

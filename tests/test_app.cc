@@ -52,10 +52,12 @@ struct Rig {
           dg.payload = std::move(d);
           path->reverse().send(std::move(dg));
         });
-    path->forward().set_receiver(
-        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
-    path->reverse().set_receiver(
-        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
+    path->forward().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) client->on_datagram(d.payload);
+    });
+    path->reverse().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) server->on_datagram(d.payload);
+    });
   }
 
   void prime_zero_rtt(uint64_t server_id = 1) {

@@ -1,0 +1,168 @@
+// Unit tests for the per-event-loop bump arena: epoch reset semantics,
+// alignment, large-allocation fallback, the allocator adapter's heap
+// fallback, and the steady-state zero-growth contract of the packet
+// serializer's buffer-reuse overload.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "quic/packet.h"
+#include "sim/event_loop.h"
+
+namespace wira::util {
+namespace {
+
+TEST(Arena, BumpAllocationIsSequentialWithinABlock) {
+  Arena a;
+  auto* p1 = static_cast<unsigned char*>(a.allocate(64));
+  auto* p2 = static_cast<unsigned char*>(a.allocate(64));
+  EXPECT_EQ(p2, p1 + 64);
+  EXPECT_EQ(a.bytes_allocated(), 128u);
+  EXPECT_EQ(a.block_count(), 1u);
+}
+
+TEST(Arena, EpochResetRewindsAndRetainsBlocks) {
+  Arena a(/*block_size=*/256);
+  void* first = a.allocate(100);
+  (void)a.allocate(200);  // spills into a second block
+  EXPECT_EQ(a.block_count(), 2u);
+  EXPECT_EQ(a.epoch(), 0u);
+
+  a.reset();
+  EXPECT_EQ(a.epoch(), 1u);
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  // Retained: same blocks, so the first post-reset allocation lands on
+  // the same address and no new block is created.
+  void* again = a.allocate(100);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(a.block_count(), 2u);
+  EXPECT_EQ(a.retained_bytes(), 2u * 256u);
+}
+
+TEST(Arena, TotalAllocatedIsMonotoneAcrossResets) {
+  Arena a;
+  (void)a.allocate(100);
+  a.reset();
+  (void)a.allocate(50);
+  EXPECT_EQ(a.total_allocated(), 150u);
+  EXPECT_EQ(a.bytes_allocated(), 50u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena a;
+  (void)a.allocate(1, 1);  // misalign the cursor
+  for (const size_t align : {2u, 4u, 8u, 16u, 64u}) {
+    void* p = a.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, LargeAllocationGetsDedicatedBlockFreedOnReset) {
+  Arena a(/*block_size=*/128);
+  void* big = a.allocate(4096);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(a.large_block_count(), 1u);
+  // The giant block never counts as retained capacity...
+  EXPECT_EQ(a.retained_bytes(), 0u);
+  a.reset();
+  // ...and is released by the epoch reset, so one oversized datagram
+  // cannot pin memory for the rest of the run.
+  EXPECT_EQ(a.large_block_count(), 0u);
+}
+
+TEST(Arena, LargeAllocationHonorsExtendedAlignment) {
+  Arena a(/*block_size=*/64);
+  void* p = a.allocate(1000, 128);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 128, 0u);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  ArenaVector<int> v;  // default allocator: arena == nullptr
+  v.assign(1000, 7);
+  EXPECT_EQ(v.get_allocator().arena(), nullptr);
+  EXPECT_EQ(v[999], 7);
+}
+
+TEST(ArenaAllocator, CopiesOfArenaContainersLandOnTheHeap) {
+  Arena a;
+  ArenaVector<int> in_arena{ArenaAllocator<int>(&a)};
+  in_arena.assign(16, 3);
+  ASSERT_EQ(in_arena.get_allocator().arena(), &a);
+  // select_on_container_copy_construction: the copy must not borrow the
+  // arena, so stashing it past an epoch reset is safe.
+  ArenaVector<int> copy(in_arena);
+  EXPECT_EQ(copy.get_allocator().arena(), nullptr);
+  a.reset();
+  EXPECT_EQ(copy[15], 3);
+}
+
+TEST(ArenaAllocator, MovePropagatesTheArena) {
+  Arena a;
+  ArenaVector<int> src{ArenaAllocator<int>(&a)};
+  src.assign(8, 1);
+  ArenaVector<int> dst = std::move(src);
+  EXPECT_EQ(dst.get_allocator().arena(), &a);
+}
+
+TEST(EventLoopArena, ResetsWhenSimulatedTimeAdvances) {
+  sim::EventLoop loop;
+  uint64_t epoch_a = 0, epoch_b = 0, epoch_c = 0;
+  loop.schedule_at(milliseconds(1), [&] {
+    (void)loop.arena().allocate(64);
+    epoch_a = loop.arena().epoch();
+  });
+  loop.schedule_at(milliseconds(1), [&] {
+    // Same tick: no reset between events at an identical timestamp.
+    epoch_b = loop.arena().epoch();
+    EXPECT_GT(loop.arena().bytes_allocated(), 0u);
+  });
+  loop.schedule_at(milliseconds(2), [&] {
+    // Clock advanced: the arena rewound before this event ran.
+    epoch_c = loop.arena().epoch();
+    EXPECT_EQ(loop.arena().bytes_allocated(), 0u);
+  });
+  loop.run();
+  EXPECT_EQ(epoch_a, epoch_b);
+  EXPECT_GT(epoch_c, epoch_b);
+}
+
+TEST(SerializeReuse, ZeroGrowthAfterWarmup) {
+  // The hot path serializes every packet into a pooled buffer via the
+  // reuse overload and parses every datagram into the loop arena.  After
+  // one warmup round, a steady-state round must allocate nothing new:
+  // stable buffer capacity, stable arena block count, no large blocks.
+  const std::vector<uint8_t> payload(1200, 0xAB);
+  quic::Packet p;
+  p.conn_id = 7;
+  p.packet_number = 1;
+  quic::StreamFrame f;
+  f.stream_id = 3;
+  f.data = payload;
+  p.frames.emplace_back(f);
+
+  Arena arena;
+  std::vector<uint8_t> wire;  // plays the role of the pooled buffer
+  auto round = [&] {
+    wire = quic::serialize_packet(p, std::move(wire));
+    auto parsed = quic::parse_packet(wire, &arena);
+    ASSERT_TRUE(parsed.has_value());
+    arena.reset();  // tick boundary
+  };
+
+  round();  // warmup: buffer grows, arena maps its block
+  const size_t warm_capacity = wire.capacity();
+  const size_t warm_blocks = arena.block_count();
+  for (int i = 0; i < 100; ++i) {
+    p.packet_number++;
+    round();
+    EXPECT_EQ(wire.capacity(), warm_capacity);
+    EXPECT_EQ(arena.block_count(), warm_blocks);
+    EXPECT_EQ(arena.large_block_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wira::util

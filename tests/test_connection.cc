@@ -39,10 +39,12 @@ struct Pair {
           dg.payload = std::move(d);
           path->reverse().send(std::move(dg));
         });
-    path->forward().set_receiver(
-        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
-    path->reverse().set_receiver(
-        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
+    path->forward().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) client->on_datagram(d.payload);
+    });
+    path->reverse().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) server->on_datagram(d.payload);
+    });
     server->set_server_options(
         Connection::ServerOptions{{0xAA, 0xBB}});
   }
@@ -257,19 +259,28 @@ TEST(Connection, PacingSpreadsFirstFlight) {
 
 TEST(Connection, HxQosPacketDelivered) {
   Pair p;
-  std::optional<HxQosFrame> got;
-  p.client->set_on_hxqos([&](const HxQosFrame& f) { got = f; });
+  // The frame's blob is a borrowed span valid only inside the callback:
+  // copy the bytes out before the datagram buffer is recycled.
+  bool got = false;
+  uint64_t got_time = 0;
+  std::vector<uint8_t> got_blob;
+  p.client->set_on_hxqos([&](const HxQosFrame& f) {
+    got = true;
+    got_time = f.server_time_ms;
+    got_blob.assign(f.sealed_blob.begin(), f.sealed_blob.end());
+  });
   p.server->set_on_established([&] {
+    const std::vector<uint8_t> blob{7, 7, 7};
     HxQosFrame f;
     f.server_time_ms = 1234;
-    f.sealed_blob = {7, 7, 7};
+    f.sealed_blob = blob;
     p.server->send_hxqos(f);
   });
   p.client->connect({});
   p.loop.run_until(seconds(1));
-  ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->server_time_ms, 1234u);
-  EXPECT_EQ(got->sealed_blob, (std::vector<uint8_t>{7, 7, 7}));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got_time, 1234u);
+  EXPECT_EQ(got_blob, (std::vector<uint8_t>{7, 7, 7}));
 }
 
 TEST(Connection, CloseStopsTraffic) {

@@ -1,4 +1,7 @@
 // Unit tests for QUIC frame wire codecs, including the Wira Hx_QoS frame.
+//
+// Parsed payload frames borrow spans into the wire buffer, so the helpers
+// here keep that buffer alive alongside the parsed frame (Parsed<T>).
 #include "quic/frames.h"
 
 #include <gtest/gtest.h>
@@ -8,30 +11,66 @@
 namespace wira::quic {
 namespace {
 
+std::vector<uint8_t> vec(std::span<const uint8_t> s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+/// A parsed frame plus the wire bytes its spans borrow from.  The vector
+/// moves with the struct (heap storage is stable), so the spans stay valid
+/// in the caller.
 template <typename T>
-T round_trip(const Frame& in) {
+struct Parsed {
+  std::vector<uint8_t> wire;
+  T frame;
+};
+
+template <typename T>
+Parsed<T> round_trip(const Frame& in) {
   ByteWriter w;
   serialize_frame(in, w);
   EXPECT_EQ(w.size(), frame_wire_size(in)) << "wire-size accounting drift";
-  ByteReader r(w.span());
-  auto out = parse_frame(r);
-  EXPECT_TRUE(out.has_value());
+  Parsed<T> out;
+  out.wire = w.take();
+  ByteReader r(out.wire);
+  auto parsed = parse_frame(r);
+  EXPECT_TRUE(parsed.has_value());
   EXPECT_TRUE(r.ok());
   EXPECT_EQ(r.remaining(), 0u);
-  return std::get<T>(*out);
+  out.frame = std::get<T>(*parsed);
+  return out;
 }
 
 TEST(Frames, StreamFrameRoundTrip) {
+  const std::vector<uint8_t> payload{1, 2, 3, 4, 5};
   StreamFrame f;
   f.stream_id = 3;
   f.offset = 123456;
   f.fin = true;
-  f.data = {1, 2, 3, 4, 5};
+  f.data = payload;
   const auto out = round_trip<StreamFrame>(Frame{f});
-  EXPECT_EQ(out.stream_id, 3u);
-  EXPECT_EQ(out.offset, 123456u);
-  EXPECT_TRUE(out.fin);
-  EXPECT_EQ(out.data, f.data);
+  EXPECT_EQ(out.frame.stream_id, 3u);
+  EXPECT_EQ(out.frame.offset, 123456u);
+  EXPECT_TRUE(out.frame.fin);
+  EXPECT_EQ(vec(out.frame.data), payload);
+}
+
+TEST(Frames, ParsedPayloadBorrowsWireBuffer) {
+  // The zero-copy pin: a parsed frame's data span must point INTO the
+  // buffer it was parsed from, not at a copy.
+  const std::vector<uint8_t> payload{9, 9, 9, 9};
+  StreamFrame f;
+  f.stream_id = 1;
+  f.data = payload;
+  ByteWriter w;
+  serialize_frame(Frame{f}, w);
+  const std::vector<uint8_t> wire = w.take();
+  ByteReader r(wire);
+  auto parsed = parse_frame(r);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& sf = std::get<StreamFrame>(*parsed);
+  ASSERT_EQ(sf.data.size(), payload.size());
+  EXPECT_GE(sf.data.data(), wire.data());
+  EXPECT_LE(sf.data.data() + sf.data.size(), wire.data() + wire.size());
 }
 
 TEST(Frames, EmptyStreamFrameWithFin) {
@@ -40,8 +79,8 @@ TEST(Frames, EmptyStreamFrameWithFin) {
   f.offset = 999;
   f.fin = true;
   const auto out = round_trip<StreamFrame>(Frame{f});
-  EXPECT_TRUE(out.data.empty());
-  EXPECT_TRUE(out.fin);
+  EXPECT_TRUE(out.frame.data.empty());
+  EXPECT_TRUE(out.frame.fin);
 }
 
 TEST(Frames, AckFrameSingleRange) {
@@ -50,10 +89,10 @@ TEST(Frames, AckFrameSingleRange) {
   f.ack_delay = microseconds(250);
   f.ranges = {{90, 100}};
   const auto out = round_trip<AckFrame>(Frame{f});
-  EXPECT_EQ(out.largest_acked, 100u);
-  EXPECT_EQ(out.ack_delay, microseconds(250));
-  ASSERT_EQ(out.ranges.size(), 1u);
-  EXPECT_EQ(out.ranges[0], (Range{90, 100}));
+  EXPECT_EQ(out.frame.largest_acked, 100u);
+  EXPECT_EQ(out.frame.ack_delay, microseconds(250));
+  ASSERT_EQ(out.frame.ranges.size(), 1u);
+  EXPECT_EQ(out.frame.ranges[0], (Range{90, 100}));
 }
 
 TEST(Frames, AckFrameMultipleRanges) {
@@ -61,36 +100,55 @@ TEST(Frames, AckFrameMultipleRanges) {
   f.largest_acked = 100;
   f.ranges = {{95, 100}, {80, 90}, {1, 50}};
   const auto out = round_trip<AckFrame>(Frame{f});
-  ASSERT_EQ(out.ranges.size(), 3u);
-  EXPECT_EQ(out.ranges[0], (Range{95, 100}));
-  EXPECT_EQ(out.ranges[1], (Range{80, 90}));
-  EXPECT_EQ(out.ranges[2], (Range{1, 50}));
-  EXPECT_TRUE(out.covers(85));
-  EXPECT_FALSE(out.covers(60));
-  EXPECT_TRUE(out.covers(1));
+  ASSERT_EQ(out.frame.ranges.size(), 3u);
+  EXPECT_EQ(out.frame.ranges[0], (Range{95, 100}));
+  EXPECT_EQ(out.frame.ranges[1], (Range{80, 90}));
+  EXPECT_EQ(out.frame.ranges[2], (Range{1, 50}));
+  EXPECT_TRUE(out.frame.covers(85));
+  EXPECT_FALSE(out.frame.covers(60));
+  EXPECT_TRUE(out.frame.covers(1));
+}
+
+TEST(Frames, ParseWithArenaPutsAckRangesInArena) {
+  AckFrame f;
+  f.largest_acked = 100;
+  f.ranges = {{95, 100}, {80, 90}};
+  ByteWriter w;
+  serialize_frame(Frame{f}, w);
+  util::Arena arena;
+  const uint64_t before = arena.total_allocated();
+  ByteReader r(w.span());
+  auto parsed = parse_frame(r, &arena);
+  ASSERT_TRUE(parsed.has_value());
+  const auto& ack = std::get<AckFrame>(*parsed);
+  ASSERT_EQ(ack.ranges.size(), 2u);
+  EXPECT_GT(arena.total_allocated(), before);
+  EXPECT_EQ(ack.ranges.get_allocator().arena(), &arena);
 }
 
 TEST(Frames, HxQosFrameRoundTrip) {
+  const std::vector<uint8_t> blob{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
   HxQosFrame f;
   f.server_time_ms = 123456789;
-  f.sealed_blob = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  f.sealed_blob = blob;
   const auto out = round_trip<HxQosFrame>(Frame{f});
-  EXPECT_EQ(out.server_time_ms, 123456789u);
-  EXPECT_EQ(out.sealed_blob, f.sealed_blob);
+  EXPECT_EQ(out.frame.server_time_ms, 123456789u);
+  EXPECT_EQ(vec(out.frame.sealed_blob), blob);
 }
 
 TEST(Frames, CryptoAndCloseRoundTrip) {
+  const std::vector<uint8_t> payload{9, 8, 7};
   CryptoFrame c;
   c.offset = 7;
-  c.data = {9, 8, 7};
-  EXPECT_EQ(round_trip<CryptoFrame>(Frame{c}).data, c.data);
+  c.data = payload;
+  EXPECT_EQ(vec(round_trip<CryptoFrame>(Frame{c}).frame.data), payload);
 
   ConnectionCloseFrame cc;
   cc.error_code = 42;
   cc.reason = "bye";
   const auto out = round_trip<ConnectionCloseFrame>(Frame{cc});
-  EXPECT_EQ(out.error_code, 42u);
-  EXPECT_EQ(out.reason, "bye");
+  EXPECT_EQ(out.frame.error_code, 42u);
+  EXPECT_EQ(out.frame.reason, "bye");
 }
 
 TEST(Frames, RetransmittableClassification) {
@@ -132,8 +190,9 @@ TEST(Frames, MalformedInputRejected) {
   // Truncated stream frame (declared longer than available).
   {
     ByteWriter w;
+    const std::vector<uint8_t> payload{1, 2, 3, 4};
     StreamFrame f;
-    f.data = {1, 2, 3, 4};
+    f.data = payload;
     serialize_frame(Frame{f}, w);
     auto bytes = w.take();
     bytes.resize(bytes.size() - 2);
@@ -163,9 +222,10 @@ TEST(Packets, RoundTripWithMixedFrames) {
                        s.add(1, 3);
                        return s;
                      }(), 0));
+  const std::vector<uint8_t> payload{5, 5, 5};
   StreamFrame sf;
   sf.stream_id = 3;
-  sf.data = {5, 5, 5};
+  sf.data = payload;
   p.frames.push_back(sf);
 
   const auto bytes = serialize_packet(p);
@@ -179,13 +239,42 @@ TEST(Packets, RoundTripWithMixedFrames) {
   EXPECT_TRUE(out->retransmittable());
 }
 
+TEST(Packets, ArenaBackedParseAllocatesNothingOnHeapAfterWarmup) {
+  const std::vector<uint8_t> payload{5, 5, 5, 5};
+  Packet p;
+  p.conn_id = 9;
+  p.packet_number = 1;
+  StreamFrame sf;
+  sf.stream_id = 3;
+  sf.data = payload;
+  p.frames.push_back(sf);
+  const auto bytes = serialize_packet(p);
+
+  util::Arena arena;
+  auto out = parse_packet(bytes, &arena);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->frames.get_allocator().arena(), &arena);
+  EXPECT_GT(arena.total_allocated(), 0u);
+  // Epoch reset rewinds; re-parsing reuses the same block.
+  const size_t blocks = arena.block_count();
+  arena.reset();
+  out = parse_packet(bytes, &arena);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
 TEST(Packets, HxQosPacketType) {
+  const std::vector<uint8_t> blob{1, 2, 3};
   Packet p;
   p.type = PacketType::kHxQos;  // 0x1f, distinct from existing QUIC types
   p.conn_id = 1;
   p.packet_number = 5;
-  p.frames.push_back(HxQosFrame{100, {1, 2, 3}});
-  auto out = parse_packet(serialize_packet(p));
+  HxQosFrame hx;
+  hx.server_time_ms = 100;
+  hx.sealed_blob = blob;
+  p.frames.push_back(hx);
+  const auto bytes = serialize_packet(p);
+  auto out = parse_packet(bytes);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->type, PacketType::kHxQos);
 }

@@ -23,7 +23,8 @@ TEST(Link, DeliveryTimeIsSerializationPlusPropagation) {
   cfg.delay = milliseconds(25);
   Link link(loop, cfg, 1);
   TimeNs delivered_at = kNoTime;
-  link.set_receiver([&](Datagram&) { delivered_at = loop.now(); });
+  link.set_receiver(
+      [&](std::span<Datagram>) { delivered_at = loop.now(); });
   link.send(make_dgram(1000));  // 1 ms serialization
   loop.run();
   EXPECT_EQ(delivered_at, milliseconds(26));
@@ -37,7 +38,9 @@ TEST(Link, BackToBackPacketsQueueBehindSerializer) {
   cfg.buffer_bytes = 100 * 1000;
   Link link(loop, cfg, 1);
   std::vector<TimeNs> arrivals;
-  link.set_receiver([&](Datagram&) { arrivals.push_back(loop.now()); });
+  link.set_receiver([&](std::span<Datagram> batch) {
+    for (size_t i = 0; i < batch.size(); ++i) arrivals.push_back(loop.now());
+  });
   for (int i = 0; i < 3; ++i) link.send(make_dgram(1000));
   loop.run();
   ASSERT_EQ(arrivals.size(), 3u);
@@ -54,7 +57,8 @@ TEST(Link, DropTailOnBufferOverflow) {
   cfg.buffer_bytes = 2500;  // fits two 1000-byte packets + slack
   Link link(loop, cfg, 1);
   size_t delivered = 0;
-  link.set_receiver([&](Datagram&) { delivered++; });
+  link.set_receiver(
+      [&](std::span<Datagram> batch) { delivered += batch.size(); });
   for (int i = 0; i < 5; ++i) link.send(make_dgram(1000));
   loop.run();
   EXPECT_EQ(delivered, 2u);
@@ -68,7 +72,7 @@ TEST(Link, QueueDrainsOverTime) {
   cfg.delay = 0;
   cfg.buffer_bytes = 2500;
   Link link(loop, cfg, 1);
-  link.set_receiver([](Datagram&) {});
+  link.set_receiver([](std::span<Datagram>) {});
   link.send(make_dgram(1000));
   link.send(make_dgram(1000));
   EXPECT_EQ(link.queued_bytes(), 2000u);
@@ -88,7 +92,8 @@ TEST(Link, BernoulliLossApproximatesConfiguredRate) {
   cfg.loss.loss_rate = 0.03;
   Link link(loop, cfg, 99);
   size_t delivered = 0;
-  link.set_receiver([&](Datagram&) { delivered++; });
+  link.set_receiver(
+      [&](std::span<Datagram> batch) { delivered += batch.size(); });
   const int n = 20'000;
   for (int i = 0; i < n; ++i) link.send(make_dgram(100));
   loop.run();
@@ -122,7 +127,7 @@ TEST(Link, DeterministicGivenSeed) {
     LinkConfig cfg;
     cfg.loss.loss_rate = 0.1;
     Link link(loop, cfg, seed);
-    link.set_receiver([](Datagram&) {});
+    link.set_receiver([](std::span<Datagram>) {});
     for (int i = 0; i < 1000; ++i) link.send(make_dgram(100));
     loop.run();
     return link.stats().wire_drops;
@@ -139,7 +144,9 @@ TEST(Link, JitterSpreadsArrivals) {
   cfg.jitter = milliseconds(20);
   Link link(loop, cfg, 3);
   std::vector<TimeNs> arrivals;
-  link.set_receiver([&](Datagram&) { arrivals.push_back(loop.now()); });
+  link.set_receiver([&](std::span<Datagram> batch) {
+    for (size_t i = 0; i < batch.size(); ++i) arrivals.push_back(loop.now());
+  });
   for (int i = 0; i < 200; ++i) link.send(make_dgram(100));
   loop.run();
   ASSERT_EQ(arrivals.size(), 200u);
@@ -167,9 +174,9 @@ TEST(Link, ReorderRateDelaysSomePackets) {
   cfg.reorder_extra_delay = milliseconds(30);
   Link link(loop, cfg, 4);
   size_t late = 0, total = 0;
-  link.set_receiver([&](Datagram&) {
-    total++;
-    if (loop.now() > milliseconds(20)) late++;
+  link.set_receiver([&](std::span<Datagram> batch) {
+    total += batch.size();
+    if (loop.now() > milliseconds(20)) late += batch.size();
   });
   for (int i = 0; i < 100; ++i) link.send(make_dgram(100));
   loop.run();
@@ -186,10 +193,45 @@ TEST(Link, DuplicationDeliversTwice) {
   cfg.duplicate_rate = 1.0;  // every packet duplicated
   Link link(loop, cfg, 5);
   size_t delivered = 0;
-  link.set_receiver([&](Datagram&) { delivered++; });
+  link.set_receiver(
+      [&](std::span<Datagram> batch) { delivered += batch.size(); });
   for (int i = 0; i < 50; ++i) link.send(make_dgram(100));
   loop.run();
   EXPECT_EQ(delivered, 100u);
+}
+
+TEST(Link, SameInstantArrivalsCoalesceIntoOneBatch) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = mbps(8'000'000);  // 100-byte tx time rounds to 0 ns
+  cfg.delay = milliseconds(5);
+  Link link(loop, cfg, 1);
+  std::vector<size_t> batch_sizes;
+  link.set_receiver([&](std::span<Datagram> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 4; ++i) link.send(make_dgram(100));
+  loop.run();
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+  EXPECT_EQ(link.stats().delivered_packets, 4u);
+  EXPECT_EQ(link.stats().delivered_bytes, 400u);
+}
+
+TEST(Link, DistinctArrivalInstantsStaySeparateBatches) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.rate = mbps(8);  // 1 ms per 1000-byte packet: arrivals never collide
+  cfg.delay = milliseconds(5);
+  Link link(loop, cfg, 1);
+  std::vector<size_t> batch_sizes;
+  link.set_receiver([&](std::span<Datagram> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 3; ++i) link.send(make_dgram(1000));
+  loop.run();
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  for (size_t n : batch_sizes) EXPECT_EQ(n, 1u);
 }
 
 TEST(Path, TestbedMatchesPaperParameters) {
@@ -208,12 +250,13 @@ TEST(Path, RoundTripTimeSplitsAcrossDirections) {
   cfg.loss_rate = 0;
   Path path(loop, cfg, 1);
   TimeNs reply_at = kNoTime;
-  path.forward().set_receiver([&](Datagram&) {
+  path.forward().set_receiver([&](std::span<Datagram>) {
     Datagram d;
     d.size = 100;
     path.reverse().send(std::move(d));
   });
-  path.reverse().set_receiver([&](Datagram&) { reply_at = loop.now(); });
+  path.reverse().set_receiver(
+      [&](std::span<Datagram>) { reply_at = loop.now(); });
   Datagram d;
   d.size = 100;
   path.forward().send(std::move(d));
@@ -230,8 +273,9 @@ TEST(Path, MidRunBandwidthChangeTakesEffect) {
   cfg.rtt = 0;
   Path path(loop, cfg, 1);
   std::vector<TimeNs> arrivals;
-  path.forward().set_receiver(
-      [&](Datagram&) { arrivals.push_back(loop.now()); });
+  path.forward().set_receiver([&](std::span<Datagram> batch) {
+    for (size_t i = 0; i < batch.size(); ++i) arrivals.push_back(loop.now());
+  });
   path.forward().send(make_dgram(1000));  // 1 ms at 8 Mbps
   loop.run();
   path.set_bandwidth(mbps(80));

@@ -77,7 +77,8 @@ TEST(Edges, HxQosSendAfterCloseIgnored) {
                         [&](std::vector<uint8_t>) { sent++; });
   conn.close(0, "bye");
   const int after_close = sent;
-  conn.send_hxqos(quic::HxQosFrame{1, {2}});
+  const std::vector<uint8_t> blob{2};
+  conn.send_hxqos(quic::HxQosFrame{1, blob});
   EXPECT_EQ(sent, after_close);
 }
 

@@ -33,10 +33,12 @@ struct Pair {
           dg.payload = std::move(d);
           path->reverse().send(std::move(dg));
         });
-    path->forward().set_receiver(
-        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
-    path->reverse().set_receiver(
-        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
+    path->forward().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) client->on_datagram(d.payload);
+    });
+    path->reverse().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) server->on_datagram(d.payload);
+    });
     server->set_server_options({});
   }
 };

@@ -46,10 +46,10 @@ TEST(Fuzz, PacketParserSurvivesBitFlippedValidPackets) {
   f.stream_id = 3;
   f.offset = 1000;
   f.data = random_bytes(rng, 300);
-  p.frames.push_back(f);
+  p.frames.emplace_back(f);
   quic::RangeSet acked;
   acked.add(5, 20);
-  p.frames.push_back(quic::build_ack(acked, 0));
+  p.frames.emplace_back(quic::build_ack(acked, 0));
   const auto valid = quic::serialize_packet(p);
 
   for (int i = 0; i < 2000; ++i) {
@@ -167,10 +167,12 @@ struct WiredPair {
           dg.payload = std::move(d);
           path->reverse().send(std::move(dg));
         });
-    path->forward().set_receiver(
-        [this](sim::Datagram& d) { client->on_datagram(d.payload); });
-    path->reverse().set_receiver(
-        [this](sim::Datagram& d) { server->on_datagram(d.payload); });
+    path->forward().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) client->on_datagram(d.payload);
+    });
+    path->reverse().set_receiver([this](std::span<sim::Datagram> batch) {
+      for (sim::Datagram& d : batch) server->on_datagram(d.payload);
+    });
     server->set_server_options({});
   }
 };

@@ -15,6 +15,10 @@ std::vector<uint8_t> seq_bytes(size_t n, uint8_t start = 0) {
   return v;
 }
 
+std::vector<uint8_t> vec(std::span<const uint8_t> s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
 TEST(SendStream, ChunksNewDataInOrder) {
   SendStream s(3);
   s.write(seq_bytes(2500));
@@ -61,7 +65,7 @@ TEST(SendStream, LostRangeIsRetransmittedFirst) {
   auto r = s.next_chunk(1000);
   ASSERT_TRUE(r);
   EXPECT_EQ(r->offset, 0u);  // retransmission before new data
-  EXPECT_EQ(r->data, seq_bytes(1000));
+  EXPECT_EQ(vec(r->data), seq_bytes(1000));
   auto n = s.next_chunk(1000);
   ASSERT_TRUE(n);
   EXPECT_EQ(n->offset, 2000u);  // then the remaining new data
@@ -162,6 +166,45 @@ TEST(RecvStream, HighestSeenTracksGaps) {
   s.on_frame(500, seq_bytes(100), false);
   EXPECT_EQ(s.highest_seen(), 600u);
   EXPECT_EQ(s.contiguous_bytes(), 0u);
+}
+
+TEST(RecvStream, OutOfOrderDataSurvivesSourceBufferReuse) {
+  // The copy boundary: on_frame copies out-of-order payloads into the
+  // reassembly map, so mutating or freeing the source buffer afterwards
+  // must not corrupt what is eventually delivered.
+  RecvStream s(3);
+  std::vector<uint8_t> got;
+  s.set_on_data([&](std::span<const uint8_t> d, bool) {
+    got.insert(got.end(), d.begin(), d.end());
+  });
+  const auto all = seq_bytes(200);
+  {
+    std::vector<uint8_t> tail(all.begin() + 100, all.end());
+    s.on_frame(100, tail, false);
+    std::fill(tail.begin(), tail.end(), 0xFF);  // mutate after hand-off
+  }  // ...and free it
+  {
+    std::vector<uint8_t> head(all.begin(), all.begin() + 100);
+    s.on_frame(0, head, false);
+    std::fill(head.begin(), head.end(), 0xEE);
+  }
+  EXPECT_EQ(got, all);
+}
+
+TEST(RecvStream, InOrderFastPathDeliversBorrowedBytes) {
+  // In-order data with an empty reassembly map is delivered zero-copy:
+  // the callback span must alias the caller's buffer.
+  RecvStream s(3);
+  const uint8_t* seen = nullptr;
+  size_t seen_len = 0;
+  s.set_on_data([&](std::span<const uint8_t> d, bool) {
+    seen = d.data();
+    seen_len = d.size();
+  });
+  const auto data = seq_bytes(64);
+  s.on_frame(0, data, false);
+  ASSERT_EQ(seen_len, 64u);
+  EXPECT_EQ(seen, data.data());
 }
 
 TEST(RecvStream, FinWithoutDataCompletes) {

@@ -29,8 +29,10 @@ TEST(SharedBottleneck, RoutesToCorrectLeg) {
   const size_t b = net.add_leg(access);
 
   int got_a = 0, got_b = 0;
-  net.set_client_receiver(a, [&](Datagram) { got_a++; });
-  net.set_client_receiver(b, [&](Datagram) { got_b++; });
+  net.set_client_receiver(
+      a, [&](std::span<Datagram> batch) { got_a += batch.size(); });
+  net.set_client_receiver(
+      b, [&](std::span<Datagram> batch) { got_b += batch.size(); });
   net.send_to_client(a, dgram(100));
   net.send_to_client(b, dgram(100));
   net.send_to_client(b, dgram(100));
@@ -52,8 +54,11 @@ TEST(SharedBottleneck, EgressQueueSharedAcrossLegs) {
   const size_t b = net.add_leg(access);
 
   std::vector<TimeNs> arrivals;
-  net.set_client_receiver(a, [&](Datagram) { arrivals.push_back(loop.now()); });
-  net.set_client_receiver(b, [&](Datagram) { arrivals.push_back(loop.now()); });
+  const auto stamp = [&](std::span<Datagram> batch) {
+    for (size_t i = 0; i < batch.size(); ++i) arrivals.push_back(loop.now());
+  };
+  net.set_client_receiver(a, stamp);
+  net.set_client_receiver(b, stamp);
   // Two packets to different legs must serialize one after another on the
   // shared egress.
   net.send_to_client(a, dgram(1000));
@@ -68,7 +73,8 @@ TEST(SharedBottleneck, ReversePathReachesServer) {
   SharedBottleneck net(loop, {}, 1);
   const size_t leg = net.add_leg({});
   int got = 0;
-  net.set_server_receiver([&](Datagram) { got++; });
+  net.set_server_receiver(
+      [&](std::span<Datagram> batch) { got += batch.size(); });
   net.send_to_server(leg, dgram(50));
   loop.run();
   EXPECT_EQ(got, 1);
@@ -87,8 +93,9 @@ TEST(WiraEdge, DemultiplexesByConnectionId) {
   LinkConfig egress;
   egress.rate = mbps(100);
   SharedBottleneck net(loop, egress, 2);
-  net.set_server_receiver(
-      [&edge](Datagram& d) { edge.on_datagram(d.payload); });
+  net.set_server_receiver([&edge](std::span<Datagram> batch) {
+    for (Datagram& d : batch) edge.on_datagram(d.payload);
+  });
 
   struct V {
     std::unique_ptr<app::PlayerClient> client;
@@ -121,8 +128,9 @@ TEST(WiraEdge, DemultiplexesByConnectionId) {
               net.send_to_server(leg, std::move(dg));
             });
     net.set_client_receiver(
-        leg, [c = viewers[static_cast<size_t>(i)].client.get()](Datagram& d) {
-          c->on_datagram(d.payload);
+        leg, [c = viewers[static_cast<size_t>(i)].client.get()](
+                 std::span<Datagram> batch) {
+          for (Datagram& d : batch) c->on_datagram(d.payload);
         });
     viewers[static_cast<size_t>(i)].cache.server_configs[7] =
         server.server_config_id();

@@ -18,7 +18,7 @@ TEST(Golden, QuicPacketHeader) {
   p.type = quic::PacketType::kOneRtt;
   p.conn_id = 0x1122334455667788ull;
   p.packet_number = 0x0A;
-  p.frames.push_back(quic::PingFrame{});
+  p.frames.emplace_back(quic::PingFrame{});
   EXPECT_EQ(to_hex(serialize_packet(p)),
             "04"                  // type: 1-RTT
             "1122334455667788"    // connection id
@@ -33,8 +33,9 @@ TEST(Golden, HxQosPacketUses0x1f) {
   p.packet_number = 2;
   quic::HxQosFrame f;
   f.server_time_ms = 3;
-  f.sealed_blob = {0xAA, 0xBB};
-  p.frames.push_back(f);
+  const std::vector<uint8_t> blob{0xAA, 0xBB};
+  f.sealed_blob = blob;
+  p.frames.emplace_back(f);
   EXPECT_EQ(to_hex(serialize_packet(p)),
             "1f"                  // packet type 0x1f (the paper's new type)
             "0000000000000001"
@@ -50,7 +51,8 @@ TEST(Golden, StreamFrameLayout) {
   f.stream_id = 3;
   f.offset = 64;  // forces 2-byte varint
   f.fin = true;
-  f.data = {0xDE, 0xAD};
+  const std::vector<uint8_t> payload{0xDE, 0xAD};
+  f.data = payload;
   ByteWriter w;
   quic::serialize_frame(quic::Frame{f}, w);
   EXPECT_EQ(to_hex(w.span()),

@@ -28,6 +28,15 @@ Guarded metrics and their default budgets:
                         when current > median + budget.  A ratio near 0;
                         relative budgets are meaningless for it.
 
+  allocs_per_session    relative, --budget-allocs (default 0.10): fail
+                        when current > median * (1 + budget).  Operator-new
+                        calls per (session, scheme) run in the serial pass.
+                        The count is deterministic for a fixed workload
+                        (no wall-clock in it), so the 10% budget exists
+                        only to absorb allocator-library or stdlib-version
+                        shifts; any real hot-path regression (a per-packet
+                        vector reappearing) moves it by far more.
+
 Directionality is enforced: improvements (faster, lower FFCT) never fail.
 Metrics absent from history (e.g. ffct_ms before it was recorded) are
 skipped with a note — the gate only compares what both sides have.
@@ -175,6 +184,19 @@ def run_gate(current, history, args, out=sys.stdout):
         gate.check(name, cur_ffct[name], median(base), args.budget_ffct,
                    "higher_fails")
 
+    cur_allocs = current.get("allocs_per_session")
+    base_allocs = [
+        r["allocs_per_session"]
+        for r in window
+        if isinstance(r.get("allocs_per_session"), (int, float))
+    ]
+    if isinstance(cur_allocs, (int, float)) and base_allocs:
+        gate.check("allocs_per_session", float(cur_allocs),
+                   median(base_allocs), args.budget_allocs, "higher_fails")
+    else:
+        gate.note("allocs_per_session           skipped (absent from run "
+                  "or history)")
+
     cur_ov = current.get("metrics_overhead")
     base_ov = [
         r["metrics_overhead"]
@@ -197,7 +219,8 @@ def run_gate(current, history, args, out=sys.stdout):
 def self_test(args):
     """Synthetic-data checks of the gate logic itself (used as a ctest)."""
 
-    def rec(sps=50.0, ffct=150.0, overhead=0.05, sessions=300, seed=1):
+    def rec(sps=50.0, ffct=150.0, overhead=0.05, allocs=900.0,
+            sessions=300, seed=1):
         return {
             "sessions": sessions,
             "seed": seed,
@@ -205,6 +228,7 @@ def self_test(args):
             "sessions_per_sec_1t": sps,
             "sessions_per_sec_nt": sps * 1.8,
             "metrics_overhead": overhead,
+            "allocs_per_session": allocs,
             "ffct_ms": {"Baseline": ffct * 1.1, "Wira": ffct},
         }
 
@@ -221,6 +245,10 @@ def self_test(args):
         ("FFCT improvement passes", rec(ffct=120.0), 0),
         ("overhead above absolute budget fails", rec(overhead=0.2), 1),
         ("overhead within absolute budget passes", rec(overhead=0.12), 0),
+        ("15% allocs/session regression fails", rec(allocs=1035.0), 1),
+        ("allocs/session improvement passes", rec(allocs=150.0), 0),
+        ("allocs absent from run is skipped",
+         {k: v for k, v in rec().items() if k != "allocs_per_session"}, 0),
         ("different workload skips comparison", rec(sps=10.0, sessions=50), 0),
         ("scheme absent from history is skipped",
          {**rec(), "ffct_ms": {"Wira": 150.0, "NewScheme": 1e9}}, 0),
@@ -258,6 +286,8 @@ def main():
                     help="relative increase allowed on mean FFCT per scheme")
     ap.add_argument("--budget-overhead", type=float, default=0.10,
                     help="absolute increase allowed on metrics_overhead")
+    ap.add_argument("--budget-allocs", type=float, default=0.10,
+                    help="relative increase allowed on allocs_per_session")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in logic checks and exit")
     args = ap.parse_args()

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the gate-labeled test set under Address+UB
+# sanitizers (WIRA_SANITIZE, see the top-level CMakeLists.txt) in a
+# dedicated build tree and run it.  The zero-copy datagram path hands out
+# borrowed spans and pool-recycled buffers, so use-after-free and
+# use-after-reset bugs are the failure class this script exists to catch;
+# run it after any change to the arena, the parser, or buffer recycling.
+#
+# Usage: tools/run_asan.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DWIRA_SANITIZE="address;undefined"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps UBSan failures fatal so ctest sees them; ASan is
+# fatal by default.  detect_leaks stays on: the arena owns its blocks and
+# the batch pool owns batches, so a leak report means ownership drifted.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+ctest --test-dir "${build_dir}" -L gate --output-on-failure \
+  -j "$(nproc)" "$@"
+echo "sanitizer gate passed"
