@@ -5,6 +5,10 @@
 // argument overriding the seed, so `./fig11_overall 2000 7` scales the run.
 // `--threads N` (or env WIRA_THREADS) parallelizes the session sweep; any
 // thread count produces identical output (sessions are seeded per index).
+// `--procs N` (or env WIRA_PROCS) shards it over forked worker processes
+// instead — same byte-identical output, plus crash containment: a dead
+// worker is named and, with --retry-dead-shards, its missing sessions are
+// re-run in-process (see exp::PopulationConfig::processes).
 //
 // Observability flags (PR 2):
 //   --metrics-out FILE   write one JSONL line per (session, scheme) with
@@ -37,6 +41,10 @@ struct Args {
   uint64_t seed = 1;
   /// Worker threads: 1 = serial, 0 = one per hardware thread.
   size_t threads = 1;
+  /// Worker processes: 1 = in-process, 0 = one per hardware thread.
+  size_t procs = 1;
+  /// Salvage + re-run sessions lost to a dead worker process.
+  bool retry_dead_shards = false;
   /// Per-session JSONL metrics file; empty = metrics collection off.
   std::string metrics_out;
   /// Dump a full qlog of every Nth session (0 = off) into trace_dir.
@@ -59,7 +67,8 @@ inline bool parse_u64(const char* s, uint64_t* out) {
 [[noreturn]] inline void usage_error(const char* prog, const char* msg) {
   std::fprintf(stderr,
                "error: %s\nusage: %s [sessions] [seed] [--threads N] "
-               "[--metrics-out FILE] [--trace-sample N] [--trace-dir DIR]\n",
+               "[--procs N] [--retry-dead-shards] [--metrics-out FILE] "
+               "[--trace-sample N] [--trace-dir DIR]\n",
                msg, prog);
   std::exit(2);
 }
@@ -90,6 +99,13 @@ inline Args parse_args(int argc, char** argv) {
     }
     a.threads = static_cast<size_t>(v);
   }
+  if (const char* env = std::getenv("WIRA_PROCS")) {
+    uint64_t v = 0;
+    if (!parse_u64(env, &v)) {
+      usage_error(argv[0], "WIRA_PROCS must be a non-negative integer");
+    }
+    a.procs = static_cast<size_t>(v);
+  }
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -100,6 +116,19 @@ inline Args parse_args(int argc, char** argv) {
         usage_error(argv[0], "--threads must be a non-negative integer");
       }
       a.threads = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = flag_value("--procs", argc, argv, &i)) {
+      uint64_t v = 0;
+      // 0 is meaningful here too: one worker per hardware thread.
+      if (!parse_u64(val, &v)) {
+        usage_error(argv[0], "--procs must be a non-negative integer");
+      }
+      a.procs = static_cast<size_t>(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--retry-dead-shards") == 0) {
+      a.retry_dead_shards = true;
       continue;
     }
     if (const char* val = flag_value("--metrics-out", argc, argv, &i)) {
@@ -146,6 +175,8 @@ inline exp::PopulationConfig default_population(const Args& a) {
   cfg.sessions = a.sessions;
   cfg.seed = a.seed;
   cfg.threads = a.threads;
+  cfg.processes = a.procs;
+  cfg.retry_dead_shards = a.retry_dead_shards;
   cfg.collect_metrics = !a.metrics_out.empty();
   cfg.trace_sample = a.trace_sample;
   cfg.trace_dir = a.trace_dir;

@@ -1,11 +1,14 @@
-// Performance smoke: runs the same Monte-Carlo population serially and in
-// parallel, verifies the records are identical (the determinism contract),
-// then reruns with full metrics collection to price the observability
-// overhead, and prints one JSON object with sessions/sec plus the aggregate
-// metrics registry so successive runs build a perf trajectory
-// (tools/run_perf_smoke.sh appends it to bench_history/).
+// Performance smoke: runs the same Monte-Carlo population serially, in
+// parallel (threads), and sharded over forked worker processes, verifies
+// all records are identical (the determinism contract), then reruns with
+// full metrics collection to price the observability overhead, and prints
+// one JSON object with sessions/sec plus the aggregate metrics registry so
+// successive runs build a perf trajectory (tools/run_perf_smoke.sh appends
+// it to bench_history/; tools/bench_gate.py gates the throughput numbers,
+// including the multiprocess sessions_per_sec_np datapoint).
 //
-// Usage: perf_smoke [sessions] [seed] [--threads N]   (N=0 -> hardware)
+// Usage: perf_smoke [sessions] [seed] [--threads N] [--procs N]
+//        (N=0 -> hardware; --procs defaults to a 2-worker datapoint)
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -142,8 +145,21 @@ int main(int argc, char** argv) {
   std::vector<SessionRecord> parallel_records;
   const double parallel_sec = run_timed(cfg, &parallel_records);
 
+  // Multiprocess pass (PR 5): forked workers stream serialized records
+  // back over pipes and the parent reassembles them index-addressed — the
+  // identical-records check below extends the determinism contract across
+  // the process boundary and the wire codec.
+  const size_t procs = args.procs == 1 ? 2 : args.procs;
+  cfg.threads = 1;
+  cfg.processes = procs;
+  std::vector<SessionRecord> procs_records;
+  const double procs_sec = run_timed(cfg, &procs_records);
+  cfg.processes = 1;
+  cfg.threads = par_threads;
+
   const bool deterministic =
-      records_identical(serial_records, parallel_records);
+      records_identical(serial_records, parallel_records) &&
+      records_identical(serial_records, procs_records);
 
   // Third pass with the full observability stack on (phase tracers +
   // per-worker registries): prices the opt-in overhead and produces the
@@ -156,6 +172,8 @@ int main(int argc, char** argv) {
   const double n = static_cast<double>(args.sessions);
   const size_t effective_threads =
       par_threads == 0 ? std::thread::hardware_concurrency() : par_threads;
+  const size_t effective_procs =
+      procs == 0 ? std::thread::hardware_concurrency() : procs;
   std::ostringstream metrics_json;
   registry.write_json(metrics_json);
   std::string ffct_json, phases_json;
@@ -167,11 +185,14 @@ int main(int argc, char** argv) {
       "  \"sessions\": %zu,\n"
       "  \"seed\": %llu,\n"
       "  \"threads\": %zu,\n"
+      "  \"procs\": %zu,\n"
       "  \"serial_sec\": %.3f,\n"
       "  \"parallel_sec\": %.3f,\n"
+      "  \"procs_sec\": %.3f,\n"
       "  \"metrics_sec\": %.3f,\n"
       "  \"sessions_per_sec_1t\": %.1f,\n"
       "  \"sessions_per_sec_nt\": %.1f,\n"
+      "  \"sessions_per_sec_np\": %.1f,\n"
       "  \"speedup\": %.2f,\n"
       "  \"metrics_overhead\": %.3f,\n"
       "  \"allocs_per_session\": %.1f,\n"
@@ -182,8 +203,9 @@ int main(int argc, char** argv) {
       "  \"metrics\": %s\n"
       "}\n",
       args.sessions, static_cast<unsigned long long>(args.seed),
-      effective_threads, serial_sec, parallel_sec, metrics_sec,
-      n / serial_sec, n / parallel_sec, serial_sec / parallel_sec,
+      effective_threads, effective_procs, serial_sec, parallel_sec,
+      procs_sec, metrics_sec, n / serial_sec, n / parallel_sec,
+      n / procs_sec, serial_sec / parallel_sec,
       metrics_sec / parallel_sec - 1.0, allocs_per_session,
       arena_bytes_per_session, deterministic ? "true" : "false",
       ffct_json.c_str(), phases_json.c_str(), metrics_json.str().c_str());

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "crypto/aead.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 namespace wira::core {
@@ -43,9 +44,20 @@ struct HxQosRecord {
 
   bool valid() const { return min_rtt != kNoTime && max_bw > 0; }
   /// Corner case 2 (§IV-C): stale once now - timestamp exceeds Delta.
+  /// A *future-dated* cookie (server clock skew across a restart or a
+  /// cluster failover: server_timestamp > now) is treated as fresh — the
+  /// measurement is at most |skew| old, strictly newer than anything the
+  /// staleness test could certify — but warned, since skew also corrupts
+  /// the ages of every cookie sealed around it.
   bool fresh(TimeNs now, TimeNs staleness_threshold) const {
-    return valid() && server_timestamp != kNoTime &&
-           now - server_timestamp <= staleness_threshold;
+    if (!valid() || server_timestamp == kNoTime) return false;
+    if (server_timestamp > now) {
+      WIRA_WARN("cookie",
+                "future-dated Hx_QoS cookie (server clock skew): "
+                "treating as fresh");
+      return true;
+    }
+    return now - server_timestamp <= staleness_threshold;
   }
 };
 

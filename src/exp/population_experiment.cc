@@ -1,12 +1,20 @@
 #include "exp/population_experiment.h"
 
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 
+#include "exp/record_codec.h"
 #include "media/stream_source.h"
 #include "obs/qlog.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace wira::exp {
@@ -60,6 +68,11 @@ void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
       }
     }
   }
+  // Folded from the record (not counted at the failing open) so serial,
+  // threaded, multiprocess and salvage-retry runs all agree exactly.
+  if (rec.trace_open_failures > 0) {
+    m.inc("trace.open_failed", rec.trace_open_failures);
+  }
 }
 
 /// Simulates session `i` of the population sweep.  All randomness derives
@@ -69,6 +82,10 @@ void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
 SessionRecord run_one_session(const PopulationConfig& config,
                               const popgen::Population& population,
                               size_t i) {
+  if (i == config.fail_at_index) {
+    throw std::runtime_error("injected failure at session " +
+                             std::to_string(i));
+  }
   Rng rng(config.seed ^ (0x5DEECE66Dull * (i + 1)));
   const popgen::OdPair od = population.random_od(rng);
 
@@ -153,6 +170,14 @@ SessionRecord run_one_session(const PopulationConfig& config,
         qlog_tracer.stream_to(&*qlog_writer,
                               /*keep_buffer=*/cfg.collect_phases);
         cfg.tracer = &qlog_tracer;
+      } else {
+        // A sampled session must never be *silently* untraced: name the
+        // file, run the session untraced, and surface the miss as the
+        // trace.open_failed counter.
+        WIRA_WARN("population",
+                  "cannot open qlog sample " + path +
+                      ": session runs untraced");
+        rec.trace_open_failures++;
       }
     }
     rec.results.emplace(scheme, run_session(cfg));
@@ -163,6 +188,351 @@ SessionRecord run_one_session(const PopulationConfig& config,
   return rec;
 }
 
+// ---- multiprocess sharding (DESIGN.md §6) -------------------------------
+//
+// The parent forks N workers; worker w owns the contiguous stripe
+// [stripe_begin(w), stripe_end(w)) of session indices and streams each
+// completed record immediately as a checksummed codec frame, so a crash
+// loses only the sessions it never finished.  The parent multiplexes all
+// pipes with poll() (a pipe-buffer-bound worker just waits for the parent,
+// never deadlocks), reaps every child with waitpid, and classifies each
+// worker as clean (kEnd frame seen + exit 0) or dead (signal, nonzero
+// exit, truncated or corrupt stream).
+
+struct Stripe {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Contiguous, balanced stripes: the first (sessions % workers) stripes
+/// get one extra index.  Contiguity is what makes "the session the dead
+/// worker was on" well-defined — frames arrive in index order per worker.
+std::vector<Stripe> make_stripes(size_t sessions, size_t workers) {
+  std::vector<Stripe> stripes(workers);
+  const size_t base = sessions / workers;
+  const size_t extra = sessions % workers;
+  size_t at = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    stripes[w].begin = at;
+    at += base + (w < extra ? 1 : 0);
+    stripes[w].end = at;
+  }
+  return stripes;
+}
+
+bool write_all(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<size_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Worker child body.  Never returns: _Exit skips atexit/stdio teardown
+/// inherited from the parent (0 = clean, 1 = session threw, 3 = pipe
+/// write failed, i.e. the parent went away).
+[[noreturn]] void run_worker_child(const PopulationConfig& config,
+                                   Stripe stripe, bool want_metrics,
+                                   int fd) {
+  int exit_code = 0;
+  std::vector<uint8_t> buf;
+  append_stream_header(buf);
+  obs::MetricsRegistry local;
+  try {
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    for (size_t i = stripe.begin; i < stripe.end; ++i) {
+      if (i == config.kill_at_index) {
+        (void)write_all(fd, buf.data(), buf.size());  // flush pre-kill
+        std::raise(SIGKILL);
+      }
+      const SessionRecord rec = run_one_session(config, population, i);
+      if (want_metrics) record_session_metrics(local, rec, config);
+      std::vector<uint8_t> payload;
+      CodecWriter w(payload);
+      w.u64(i);
+      encode_session_record(rec, w);
+      append_frame(FrameType::kSessionRecord, payload, buf);
+      // Stream eagerly: everything written is salvage if we die later.
+      if (!write_all(fd, buf.data(), buf.size())) {
+        exit_code = 3;
+        break;
+      }
+      buf.clear();
+    }
+    if (exit_code == 0) {
+      buf.clear();
+      if (want_metrics) {
+        std::vector<uint8_t> payload;
+        CodecWriter w(payload);
+        encode_metrics_registry(local, w);
+        append_frame(FrameType::kMetrics, payload, buf);
+      }
+      append_frame(FrameType::kEnd, {}, buf);
+      if (!write_all(fd, buf.data(), buf.size())) exit_code = 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wira population worker [%zu,%zu): %s\n",
+                 stripe.begin, stripe.end, e.what());
+    exit_code = 1;
+  } catch (...) {
+    exit_code = 1;
+  }
+  ::close(fd);
+  std::_Exit(exit_code);
+}
+
+/// Decodes one worker's byte stream into `records` (bounds- and
+/// duplicate-checked against its stripe).  Returns true iff the stream is
+/// complete and clean; otherwise *reason describes the defect.
+bool parse_worker_stream(std::span<const uint8_t> bytes, Stripe stripe,
+                         std::vector<SessionRecord>& records,
+                         std::vector<uint8_t>& have,
+                         obs::MetricsRegistry* worker_metrics,
+                         std::string* reason) {
+  size_t off = 0;
+  switch (read_stream_header(bytes, &off)) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kNeedMore:
+      *reason = "truncated record stream (no header)";
+      return false;
+    case FrameStatus::kCorrupt:
+      *reason = "bad codec magic/version";
+      return false;
+  }
+  bool saw_metrics = false;
+  for (;;) {
+    FrameView frame;
+    switch (next_frame(bytes, &off, &frame)) {
+      case FrameStatus::kNeedMore:
+        *reason = off >= bytes.size()
+                      ? "truncated record stream (no end marker)"
+                      : "truncated frame";
+        return false;
+      case FrameStatus::kCorrupt:
+        *reason = "corrupt frame (checksum or type)";
+        return false;
+      case FrameStatus::kOk:
+        break;
+    }
+    if (frame.type == FrameType::kEnd) {
+      if (off != bytes.size()) {
+        *reason = "trailing bytes after end marker";
+        return false;
+      }
+      return true;
+    }
+    if (frame.type == FrameType::kSessionRecord) {
+      CodecReader r(frame.payload);
+      uint64_t index = 0;
+      SessionRecord rec;
+      if (!r.u64(&index) || !decode_session_record(r, &rec) ||
+          r.remaining() != 0) {
+        *reason = "undecodable session record";
+        return false;
+      }
+      if (index < stripe.begin || index >= stripe.end || have[index]) {
+        *reason = "session index outside stripe or duplicated";
+        return false;
+      }
+      records[index] = std::move(rec);
+      have[index] = 1;
+      continue;
+    }
+    // kMetrics
+    if (worker_metrics == nullptr || saw_metrics) {
+      *reason = "unexpected metrics frame";
+      return false;
+    }
+    CodecReader r(frame.payload);
+    if (!decode_metrics_registry(r, worker_metrics) || r.remaining() != 0) {
+      *reason = "undecodable metrics registry";
+      return false;
+    }
+    saw_metrics = true;
+  }
+}
+
+std::vector<SessionRecord> run_population_multiprocess(
+    const PopulationConfig& config, obs::MetricsRegistry* metrics,
+    size_t workers) {
+  const std::vector<Stripe> stripes = make_stripes(config.sessions, workers);
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::vector<uint8_t> bytes;
+    int status = 0;
+  };
+  std::vector<Worker> ws(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+      for (size_t k = 0; k < w; ++k) {
+        ::close(ws[k].fd);
+        ::kill(ws[k].pid, SIGKILL);
+        ::waitpid(ws[k].pid, nullptr, 0);
+      }
+      throw std::runtime_error("run_population: pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (size_t k = 0; k < w; ++k) {
+        ::close(ws[k].fd);
+        ::kill(ws[k].pid, SIGKILL);
+        ::waitpid(ws[k].pid, nullptr, 0);
+      }
+      throw std::runtime_error("run_population: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: drop every parent-side read end so sibling EOFs work.
+      for (size_t k = 0; k < w; ++k) ::close(ws[k].fd);
+      ::close(fds[0]);
+      run_worker_child(config, stripes[w], metrics != nullptr, fds[1]);
+    }
+    ::close(fds[1]);
+    ws[w].pid = pid;
+    ws[w].fd = fds[0];
+  }
+
+  // Multiplexed drain: read every pipe until EOF.  poll() keeps all
+  // workers flowing even when one stripe's records outrun the 64 KiB pipe
+  // buffer — the blocked worker resumes as soon as we drain it here.
+  size_t open_fds = workers;
+  std::vector<pollfd> pfds;
+  std::vector<size_t> pfd_worker;
+  uint8_t chunk[65536];
+  while (open_fds > 0) {
+    pfds.clear();
+    pfd_worker.clear();
+    for (size_t w = 0; w < workers; ++w) {
+      if (ws[w].fd < 0) continue;
+      pfds.push_back(pollfd{ws[w].fd, POLLIN, 0});
+      pfd_worker.push_back(w);
+    }
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("run_population: poll() failed");
+    }
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& worker = ws[pfd_worker[p]];
+      const ssize_t n = ::read(worker.fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(worker.fd);
+        worker.fd = -1;
+        open_fds--;
+        continue;
+      }
+      if (n == 0) {
+        ::close(worker.fd);
+        worker.fd = -1;
+        open_fds--;
+        continue;
+      }
+      worker.bytes.insert(worker.bytes.end(), chunk, chunk + n);
+    }
+  }
+  for (Worker& worker : ws) {
+    while (::waitpid(worker.pid, &worker.status, 0) < 0 && errno == EINTR) {
+    }
+  }
+
+  // Reassemble index-addressed, then classify each worker.
+  std::vector<SessionRecord> records(config.sessions);
+  std::vector<uint8_t> have(config.sessions, 0);
+  std::vector<obs::MetricsRegistry> worker_metrics(metrics ? workers : 0);
+  std::vector<ShardDeath> deaths;
+  for (size_t w = 0; w < workers; ++w) {
+    std::string parse_reason;
+    const bool clean = parse_worker_stream(
+        ws[w].bytes, stripes[w], records, have,
+        metrics ? &worker_metrics[w] : nullptr, &parse_reason);
+    std::string reason;
+    if (WIFSIGNALED(ws[w].status)) {
+      reason = "killed by signal " + std::to_string(WTERMSIG(ws[w].status));
+    } else if (WIFEXITED(ws[w].status) && WEXITSTATUS(ws[w].status) != 0) {
+      reason =
+          "exited with status " + std::to_string(WEXITSTATUS(ws[w].status));
+    } else if (!clean) {
+      reason = parse_reason;
+    }
+    if (reason.empty()) continue;
+    ShardDeath death;
+    death.worker = static_cast<int>(w);
+    death.stripe_begin = stripes[w].begin;
+    death.stripe_end = stripes[w].end;
+    death.died_at = stripes[w].end;
+    for (size_t i = stripes[w].begin; i < stripes[w].end; ++i) {
+      if (!have[i]) {
+        death.died_at = i;
+        break;
+      }
+    }
+    death.reason = std::move(reason);
+    deaths.push_back(std::move(death));
+  }
+
+  if (!deaths.empty()) {
+    std::vector<size_t> missing;
+    for (size_t i = 0; i < config.sessions; ++i) {
+      if (!have[i]) missing.push_back(i);
+    }
+    std::string msg = "run_population: ";
+    for (size_t d = 0; d < deaths.size(); ++d) {
+      if (d > 0) msg += "; ";
+      msg += "worker " + std::to_string(deaths[d].worker) + " (sessions [" +
+             std::to_string(deaths[d].stripe_begin) + "," +
+             std::to_string(deaths[d].stripe_end) + ")) " +
+             deaths[d].reason + " while on session " +
+             std::to_string(deaths[d].died_at);
+    }
+    msg += "; salvaged " + std::to_string(config.sessions - missing.size()) +
+           " of " + std::to_string(config.sessions) + " records";
+    if (!config.retry_dead_shards) {
+      throw PopulationShardError(msg, std::move(deaths), std::move(records),
+                                 std::move(missing));
+    }
+    WIRA_WARN("population",
+              msg + "; retrying " + std::to_string(missing.size()) +
+                  " missing session(s) in-process");
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    for (const size_t i : missing) {
+      records[i] = run_one_session(config, population, i);
+      have[i] = 1;
+    }
+    if (metrics) {
+      // A dead worker's registry never arrived (the metrics frame trails
+      // the stripe).  record_session_metrics is a pure function of the
+      // record, so rebuilding the whole stripe from the reassembled
+      // records reproduces it exactly.
+      for (const ShardDeath& death : deaths) {
+        obs::MetricsRegistry rebuilt;
+        for (size_t i = death.stripe_begin; i < death.stripe_end; ++i) {
+          record_session_metrics(rebuilt, records[i], config);
+        }
+        worker_metrics[static_cast<size_t>(death.worker)] =
+            std::move(rebuilt);
+      }
+    }
+  }
+
+  if (metrics) {
+    for (const obs::MetricsRegistry& local : worker_metrics) {
+      metrics->merge(local);
+    }
+  }
+  return records;
+}
+
 }  // namespace
 
 std::vector<SessionRecord> run_population(const PopulationConfig& config,
@@ -170,7 +540,20 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config,
   const size_t threads =
       util::ThreadPool::clamp_threads(config.threads, config.sessions);
   if (config.trace_sample > 0) {
-    std::filesystem::create_directories(config.trace_dir);
+    // Non-fatal on purpose: a broken trace destination degrades to
+    // untraced sessions (warned + counted per open), never a dead sweep.
+    std::error_code ec;
+    std::filesystem::create_directories(config.trace_dir, ec);
+    if (ec) {
+      WIRA_WARN("population", "cannot create trace dir " + config.trace_dir +
+                                  ": " + ec.message());
+    }
+  }
+
+  const size_t processes =
+      util::ThreadPool::clamp_threads(config.processes, config.sessions);
+  if (processes > 1) {
+    return run_population_multiprocess(config, metrics, processes);
   }
 
   if (threads <= 1) {
@@ -205,7 +588,16 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config,
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= config.sessions) return;
-        records[i] = run_one_session(config, population, i);
+        try {
+          records[i] = run_one_session(config, population, i);
+        } catch (...) {
+          // Park the shared counter at the end so the other workers stop
+          // claiming new sessions: without this, one failure would let the
+          // rest of the sweep run to completion before the rethrow below
+          // surfaced it.
+          next.store(config.sessions, std::memory_order_relaxed);
+          throw;
+        }
         if (local) record_session_metrics(*local, records[i], config);
       }
     }));

@@ -5,7 +5,9 @@
 // comparison scheme (paired design — variance-free scheme deltas).
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,9 @@
 
 namespace wira::exp {
 
+/// Sentinel for the test-only fault-injection indices below.
+inline constexpr size_t kNoSessionIndex = static_cast<size_t>(-1);
+
 struct PopulationConfig {
   uint64_t seed = 1;
   size_t sessions = 300;
@@ -26,6 +31,20 @@ struct PopulationConfig {
   /// index, so any thread count produces bit-identical records in
   /// identical order.
   size_t threads = 1;
+  /// Worker *processes* for the session sweep (the beyond-one-host shard
+  /// unit): 1 = in-process (default; `threads` decides serial vs thread
+  /// pool), 0 = one per hardware thread, N = fork exactly N workers.
+  /// Each worker runs a contiguous stripe of session indices serially
+  /// (`threads` is ignored when processes > 1) and streams serialized
+  /// records back over a pipe (exp/record_codec); per-index seeding makes
+  /// the reassembled output byte-identical to serial.  A worker that dies
+  /// (crash, signal, truncated stream) is detected and named; see
+  /// retry_dead_shards.
+  size_t processes = 1;
+  /// When a worker process dies mid-stripe: salvage its completed records
+  /// and re-run only the missing indices in the parent (true), or throw a
+  /// PopulationShardError carrying the salvage (false, default).
+  bool retry_dead_shards = false;
   /// Fraction of connections establishing in 0-RTT (paper: ~90%).
   double p_zero_rtt = 0.90;
   /// Fraction of clients arriving with a stored cookie.
@@ -52,6 +71,15 @@ struct PopulationConfig {
   /// (session, scheme).  0 = off.
   size_t trace_sample = 0;
   std::string trace_dir = "traces";
+
+  // ---- fault injection (tests only) ----
+  /// Throw from inside this session index (any execution mode): exercises
+  /// the worker-failure paths without patching the runner.
+  size_t fail_at_index = kNoSessionIndex;
+  /// raise(SIGKILL) when a forked worker reaches this session index.
+  /// Honored only inside multiprocess worker children, so the test
+  /// process itself never dies.
+  size_t kill_at_index = kNoSessionIndex;
 };
 
 struct SessionRecord {
@@ -60,7 +88,42 @@ struct SessionRecord {
   bool zero_rtt = false;
   bool had_cookie = false;
   uint64_t ff_size = 0;            ///< ground-truth first-frame size
+  /// qlog sample files this session failed to open (unwritable trace_dir);
+  /// surfaces as the `trace.open_failed` counter.
+  uint64_t trace_open_failures = 0;
   std::map<core::Scheme, SessionResult> results;
+};
+
+/// One dead worker of the multiprocess runner (DESIGN.md §6 failure
+/// matrix): which stripe it owned, the first session index it never
+/// delivered (the session it was on), and why the parent declared it dead.
+struct ShardDeath {
+  int worker = -1;
+  size_t stripe_begin = 0;  ///< first session index of the stripe
+  size_t stripe_end = 0;    ///< one past the last index
+  size_t died_at = 0;       ///< first undelivered index of the stripe
+  std::string reason;       ///< "killed by signal 9", "exited with status
+                            ///< 1", "truncated record stream", ...
+};
+
+/// Thrown by run_population (processes > 1, retry_dead_shards off) when
+/// one or more workers die.  Carries everything the caller needs to
+/// salvage: the index-addressed records that did arrive (missing slots
+/// are default-constructed) and the exact indices still owed.
+class PopulationShardError : public std::runtime_error {
+ public:
+  PopulationShardError(const std::string& what,
+                       std::vector<ShardDeath> deaths_in,
+                       std::vector<SessionRecord> salvaged_in,
+                       std::vector<size_t> missing_in)
+      : std::runtime_error(what),
+        deaths(std::move(deaths_in)),
+        salvaged(std::move(salvaged_in)),
+        missing(std::move(missing_in)) {}
+
+  std::vector<ShardDeath> deaths;
+  std::vector<SessionRecord> salvaged;
+  std::vector<size_t> missing;
 };
 
 /// Runs the population sweep.  When `metrics` is non-null, per-scheme
@@ -69,7 +132,10 @@ struct SessionRecord {
 /// it.  Each worker owns a private registry; the locals are merged in
 /// worker-index order after the join, and because the merge is
 /// order-independent (bucket-wise addition) the aggregate is bit-identical
-/// at any thread count.
+/// at any thread count.  With config.processes > 1 the same contract holds
+/// across forked worker processes: records come back over a pipe via the
+/// versioned record codec and registries are merged in worker order, so
+/// `--procs N` output is byte-identical to serial.
 std::vector<SessionRecord> run_population(const PopulationConfig& config,
                                           obs::MetricsRegistry* metrics);
 

@@ -1,0 +1,139 @@
+// Versioned wire codec for the multiprocess population runner (DESIGN.md
+// §6): workers stream length-prefixed, checksummed frames carrying
+// serialized SessionRecords plus one serialized MetricsRegistry back to
+// the parent over a pipe, and the parent reassembles them index-addressed.
+//
+// Layering:
+//   - primitives: CodecWriter / CodecReader — little-endian fixed-width
+//     integers, bit-cast doubles, length-prefixed strings, all reads
+//     bounds-checked (a failed read latches the reader into a failed
+//     state; no partial-field tearing).
+//   - values: encode/decode for SessionRecord, SessionResult, HxQosRecord
+//     and obs::MetricsRegistry.  Round trips are bit-exact (doubles are
+//     bit-cast, histograms ship raw bucket counts), which is what makes
+//     `--procs N` output byte-identical to serial.
+//   - frames: a stream header (magic + codec version) followed by
+//     [type u8][len u32][fnv1a-64 checksum u64][payload] frames and a
+//     terminating kEnd frame.  EOF before kEnd means the worker died
+//     mid-stripe: everything decoded up to that point is salvageable and
+//     the first missing index names the session the worker was on.
+//
+// Versioning: bump kRecordCodecVersion on any layout change; the parent
+// rejects streams from a mismatched worker outright (both sides are the
+// same binary, so a mismatch means memory corruption, not skew).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exp/population_experiment.h"
+
+namespace wira::obs {
+class MetricsRegistry;
+}
+
+namespace wira::exp {
+
+inline constexpr uint32_t kRecordCodecMagic = 0x57524331;  // "WRC1"
+inline constexpr uint32_t kRecordCodecVersion = 1;
+
+/// FNV-1a 64-bit over a byte span (the per-frame checksum).
+uint64_t fnv1a64(std::span<const uint8_t> data);
+
+/// Append-only primitive writer over a caller-owned byte vector.
+class CodecWriter {
+ public:
+  explicit CodecWriter(std::vector<uint8_t>& out) : out_(out) {}
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(std::span<const uint8_t> data);
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+
+ private:
+  std::vector<uint8_t>& out_;
+};
+
+/// Bounds-checked primitive reader.  Any out-of-range read latches
+/// `failed()`; subsequent reads return zeros so decode loops can bail on
+/// a single check per value.
+class CodecReader {
+ public:
+  explicit CodecReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool u8(uint8_t* v);
+  bool u32(uint32_t* v);
+  bool u64(uint64_t* v);
+  bool i64(int64_t* v);
+  bool f64(double* v);
+  bool boolean(bool* v);
+  bool str(std::string* s);
+
+  bool failed() const { return failed_; }
+  size_t offset() const { return off_; }
+  size_t remaining() const { return data_.size() - off_; }
+
+ private:
+  bool take(size_t n, const uint8_t** p);
+
+  std::span<const uint8_t> data_;
+  size_t off_ = 0;
+  bool failed_ = false;
+};
+
+// ---- value codecs -------------------------------------------------------
+
+void encode_hxqos_record(const core::HxQosRecord& r, CodecWriter& w);
+bool decode_hxqos_record(CodecReader& r, core::HxQosRecord* out);
+
+void encode_session_result(const SessionResult& res, CodecWriter& w);
+bool decode_session_result(CodecReader& r, SessionResult* out);
+
+void encode_session_record(const SessionRecord& rec, CodecWriter& w);
+bool decode_session_record(CodecReader& r, SessionRecord* out);
+
+void encode_metrics_registry(const obs::MetricsRegistry& m, CodecWriter& w);
+bool decode_metrics_registry(CodecReader& r, obs::MetricsRegistry* out);
+
+// ---- frame layer --------------------------------------------------------
+
+enum class FrameType : uint8_t {
+  kSessionRecord = 1,  ///< payload: u64 session index + SessionRecord
+  kMetrics = 2,        ///< payload: MetricsRegistry
+  kEnd = 3,            ///< empty payload; clean end-of-stripe marker
+};
+
+/// Writes the stream header (magic + version) a worker emits once before
+/// its first frame.
+void append_stream_header(std::vector<uint8_t>& out);
+
+/// Appends one [type][len][checksum][payload] frame.
+void append_frame(FrameType type, std::span<const uint8_t> payload,
+                  std::vector<uint8_t>& out);
+
+enum class FrameStatus {
+  kOk,        ///< frame parsed, *offset advanced past it
+  kNeedMore,  ///< buffer ends mid-header or mid-payload (truncated stream)
+  kCorrupt,   ///< bad magic/version/type or checksum mismatch
+};
+
+struct FrameView {
+  FrameType type = FrameType::kEnd;
+  std::span<const uint8_t> payload;
+};
+
+/// Validates the stream header at *offset and advances past it.
+FrameStatus read_stream_header(std::span<const uint8_t> data,
+                               size_t* offset);
+
+/// Parses the next frame at *offset.  On kOk the view borrows `data`.
+FrameStatus next_frame(std::span<const uint8_t> data, size_t* offset,
+                       FrameView* out);
+
+}  // namespace wira::exp

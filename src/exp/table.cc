@@ -11,10 +11,14 @@
 namespace wira::exp {
 
 void Table::print(std::ostream& os) const {
-  std::vector<size_t> widths(headers_.size());
+  // Column count follows the *widest* row, not just the header: rows with
+  // trailing extra cells print in full (missing cells render empty).
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
   for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
   for (const auto& row : rows_) {
-    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+    for (size_t i = 0; i < row.size(); ++i) {
       widths[i] = std::max(widths[i], row[i].size());
     }
   }

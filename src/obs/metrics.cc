@@ -107,6 +107,18 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+LatencyHistogram LatencyHistogram::from_state(std::vector<uint64_t> counts,
+                                              uint64_t count, uint64_t sum,
+                                              uint64_t min, uint64_t max) {
+  LatencyHistogram h;
+  h.counts_ = std::move(counts);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = count == 0 ? UINT64_MAX : min;
+  h.max_ = max;
+  return h;
+}
+
 std::vector<LatencyHistogram::Bucket> LatencyHistogram::buckets() const {
   std::vector<Bucket> out;
   for (size_t i = 0; i < counts_.size(); ++i) {

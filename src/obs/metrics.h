@@ -55,6 +55,16 @@ class LatencyHistogram {
   /// order (the parallel-runner contract).
   void merge(const LatencyHistogram& other);
 
+  /// Rebuilds a histogram from previously exported state — the inverse of
+  /// (bucket_counts, count, sum, min, max) as read through the accessors.
+  /// Used by the multiprocess runner's wire codec (exp/record_codec) to
+  /// round-trip worker registries bit-exactly; `counts` must be
+  /// index-aligned with bucket_index and `min` is the accessor value
+  /// (0 for an empty histogram).
+  static LatencyHistogram from_state(std::vector<uint64_t> counts,
+                                     uint64_t count, uint64_t sum,
+                                     uint64_t min, uint64_t max);
+
   struct Bucket {
     uint64_t lo = 0;     ///< inclusive
     uint64_t hi = 0;     ///< exclusive

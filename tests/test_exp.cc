@@ -2,10 +2,15 @@
 // determinism, metric plausibility, and the bucketing collectors.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <sstream>
 
 #include "exp/population_experiment.h"
+#include "exp/record_codec.h"
 #include "exp/session_export.h"
+#include "exp/table.h"
 #include "obs/metrics.h"
 
 namespace wira::exp {
@@ -272,6 +277,216 @@ TEST(Harness, ZeroRttShareMatchesConfig) {
   size_t zero = 0;
   for (const auto& r : records) zero += r.zero_rtt;
   EXPECT_NEAR(static_cast<double>(zero) / records.size(), 0.5, 0.2);
+}
+
+// Bit-exact record equality via the wire codec: every field the harness
+// carries participates, so this is strictly stronger than the field
+// spot-checks above.
+bool records_equal(const std::vector<SessionRecord>& a,
+                   const std::vector<SessionRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::vector<uint8_t> ea, eb;
+    CodecWriter wa(ea), wb(eb);
+    encode_session_record(a[i], wa);
+    encode_session_record(b[i], wb);
+    if (ea != eb) return false;
+  }
+  return true;
+}
+
+// The multiprocess extension of the determinism contract: records come
+// back over pipes through the wire codec and must still be bit-identical
+// to a serial run, at any worker count, including the per-session JSONL.
+TEST(Harness, MultiprocessRunMatchesSerialExactly) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 24;
+  const auto serial = run_population(cfg);
+  for (const size_t procs : {2u, 4u}) {
+    cfg.processes = procs;
+    const auto sharded = run_population(cfg);
+    EXPECT_TRUE(records_equal(serial, sharded)) << procs << " procs";
+    std::ostringstream ls, lp;
+    write_records_jsonl(serial, ls);
+    write_records_jsonl(sharded, lp);
+    EXPECT_EQ(ls.str(), lp.str()) << procs << " procs";
+  }
+}
+
+TEST(Harness, MultiprocessMetricsMatchSerialExactly) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 24;
+  cfg.collect_metrics = true;
+  obs::MetricsRegistry serial;
+  const auto serial_records = run_population(cfg, &serial);
+  cfg.processes = 4;
+  obs::MetricsRegistry sharded;
+  const auto sharded_records = run_population(cfg, &sharded);
+
+  EXPECT_TRUE(records_equal(serial_records, sharded_records));
+  EXPECT_EQ(serial.counters(), sharded.counters());
+  EXPECT_EQ(serial.gauges(), sharded.gauges());
+  std::ostringstream js, jp;
+  serial.write_json(js);
+  sharded.write_json(jp);
+  EXPECT_EQ(js.str(), jp.str());  // covers raw histogram buckets
+}
+
+// Crash containment: a worker SIGKILLed mid-stripe must surface as a
+// named error that pinpoints the session it was on, with every record it
+// streamed before dying salvaged.
+TEST(Harness, MultiprocessDeadWorkerIsNamedAndSalvaged) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 12;
+  cfg.processes = 2;     // stripes [0,6) and [6,12)
+  cfg.kill_at_index = 9; // worker 1 dies after streaming 6..8
+  try {
+    run_population(cfg);
+    FAIL() << "expected PopulationShardError";
+  } catch (const PopulationShardError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "worker 1 (sessions [6,12)) killed by signal 9 "
+                  "while on session 9"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("salvaged 9 of 12 records"),
+              std::string::npos)
+        << e.what();
+    ASSERT_EQ(e.deaths.size(), 1u);
+    EXPECT_EQ(e.deaths[0].worker, 1);
+    EXPECT_EQ(e.deaths[0].stripe_begin, 6u);
+    EXPECT_EQ(e.deaths[0].stripe_end, 12u);
+    EXPECT_EQ(e.deaths[0].died_at, 9u);
+    EXPECT_EQ(e.missing, (std::vector<size_t>{9, 10, 11}));
+    ASSERT_EQ(e.salvaged.size(), 12u);
+    for (size_t i = 0; i < 9; ++i) {
+      EXPECT_FALSE(e.salvaged[i].results.empty()) << i;
+    }
+    for (size_t i = 9; i < 12; ++i) {
+      EXPECT_TRUE(e.salvaged[i].results.empty()) << i;
+    }
+    // The salvage is the real data: bit-identical to a serial run.
+    PopulationConfig clean = cfg;
+    clean.processes = 1;
+    clean.kill_at_index = kNoSessionIndex;
+    const auto serial = run_population(clean);
+    for (size_t i = 0; i < 9; ++i) {
+      std::vector<uint8_t> ea, eb;
+      CodecWriter wa(ea), wb(eb);
+      encode_session_record(serial[i], wa);
+      encode_session_record(e.salvaged[i], wb);
+      EXPECT_EQ(ea, eb) << i;
+    }
+  }
+}
+
+// A worker whose session throws (rather than dying on a signal) exits
+// nonzero; the parent classifies that distinctly.
+TEST(Harness, MultiprocessWorkerExceptionIsNamed) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 12;
+  cfg.processes = 2;
+  cfg.fail_at_index = 7;
+  try {
+    run_population(cfg);
+    FAIL() << "expected PopulationShardError";
+  } catch (const PopulationShardError& e) {
+    ASSERT_EQ(e.deaths.size(), 1u);
+    EXPECT_EQ(e.deaths[0].reason, "exited with status 1");
+    EXPECT_EQ(e.deaths[0].died_at, 7u);
+    EXPECT_EQ(e.missing, (std::vector<size_t>{7, 8, 9, 10, 11}));
+  }
+}
+
+// With retry_dead_shards the parent re-runs only the missing indices and
+// rebuilds the dead worker's registry from the reassembled records, so
+// the final output is still bit-identical to serial.
+TEST(Harness, MultiprocessRetryDeadShardsCompletesIdentically) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 12;
+  cfg.collect_metrics = true;
+  obs::MetricsRegistry serial;
+  const auto serial_records = run_population(cfg, &serial);
+
+  cfg.processes = 2;
+  cfg.kill_at_index = 9;
+  cfg.retry_dead_shards = true;
+  obs::MetricsRegistry retried;
+  const auto retried_records = run_population(cfg, &retried);
+
+  EXPECT_TRUE(records_equal(serial_records, retried_records));
+  std::ostringstream js, jp;
+  serial.write_json(js);
+  retried.write_json(jp);
+  EXPECT_EQ(js.str(), jp.str());
+}
+
+// A worker exception in the *threaded* runner must both surface and park
+// the shared index counter, so the other workers stop claiming sessions
+// instead of finishing the whole sweep first.  Trace sampling makes the
+// drain observable: every completed session leaves schemes.size() files.
+TEST(Harness, ThreadedWorkerFailureDrainsSweepPromptly) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("wira_drain_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 40;
+  cfg.threads = 2;
+  cfg.fail_at_index = 4;
+  cfg.trace_sample = 1;
+  cfg.trace_dir = dir.string();
+  try {
+    run_population(cfg);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected failure at session 4"),
+              std::string::npos)
+        << e.what();
+  }
+  size_t traced_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    traced_files++;
+  }
+  fs::remove_all(dir);
+  // Sessions completed after the failure: at most the ones already
+  // claimed (one per worker).  Without the counter park, the surviving
+  // worker finishes all 39 remaining sessions first (156 files).
+  const size_t bound = (4 + cfg.threads + 2) * cfg.schemes.size();
+  EXPECT_LE(traced_files, bound);
+  EXPECT_GT(traced_files, 0u);  // sessions before the failure were traced
+}
+
+// An unopenable trace destination must degrade to untraced sessions that
+// are warned about and counted — never silently dropped, never fatal.
+TEST(Harness, FailedTraceOpenIsCountedNotSilent) {
+  PopulationConfig cfg = small_config(7);
+  cfg.sessions = 3;
+  cfg.collect_metrics = true;
+  cfg.trace_sample = 1;
+  cfg.trace_dir = "/dev/null";  // exists, not a directory: every open fails
+  obs::MetricsRegistry metrics;
+  const auto records = run_population(cfg, &metrics);
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.trace_open_failures, cfg.schemes.size());
+  }
+  EXPECT_EQ(metrics.counter("trace.open_failed"),
+            cfg.sessions * cfg.schemes.size());
+}
+
+// Regression: rows wider than the header used to have their extra cells
+// silently dropped by Table::print.
+TEST(TablePrint, KeepsCellsBeyondHeaderWidth) {
+  Table t({"scheme", "ffct"});
+  t.row({"wira", "95.2", "extra-1", "extra-2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("extra-1"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("extra-2"), std::string::npos) << os.str();
 }
 
 TEST(Harness, RunnerHonorsCcChoice) {

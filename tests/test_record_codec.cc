@@ -1,0 +1,406 @@
+// Tests for the multiprocess runner's wire codec (exp/record_codec):
+// primitive round trips, golden bytes for codec v1 layout stability,
+// bit-exact value round trips, and frame-layer truncation/corruption
+// rejection (the crash-containment half of the multiprocess contract).
+#include "exp/record_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/phase_timeline.h"
+#include "util/units.h"
+
+namespace wira::exp {
+namespace {
+
+std::string to_hex(std::span<const uint8_t> bytes) {
+  std::string out;
+  char buf[3];
+  for (uint8_t b : bytes) {
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+core::HxQosRecord sample_hxqos() {
+  core::HxQosRecord r;
+  r.min_rtt = milliseconds(47);
+  r.max_bw = mbps(12);
+  r.server_timestamp = minutes(10);
+  r.od_key = 0xABCDEF0123456789ull;
+  r.loss_rate = 0.015625;  // exactly representable
+  return r;
+}
+
+/// A SessionRecord exercising every field the codec carries, including
+/// the optional vectors (frames, phases) and the corner-case flags.
+SessionRecord sample_record() {
+  SessionRecord rec;
+  rec.conditions.min_rtt = milliseconds(35);
+  rec.conditions.max_bw = mbps(20);
+  rec.conditions.loss_rate = 0.0078125;
+  rec.conditions.buffer_bytes = 131072;
+  rec.cookie_age = minutes(4);
+  rec.zero_rtt = true;
+  rec.had_cookie = true;
+  rec.ff_size = 41234;
+  rec.trace_open_failures = 2;
+
+  SessionResult res;
+  res.first_frame_completed = true;
+  res.ffct = milliseconds(212);
+  res.fflr = 0.03125;
+  res.frames.push_back(FrameStat{milliseconds(250), 0.0});
+  res.frames.push_back(FrameStat{kNoTime, 0.25});
+  res.zero_rtt = true;
+  res.ff_size = 41234;
+  res.init.init_cwnd = 43000;
+  res.init.init_pacing = mbps(18);
+  res.init.used_ff_size = true;
+  res.init.used_hx_qos = true;
+  res.init.hx_stale = false;
+  res.init.ff_pending = true;
+  res.server_stats.packets_sent = 321;
+  res.server_stats.data_packets_sent = 300;
+  res.server_stats.packets_received = 280;
+  res.server_stats.packets_acked = 270;
+  res.server_stats.packets_lost = 3;
+  res.server_stats.ptos_fired = 1;
+  res.server_stats.bytes_sent = 390000;
+  res.server_stats.stream_bytes_sent = 370000;
+  res.server_stats.stream_bytes_retransmitted = 2800;
+  res.server_stats.handshake_rtt = milliseconds(36);
+  res.retransmission_ratio = 0.0075683593750;
+  res.cookies_synced = 2;
+  res.client_cookies_received = 2;
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    obs::PhaseSpan span;
+    span.name = obs::kPhaseNames[p];
+    span.begin = milliseconds(static_cast<int64_t>(p) * 40);
+    span.end = milliseconds(static_cast<int64_t>(p + 1) * 40);
+    res.phases.push_back(span);
+  }
+  res.cwnd_fallback = true;
+  res.zero_rtt_rejected = false;
+  res.arena_bytes = 777216;
+
+  rec.results.emplace(core::Scheme::kBaseline, res);
+  res.ffct = milliseconds(95);
+  res.phases.clear();
+  res.frames.clear();
+  rec.results.emplace(core::Scheme::kWira, res);
+  return rec;
+}
+
+bool records_equal(const SessionRecord& a, const SessionRecord& b) {
+  std::vector<uint8_t> ea, eb;
+  CodecWriter wa(ea), wb(eb);
+  encode_session_record(a, wa);
+  encode_session_record(b, wb);
+  return ea == eb;
+}
+
+TEST(CodecPrimitives, RoundTrip) {
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-0.125);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+
+  CodecReader r(buf);
+  uint8_t u8v = 0;
+  uint32_t u32v = 0;
+  uint64_t u64v = 0;
+  int64_t i64v = 0;
+  double f64v = 0;
+  bool b1 = false, b2 = true;
+  std::string s1, s2 = "x";
+  EXPECT_TRUE(r.u8(&u8v));
+  EXPECT_TRUE(r.u32(&u32v));
+  EXPECT_TRUE(r.u64(&u64v));
+  EXPECT_TRUE(r.i64(&i64v));
+  EXPECT_TRUE(r.f64(&f64v));
+  EXPECT_TRUE(r.boolean(&b1));
+  EXPECT_TRUE(r.boolean(&b2));
+  EXPECT_TRUE(r.str(&s1));
+  EXPECT_TRUE(r.str(&s2));
+  EXPECT_EQ(u8v, 0xAB);
+  EXPECT_EQ(u32v, 0xDEADBEEFu);
+  EXPECT_EQ(u64v, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64v, -42);
+  EXPECT_EQ(f64v, -0.125);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(CodecPrimitives, ReadsPastEndFailAndLatch) {
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  w.u32(7);
+  CodecReader r(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.u64(&v));  // only 4 bytes present
+  EXPECT_TRUE(r.failed());
+  uint8_t b = 0;
+  EXPECT_FALSE(r.u8(&b));  // latched: even in-bounds reads fail now
+}
+
+TEST(CodecPrimitives, BooleanRejectsNonCanonicalBytes) {
+  const std::vector<uint8_t> buf = {2};
+  CodecReader r(buf);
+  bool v = false;
+  EXPECT_FALSE(r.boolean(&v));
+  EXPECT_TRUE(r.failed());
+}
+
+// Golden bytes: little-endian field order of codec v1.  Hand-computed —
+// breaking this test means the wire layout changed and
+// kRecordCodecVersion must be bumped.
+TEST(HxQosCodec, GoldenBytesAndRoundTrip) {
+  const core::HxQosRecord in = sample_hxqos();
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_hxqos_record(in, w);
+  EXPECT_EQ(to_hex(buf),
+            // min_rtt = 47ms = 47e6 ns = 0x02CD29C0 LE
+            "c029cd0200000000"
+            // max_bw = 12 Mbps = 1.5e6 B/s = 0x16E360 LE
+            "60e3160000000000"
+            // server_timestamp = 10 min = 6e11 ns = 0x8BB2C97000 LE
+            "0070c9b28b000000"
+            // od_key LE
+            "8967452301efcdab"
+            // loss_rate = 0.015625 = 2^-6 (IEEE-754: 0x3F90000000000000)
+            "000000000000903f");
+  CodecReader r(buf);
+  core::HxQosRecord out;
+  ASSERT_TRUE(decode_hxqos_record(r, &out));
+  EXPECT_EQ(out.min_rtt, in.min_rtt);
+  EXPECT_EQ(out.max_bw, in.max_bw);
+  EXPECT_EQ(out.server_timestamp, in.server_timestamp);
+  EXPECT_EQ(out.od_key, in.od_key);
+  EXPECT_EQ(out.loss_rate, in.loss_rate);
+}
+
+TEST(SessionRecordCodec, RoundTripIsBitExact) {
+  const SessionRecord in = sample_record();
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_session_record(in, w);
+  CodecReader r(buf);
+  SessionRecord out;
+  ASSERT_TRUE(decode_session_record(r, &out));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  EXPECT_TRUE(records_equal(in, out));
+  // Spot checks in the clear, so a symmetric codec bug (both directions
+  // dropping a field) cannot hide behind the re-encode comparison.
+  EXPECT_EQ(out.conditions.max_bw, in.conditions.max_bw);
+  EXPECT_EQ(out.trace_open_failures, 2u);
+  ASSERT_EQ(out.results.size(), 2u);
+  const SessionResult& res = out.results.at(core::Scheme::kBaseline);
+  EXPECT_EQ(res.ffct, milliseconds(212));
+  ASSERT_EQ(res.frames.size(), 2u);
+  EXPECT_EQ(res.frames[1].completion, kNoTime);
+  EXPECT_EQ(res.frames[1].loss_rate, 0.25);
+  ASSERT_EQ(res.phases.size(), obs::kNumPhases);
+  // Decoded names are the static literals, usable by the phase tables.
+  EXPECT_EQ(res.phases[0].name, obs::kPhaseNames[0]);
+  EXPECT_EQ(res.server_stats.handshake_rtt, milliseconds(36));
+  EXPECT_EQ(res.retransmission_ratio, 0.0075683593750);
+  EXPECT_EQ(res.arena_bytes, 777216u);
+  EXPECT_TRUE(res.init.ff_pending);
+}
+
+TEST(SessionRecordCodec, RejectsOutOfRangeScheme) {
+  const SessionRecord in = sample_record();
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_session_record(in, w);
+  // The first scheme id sits right after the fixed record prefix
+  // (4×8 conditions + 8 cookie_age + 2 bools + 8 ff_size + 8 failures +
+  // 4 result count).
+  const size_t scheme_off = 32 + 8 + 2 + 8 + 8 + 4;
+  ASSERT_EQ(buf[scheme_off],
+            static_cast<uint8_t>(core::Scheme::kBaseline));
+  buf[scheme_off] = 0x7F;
+  CodecReader r(buf);
+  SessionRecord out;
+  EXPECT_FALSE(decode_session_record(r, &out));
+}
+
+TEST(SessionRecordCodec, RejectsTruncationAtEveryPrefix) {
+  const SessionRecord in = sample_record();
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_session_record(in, w);
+  for (size_t keep = 0; keep < buf.size(); keep += 7) {
+    CodecReader r(std::span<const uint8_t>(buf.data(), keep));
+    SessionRecord out;
+    EXPECT_FALSE(decode_session_record(r, &out)) << "prefix " << keep;
+  }
+}
+
+TEST(MetricsRegistryCodec, RoundTripIsBitExact) {
+  obs::MetricsRegistry in;
+  in.inc("sessions.Wira", 24);
+  in.inc("trace.open_failed", 3);
+  in.set_gauge("bytes_on_wire", 1.25e9);
+  obs::LatencyHistogram& h = in.histogram("ffct_us.Wira");
+  for (uint64_t v : {7u, 19u, 1000u, 250000u, 250000u}) h.record(v);
+  in.histogram("empty");  // created-but-empty must survive the trip
+
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_metrics_registry(in, w);
+  CodecReader r(buf);
+  obs::MetricsRegistry out;
+  ASSERT_TRUE(decode_metrics_registry(r, &out));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  EXPECT_EQ(out.counters(), in.counters());
+  EXPECT_EQ(out.gauges(), in.gauges());
+  ASSERT_EQ(out.histograms().size(), in.histograms().size());
+  for (const auto& [name, hist] : in.histograms()) {
+    const obs::LatencyHistogram* other = out.find_histogram(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(other->count(), hist.count());
+    EXPECT_EQ(other->sum(), hist.sum());
+    EXPECT_EQ(other->min(), hist.min());
+    EXPECT_EQ(other->max(), hist.max());
+    EXPECT_EQ(other->bucket_counts(), hist.bucket_counts());
+    EXPECT_EQ(other->percentile(90), hist.percentile(90));
+  }
+  // Merging a decoded registry keeps working (the parent's merge path).
+  obs::MetricsRegistry merged;
+  merged.merge(out);
+  merged.merge(out);
+  EXPECT_EQ(merged.counter("sessions.Wira"), 48u);
+}
+
+TEST(MetricsRegistryCodec, RejectsInconsistentBucketTotals) {
+  obs::MetricsRegistry in;
+  in.histogram("h").record(5);
+  std::vector<uint8_t> buf;
+  CodecWriter w(buf);
+  encode_metrics_registry(in, w);
+  // Count field of histogram "h": after 3 empty-section counts is the
+  // histogram count (u32) then name then count u64.  Corrupt the count by
+  // flipping its low byte (sits right after the 1-char name).
+  const size_t count_off = 4 + 4 + 4 + (4 + 1);
+  ASSERT_EQ(buf[count_off], 1);  // count == 1
+  buf[count_off] = 9;
+  CodecReader r(buf);
+  obs::MetricsRegistry out;
+  EXPECT_FALSE(decode_metrics_registry(r, &out));
+}
+
+// ---- frame layer --------------------------------------------------------
+
+std::vector<uint8_t> sample_stream() {
+  std::vector<uint8_t> out;
+  append_stream_header(out);
+  std::vector<uint8_t> payload;
+  CodecWriter w(payload);
+  w.u64(3);
+  encode_session_record(sample_record(), w);
+  append_frame(FrameType::kSessionRecord, payload, out);
+  append_frame(FrameType::kEnd, {}, out);
+  return out;
+}
+
+TEST(Frames, StreamHeaderGolden) {
+  std::vector<uint8_t> out;
+  append_stream_header(out);
+  EXPECT_EQ(to_hex(out), "3143525701000000");  // "1CRW" LE + version 1
+}
+
+TEST(Frames, EndFrameGolden) {
+  std::vector<uint8_t> out;
+  append_frame(FrameType::kEnd, {}, out);
+  // type 3, len 0, fnv1a64("") = 0xcbf29ce484222325 LE.
+  EXPECT_EQ(to_hex(out), "0300000000" "25232284e49cf2cb");
+}
+
+TEST(Frames, RoundTrip) {
+  const std::vector<uint8_t> stream = sample_stream();
+  size_t off = 0;
+  ASSERT_EQ(read_stream_header(stream, &off), FrameStatus::kOk);
+  FrameView frame;
+  ASSERT_EQ(next_frame(stream, &off, &frame), FrameStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kSessionRecord);
+  CodecReader r(frame.payload);
+  uint64_t index = 0;
+  SessionRecord rec;
+  ASSERT_TRUE(r.u64(&index));
+  ASSERT_TRUE(decode_session_record(r, &rec));
+  EXPECT_EQ(index, 3u);
+  EXPECT_TRUE(records_equal(rec, sample_record()));
+  ASSERT_EQ(next_frame(stream, &off, &frame), FrameStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kEnd);
+  EXPECT_EQ(off, stream.size());
+}
+
+TEST(Frames, WrongVersionRejected) {
+  std::vector<uint8_t> stream = sample_stream();
+  stream[4] ^= 0xFF;  // version field
+  size_t off = 0;
+  EXPECT_EQ(read_stream_header(stream, &off), FrameStatus::kCorrupt);
+}
+
+TEST(Frames, EveryTruncationIsNeedMoreNeverOk) {
+  const std::vector<uint8_t> stream = sample_stream();
+  // Walk every prefix that cuts inside the record frame or the end frame.
+  for (size_t keep = 8; keep < stream.size(); keep += 5) {
+    const std::span<const uint8_t> cut(stream.data(), keep);
+    size_t off = 0;
+    ASSERT_EQ(read_stream_header(cut, &off), FrameStatus::kOk);
+    FrameView frame;
+    for (;;) {
+      const FrameStatus st = next_frame(cut, &off, &frame);
+      if (st == FrameStatus::kOk) {
+        ASSERT_LE(off, keep);
+        if (frame.type == FrameType::kEnd) break;
+        continue;
+      }
+      EXPECT_EQ(st, FrameStatus::kNeedMore) << "prefix " << keep;
+      break;
+    }
+  }
+}
+
+TEST(Frames, PayloadCorruptionIsDetectedByChecksum) {
+  std::vector<uint8_t> stream = sample_stream();
+  // Flip one byte well inside the record frame's payload.
+  const size_t payload_start = 8 + 13;  // header + frame prelude
+  stream[payload_start + 40] ^= 0x01;
+  size_t off = 0;
+  ASSERT_EQ(read_stream_header(stream, &off), FrameStatus::kOk);
+  FrameView frame;
+  EXPECT_EQ(next_frame(stream, &off, &frame), FrameStatus::kCorrupt);
+}
+
+TEST(Frames, GarbageStreamRejected) {
+  std::vector<uint8_t> garbage(256);
+  for (size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  size_t off = 0;
+  EXPECT_EQ(read_stream_header(garbage, &off), FrameStatus::kCorrupt);
+}
+
+}  // namespace
+}  // namespace wira::exp

@@ -64,6 +64,29 @@ TEST(HxQosRecord, ValidityAndFreshness) {
   EXPECT_FALSE(r.fresh(sealed_at + minutes(61), kDefaultStaleness));
 }
 
+// The staleness boundary is inclusive to the nanosecond: exactly Delta
+// old is fresh, one nanosecond older is stale.
+TEST(HxQosRecord, FreshnessBoundaryIsExact) {
+  HxQosRecord r = sample_record();
+  const TimeNs sealed_at = r.server_timestamp;
+  EXPECT_TRUE(r.fresh(sealed_at + kDefaultStaleness, kDefaultStaleness));
+  EXPECT_FALSE(r.fresh(sealed_at + kDefaultStaleness + 1, kDefaultStaleness));
+}
+
+// A future-dated cookie (server clock skew, §IV-C) would underflow the
+// age computation; it must be treated as fresh (age ~ 0), never as a
+// huge-age stale cookie that silently disables Hx_QoS initialization.
+TEST(HxQosRecord, FutureDatedCookieIsFresh) {
+  HxQosRecord r = sample_record();
+  EXPECT_TRUE(r.fresh(r.server_timestamp - 1, kDefaultStaleness));
+  EXPECT_TRUE(r.fresh(r.server_timestamp - minutes(90), kDefaultStaleness));
+  // Not valid still wins over skew handling.
+  HxQosRecord invalid;
+  invalid.server_timestamp = minutes(10);
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_FALSE(invalid.fresh(minutes(1), kDefaultStaleness));
+}
+
 TEST(CookieSealer, SealOpenRoundTrip) {
   CookieSealer sealer(crypto::key_from_string("master"));
   const HxQosRecord in = sample_record();

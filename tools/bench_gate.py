@@ -13,9 +13,15 @@ Guarded metrics and their default budgets:
 
   sessions_per_sec_1t   relative, --budget-throughput (default 0.15):
   sessions_per_sec_nt   fail when current < median * (1 - budget).
-                        Wall-clock throughput is the noisy one (shared
+  sessions_per_sec_np   Wall-clock throughput is the noisy one (shared
                         container, turbo states), hence the wide budget;
                         widen it with the flag if the host is noisier.
+                        _np is the multiprocess (--procs) datapoint; it is
+                        compared like the others when present in both the
+                        run and the history (records predating it are
+                        skipped with a note, and runs with a different
+                        --procs count are only comparable to themselves in
+                        practice since the default is fixed at 2).
 
   ffct_ms.<scheme>      relative, --budget-ffct (default 0.02): fail when
                         current > median * (1 + budget).  The simulation
@@ -56,7 +62,11 @@ import os
 import sys
 
 
-GATED_THROUGHPUT = ["sessions_per_sec_1t", "sessions_per_sec_nt"]
+GATED_THROUGHPUT = [
+    "sessions_per_sec_1t",
+    "sessions_per_sec_nt",
+    "sessions_per_sec_np",
+]
 
 
 def median(vals):
@@ -227,6 +237,7 @@ def self_test(args):
             "threads": 4,
             "sessions_per_sec_1t": sps,
             "sessions_per_sec_nt": sps * 1.8,
+            "sessions_per_sec_np": sps * 1.7,
             "metrics_overhead": overhead,
             "allocs_per_session": allocs,
             "ffct_ms": {"Baseline": ffct * 1.1, "Wira": ffct},
@@ -240,6 +251,10 @@ def self_test(args):
         ("clean rerun passes", rec(), 0),
         ("20% sessions/sec regression fails", rec(sps=40.0), 1),
         ("small throughput jitter passes", rec(sps=46.0), 0),
+        ("20% procs sessions/sec regression fails",
+         {**rec(), "sessions_per_sec_np": 40.0 * 1.7}, 1),
+        ("procs datapoint absent from run is skipped",
+         {k: v for k, v in rec().items() if k != "sessions_per_sec_np"}, 0),
         ("throughput improvement passes", rec(sps=70.0), 0),
         ("5% mean FFCT regression fails", rec(ffct=157.5), 1),
         ("FFCT improvement passes", rec(ffct=120.0), 0),

@@ -5,6 +5,10 @@
 # borrowed spans and pool-recycled buffers, so use-after-free and
 # use-after-reset bugs are the failure class this script exists to catch;
 # run it after any change to the arena, the parser, or buffer recycling.
+# The gate label also covers the multiprocess population runner
+# (test_exp's Harness.Multiprocess* fork real workers and exercise the
+# record codec + salvage/retry paths under the sanitizers; worker children
+# _Exit, so LSan only audits the parent).
 #
 # Usage: tools/run_asan.sh [extra ctest args...]
 set -euo pipefail

@@ -4,9 +4,12 @@
 # root.  Each run also appends a one-line record to
 # bench_history/perf_trajectory.jsonl so the sessions/sec trajectory
 # accumulates across days, and the script FAILS if the run was not
-# deterministic (parallel records diverged from serial).
+# deterministic (threaded or multiprocess records diverged from serial).
+# perf_smoke includes a --procs 2 pass by default, so every appended
+# trajectory record carries the multiprocess datapoint
+# (sessions_per_sec_np, gated by bench_gate.py alongside the others).
 #
-# Usage: tools/run_perf_smoke.sh [sessions] [seed] [--threads N]
+# Usage: tools/run_perf_smoke.sh [sessions] [seed] [--threads N] [--procs N]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
