@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 #include "obs/phase_timeline.h"
+#include "obs/rss.h"
 #include "util/alloc_stats.h"
 
 using namespace wira;
@@ -186,6 +187,8 @@ int main(int argc, char** argv) {
       "  \"seed\": %llu,\n"
       "  \"threads\": %zu,\n"
       "  \"procs\": %zu,\n"
+      "  \"hardware_concurrency\": %u,\n"
+      "  \"peak_rss_mb\": %.1f,\n"
       "  \"serial_sec\": %.3f,\n"
       "  \"parallel_sec\": %.3f,\n"
       "  \"procs_sec\": %.3f,\n"
@@ -203,7 +206,10 @@ int main(int argc, char** argv) {
       "  \"metrics\": %s\n"
       "}\n",
       args.sessions, static_cast<unsigned long long>(args.seed),
-      effective_threads, effective_procs, serial_sec, parallel_sec,
+      effective_threads, effective_procs,
+      std::thread::hardware_concurrency(),
+      static_cast<double>(obs::peak_rss_bytes()) / 1e6, serial_sec,
+      parallel_sec,
       procs_sec, metrics_sec, n / serial_sec, n / parallel_sec,
       n / procs_sec, serial_sec / parallel_sec,
       metrics_sec / parallel_sec - 1.0, allocs_per_session,

@@ -131,7 +131,8 @@ void WiraServer::start_streaming() {
   // serialization, so early tags (header/script/audio) can reach L4 before
   // the I frame — the paper's corner case 1.
   TimeNs arrival = loop_.now() + config_.origin_latency;
-  for (media::StreamChunk& chunk : stream_.join_chunks(join_time_)) {
+  stream_.join_chunks(join_time_, chunk_scratch_, &loop_.buffers());
+  for (media::StreamChunk& chunk : chunk_scratch_) {
     arrival += transfer_time(chunk.bytes.size(), config_.origin_bandwidth);
     loop_.schedule_at(arrival, [this, c = std::move(chunk)]() mutable {
       deliver_from_origin(std::move(c));
@@ -160,6 +161,9 @@ void WiraServer::deliver_from_origin(media::StreamChunk chunk) {
     apply_init();
   }
   conn_.write_stream(quic::kResponseStream, chunk.bytes);
+  // The bytes were copied into the send stream; the buffer goes back to
+  // the loop pool the muxer drew it from.
+  loop_.buffers().release(std::move(chunk.bytes));
 }
 
 void WiraServer::schedule_live_tail(TimeNs from_pts) {
@@ -168,7 +172,8 @@ void WiraServer::schedule_live_tail(TimeNs from_pts) {
   const TimeNs until = std::min<TimeNs>(from_pts + seconds(1),
                                         join_time_ + config_.stream_horizon);
   if (from_pts >= until) return;
-  for (media::StreamChunk& chunk : stream_.chunks_between(from_pts, until)) {
+  stream_.chunks_between(from_pts, until, chunk_scratch_, &loop_.buffers());
+  for (media::StreamChunk& chunk : chunk_scratch_) {
     const TimeNs at = chunk.pts + config_.origin_latency;
     loop_.schedule_at(at, [this, c = std::move(chunk)]() mutable {
       deliver_from_origin(std::move(c));

@@ -96,6 +96,11 @@ class WiraServer {
   void apply_init();                 ///< (re)compute Table-I parameters
   void start_streaming();
   void deliver_from_origin(media::StreamChunk chunk);
+
+  /// Origin-fetch scratch: join_chunks/chunks_between rebuild into this
+  /// vector (capacity retained) before the chunks move into their
+  /// delivery events.
+  std::vector<media::StreamChunk> chunk_scratch_;
   void schedule_live_tail(TimeNs from_pts);
   void sync_cookie();
 

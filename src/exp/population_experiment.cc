@@ -4,14 +4,20 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <csignal>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <optional>
 
 #include "exp/record_codec.h"
+#include "exp/record_sink.h"
 #include "media/stream_source.h"
 #include "obs/qlog.h"
 #include "util/logging.h"
@@ -28,11 +34,10 @@ std::string metric_name(const char* prefix, core::Scheme scheme) {
   return name;
 }
 
-/// Folds one session's results into the (worker-private) registry.  Only
-/// additive quantities are recorded, so the post-join merge is
-/// order-independent.
+}  // namespace
+
 void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
-                            const PopulationConfig& config) {
+                            bool include_phases) {
   for (const auto& [scheme, res] : rec.results) {
     m.inc(metric_name("sessions", scheme));
     if (!res.first_frame_completed) {
@@ -57,7 +62,7 @@ void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
     m.inc(metric_name("packets_lost", scheme),
           res.server_stats.packets_lost);
     m.inc(metric_name("cookies_synced", scheme), res.cookies_synced);
-    if (config.collect_metrics) {
+    if (include_phases) {
       for (const obs::PhaseSpan& span : res.phases) {
         std::string name = "phase.";
         name += span.name;
@@ -75,13 +80,17 @@ void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
   }
 }
 
+namespace {
+
 /// Simulates session `i` of the population sweep.  All randomness derives
 /// from (config.seed, i) and `population` is read-only, so sessions are
 /// independent: the parallel runner calls this from worker threads and the
-/// result is identical to the serial loop.
+/// result is identical to the serial loop.  `ws` is the caller's recycled
+/// session machinery (one per worker): reusing it across sessions is what
+/// keeps steady-state heap allocations bounded (DESIGN.md §6).
 SessionRecord run_one_session(const PopulationConfig& config,
                               const popgen::Population& population,
-                              size_t i) {
+                              size_t i, SessionWorkspace& ws) {
   if (i == config.fail_at_index) {
     throw std::runtime_error("injected failure at session " +
                              std::to_string(i));
@@ -180,7 +189,7 @@ SessionRecord run_one_session(const PopulationConfig& config,
         rec.trace_open_failures++;
       }
     }
-    rec.results.emplace(scheme, run_session(cfg));
+    rec.results.emplace(scheme, run_session(cfg, ws));
   }
   if (!rec.results.empty()) {
     rec.ff_size = rec.results.begin()->second.ff_size;
@@ -245,14 +254,19 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
   obs::MetricsRegistry local;
   try {
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    SessionWorkspace session_ws;
+    std::vector<uint8_t> payload;
     for (size_t i = stripe.begin; i < stripe.end; ++i) {
       if (i == config.kill_at_index) {
         (void)write_all(fd, buf.data(), buf.size());  // flush pre-kill
         std::raise(SIGKILL);
       }
-      const SessionRecord rec = run_one_session(config, population, i);
-      if (want_metrics) record_session_metrics(local, rec, config);
-      std::vector<uint8_t> payload;
+      const SessionRecord rec =
+          run_one_session(config, population, i, session_ws);
+      if (want_metrics) {
+        record_session_metrics(local, rec, config.collect_metrics);
+      }
+      payload.clear();
       CodecWriter w(payload);
       w.u64(i);
       encode_session_record(rec, w);
@@ -267,7 +281,7 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
     if (exit_code == 0) {
       buf.clear();
       if (want_metrics) {
-        std::vector<uint8_t> payload;
+        payload.clear();
         CodecWriter w(payload);
         encode_metrics_registry(local, w);
         append_frame(FrameType::kMetrics, payload, buf);
@@ -505,8 +519,9 @@ std::vector<SessionRecord> run_population_multiprocess(
               msg + "; retrying " + std::to_string(missing.size()) +
                   " missing session(s) in-process");
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    SessionWorkspace retry_ws;
     for (const size_t i : missing) {
-      records[i] = run_one_session(config, population, i);
+      records[i] = run_one_session(config, population, i, retry_ws);
       have[i] = 1;
     }
     if (metrics) {
@@ -517,7 +532,7 @@ std::vector<SessionRecord> run_population_multiprocess(
       for (const ShardDeath& death : deaths) {
         obs::MetricsRegistry rebuilt;
         for (size_t i = death.stripe_begin; i < death.stripe_end; ++i) {
-          record_session_metrics(rebuilt, records[i], config);
+          record_session_metrics(rebuilt, records[i], config.collect_metrics);
         }
         worker_metrics[static_cast<size_t>(death.worker)] =
             std::move(rebuilt);
@@ -533,72 +548,121 @@ std::vector<SessionRecord> run_population_multiprocess(
   return records;
 }
 
-}  // namespace
+// ---- streaming sink paths (DESIGN.md §6 memory model) -------------------
 
-std::vector<SessionRecord> run_population(const PopulationConfig& config,
-                                          obs::MetricsRegistry* metrics) {
+/// Serializes sink delivery for the threaded sweep: sessions complete in
+/// scheduling order, but the sink contract is strict index order.  A
+/// worker finishing index i parks until i fits the bounded reorder window
+/// [next, next + cap), so at most `cap` completed records are ever
+/// buffered no matter how far a fast worker runs ahead.  Deadlock-free:
+/// the worker holding index == next always fits the window (cap >= 1),
+/// delivers, and advances it, which unparks the others.
+class OrderedFlusher {
+ public:
+  OrderedFlusher(RecordSink& sink, size_t cap)
+      : sink_(sink), cap_(cap < 1 ? 1 : cap) {}
+
+  void push(size_t index, SessionRecord&& rec) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return aborted_ || index < next_ + cap_; });
+    if (aborted_) return;
+    pending_.emplace(index, std::move(rec));
+    bool advanced = false;
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      SessionRecord out = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      try {
+        // Sink call under the lock: the sink contract serializes
+        // on_record anyway, and delivery (a metrics fold or a vector
+        // push) is cheap next to the session that produced the record.
+        sink_.on_record(next_, std::move(out));
+      } catch (...) {
+        aborted_ = true;
+        cv_.notify_all();
+        throw;
+      }
+      ++next_;
+      advanced = true;
+    }
+    if (advanced) cv_.notify_all();
+  }
+
+  /// Releases every parked worker after a failure; records still pending
+  /// are dropped (the sweep is about to rethrow).
+  void abort() {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  RecordSink& sink_;
+  const size_t cap_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<size_t, SessionRecord> pending_;  ///< completed, not yet next_
+  size_t next_ = 0;
+  bool aborted_ = false;
+};
+
+/// Serial and threaded sweeps against a sink.  The vector overload routes
+/// through this with a CollectSink, so collect mode and streaming mode
+/// cannot drift apart.
+void run_population_streamed(const PopulationConfig& config,
+                             obs::MetricsRegistry* metrics,
+                             RecordSink& sink) {
   const size_t threads =
       util::ThreadPool::clamp_threads(config.threads, config.sessions);
-  if (config.trace_sample > 0) {
-    // Non-fatal on purpose: a broken trace destination degrades to
-    // untraced sessions (warned + counted per open), never a dead sweep.
-    std::error_code ec;
-    std::filesystem::create_directories(config.trace_dir, ec);
-    if (ec) {
-      WIRA_WARN("population", "cannot create trace dir " + config.trace_dir +
-                                  ": " + ec.message());
-    }
-  }
-
-  const size_t processes =
-      util::ThreadPool::clamp_threads(config.processes, config.sessions);
-  if (processes > 1) {
-    return run_population_multiprocess(config, metrics, processes);
-  }
-
   if (threads <= 1) {
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
-    std::vector<SessionRecord> records;
-    records.reserve(config.sessions);
+    SessionWorkspace session_ws;
     for (size_t i = 0; i < config.sessions; ++i) {
-      records.push_back(run_one_session(config, population, i));
-      if (metrics) record_session_metrics(*metrics, records.back(), config);
+      SessionRecord rec = run_one_session(config, population, i, session_ws);
+      if (metrics) {
+        record_session_metrics(*metrics, rec, config.collect_metrics);
+      }
+      sink.on_record(i, std::move(rec));
     }
-    return records;
+    sink.on_complete(config.sessions);
+    return;
   }
 
-  // Parallel sweep: workers pull session indices from a shared counter and
-  // write into index-addressed slots, so scheduling order never affects
-  // the output.  Each worker builds its own Population (deterministic in
-  // config.seed, hence identical across workers) to keep everything it
-  // touches thread-private.  Metrics follow the same pattern: one private
-  // registry per worker, merged after the join; the merge is commutative
-  // (bucket-wise addition), so which worker ran which session cannot leak
-  // into the aggregate.
-  std::vector<SessionRecord> records(config.sessions);
+  // Parallel sweep: workers pull session indices from a shared counter, so
+  // scheduling order never affects the output; the OrderedFlusher puts
+  // records back into index order before the sink sees them.  Each worker
+  // owns its Population, SessionWorkspace and (when metrics are on) a
+  // private registry merged after the join — the merge is commutative, so
+  // which worker ran which session cannot leak into the aggregate.
   std::vector<obs::MetricsRegistry> worker_metrics(metrics ? threads : 0);
+  OrderedFlusher flusher(sink, std::max<size_t>(2 * threads, 8));
   std::atomic<size_t> next{0};
   util::ThreadPool pool(threads);
   std::vector<std::future<void>> futures;
   futures.reserve(threads);
   for (size_t w = 0; w < threads; ++w) {
     obs::MetricsRegistry* local = metrics ? &worker_metrics[w] : nullptr;
-    futures.push_back(pool.submit([&config, &records, &next, local] {
+    futures.push_back(pool.submit([&config, &flusher, &next, local] {
       popgen::Population population(config.seed * 31 + 7, config.num_groups);
+      SessionWorkspace session_ws;
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= config.sessions) return;
         try {
-          records[i] = run_one_session(config, population, i);
+          SessionRecord rec = run_one_session(config, population, i,
+                                              session_ws);
+          if (local) {
+            record_session_metrics(*local, rec, config.collect_metrics);
+          }
+          flusher.push(i, std::move(rec));
         } catch (...) {
           // Park the shared counter at the end so the other workers stop
-          // claiming new sessions: without this, one failure would let the
-          // rest of the sweep run to completion before the rethrow below
-          // surfaced it.
+          // claiming new sessions, and unblock anyone waiting on the
+          // reorder window — without both, one failure would leave the
+          // sweep running (or parked) before the rethrow surfaced it.
           next.store(config.sessions, std::memory_order_relaxed);
+          flusher.abort();
           throw;
         }
-        if (local) record_session_metrics(*local, records[i], config);
       }
     }));
   }
@@ -616,7 +680,450 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config,
       metrics->merge(local);
     }
   }
-  return records;
+  sink.on_complete(config.sessions);
+}
+
+// ---- streaming multiprocess (round-robin stripes) -----------------------
+//
+// The sink contract wants records in global index order, but a contiguous
+// stripe layout would force the parent to buffer almost a whole stripe
+// before worker 0's last record arrives.  The streaming path therefore
+// deals indices round-robin — worker w owns every index with
+// i % workers == w, produced in increasing order — so the parent's flush
+// cursor only ever waits on the one worker that owns `next`, and the
+// reorder buffer is bounded at kStreamReadyCap records per worker.
+// Backpressure closes the loop: the parent stops reading a worker whose
+// decoded-record queue is full, the pipe fills, and the worker blocks in
+// write() until the cursor comes around.
+
+/// Worker child body for the streaming path.  Identical wire format to
+/// run_worker_child minus the metrics frame — the parent folds metrics
+/// per flushed record instead, which is the same fold by construction.
+[[noreturn]] void run_stream_worker_child(const PopulationConfig& config,
+                                          size_t worker, size_t workers,
+                                          int fd) {
+  int exit_code = 0;
+  std::vector<uint8_t> buf;
+  append_stream_header(buf);
+  try {
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    SessionWorkspace session_ws;
+    std::vector<uint8_t> payload;
+    for (size_t i = worker; i < config.sessions; i += workers) {
+      if (i == config.kill_at_index) {
+        (void)write_all(fd, buf.data(), buf.size());  // flush pre-kill
+        std::raise(SIGKILL);
+      }
+      const SessionRecord rec =
+          run_one_session(config, population, i, session_ws);
+      payload.clear();
+      CodecWriter w(payload);
+      w.u64(i);
+      encode_session_record(rec, w);
+      append_frame(FrameType::kSessionRecord, payload, buf);
+      if (!write_all(fd, buf.data(), buf.size())) {
+        exit_code = 3;
+        break;
+      }
+      buf.clear();
+    }
+    if (exit_code == 0) {
+      buf.clear();
+      append_frame(FrameType::kEnd, {}, buf);
+      if (!write_all(fd, buf.data(), buf.size())) exit_code = 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wira population stream worker %zu/%zu: %s\n",
+                 worker, workers, e.what());
+    exit_code = 1;
+  } catch (...) {
+    exit_code = 1;
+  }
+  ::close(fd);
+  std::_Exit(exit_code);
+}
+
+/// Per-worker decoded-queue cap for the streaming parent: bounds parent
+/// memory at workers * cap records (plus one pipe buffer per worker).
+constexpr size_t kStreamReadyCap = 8;
+
+struct StreamWorker {
+  pid_t pid = -1;
+  int fd = -1;  ///< parent-side read end; -1 once EOF/closed
+  std::vector<uint8_t> buf;  ///< undecoded bytes (compacted after parse)
+  size_t off = 0;
+  bool header_ok = false;
+  bool end_seen = false;
+  bool eof = false;
+  bool retired = false;  ///< declared dead; its sessions re-run in-process
+  std::string defect;    ///< first stream defect, empty = clean so far
+  /// Decoded records awaiting the flush cursor, in index order.
+  std::deque<std::pair<size_t, SessionRecord>> ready;
+  size_t produced = 0;  ///< records decoded off this worker so far
+  int status = 0;
+  bool reaped = false;
+};
+
+/// Incremental frame decode of whatever bytes have arrived.  Unlike the
+/// batch parse_worker_stream this runs mid-stream, so kNeedMore just
+/// waits; defects latch (a corrupt stream never un-corrupts).  Stripe
+/// validation is exact: worker w's n-th record must be index
+/// w + n * workers.
+void parse_stream_worker(StreamWorker& w, size_t worker, size_t workers,
+                         size_t sessions) {
+  if (!w.defect.empty()) return;
+  std::span<const uint8_t> bytes(w.buf);
+  if (!w.header_ok) {
+    switch (read_stream_header(bytes, &w.off)) {
+      case FrameStatus::kOk:
+        w.header_ok = true;
+        break;
+      case FrameStatus::kNeedMore:
+        return;
+      case FrameStatus::kCorrupt:
+        w.defect = "bad codec magic/version";
+        return;
+    }
+  }
+  while (w.defect.empty()) {
+    if (w.end_seen) {
+      if (w.off != w.buf.size()) w.defect = "trailing bytes after end marker";
+      break;
+    }
+    FrameView frame;
+    const FrameStatus st = next_frame(bytes, &w.off, &frame);
+    if (st == FrameStatus::kNeedMore) break;
+    if (st == FrameStatus::kCorrupt) {
+      w.defect = "corrupt frame (checksum or type)";
+      break;
+    }
+    if (frame.type == FrameType::kEnd) {
+      w.end_seen = true;
+      continue;
+    }
+    if (frame.type != FrameType::kSessionRecord) {
+      w.defect = "unexpected metrics frame";
+      break;
+    }
+    CodecReader r(frame.payload);
+    uint64_t index = 0;
+    SessionRecord rec;
+    if (!r.u64(&index) || !decode_session_record(r, &rec) ||
+        r.remaining() != 0) {
+      w.defect = "undecodable session record";
+      break;
+    }
+    const size_t expected = worker + w.produced * workers;
+    if (index >= sessions || index != expected) {
+      w.defect = "session index out of stripe order";
+      break;
+    }
+    w.produced++;
+    w.ready.emplace_back(static_cast<size_t>(index), std::move(rec));
+  }
+  // Drop the consumed prefix so the buffer stays O(one frame) instead of
+  // accumulating the worker's whole stream.
+  if (w.off > 0) {
+    w.buf.erase(w.buf.begin(),
+                w.buf.begin() + static_cast<ptrdiff_t>(w.off));
+    w.off = 0;
+  }
+}
+
+void run_population_multiprocess_stream(const PopulationConfig& config,
+                                        obs::MetricsRegistry* metrics,
+                                        RecordSink& sink, size_t workers) {
+  std::vector<StreamWorker> ws(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    int fds[2] = {-1, -1};
+    const bool pipe_ok = ::pipe(fds) == 0;
+    const pid_t pid = pipe_ok ? ::fork() : -1;
+    if (!pipe_ok || pid < 0) {
+      if (pipe_ok) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+      }
+      for (size_t k = 0; k < w; ++k) {
+        ::close(ws[k].fd);
+        ::kill(ws[k].pid, SIGKILL);
+        ::waitpid(ws[k].pid, nullptr, 0);
+      }
+      throw std::runtime_error(pipe_ok
+                                   ? "run_population: fork() failed"
+                                   : "run_population: pipe() failed");
+    }
+    if (pid == 0) {
+      // Child: drop every parent-side read end so sibling EOFs work.
+      for (size_t k = 0; k < w; ++k) ::close(ws[k].fd);
+      ::close(fds[0]);
+      run_stream_worker_child(config, w, workers, fds[1]);
+    }
+    ::close(fds[1]);
+    ws[w].pid = pid;
+    ws[w].fd = fds[0];
+  }
+
+  auto reap = [](StreamWorker& w) {
+    if (w.pid <= 0 || w.reaped) return;
+    while (::waitpid(w.pid, &w.status, 0) < 0 && errno == EINTR) {
+    }
+    w.reaped = true;
+  };
+  auto kill_and_reap_all = [&] {
+    for (StreamWorker& w : ws) {
+      if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+      }
+      // Harmless on an already-exited child: the zombie's status is
+      // unaffected, so classification below still sees the true cause.
+      if (w.pid > 0 && !w.reaped) ::kill(w.pid, SIGKILL);
+    }
+    for (StreamWorker& w : ws) reap(w);
+  };
+  /// Why the parent will never get worker w's next record.  Order
+  /// matters: a latched stream defect beats the exit status (we may have
+  /// SIGKILLed a defective-but-alive worker ourselves).
+  auto death_reason = [](const StreamWorker& w) -> std::string {
+    if (!w.defect.empty()) return w.defect;
+    if (w.reaped && WIFSIGNALED(w.status)) {
+      return "killed by signal " + std::to_string(WTERMSIG(w.status));
+    }
+    if (w.reaped && WIFEXITED(w.status) && WEXITSTATUS(w.status) != 0) {
+      return "exited with status " + std::to_string(WEXITSTATUS(w.status));
+    }
+    if (w.end_seen) return "end marker before stripe complete";
+    return "truncated record stream";
+  };
+  auto make_death = [&](size_t widx) {
+    ShardDeath death;
+    death.worker = static_cast<int>(widx);
+    // Round-robin stripe: first owned index / one past the stripe; the
+    // stride is `workers`.
+    death.stripe_begin = widx;
+    death.stripe_end = config.sessions;
+    death.died_at = widx + ws[widx].produced * workers;
+    death.reason = death_reason(ws[widx]);
+    return death;
+  };
+
+  size_t next = 0;
+  std::optional<popgen::Population> retry_population;
+  std::optional<SessionWorkspace> retry_ws;
+  std::vector<pollfd> pfds;
+  std::vector<size_t> pfd_worker;
+  uint8_t chunk[65536];
+  auto flush = [&](size_t index, SessionRecord&& rec) {
+    if (metrics) record_session_metrics(*metrics, rec, config.collect_metrics);
+    sink.on_record(index, std::move(rec));
+  };
+
+  while (next < config.sessions) {
+    StreamWorker& cur = ws[next % workers];
+    if (!cur.ready.empty()) {
+      // Stripe-order validation guarantees the front is exactly `next`.
+      SessionRecord rec = std::move(cur.ready.front().second);
+      cur.ready.pop_front();
+      flush(next, std::move(rec));
+      ++next;
+      continue;
+    }
+    const bool no_more =
+        cur.retired || !cur.defect.empty() || cur.end_seen || cur.eof;
+    if (no_more) {
+      // Record `next` will never arrive from its worker.
+      if (!config.retry_dead_shards) {
+        // Snapshot which workers are actually dead before the cleanup
+        // SIGKILL makes everyone look signal-killed.
+        std::vector<size_t> dead;
+        for (size_t w = 0; w < workers; ++w) {
+          StreamWorker& sw = ws[w];
+          if (!sw.defect.empty() || (sw.eof && !sw.end_seen)) {
+            dead.push_back(w);
+            if (sw.fd >= 0) {
+              ::close(sw.fd);
+              sw.fd = -1;
+            }
+            reap(sw);
+          }
+        }
+        if (dead.empty()) dead.push_back(next % workers);
+        std::vector<ShardDeath> deaths;
+        deaths.reserve(dead.size());
+        for (const size_t w : dead) deaths.push_back(make_death(w));
+        kill_and_reap_all();
+        std::vector<size_t> missing;
+        missing.reserve(config.sessions - next);
+        for (size_t i = next; i < config.sessions; ++i) missing.push_back(i);
+        std::string msg = "run_population (streaming): ";
+        for (size_t d = 0; d < deaths.size(); ++d) {
+          if (d > 0) msg += "; ";
+          msg += "worker " + std::to_string(deaths[d].worker) +
+                 " (round-robin stripe " +
+                 std::to_string(deaths[d].stripe_begin) + " mod " +
+                 std::to_string(workers) + ") " + deaths[d].reason +
+                 " while on session " + std::to_string(deaths[d].died_at);
+        }
+        msg += "; " + std::to_string(next) + " of " +
+               std::to_string(config.sessions) +
+               " records already delivered to the sink";
+        throw PopulationShardError(msg, std::move(deaths), {},
+                                   std::move(missing));
+      }
+      if (!cur.retired) {
+        const size_t widx = next % workers;
+        if (cur.fd >= 0) {
+          ::close(cur.fd);
+          cur.fd = -1;
+        }
+        if (cur.pid > 0 && !cur.reaped) ::kill(cur.pid, SIGKILL);
+        reap(cur);
+        WIRA_WARN("population",
+                  "stream worker " + std::to_string(widx) + " " +
+                      death_reason(cur) + " while on session " +
+                      std::to_string(widx + cur.produced * workers) +
+                      "; re-running its remaining sessions in-process");
+        cur.retired = true;
+      }
+      if (!retry_population) {
+        retry_population.emplace(config.seed * 31 + 7, config.num_groups);
+        retry_ws.emplace();
+      }
+      SessionRecord rec =
+          run_one_session(config, *retry_population, next, *retry_ws);
+      flush(next, std::move(rec));
+      ++next;
+      continue;
+    }
+
+    // Need bytes.  Poll every open worker whose decoded queue has room;
+    // the cursor's worker always qualifies (its queue is empty), so the
+    // set is never empty here.
+    pfds.clear();
+    pfd_worker.clear();
+    for (size_t w = 0; w < workers; ++w) {
+      if (ws[w].fd < 0 || ws[w].ready.size() >= kStreamReadyCap) continue;
+      pfds.push_back(pollfd{ws[w].fd, POLLIN, 0});
+      pfd_worker.push_back(w);
+    }
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      kill_and_reap_all();
+      throw std::runtime_error("run_population: poll() failed");
+    }
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      StreamWorker& w = ws[pfd_worker[p]];
+      const ssize_t n = ::read(w.fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+        w.eof = true;
+        continue;
+      }
+      w.buf.insert(w.buf.end(), chunk, chunk + n);
+      parse_stream_worker(w, pfd_worker[p], workers, config.sessions);
+    }
+  }
+
+  // Every record is delivered; drain the remaining pipes to their end
+  // markers and verify each worker also *exited* cleanly, mirroring the
+  // vector path's classification.
+  for (size_t w = 0; w < workers; ++w) {
+    StreamWorker& sw = ws[w];
+    while (sw.fd >= 0) {
+      const ssize_t n = ::read(sw.fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(sw.fd);
+        sw.fd = -1;
+        sw.eof = true;
+        break;
+      }
+      sw.buf.insert(sw.buf.end(), chunk, chunk + n);
+      parse_stream_worker(sw, w, workers, config.sessions);
+    }
+    reap(sw);
+  }
+  std::vector<ShardDeath> deaths;
+  for (size_t w = 0; w < workers; ++w) {
+    const StreamWorker& sw = ws[w];
+    if (sw.retired) continue;  // already replaced and warned above
+    const bool dirty_exit =
+        WIFSIGNALED(sw.status) ||
+        (WIFEXITED(sw.status) && WEXITSTATUS(sw.status) != 0);
+    if (sw.defect.empty() && sw.end_seen && !dirty_exit) continue;
+    deaths.push_back(make_death(w));
+  }
+  if (!deaths.empty()) {
+    std::string msg = "run_population (streaming): ";
+    for (size_t d = 0; d < deaths.size(); ++d) {
+      if (d > 0) msg += "; ";
+      msg += "worker " + std::to_string(deaths[d].worker) + " " +
+             deaths[d].reason + " after delivering its full stripe";
+    }
+    if (!config.retry_dead_shards) {
+      throw PopulationShardError(msg, std::move(deaths), {}, {});
+    }
+    WIRA_WARN("population", msg + "; all records were delivered");
+  }
+  sink.on_complete(config.sessions);
+}
+
+/// Shared sweep prologue: materialize the qlog sample directory.
+/// Non-fatal on purpose — a broken trace destination degrades to untraced
+/// sessions (warned + counted per open), never a dead sweep.  A relative
+/// trace_dir (the "traces" default) silently lands wherever the process
+/// happens to run, so name the absolute directory actually written to.
+void prepare_trace_dir(const PopulationConfig& config) {
+  if (config.trace_sample == 0) return;
+  std::error_code ec;
+  std::filesystem::create_directories(config.trace_dir, ec);
+  if (ec) {
+    WIRA_WARN("population", "cannot create trace dir " + config.trace_dir +
+                                ": " + ec.message());
+    return;
+  }
+  const std::filesystem::path dir(config.trace_dir);
+  if (dir.is_relative()) {
+    std::error_code abs_ec;
+    const std::filesystem::path abs = std::filesystem::absolute(dir, abs_ec);
+    WIRA_WARN("population",
+              "trace_dir \"" + config.trace_dir +
+                  "\" is relative; qlog samples will be written to " +
+                  (abs_ec ? dir.string() : abs.string()));
+  }
+}
+
+}  // namespace
+
+std::vector<SessionRecord> run_population(const PopulationConfig& config,
+                                          obs::MetricsRegistry* metrics) {
+  prepare_trace_dir(config);
+  const size_t processes =
+      util::ThreadPool::clamp_threads(config.processes, config.sessions);
+  if (processes > 1) {
+    // The vector multiprocess path keeps its contiguous-stripe layout:
+    // index-addressed reassembly doesn't care about arrival order, and
+    // contiguity is what gives PopulationShardError its salvage contract.
+    return run_population_multiprocess(config, metrics, processes);
+  }
+  CollectSink sink(config.sessions);
+  run_population_streamed(config, metrics, sink);
+  return sink.take();
+}
+
+void run_population(const PopulationConfig& config,
+                    obs::MetricsRegistry* metrics, RecordSink& sink) {
+  prepare_trace_dir(config);
+  const size_t processes =
+      util::ThreadPool::clamp_threads(config.processes, config.sessions);
+  if (processes > 1) {
+    run_population_multiprocess_stream(config, metrics, sink, processes);
+    return;
+  }
+  run_population_streamed(config, metrics, sink);
 }
 
 }  // namespace wira::exp

@@ -126,6 +126,19 @@ class PopulationShardError : public std::runtime_error {
   std::vector<size_t> missing;
 };
 
+class RecordSink;
+
+/// Folds one session's results into a registry.  Only additive quantities
+/// are recorded (counters and histogram buckets), so folds commute: any
+/// partition of a record set folded into private registries and merged
+/// reproduces the single-registry fold bit-exactly.  `include_phases`
+/// additionally folds the per-phase latency histograms (the runner passes
+/// config.collect_metrics).  Exposed so streaming sinks (exp/record_sink)
+/// and the multiprocess parent use the exact same fold as the batch
+/// runner.
+void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
+                            bool include_phases);
+
 /// Runs the population sweep.  When `metrics` is non-null, per-scheme
 /// counters and histograms (FFCT, corner-case rates, and — with
 /// config.collect_metrics — the per-phase breakdown) are accumulated into
@@ -138,6 +151,24 @@ class PopulationShardError : public std::runtime_error {
 /// `--procs N` output is byte-identical to serial.
 std::vector<SessionRecord> run_population(const PopulationConfig& config,
                                           obs::MetricsRegistry* metrics);
+
+/// Streaming variant (DESIGN.md §6 memory model): every completed record
+/// is pushed into `sink` in strictly increasing index order and then
+/// dropped, so the sweep holds O(workers) records at any instant instead
+/// of O(sessions) — this is the million-session soak path.  Records,
+/// their order, and the metrics aggregate are byte-identical to the
+/// vector overload at any `threads`/`processes` setting (a CollectSink
+/// reproduces it exactly).
+///
+/// Failure semantics differ from the vector overload in one way: records
+/// already delivered to the sink cannot be recalled, so when a worker
+/// process dies and retry_dead_shards is off, the PopulationShardError
+/// carries an empty `salvaged` vector and `missing` lists every index not
+/// yet delivered.  With retry_dead_shards on, the parent re-runs a dead
+/// worker's remaining sessions in-process and the sink sees the full
+/// uninterrupted index sequence.
+void run_population(const PopulationConfig& config,
+                    obs::MetricsRegistry* metrics, RecordSink& sink);
 
 inline std::vector<SessionRecord> run_population(
     const PopulationConfig& config) {

@@ -6,10 +6,7 @@ namespace wira::exp {
 
 namespace {
 
-struct LinkSnapshot {
-  uint64_t attempts = 0;
-  uint64_t drops = 0;
-};
+using LinkSnapshot = detail::LinkWindow;
 
 LinkSnapshot snapshot(const sim::Link& link) {
   const auto& st = link.stats();
@@ -28,8 +25,18 @@ double window_loss(const LinkSnapshot& before, const LinkSnapshot& after) {
 
 SessionResult run_impl(const SessionConfig& cfg,
                        const std::optional<app::ServerConfig::ManualInit>&
-                           manual_init) {
-  sim::EventLoop loop;
+                           manual_init,
+                       sim::EventLoop* reuse_loop,
+                       std::vector<LinkSnapshot>* reuse_snapshots) {
+  // Workspace mode: recycle the caller's loop (reset keeps slot/heap/
+  // pool/arena capacity) instead of building one.  Everything below is
+  // loop-relative, so a reset loop is indistinguishable from a fresh one.
+  sim::EventLoop local_loop_storage;
+  sim::EventLoop& loop = reuse_loop ? *reuse_loop : local_loop_storage;
+  if (reuse_loop) loop.reset();
+  // Arena accounting must stay per-session even though the recycled
+  // arena's total is cumulative across sessions.
+  const uint64_t arena_total_before = loop.arena().total_allocated();
   sim::Path path(loop, cfg.path, cfg.seed);
   media::LiveStream stream(cfg.stream, cfg.corpus_seed);
   // Declared before the server so it outlives every trace() call site.
@@ -109,8 +116,13 @@ SessionResult run_impl(const SessionConfig& cfg,
   if (tracer == nullptr && cfg.collect_phases) tracer = &local_tracer;
   if (tracer) server.set_tracer(tracer);
 
-  // Per-frame loss windows over the bottleneck (data) direction.
-  std::vector<LinkSnapshot> frame_snapshots;
+  // Per-frame loss windows over the bottleneck (data) direction.  The
+  // snapshot vector is workspace scratch when recycling (cleared here,
+  // capacity retained).
+  std::vector<LinkSnapshot> local_snapshots_storage;
+  std::vector<LinkSnapshot>& frame_snapshots =
+      reuse_snapshots ? *reuse_snapshots : local_snapshots_storage;
+  frame_snapshots.clear();
   LinkSnapshot start_snapshot;
   client.set_on_frame_complete([&](uint32_t /*frame_index*/) {
     frame_snapshots.push_back(snapshot(path.forward()));
@@ -175,14 +187,25 @@ SessionResult run_impl(const SessionConfig& cfg,
         m.frame_complete_at.empty() ? kNoTime : m.frame_complete_at[0];
     result.phases = obs::ffct_phases(b);
   }
-  result.arena_bytes = loop.arena().total_allocated();
+  result.arena_bytes = loop.arena().total_allocated() - arena_total_before;
   return result;
 }
 
 }  // namespace
 
 SessionResult run_session(const SessionConfig& config) {
-  return run_impl(config, std::nullopt);
+  return run_impl(config, std::nullopt, nullptr, nullptr);
+}
+
+SessionResult run_session(const SessionConfig& config, SessionWorkspace& ws) {
+  return run_session_with_workspace(config, &ws);
+}
+
+SessionResult run_session_with_workspace(const SessionConfig& config,
+                                         SessionWorkspace* ws) {
+  if (ws == nullptr) return run_impl(config, std::nullopt, nullptr, nullptr);
+  ws->sessions_run_++;
+  return run_impl(config, std::nullopt, &ws->loop_, &ws->frame_snapshots_);
 }
 
 SessionResult run_manual_init_session(const ManualInitConfig& config) {
@@ -197,7 +220,7 @@ SessionResult run_manual_init_session(const ManualInitConfig& config) {
   cfg.collect_phases = config.collect_phases;
   app::ServerConfig::ManualInit manual{config.init_cwnd_bytes,
                                        config.init_pacing};
-  return run_impl(cfg, manual);
+  return run_impl(cfg, manual, nullptr, nullptr);
 }
 
 }  // namespace wira::exp

@@ -63,6 +63,51 @@ struct FrameStat {
   double loss_rate = 0;         ///< link-level loss over the frame's window
 };
 
+namespace detail {
+/// Link counter snapshot used for per-frame loss windows (scratch state
+/// kept in the workspace so it can be recycled across sessions).
+struct LinkWindow {
+  uint64_t attempts = 0;
+  uint64_t drops = 0;
+};
+}  // namespace detail
+
+struct SessionResult;
+
+/// Reusable per-worker session machinery (DESIGN.md §6 memory model).
+///
+/// Building a session from scratch pays for an event loop (callable
+/// slots, heap storage, buffer pool, arena blocks) every time; at soak
+/// scale that dominates the allocation profile.  A SessionWorkspace owns
+/// that machinery once per worker: run_session(config, workspace) resets
+/// the loop (capacities retained, see sim::EventLoop::reset) and reuses
+/// it, so steady-state sessions allocate only what is genuinely
+/// session-shaped (media corpus draws, connection state, the result
+/// itself).  Results are bit-identical to workspace-free runs — the reset
+/// contract is "indistinguishable from a fresh loop".
+///
+/// Not thread-safe: one workspace per worker thread/process, like the
+/// loop it owns.
+class SessionWorkspace {
+ public:
+  SessionWorkspace() = default;
+  SessionWorkspace(const SessionWorkspace&) = delete;
+  SessionWorkspace& operator=(const SessionWorkspace&) = delete;
+
+  /// Sessions hosted so far (diagnostics; soak progress reports).
+  uint64_t sessions_run() const { return sessions_run_; }
+  /// The recycled event loop (exposed for capacity-reuse assertions).
+  sim::EventLoop& loop() { return loop_; }
+
+ private:
+  friend SessionResult run_session_with_workspace(const SessionConfig&,
+                                                  SessionWorkspace*);
+
+  sim::EventLoop loop_;
+  std::vector<detail::LinkWindow> frame_snapshots_;  ///< scratch
+  uint64_t sessions_run_ = 0;
+};
+
 struct SessionResult {
   bool first_frame_completed = false;
   TimeNs ffct = kNoTime;
@@ -93,6 +138,16 @@ struct SessionResult {
 };
 
 SessionResult run_session(const SessionConfig& config);
+
+/// Workspace-recycling variant: byte-identical results, but the event
+/// loop, buffer pool, arena blocks and scratch vectors come from `ws`
+/// (reset + reused) instead of being rebuilt, cutting steady-state heap
+/// allocations per session (the soak path; see DESIGN.md §6).
+SessionResult run_session(const SessionConfig& config, SessionWorkspace& ws);
+
+/// Implementation hook shared by both overloads: ws may be nullptr.
+SessionResult run_session_with_workspace(const SessionConfig& config,
+                                         SessionWorkspace* ws);
 
 /// Convenience: session on the paper's Fig. 2 testbed path with explicit
 /// init parameters (bypassing the schemes) — used by the init sweeps.

@@ -23,6 +23,12 @@ namespace wira::media {
 /// Serializes frames into a contiguous FLV byte stream.
 class FlvMuxer {
  public:
+  FlvMuxer() = default;
+  /// Muxes into a recycled buffer (cleared, capacity kept) — pairs with
+  /// take() for allocation-free round trips through a util::BufferPool.
+  explicit FlvMuxer(std::vector<uint8_t>&& adopt)
+      : writer_(std::move(adopt)) {}
+
   /// Writes the 9-byte header plus PreviousTagSize0.
   void write_header(bool has_audio = true, bool has_video = true);
 

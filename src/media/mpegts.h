@@ -36,6 +36,11 @@ inline constexpr size_t kTsPsiSize = 2 * kTsPacketSize;
 /// Serializes media frames into a TS byte stream.
 class TsMuxer {
  public:
+  TsMuxer() = default;
+  /// Muxes into a recycled buffer (cleared, capacity kept) — pairs with
+  /// take() for allocation-free round trips through a util::BufferPool.
+  explicit TsMuxer(std::vector<uint8_t>&& adopt) : out_(std::move(adopt)) {}
+
   /// Writes PAT + PMT (call once at stream start; HLS segments repeat
   /// them at segment boundaries).
   void write_psi();

@@ -108,13 +108,15 @@ std::vector<MediaFrame> LiveStream::gop(uint64_t k) const {
   return out;
 }
 
-std::vector<uint8_t> LiveStream::metadata_prefix() const {
+std::vector<uint8_t> LiveStream::metadata_prefix(
+    util::BufferPool* pool) const {
+  std::vector<uint8_t> buf = pool ? pool->acquire() : std::vector<uint8_t>();
   if (profile_.container == Container::kMpegTs) {
-    TsMuxer mux;
+    TsMuxer mux(std::move(buf));
     mux.write_psi();
     return mux.take();
   }
-  FlvMuxer mux;
+  FlvMuxer mux(std::move(buf));
   mux.write_header();
   mux.write_metadata(0, {
       {"width", static_cast<double>(profile_.width)},
@@ -127,34 +129,38 @@ std::vector<uint8_t> LiveStream::metadata_prefix() const {
   return mux.take();
 }
 
-StreamChunk LiveStream::mux_frame(const MediaFrame& f) const {
+StreamChunk LiveStream::mux_frame(const MediaFrame& f,
+                                  util::BufferPool* pool) const {
   StreamChunk c;
   c.pts = f.pts;
   c.type = f.type;
   c.video_kind = f.video_kind;
+  std::vector<uint8_t> buf = pool ? pool->acquire() : std::vector<uint8_t>();
   if (profile_.container == Container::kMpegTs) {
-    TsMuxer mux;
+    TsMuxer mux(std::move(buf));
     mux.write_frame(f);
     c.bytes = mux.take();
   } else {
-    FlvMuxer mux;
+    FlvMuxer mux(std::move(buf));
     mux.write_frame(f);
     c.bytes = mux.take();
   }
   return c;
 }
 
-std::vector<StreamChunk> LiveStream::join_chunks(TimeNs join_time) const {
+void LiveStream::join_chunks(TimeNs join_time, std::vector<StreamChunk>& out,
+                             util::BufferPool* pool) const {
+  out.clear();
   const uint64_t k = static_cast<uint64_t>(
       std::max<TimeNs>(join_time, 0) / gop_duration());
-  std::vector<StreamChunk> out;
   bool first = true;
   for (const MediaFrame& f : gop(k)) {
     if (f.pts > join_time) break;
-    StreamChunk c = mux_frame(f);
+    StreamChunk c = mux_frame(f, pool);
     if (first) {
-      auto prefix = metadata_prefix();
+      auto prefix = metadata_prefix(pool);
       prefix.insert(prefix.end(), c.bytes.begin(), c.bytes.end());
+      if (pool) pool->release(std::move(c.bytes));
       c.bytes = std::move(prefix);
       first = false;
     }
@@ -164,26 +170,38 @@ std::vector<StreamChunk> LiveStream::join_chunks(TimeNs join_time) const {
     // Join landed before the GOP's first frame PTS: send header alone.
     StreamChunk c;
     c.pts = join_time;
-    c.bytes = metadata_prefix();
+    c.bytes = metadata_prefix(pool);
     c.type = TagType::kScript;
     out.push_back(std::move(c));
   }
+}
+
+std::vector<StreamChunk> LiveStream::join_chunks(TimeNs join_time) const {
+  std::vector<StreamChunk> out;
+  join_chunks(join_time, out, nullptr);
   return out;
 }
 
-std::vector<StreamChunk> LiveStream::chunks_between(TimeNs t0,
-                                                    TimeNs t1) const {
-  std::vector<StreamChunk> out;
-  if (t1 <= t0) return out;
+void LiveStream::chunks_between(TimeNs t0, TimeNs t1,
+                                std::vector<StreamChunk>& out,
+                                util::BufferPool* pool) const {
+  out.clear();
+  if (t1 <= t0) return;
   const uint64_t k0 = static_cast<uint64_t>(std::max<TimeNs>(t0, 0) /
                                             gop_duration());
   const uint64_t k1 = static_cast<uint64_t>(std::max<TimeNs>(t1, 0) /
                                             gop_duration());
   for (uint64_t k = k0; k <= k1; ++k) {
     for (const MediaFrame& f : gop(k)) {
-      if (f.pts > t0 && f.pts <= t1) out.push_back(mux_frame(f));
+      if (f.pts > t0 && f.pts <= t1) out.push_back(mux_frame(f, pool));
     }
   }
+}
+
+std::vector<StreamChunk> LiveStream::chunks_between(TimeNs t0,
+                                                    TimeNs t1) const {
+  std::vector<StreamChunk> out;
+  chunks_between(t0, t1, out, nullptr);
   return out;
 }
 
@@ -192,7 +210,7 @@ uint64_t LiveStream::first_frame_size(TimeNs join_time,
   // Count: container prelude + every frame up to the first-frame boundary,
   // starting from the join burst and continuing into the live tail.
   const bool ts = profile_.container == Container::kMpegTs;
-  uint64_t size = metadata_prefix().size();
+  uint64_t size = metadata_prefix(nullptr).size();
   uint32_t videos = 0;
   const uint64_t k = static_cast<uint64_t>(
       std::max<TimeNs>(join_time, 0) / gop_duration());

@@ -16,6 +16,7 @@
 
 #include "media/flv.h"
 #include "media/frame.h"
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -75,6 +76,17 @@ class LiveStream {
   /// the origin produces after the join burst.
   std::vector<StreamChunk> chunks_between(TimeNs t0, TimeNs t1) const;
 
+  /// Allocation-recycling variants (the per-session hot path): chunks are
+  /// rebuilt into `out` (cleared first, capacity retained across calls)
+  /// and chunk byte buffers are drawn from `pool` when non-null.  The
+  /// consumer returns each chunk's bytes to the same pool once sent —
+  /// util::BufferPool tolerates foreign buffers, so ownership stays
+  /// simple.  Output is byte-identical to the vector-returning overloads.
+  void join_chunks(TimeNs join_time, std::vector<StreamChunk>& out,
+                   util::BufferPool* pool) const;
+  void chunks_between(TimeNs t0, TimeNs t1, std::vector<StreamChunk>& out,
+                      util::BufferPool* pool) const;
+
   /// Ground-truth first-frame size for a join at `join_time`, i.e. what
   /// Algorithm 1 should report.  FLV: header + metadata + tags up to and
   /// including the `theta_vf`-th video frame (with PreviousTagSize
@@ -84,8 +96,9 @@ class LiveStream {
   uint64_t first_frame_size(TimeNs join_time, uint32_t theta_vf = 1) const;
 
  private:
-  std::vector<uint8_t> metadata_prefix() const;  // FLV header / TS PSI
-  StreamChunk mux_frame(const MediaFrame& f) const;
+  // FLV header / TS PSI, muxed into a pool buffer when one is available.
+  std::vector<uint8_t> metadata_prefix(util::BufferPool* pool) const;
+  StreamChunk mux_frame(const MediaFrame& f, util::BufferPool* pool) const;
 
   StreamProfile profile_;
   uint64_t corpus_seed_;

@@ -1,0 +1,40 @@
+#include "obs/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace wira::obs {
+
+namespace {
+
+/// Reads one "Vm...:  <n> kB" field out of /proc/self/status.  Plain
+/// stdio on purpose: this is sampled inside soak progress loops and must
+/// not itself allocate per call.
+uint64_t status_field_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    unsigned long long v = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &v) == 1) {
+      kb = static_cast<uint64_t>(v);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t current_rss_bytes() { return status_field_kb("VmRSS") * 1024; }
+
+uint64_t peak_rss_bytes() { return status_field_kb("VmHWM") * 1024; }
+
+}  // namespace wira::obs

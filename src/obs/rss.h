@@ -1,0 +1,25 @@
+// Process-memory observability: resident-set sampling for the soak path.
+//
+// The fleet-scale soak mode's whole claim is "bounded memory at millions
+// of sessions"; these helpers make that a *measured* property.  Readings
+// come from /proc/self/status (VmRSS / VmHWM) so they reflect what the
+// kernel actually charges the process — heap-side accounting alone would
+// miss allocator retention and arena blocks.
+//
+// On platforms without procfs both calls return 0; callers must treat 0
+// as "unavailable" (the soak bench then skips its plateau gate rather
+// than reporting a fake flat line).
+#pragma once
+
+#include <cstdint>
+
+namespace wira::obs {
+
+/// Current resident set size in bytes (VmRSS), 0 when unavailable.
+uint64_t current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM, the high-water mark), 0 when
+/// unavailable.
+uint64_t peak_rss_bytes();
+
+}  // namespace wira::obs

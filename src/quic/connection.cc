@@ -166,7 +166,9 @@ SendStream& Connection::send_stream(StreamId id) {
 RecvStream& Connection::recv_stream(StreamId id) {
   auto it = recv_streams_.find(id);
   if (it == recv_streams_.end()) {
-    it = recv_streams_.emplace(id, RecvStream(id)).first;
+    it = recv_streams_
+             .emplace(id, RecvStream(id, &loop_.scratch<RecvSegmentCache>()))
+             .first;
     it->second.set_on_data(
         [this, id](std::span<const uint8_t> data, bool fin) {
           if (on_stream_data_) on_stream_data_(id, data, fin);

@@ -77,6 +77,43 @@ uint64_t SendStream::pending_bytes() const {
   return retx_.total_length() + (buffer_.size() - next_offset_);
 }
 
+RecvStream::~RecvStream() {
+  // Park whatever reassembly storage the stream still holds (sessions can
+  // end with gaps outstanding) so the next stream on this loop reuses it.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    it = retire_segment(it);
+  }
+}
+
+void RecvStream::store_segment(uint64_t key, std::span<const uint8_t> bytes) {
+  auto it = segments_.find(key);
+  if (it != segments_.end()) {
+    it->second.assign(bytes.begin(), bytes.end());
+    return;
+  }
+  if (cache_ != nullptr && !cache_->graveyard.empty()) {
+    auto node = cache_->graveyard.extract(cache_->graveyard.begin());
+    node.key() = key;
+    node.mapped().assign(bytes.begin(), bytes.end());
+    segments_.insert(std::move(node));
+    return;
+  }
+  segments_[key].assign(bytes.begin(), bytes.end());
+}
+
+RecvStream::SegmentMap::iterator RecvStream::retire_segment(
+    SegmentMap::iterator it) {
+  if (cache_ != nullptr &&
+      cache_->graveyard.size() < RecvSegmentCache::kMaxNodes) {
+    auto next = std::next(it);
+    auto node = segments_.extract(it);
+    node.key() = cache_->next_key++;
+    cache_->graveyard.insert(std::move(node));
+    return next;
+  }
+  return segments_.erase(it);
+}
+
 void RecvStream::on_frame(uint64_t offset, std::span<const uint8_t> data,
                           bool fin) {
   if (fin) fin_offset_ = offset + data.size();
@@ -98,8 +135,7 @@ void RecvStream::on_frame(uint64_t offset, std::span<const uint8_t> data,
     }
     // Out-of-order (or behind buffered data): copy into the reassembly
     // map.  This is the single copy point on the receive path.
-    segments_[offset + skip].assign(data.begin() + static_cast<long>(skip),
-                                    data.end());
+    store_segment(offset + skip, data.subspan(skip));
   }
 
   // Advance the contiguous prefix and deliver.
@@ -114,7 +150,7 @@ void RecvStream::on_frame(uint64_t offset, std::span<const uint8_t> data,
       const bool at_fin = fin_offset_ && contiguous_ >= *fin_offset_;
       if (on_data_) on_data_(fresh, at_fin);
     }
-    it = segments_.erase(it);
+    it = retire_segment(it);
   }
   if (fin_offset_ && contiguous_ >= *fin_offset_ && data.empty() &&
       offset >= contiguous_) {

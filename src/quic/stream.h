@@ -67,13 +67,32 @@ class SendStream {
   bool fin_acked_ = false;
 };
 
+/// Cross-stream recycler for RecvStream's reassembly storage.  Retired
+/// segment map nodes park here (keyed by a throwaway counter) and are
+/// re-keyed on reuse, so steady-state out-of-order reassembly allocates
+/// neither map nodes nor byte buffers — the parked vectors keep their
+/// capacity.  One per event loop (EventLoop::scratch) shared by every
+/// stream of every connection on it; values are always fully overwritten
+/// before reuse, so recycling never changes behaviour.
+struct RecvSegmentCache {
+  /// Bounds parked memory (nodes above the cap are simply freed).
+  static constexpr size_t kMaxNodes = 256;
+
+  std::map<uint64_t, std::vector<uint8_t>> graveyard;
+  uint64_t next_key = 0;
+};
+
 class RecvStream {
  public:
   /// Callback invoked with each newly contiguous data segment, in order.
   using DataFn =
       std::function<void(std::span<const uint8_t> data, bool fin)>;
 
-  explicit RecvStream(StreamId id) : id_(id) {}
+  explicit RecvStream(StreamId id, RecvSegmentCache* cache = nullptr)
+      : id_(id), cache_(cache) {}
+  ~RecvStream();
+  RecvStream(RecvStream&&) = default;
+  RecvStream& operator=(RecvStream&&) = default;
 
   StreamId id() const { return id_; }
   void set_on_data(DataFn fn) { on_data_ = std::move(fn); }
@@ -85,12 +104,20 @@ class RecvStream {
   bool finished() const { return fin_offset_ && contiguous_ >= *fin_offset_; }
 
  private:
+  using SegmentMap = std::map<uint64_t, std::vector<uint8_t>>;
+
+  /// segments_[key] = bytes, preferring a node recycled from the cache.
+  void store_segment(uint64_t key, std::span<const uint8_t> bytes);
+  /// Erases `it`, parking its node (and buffer capacity) in the cache.
+  SegmentMap::iterator retire_segment(SegmentMap::iterator it);
+
   StreamId id_;
   DataFn on_data_;
   uint64_t contiguous_ = 0;
   uint64_t highest_seen_ = 0;
   std::optional<uint64_t> fin_offset_;
-  std::map<uint64_t, std::vector<uint8_t>> segments_;  ///< offset -> bytes
+  SegmentMap segments_;                 ///< offset -> bytes
+  RecvSegmentCache* cache_ = nullptr;   ///< not owned; may be null
 };
 
 }  // namespace wira::quic

@@ -31,6 +31,34 @@ void EventLoop::cancel(EventId id) {
   --live_;
 }
 
+void EventLoop::reset() {
+  queue_.clear();
+  // Destroy pending callables now (captured buffers go back to their
+  // owners' destructors) and stale every outstanding handle via the
+  // generation bump — a cancel() against a pre-reset EventId is a no-op.
+  for (Slot& s : slots_) {
+    s.fn = EventFn();
+    s.cancelled = false;
+    ++s.gen;
+  }
+  // Rebuild the free list in descending order so slots are handed out
+  // 0, 1, 2, ... again — the same assignment order as a fresh loop.
+  free_slots_.clear();
+  free_slots_.reserve(slots_.size());
+  for (uint32_t i = static_cast<uint32_t>(slots_.size()); i-- > 0;) {
+    free_slots_.push_back(i);
+  }
+  live_ = 0;
+  next_seq_ = 0;
+  now_ = 0;
+  arena_.reset();
+  // Scratch objects survive with their capacities; those with a reset
+  // hook reclaim whatever the destroyed callables stranded.
+  for (auto& [key, s] : scratch_) {
+    if (s.reset_fn != nullptr) s.reset_fn(s.ptr.get());
+  }
+}
+
 bool EventLoop::retire(EventId id) {
   Slot& s = slots_[slot_of(id)];
   const bool run = !s.cancelled;

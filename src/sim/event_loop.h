@@ -23,7 +23,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
+#include <typeindex>
+#include <unordered_map>
 #include <vector>
 
 #include "util/arena.h"
@@ -59,6 +62,17 @@ class EventLoop {
   /// Cancels a pending event; no-op if it already ran or was cancelled.
   void cancel(EventId id);
 
+  /// Returns the loop to its freshly constructed state while KEEPING every
+  /// capacity it has grown: callable slots, the heap's backing vector, the
+  /// buffer pool's recycled buffers and the arena's blocks all survive, so
+  /// a reset loop re-runs a comparable workload without re-paying its
+  /// allocations.  Pending callables are destroyed immediately (their
+  /// captures release now, exactly as cancel() would) and every
+  /// outstanding EventId goes stale.  This is what makes the loop reusable
+  /// across sessions (exp::SessionWorkspace): reset + rerun is
+  /// behaviourally identical to constructing a new loop.
+  void reset();
+
   /// Runs events until the queue is empty or the clock would pass
   /// `deadline`; returns the number of events executed.
   size_t run_until(TimeNs deadline);
@@ -73,6 +87,30 @@ class EventLoop {
 
   /// Scratch byte-buffer pool shared by everything driven by this loop.
   util::BufferPool& buffers() { return buffers_; }
+
+  /// Type-keyed scratch objects that persist across reset(): freelists,
+  /// node graveyards, pooled containers — anything whose *capacity* should
+  /// survive session recycling (exp::SessionWorkspace).  The first
+  /// scratch<T>() default-constructs the loop's T; later calls return the
+  /// same instance.  Contract: a scratch object must hold capacity-only
+  /// state — recycled values have to be fully overwritten before reuse, so
+  /// a reset loop stays indistinguishable from a fresh one.  If T declares
+  /// `void on_loop_reset()`, reset() invokes it (e.g. to reclaim objects
+  /// stranded by cancelled events).
+  template <typename T>
+  T& scratch() {
+    const std::type_index key(typeid(T));
+    auto it = scratch_.find(key);
+    if (it == scratch_.end()) {
+      Scratch s;
+      s.ptr = ScratchPtr(new T(), [](void* p) { delete static_cast<T*>(p); });
+      if constexpr (requires(T& t) { t.on_loop_reset(); }) {
+        s.reset_fn = [](void* p) { static_cast<T*>(p)->on_loop_reset(); };
+      }
+      it = scratch_.emplace(key, std::move(s)).first;
+    }
+    return *static_cast<T*>(it->second.ptr.get());
+  }
 
   /// Tick-scoped bump arena: reset whenever the clock advances, so
   /// anything allocated from it must die before the next tick boundary.
@@ -90,10 +128,22 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with an O(1) clear that keeps the backing vector's
+  /// capacity (std::priority_queue only clears by assignment, which
+  /// frees).
+  struct EventQueue
+      : std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> {
+    void clear() { c.clear(); }
+  };
   struct Slot {
     EventFn fn;
     uint32_t gen = 0;
     bool cancelled = false;
+  };
+  using ScratchPtr = std::unique_ptr<void, void (*)(void*)>;
+  struct Scratch {
+    ScratchPtr ptr{nullptr, [](void*) {}};
+    void (*reset_fn)(void*) = nullptr;
   };
 
   static constexpr uint32_t slot_of(EventId id) {
@@ -113,11 +163,15 @@ class EventLoop {
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+  EventQueue queue_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
-  util::BufferPool buffers_;
+  /// 256 buffers: sized for the origin join burst, where one simulated
+  /// instant schedules a whole GOP of chunk buffers before any is
+  /// delivered back (64 starves, forcing fresh allocations every burst).
+  util::BufferPool buffers_{256};
   util::Arena arena_;
+  std::unordered_map<std::type_index, Scratch> scratch_;
 };
 
 }  // namespace wira::sim

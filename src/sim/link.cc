@@ -5,7 +5,10 @@
 namespace wira::sim {
 
 Link::Link(EventLoop& loop, LinkConfig config, uint64_t seed)
-    : loop_(loop), config_(config), rng_(seed) {}
+    : loop_(loop),
+      config_(config),
+      rng_(seed),
+      batches_(loop.scratch<detail::DgramBatchPool>()) {}
 
 bool Link::roll_loss() {
   const LossModel& m = config_.loss;
@@ -66,13 +69,13 @@ void Link::send(Datagram d) {
 }
 
 Link::Batch* Link::acquire_batch() {
-  if (!free_batches_.empty()) {
-    Batch* b = free_batches_.back();
-    free_batches_.pop_back();
+  if (!batches_.free.empty()) {
+    Batch* b = batches_.free.back();
+    batches_.free.pop_back();
     return b;
   }
-  batch_pool_.push_back(std::make_unique<Batch>());
-  return batch_pool_.back().get();
+  batches_.all.push_back(std::make_unique<Batch>());
+  return batches_.all.back().get();
 }
 
 void Link::schedule_delivery(Datagram d, TimeNs arrive) {
@@ -103,7 +106,7 @@ void Link::deliver_batch(Batch* b) {
     loop_.buffers().release(std::move(d.payload));
   }
   b->dgrams.clear();
-  free_batches_.push_back(b);
+  batches_.free.push_back(b);
 }
 
 }  // namespace wira::sim

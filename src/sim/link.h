@@ -60,6 +60,32 @@ struct LinkConfig {
   double duplicate_rate = 0;
 };
 
+namespace detail {
+/// Datagrams sharing one arrival instant (see Link::schedule_delivery).
+struct DgramBatch {
+  std::vector<Datagram> dgrams;
+};
+/// Per-loop batch pool (EventLoop::scratch): shared by every Link on the
+/// loop and persisting across loop resets, so steady-state delivery —
+/// including recycled-workspace sessions — allocates nothing.
+struct DgramBatchPool {
+  std::vector<std::unique_ptr<DgramBatch>> all;  ///< owns every batch
+  std::vector<DgramBatch*> free;
+
+  /// Batches stranded in flight when the loop resets (their delivery
+  /// events were destroyed) rejoin the freelist; their stale payloads are
+  /// dropped — pooled values must never cross sessions.
+  void on_loop_reset() {
+    free.clear();
+    free.reserve(all.size());
+    for (auto& b : all) {
+      b->dgrams.clear();
+      free.push_back(b.get());
+    }
+  }
+};
+}  // namespace detail
+
 struct LinkStats {
   uint64_t delivered_packets = 0;
   uint64_t delivered_bytes = 0;
@@ -94,11 +120,7 @@ class Link {
   const LinkStats& stats() const { return stats_; }
 
  private:
-  /// Datagrams sharing one arrival instant; recycled through free_batches_
-  /// so steady-state delivery allocates nothing.
-  struct Batch {
-    std::vector<Datagram> dgrams;
-  };
+  using Batch = detail::DgramBatch;
 
   bool roll_loss();
   /// Appends to the pending batch when `arrive` matches its instant,
@@ -114,8 +136,7 @@ class Link {
   TimeNs busy_until_ = 0;   ///< when the serializer frees up
   uint64_t queued_bytes_ = 0;
   bool ge_bad_state_ = false;
-  std::vector<std::unique_ptr<Batch>> batch_pool_;  ///< owns every batch
-  std::vector<Batch*> free_batches_;
+  detail::DgramBatchPool& batches_;  ///< loop-scoped, shared across links
   Batch* pending_batch_ = nullptr;  ///< most recently scheduled, not yet run
   TimeNs pending_time_ = 0;         ///< its arrival instant
   LinkStats stats_;

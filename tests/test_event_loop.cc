@@ -211,5 +211,48 @@ TEST(EventLoop, OversizedCapturesFallBackToHeap) {
   EXPECT_EQ(seen, 7u);
 }
 
+// Scratch objects are the cross-session recycling mechanism (DESIGN.md
+// §6): one instance per loop per type, surviving reset() so pools and
+// caches keep their capacity across recycled sessions.
+TEST(EventLoop, ScratchPersistsAcrossReset) {
+  struct Pool {
+    std::vector<int> items;
+  };
+  EventLoop loop;
+  Pool& pool = loop.scratch<Pool>();
+  pool.items.assign(100, 7);
+  loop.reset();
+  Pool& again = loop.scratch<Pool>();
+  EXPECT_EQ(&again, &pool);          // same object, not a replacement
+  EXPECT_EQ(again.items.size(), 100u);  // state untouched by reset
+}
+
+TEST(EventLoop, ScratchResetHookRunsOnEveryReset) {
+  struct Hooked {
+    int resets = 0;
+    void on_loop_reset() { ++resets; }
+  };
+  EventLoop loop;
+  Hooked& hooked = loop.scratch<Hooked>();
+  EXPECT_EQ(hooked.resets, 0);
+  loop.reset();
+  loop.reset();
+  EXPECT_EQ(hooked.resets, 2);
+}
+
+TEST(EventLoop, ScratchIsPerTypeSingleton) {
+  struct A {
+    int v = 0;
+  };
+  struct B {
+    int v = 0;
+  };
+  EventLoop loop;
+  loop.scratch<A>().v = 1;
+  loop.scratch<B>().v = 2;
+  EXPECT_EQ(loop.scratch<A>().v, 1);
+  EXPECT_EQ(loop.scratch<B>().v, 2);
+}
+
 }  // namespace
 }  // namespace wira::sim

@@ -9,9 +9,13 @@
 
 #include "exp/population_experiment.h"
 #include "exp/record_codec.h"
+#include "exp/record_sink.h"
 #include "exp/session_export.h"
+#include "exp/session_runner.h"
 #include "exp/table.h"
 #include "obs/metrics.h"
+#include "obs/rss.h"
+#include "util/logging.h"
 
 namespace wira::exp {
 namespace {
@@ -487,6 +491,261 @@ TEST(TablePrint, KeepsCellsBeyondHeaderWidth) {
   t.print(os);
   EXPECT_NE(os.str().find("extra-1"), std::string::npos) << os.str();
   EXPECT_NE(os.str().find("extra-2"), std::string::npos) << os.str();
+}
+
+// ---- streaming sinks (the bounded-memory soak path, DESIGN.md §6) ----
+
+// The soak contract: pushing records through a CollectSink is
+// byte-identical to the vector API at any thread or process count — the
+// sink path introduces no new ordering, copying, or codec hazards.
+TEST(Harness, StreamingSinkMatchesCollectExactly) {
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 24;
+  const auto collected = run_population(cfg);
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    cfg.threads = threads;
+    cfg.processes = 1;
+    CollectSink sink(cfg.sessions);
+    run_population(cfg, nullptr, sink);
+    EXPECT_TRUE(records_equal(collected, sink.records()))
+        << threads << " threads";
+  }
+
+  cfg.threads = 1;
+  cfg.processes = 4;
+  CollectSink sink;
+  run_population(cfg, nullptr, sink);
+  EXPECT_TRUE(records_equal(collected, sink.records())) << "4 procs";
+}
+
+// The RecordSink ordering contract: indices arrive strictly increasing
+// from 0, exactly once each, and on_complete fires after the last one —
+// even when records are produced out of order by threads or processes.
+TEST(Harness, StreamingSinkSeesStrictIndexOrder) {
+  struct IndexLogSink final : RecordSink {
+    void on_record(size_t index, SessionRecord&&) override {
+      indices.push_back(index);
+    }
+    void on_complete(size_t sessions) override { completed = sessions; }
+    std::vector<size_t> indices;
+    size_t completed = 0;
+  };
+
+  PopulationConfig cfg = small_config(29);
+  cfg.sessions = 18;
+  for (const size_t procs : {size_t{1}, size_t{3}}) {
+    cfg.threads = procs == 1 ? 4 : 1;
+    cfg.processes = procs;
+    IndexLogSink sink;
+    run_population(cfg, nullptr, sink);
+    ASSERT_EQ(sink.indices.size(), cfg.sessions) << procs << " procs";
+    for (size_t i = 0; i < sink.indices.size(); ++i) {
+      EXPECT_EQ(sink.indices[i], i) << procs << " procs";
+    }
+    EXPECT_EQ(sink.completed, cfg.sessions) << procs << " procs";
+  }
+}
+
+// Streaming aggregation must reproduce the batch registry exactly: same
+// fold, same histograms, same JSON — collecting a million records buys
+// nothing the sink does not already have.
+TEST(Harness, AggregateSinkMatchesBatchRegistry) {
+  PopulationConfig cfg = small_config(37);
+  cfg.sessions = 10;
+  cfg.collect_metrics = true;
+  obs::MetricsRegistry batch;
+  run_population(cfg, &batch);
+
+  AggregateSink::Options opts;
+  opts.include_phases = true;
+  AggregateSink sink(opts);
+  run_population(cfg, nullptr, sink);
+
+  EXPECT_EQ(sink.sessions_seen(), cfg.sessions);
+  std::ostringstream jb, js;
+  batch.write_json(jb);
+  sink.registry().write_json(js);
+  EXPECT_EQ(jb.str(), js.str());
+}
+
+// Sharded soaks aggregate per worker and merge; the merge must be
+// indistinguishable from one sink having seen every record.
+TEST(Harness, AggregateSinkMergeMatchesSingleFold) {
+  PopulationConfig cfg = small_config(41);
+  cfg.sessions = 12;
+  cfg.collect_metrics = true;
+  CollectSink all;
+  run_population(cfg, nullptr, all);
+
+  AggregateSink::Options opts;
+  opts.include_phases = true;
+  AggregateSink whole(opts), even(opts), odd(opts);
+  for (size_t i = 0; i < all.records().size(); ++i) {
+    SessionRecord copy_whole = all.records()[i];
+    SessionRecord copy_shard = all.records()[i];
+    whole.on_record(i, std::move(copy_whole));
+    (i % 2 == 0 ? even : odd).on_record(i, std::move(copy_shard));
+  }
+  even.merge(odd);
+
+  EXPECT_EQ(even.sessions_seen(), whole.sessions_seen());
+  std::ostringstream jw, jm;
+  whole.registry().write_json(jw);
+  even.registry().write_json(jm);
+  EXPECT_EQ(jw.str(), jm.str());
+  std::ostringstream sw, sm;
+  whole.write_summary_line(sw, /*final_line=*/true);
+  even.write_summary_line(sm, /*final_line=*/true);
+  EXPECT_EQ(sw.str(), sm.str());
+}
+
+// The codec sink writes exactly the multiprocess wire format: header,
+// one checksummed frame per record in index order, clean end marker —
+// and replaying the stream reproduces the collect-mode records bit for
+// bit.
+TEST(Harness, CodecStreamSinkReplaysExactly) {
+  PopulationConfig cfg = small_config(43);
+  cfg.sessions = 8;
+  const auto collected = run_population(cfg);
+
+  std::ostringstream os;
+  CodecStreamSink sink(os);
+  run_population(cfg, nullptr, sink);
+  const std::string wire = os.str();
+  EXPECT_EQ(sink.bytes_written(), wire.size());
+
+  const std::span<const uint8_t> data(
+      reinterpret_cast<const uint8_t*>(wire.data()), wire.size());
+  size_t offset = 0;
+  ASSERT_EQ(read_stream_header(data, &offset), FrameStatus::kOk);
+  std::vector<SessionRecord> replayed;
+  bool saw_end = false;
+  while (offset < data.size()) {
+    FrameView frame;
+    ASSERT_EQ(next_frame(data, &offset, &frame), FrameStatus::kOk);
+    if (frame.type == FrameType::kEnd) {
+      saw_end = true;
+      break;
+    }
+    ASSERT_EQ(frame.type, FrameType::kSessionRecord);
+    CodecReader r(frame.payload);
+    uint64_t index = 0;
+    ASSERT_TRUE(r.u64(&index));
+    EXPECT_EQ(index, replayed.size());
+    SessionRecord rec;
+    ASSERT_TRUE(decode_session_record(r, &rec));
+    replayed.push_back(std::move(rec));
+  }
+  EXPECT_TRUE(saw_end);
+  EXPECT_EQ(offset, data.size());
+  EXPECT_TRUE(records_equal(collected, replayed));
+}
+
+// Mini-soak: a streaming run with periodic flushes must emit one JSONL
+// line per flush (plus the final line), fire the flush hook each time,
+// and keep resident memory flat — the in-test plateau bound is loose
+// (1.5x) because tiny runs sit inside allocator noise; tools/run_soak.sh
+// gates the real soak at 1.10.
+TEST(Harness, MiniSoakFlushesAndRssStaysBounded) {
+  PopulationConfig cfg = small_config(47);
+  cfg.sessions = 160;
+
+  std::ostringstream flushes;
+  AggregateSink::Options opts;
+  opts.flush_every = 20;
+  opts.flush_out = &flushes;
+  AggregateSink sink(opts);
+  std::vector<double> rss_mb;
+  sink.set_flush_hook(
+      +[](uint64_t, std::string* extra, void* arg) {
+        const uint64_t rss = obs::current_rss_bytes();
+        if (rss > 0) {
+          static_cast<std::vector<double>*>(arg)->push_back(
+              static_cast<double>(rss) / 1e6);
+        }
+        *extra += ",\"probe\":1";
+      },
+      &rss_mb);
+  run_population(cfg, nullptr, sink);
+
+  // 160/20 periodic flushes + the final line from on_complete.
+  EXPECT_EQ(sink.flushes_written(), 9u);
+  size_t lines = 0;
+  for (const char c : flushes.str()) lines += c == '\n';
+  EXPECT_EQ(lines, sink.flushes_written());
+  EXPECT_NE(flushes.str().find("\"probe\":1"), std::string::npos);
+  EXPECT_NE(flushes.str().find("\"final\":true"), std::string::npos);
+
+  if (rss_mb.size() >= 2) {
+    const size_t half = rss_mb.size() / 2;
+    double early = 0, late = 0;
+    for (size_t i = 0; i < half; ++i) early = std::max(early, rss_mb[i]);
+    for (size_t i = half; i < rss_mb.size(); ++i) {
+      late = std::max(late, rss_mb[i]);
+    }
+    ASSERT_GT(early, 0.0);
+    EXPECT_LE(late / early, 1.5);
+  }
+}
+
+// ---- workspace recycling ----
+
+// The SessionWorkspace contract: a reset-and-reused loop is
+// indistinguishable from a fresh one, so every field of the result —
+// including arena accounting — is bit-identical via the wire codec.
+TEST(Workspace, ReusedLoopMatchesFreshExactly) {
+  SessionWorkspace ws;
+  for (const uint64_t seed : {3ull, 9ull, 21ull}) {
+    SessionConfig cfg;
+    cfg.seed = seed;
+    cfg.collect_phases = true;
+    const SessionResult fresh = run_session(cfg);
+    const SessionResult reused = run_session(cfg, ws);
+    std::vector<uint8_t> ea, eb;
+    CodecWriter wa(ea), wb(eb);
+    encode_session_result(fresh, wa);
+    encode_session_result(reused, wb);
+    EXPECT_EQ(ea, eb) << "seed " << seed;
+  }
+  EXPECT_EQ(ws.sessions_run(), 3u);
+}
+
+// A relative trace_dir silently writes qlog samples wherever the process
+// happens to be running — the runner must say so, with the resolved
+// absolute path, at the default warn level.
+TEST(Harness, TraceDirRelativeWarnsWithAbsolutePath) {
+  namespace fs = std::filesystem;
+  const std::string rel_dir = "trace_rel_warn_test";
+  PopulationConfig cfg = small_config(7);
+  cfg.sessions = 1;
+  cfg.trace_sample = 1;
+  cfg.trace_dir = rel_dir;
+
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  run_population(cfg);
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_log_level(LogLevel::kOff);
+  fs::remove_all(rel_dir);
+
+  EXPECT_NE(err.find("is relative; qlog samples will be written to"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find((fs::current_path() / rel_dir).string()),
+            std::string::npos)
+      << err;
+
+  // An absolute trace_dir must stay silent.
+  const fs::path abs_dir = fs::temp_directory_path() / "trace_abs_quiet";
+  cfg.trace_dir = abs_dir.string();
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  run_population(cfg);
+  const std::string quiet = testing::internal::GetCapturedStderr();
+  set_log_level(LogLevel::kOff);
+  fs::remove_all(abs_dir);
+  EXPECT_EQ(quiet.find("is relative"), std::string::npos) << quiet;
 }
 
 TEST(Harness, RunnerHonorsCcChoice) {

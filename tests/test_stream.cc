@@ -207,6 +207,41 @@ TEST(RecvStream, InOrderFastPathDeliversBorrowedBytes) {
   EXPECT_EQ(seen, data.data());
 }
 
+// The segment cache recycles reassembly map nodes and their buffers
+// across streams (one cache per event loop in production).  Delivery
+// must stay byte-identical while the graveyard absorbs retired nodes
+// and hands them back, bounded by kMaxNodes.
+TEST(RecvStream, SegmentCacheRecyclesAcrossStreams) {
+  RecvSegmentCache cache;
+  const auto all = seq_bytes(240);
+  for (int round = 0; round < 3; ++round) {
+    RecvStream s(3, &cache);
+    std::vector<uint8_t> got;
+    s.set_on_data([&](std::span<const uint8_t> d, bool) {
+      got.insert(got.end(), d.begin(), d.end());
+    });
+    s.on_frame(160, {all.begin() + 160, all.end()}, false);
+    s.on_frame(80, {all.begin() + 80, all.begin() + 160}, false);
+    s.on_frame(0, {all.begin(), all.begin() + 80}, false);
+    EXPECT_EQ(got, all) << "round " << round;
+  }
+  EXPECT_FALSE(cache.graveyard.empty());
+  EXPECT_LE(cache.graveyard.size(), RecvSegmentCache::kMaxNodes);
+}
+
+// Segments still parked at stream destruction (a gap never filled) must
+// land in the cache too, not leak or dangle.
+TEST(RecvStream, SegmentCacheAbsorbsUndeliveredSegmentsAtDestruction) {
+  RecvSegmentCache cache;
+  {
+    RecvStream s(3, &cache);
+    s.set_on_data([](std::span<const uint8_t>, bool) {});
+    s.on_frame(100, seq_bytes(50), false);  // never delivered: gap at 0
+    EXPECT_TRUE(cache.graveyard.empty());
+  }
+  EXPECT_EQ(cache.graveyard.size(), 1u);
+}
+
 TEST(RecvStream, FinWithoutDataCompletes) {
   RecvStream s(3);
   bool fin = false;

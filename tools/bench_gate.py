@@ -175,7 +175,17 @@ def run_gate(current, history, args, out=sys.stdout):
         % len(window)
     )
 
+    # On a single-core host the threaded/multiprocess passes measure
+    # scheduler contention, not speedup: their sessions/sec is serial
+    # throughput plus noise, so comparing it would gate on noise.  The
+    # serial datapoint (sessions_per_sec_1t) is still gated.
+    single_core = current.get("hardware_concurrency") == 1
     for name in GATED_THROUGHPUT:
+        if single_core and name in ("sessions_per_sec_nt",
+                                    "sessions_per_sec_np"):
+            gate.note("%-28s skipped (single-core host: threaded speedup "
+                      "is not meaningful)" % name)
+            continue
         cur = current.get(name)
         base = [r[name] for r in window if isinstance(r.get(name), (int, float))]
         if not isinstance(cur, (int, float)) or not base:
@@ -267,6 +277,11 @@ def self_test(args):
         ("different workload skips comparison", rec(sps=10.0, sessions=50), 0),
         ("scheme absent from history is skipped",
          {**rec(), "ffct_ms": {"Wira": 150.0, "NewScheme": 1e9}}, 0),
+        ("single-core host skips threaded speedup comparison",
+         {**rec(), "hardware_concurrency": 1,
+          "sessions_per_sec_nt": 1.0, "sessions_per_sec_np": 1.0}, 0),
+        ("single-core host still gates serial throughput",
+         {**rec(sps=40.0), "hardware_concurrency": 1}, 1),
     ]
     failures = []
     for name, current, expect in cases:

@@ -20,6 +20,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DWIRA_SANITIZE="address;undefined"
 cmake --build "${build_dir}" -j "$(nproc)"
+cmake --build "${build_dir}" -j "$(nproc)" --target soak
 
 # halt_on_error keeps UBSan failures fatal so ctest sees them; ASan is
 # fatal by default.  detect_leaks stays on: the arena owns its blocks and
@@ -29,4 +30,16 @@ export ASAN_OPTIONS="detect_leaks=1"
 
 ctest --test-dir "${build_dir}" -L gate --output-on-failure \
   -j "$(nproc)" "$@"
+
+# Tiny streaming soak under the sanitizers: the recycling machinery
+# (loop scratch pools, segment-cache graveyard, chunk-byte pooling)
+# reuses buffers across sessions, so this sweep is the densest
+# use-after-reset exposure the suite has.  Session count stays small —
+# sanitized sessions are ~10x slower — but every recycled path runs
+# hundreds of times.
+"${build_dir}/bench/soak" --sessions 200 --flush-every 50 \
+  --flush-out "${build_dir}/soak_flush.jsonl" > "${build_dir}/soak.json"
+echo "sanitized soak passed ($(
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["sessions"], "sessions")' \
+    "${build_dir}/soak.json"))"
 echo "sanitizer gate passed"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Bounded-memory soak gate: Release build, then one streaming-aggregation
+# soak run (bench/soak) whose JSON is written to SOAK_<date>.json at the
+# repo root and gated on the two soak contracts (DESIGN.md §6):
+#
+#   rss_plateau        <= 1.10   resident set is flat once warmed up —
+#                                the late-half RSS maximum may exceed the
+#                                early-half maximum by at most 10%
+#   allocs_per_session <= 1140   steady-state heap allocations stay at
+#                                least 2x below the pre-recycling
+#                                baseline (2280/session)
+#
+# Defaults to a 20k-session run (~5 min serial) — enough flushes for a
+# meaningful plateau split.  The headline endurance run is
+#   tools/run_soak.sh --sessions 1000000 --flush-every 10000
+# (~4h on one core; same gates, same output files).
+#
+# Usage: tools/run_soak.sh [soak args...]   (see bench/soak --help text)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target soak
+
+out="${repo_root}/SOAK_$(date +%Y-%m-%d).json"
+flush_out="${repo_root}/soak_flush.jsonl"
+
+"${build_dir}/bench/soak" --flush-out "${flush_out}" "$@" | tee "${out}"
+echo "wrote ${out} (flush lines in ${flush_out})"
+
+python3 - "${out}" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    soak = json.load(f)
+
+failures = []
+
+plateau = soak.get("rss_plateau", 0.0)
+samples = soak.get("rss_samples", 0)
+if samples < 2:
+    # /proc/self/status unavailable or a single flush: nothing to gate,
+    # but say so rather than silently passing.
+    print(f"note: only {samples} RSS sample(s); plateau gate skipped")
+elif plateau > 1.10:
+    failures.append(
+        f"rss_plateau {plateau:.4f} > 1.10 (RSS still growing late in "
+        f"the run over {samples} samples)")
+else:
+    print(f"rss_plateau {plateau:.4f} <= 1.10 over {samples} samples: OK")
+
+allocs = soak.get("allocs_per_session", 0.0)
+if allocs <= 0:
+    failures.append("allocs_per_session missing (alloc hook not linked?)")
+elif allocs > 1140:
+    failures.append(
+        f"allocs_per_session {allocs:.1f} > 1140 (steady-state recycling "
+        f"budget: half the 2280/session pre-recycling baseline)")
+else:
+    print(f"allocs_per_session {allocs:.1f} <= 1140: OK")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"soak gate passed: {soak['sessions']} sessions, "
+      f"peak_rss {soak['peak_rss_mb']:.1f} MB, "
+      f"{soak['sessions_per_sec']:.1f} sessions/s")
+PY
