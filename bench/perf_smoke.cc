@@ -208,7 +208,8 @@ int main(int argc, char** argv) {
       args.sessions, static_cast<unsigned long long>(args.seed),
       effective_threads, effective_procs,
       std::thread::hardware_concurrency(),
-      static_cast<double>(obs::peak_rss_bytes()) / 1e6, serial_sec,
+      static_cast<double>(obs::peak_rss_bytes().value_or(0)) / 1e6,
+      serial_sec,
       parallel_sec,
       procs_sec, metrics_sec, n / serial_sec, n / parallel_sec,
       n / procs_sec, serial_sec / parallel_sec,

@@ -127,9 +127,12 @@ struct SoakMonitor {
 
 void on_flush(uint64_t sessions_done, std::string* extra, void* arg) {
   auto* m = static_cast<SoakMonitor*>(arg);
-  const uint64_t rss = obs::current_rss_bytes();
-  if (rss > 0) {
-    const double mb = static_cast<double>(rss) / 1e6;
+  // Monostate contract (obs/rss.h): an unavailable reading is skipped —
+  // no sample recorded, no "rss_mb" field — so rss_plateau never sees a
+  // fabricated zero.
+  const std::optional<uint64_t> rss = obs::current_rss_bytes();
+  if (rss.has_value()) {
+    const double mb = static_cast<double>(*rss) / 1e6;
     m->rss_mb.push_back(mb);
     char buf[48];
     std::snprintf(buf, sizeof buf, ",\"rss_mb\":%.1f", mb);
@@ -147,7 +150,7 @@ void on_flush(uint64_t sessions_done, std::string* extra, void* arg) {
                    static_cast<double>(m->total_sessions),
                elapsed > 0 ? static_cast<double>(sessions_done) / elapsed
                            : 0.0,
-               rss > 0 ? static_cast<double>(rss) / 1e6 : 0.0);
+               rss.has_value() ? static_cast<double>(*rss) / 1e6 : 0.0);
   std::fflush(stderr);
 }
 
@@ -203,7 +206,8 @@ int main(int argc, char** argv) {
 
   const double runs = static_cast<double>(args.sessions) *
                       static_cast<double>(cfg.schemes.size());
-  const double peak_mb = static_cast<double>(obs::peak_rss_bytes()) / 1e6;
+  const double peak_mb =
+      static_cast<double>(obs::peak_rss_bytes().value_or(0)) / 1e6;
   std::string aggregate;
   {
     std::ostringstream os;

@@ -64,6 +64,7 @@ void PlayerClient::on_established() {
   // after the REJ exchange.
   metrics_.request_sent_at = loop_.now();
   static constexpr std::string_view kRequest = "PLAY /live/stream.flv";
+  trace(trace::EventType::kRequestSent, kRequest.size());
   conn_.write_stream(
       quic::kRequestStream,
       std::span<const uint8_t>(
@@ -75,6 +76,19 @@ void PlayerClient::on_stream_data(std::span<const uint8_t> data) {
   if (metrics_.first_byte_at == kNoTime && !data.empty()) {
     metrics_.first_byte_at = loop_.now();
   }
+  // Stall observation (client-vantage qlog only): a receive gap at or
+  // above the threshold while the stream is flowing — reordering holes,
+  // loss recovery and bursty pacing all surface here.  Detected when data
+  // *resumes*, so the event carries the gap it just ended.
+  if (tracer_ != nullptr && last_data_at_ != kNoTime && !data.empty()) {
+    const TimeNs gap = loop_.now() - last_data_at_;
+    if (gap >= config_.stall_threshold) {
+      trace(trace::EventType::kStallObserved,
+            static_cast<uint64_t>(gap / 1000),
+            metrics_.total_bytes_received, "recv_gap");
+    }
+  }
+  if (!data.empty()) last_data_at_ = loop_.now();
   metrics_.total_bytes_received += data.size();
   if (config_.container == media::Container::kMpegTs) {
     ts_demux_.feed(data);
@@ -85,7 +99,10 @@ void PlayerClient::on_stream_data(std::span<const uint8_t> data) {
     const bool video = config_.container == media::Container::kMpegTs
                            ? ts_demux_.video_started()
                            : demux_.video_started();
-    if (video) metrics_.first_frame_byte_at = loop_.now();
+    if (video) {
+      metrics_.first_frame_byte_at = loop_.now();
+      trace(trace::EventType::kFirstVideoByte, metrics_.total_bytes_received);
+    }
   }
 }
 
@@ -98,6 +115,7 @@ void PlayerClient::on_video_frame_boundary(uint64_t bytes_at_boundary) {
       video_frames_ - config_.theta_vf + 1;  // 1-based
   if (frame_index > config_.track_frames) return;
   metrics_.frame_complete_at.push_back(loop_.now());
+  trace(trace::EventType::kFrameComplete, frame_index, bytes_at_boundary);
   if (frame_index == 1) {
     metrics_.first_frame_bytes = bytes_at_boundary;
   }

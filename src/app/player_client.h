@@ -14,6 +14,8 @@
 #include "media/stream_source.h"
 #include "quic/connection.h"
 #include "sim/event_loop.h"
+#include "trace/tracer.h"
+#include "util/units.h"
 
 namespace wira::app {
 
@@ -38,6 +40,10 @@ struct ClientConfig {
   uint32_t track_frames = 4;
   /// Container the requested stream is delivered in (selects the demuxer).
   media::Container container = media::Container::kFlv;
+  /// Receive gap while streaming at or above this duration is surfaced as
+  /// a wira:stall_observed trace event (client-vantage qlog only; never
+  /// affects metrics).
+  TimeNs stall_threshold = milliseconds(250);
 };
 
 class PlayerClient {
@@ -58,6 +64,16 @@ class PlayerClient {
   /// Invoked when video frame `i` (1-based) completes; frame 1 is the
   /// first frame.  Lets the harness snapshot server stats at the instant.
   void set_on_frame_complete(FrameEventFn fn) { on_frame_ = std::move(fn); }
+
+  /// Attaches an event tracer to the transport connection *and* the
+  /// client's application-level markers (request_sent, first_video_byte,
+  /// frame_complete, stall observations) — the client-vantage half of a
+  /// paired qlog sample.  nullptr detaches; the tracer must outlive the
+  /// client's activity.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    conn_.set_tracer(tracer);
+  }
 
   struct Metrics {
     TimeNs request_sent_at = kNoTime;   ///< full-CHLO / request departure
@@ -111,8 +127,15 @@ class PlayerClient {
   uint64_t od_key_;
   uint32_t video_frames_ = 0;
   bool request_sent_ = false;
+  TimeNs last_data_at_ = kNoTime;
   Metrics metrics_;
   FrameEventFn on_frame_;
+
+  trace::Tracer* tracer_ = nullptr;
+  void trace(trace::EventType type, uint64_t a = 0, uint64_t b = 0,
+             std::string detail = {}) {
+    if (tracer_) tracer_->record(loop_.now(), type, a, b, std::move(detail));
+  }
 };
 
 }  // namespace wira::app

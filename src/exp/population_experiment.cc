@@ -156,21 +156,27 @@ SessionRecord run_one_session(const PopulationConfig& config,
     cfg.scheme = scheme;
     cfg.collect_phases = config.collect_metrics;
     trace::Tracer qlog_tracer;
+    trace::Tracer client_qlog_tracer;
     std::ofstream qlog;
+    std::ofstream client_qlog;
     std::optional<obs::QlogStreamWriter> qlog_writer;
+    std::optional<obs::QlogStreamWriter> client_qlog_writer;
     if (sampled) {
-      // One deterministic file per (session, scheme); workers never share
-      // a stream, so sampling is parallel-safe.  The dump is standard
-      // qlog (draft-ietf-quic-qlog written as JSONL, see obs/qlog.h).
+      // One deterministic *pair* of files per (session, scheme) — the
+      // server and client vantage points of the same session, correlated
+      // by a shared group_id (obs/trace_join.h joins them).  Workers never
+      // share a stream, so sampling is parallel-safe.  The dumps are
+      // standard qlog (draft-ietf-quic-qlog written as JSONL, obs/qlog.h).
       std::string name = "session_";
       name += std::to_string(i);
       name += '_';
       name += core::scheme_name(scheme);
-      std::string path = config.trace_dir;
-      path += '/';
-      path += name;
-      path += ".sqlog";
-      qlog.open(path, std::ios::trunc);
+      const std::string base_path = config.trace_dir + "/" + name;
+      // A sampled session must never be *silently* untraced: name the
+      // file, run that vantage untraced, and surface each miss as the
+      // trace.open_failed counter (a broken dir counts both vantages).
+      const std::string server_path = base_path + ".server.sqlog";
+      qlog.open(server_path, std::ios::trunc);
       if (qlog) {
         obs::QlogTraceInfo info;
         info.title = name;
@@ -180,12 +186,27 @@ SessionRecord run_one_session(const PopulationConfig& config,
                               /*keep_buffer=*/cfg.collect_phases);
         cfg.tracer = &qlog_tracer;
       } else {
-        // A sampled session must never be *silently* untraced: name the
-        // file, run the session untraced, and surface the miss as the
-        // trace.open_failed counter.
         WIRA_WARN("population",
-                  "cannot open qlog sample " + path +
-                      ": session runs untraced");
+                  "cannot open qlog sample " + server_path +
+                      ": server vantage runs untraced");
+        rec.trace_open_failures++;
+      }
+      const std::string client_path = base_path + ".client.sqlog";
+      client_qlog.open(client_path, std::ios::trunc);
+      if (client_qlog) {
+        obs::QlogTraceInfo info;
+        info.title = name;
+        info.group_id = name;
+        info.vantage_point_name = "wira-client";
+        info.vantage_point_type = "client";
+        client_qlog_writer.emplace(client_qlog, info);
+        client_qlog_tracer.stream_to(&*client_qlog_writer,
+                                     /*keep_buffer=*/false);
+        cfg.client_tracer = &client_qlog_tracer;
+      } else {
+        WIRA_WARN("population",
+                  "cannot open qlog sample " + client_path +
+                      ": client vantage runs untraced");
         rec.trace_open_failures++;
       }
     }

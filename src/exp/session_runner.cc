@@ -115,6 +115,7 @@ SessionResult run_impl(const SessionConfig& cfg,
   trace::Tracer* tracer = cfg.tracer;
   if (tracer == nullptr && cfg.collect_phases) tracer = &local_tracer;
   if (tracer) server.set_tracer(tracer);
+  if (cfg.client_tracer) client.set_tracer(cfg.client_tracer);
 
   // Per-frame loss windows over the bottleneck (data) direction.  The
   // snapshot vector is workspace scratch when recycling (cleared here,

@@ -56,6 +56,10 @@ struct SessionConfig {
   /// must keep its event buffer (Tracer::stream_to keep_buffer=true) so
   /// phase boundaries can be extracted after the run.
   trace::Tracer* tracer = nullptr;
+  /// External tracer for the *client* connection (the client-vantage half
+  /// of a paired qlog sample; see obs/trace_join.h); not owned.  Phase
+  /// extraction never reads it, so it needs no buffer.
+  trace::Tracer* client_tracer = nullptr;
 };
 
 struct FrameStat {

@@ -1,0 +1,198 @@
+#include "obs/flush_export.h"
+
+#include "obs/prom.h"
+#include "util/json_parse.h"
+
+namespace wira::obs {
+
+void LineTail::add(std::string_view chunk,
+                   const std::function<void(std::string_view line)>& on_line) {
+  size_t start = 0;
+  while (start < chunk.size()) {
+    const size_t nl = chunk.find('\n', start);
+    if (nl == std::string_view::npos) {
+      partial_.append(chunk.substr(start));
+      return;
+    }
+    if (partial_.empty()) {
+      on_line(chunk.substr(start, nl - start));
+    } else {
+      partial_.append(chunk.substr(start, nl - start));
+      on_line(partial_);
+      partial_.clear();
+    }
+    start = nl + 1;
+  }
+}
+
+namespace {
+
+using util::JsonValue;
+
+bool parse_dist(const JsonValue& obj, FlushDist* out) {
+  const JsonValue* count = obj.find("count", JsonValue::Kind::kNumber);
+  const JsonValue* mean = obj.find("mean", JsonValue::Kind::kNumber);
+  const JsonValue* p50 = obj.find("p50", JsonValue::Kind::kNumber);
+  const JsonValue* p90 = obj.find("p90", JsonValue::Kind::kNumber);
+  const JsonValue* p99 = obj.find("p99", JsonValue::Kind::kNumber);
+  if (count == nullptr || mean == nullptr || p50 == nullptr ||
+      p90 == nullptr || p99 == nullptr) {
+    return false;
+  }
+  out->present = true;
+  out->count = static_cast<uint64_t>(count->number);
+  out->mean = mean->number;
+  out->p50 = p50->number;
+  out->p90 = p90->number;
+  out->p99 = p99->number;
+  return true;
+}
+
+}  // namespace
+
+bool parse_flush_line(std::string_view line, FlushSummary* out,
+                      std::string* error) {
+  *out = FlushSummary{};
+  JsonValue doc;
+  if (!util::parse_json(line, &doc, error)) return false;
+  if (!doc.is_object()) {
+    *error = "flush line is not an object";
+    return false;
+  }
+  const JsonValue* sessions = doc.find("sessions", JsonValue::Kind::kNumber);
+  if (sessions == nullptr) {
+    *error = "flush line has no sessions count";
+    return false;
+  }
+  out->sessions = static_cast<uint64_t>(sessions->number);
+  const JsonValue* final_flag = doc.find("final", JsonValue::Kind::kBool);
+  if (final_flag == nullptr) {
+    *error = "flush line has no final flag";
+    return false;
+  }
+  out->final_line = final_flag->boolean;
+  if (const JsonValue* rss = doc.find("rss_mb", JsonValue::Kind::kNumber)) {
+    out->rss_mb = rss->number;
+  }
+  const JsonValue* schemes = doc.find("schemes", JsonValue::Kind::kObject);
+  if (schemes == nullptr) {
+    *error = "flush line has no schemes object";
+    return false;
+  }
+  for (const auto& [name, entry] : schemes->object) {
+    if (!entry.is_object()) {
+      *error = "scheme \"" + name + "\" is not an object";
+      return false;
+    }
+    FlushSchemeSummary s;
+    const JsonValue* count = entry.find("sessions", JsonValue::Kind::kNumber);
+    if (count == nullptr) {
+      *error = "scheme \"" + name + "\" has no sessions count";
+      return false;
+    }
+    s.sessions = static_cast<uint64_t>(count->number);
+    if (const JsonValue* d =
+            entry.find("ffct_ms", JsonValue::Kind::kObject)) {
+      if (!parse_dist(*d, &s.ffct_ms)) {
+        *error = "scheme \"" + name + "\" has a malformed ffct_ms block";
+        return false;
+      }
+    }
+    if (const JsonValue* d =
+            entry.find("fflr_ppm", JsonValue::Kind::kObject)) {
+      if (!parse_dist(*d, &s.fflr_ppm)) {
+        *error = "scheme \"" + name + "\" has a malformed fflr_ppm block";
+        return false;
+      }
+    }
+    out->schemes.emplace_back(name, s);
+  }
+  return true;
+}
+
+void ExporterState::ingest(std::string_view chunk) {
+  tail_.add(chunk, [this](std::string_view line) {
+    if (line.empty()) return;
+    ++lines_total_;
+    FlushSummary parsed;
+    std::string error;
+    if (parse_flush_line(line, &parsed, &error)) {
+      summary_ = std::move(parsed);
+    } else {
+      ++parse_errors_;
+    }
+  });
+}
+
+namespace {
+
+/// Renders one quantile block as a prometheus summary.  `_sum` is
+/// reconstructed as mean * count: the flush line carries the mean, not
+/// the sum, and the two are tied by definition.
+void render_summary_family(PromTextBuilder& b, const std::string& family,
+                           const FlushSummary& flush,
+                           FlushDist FlushSchemeSummary::*dist) {
+  bool any = false;
+  for (const auto& [scheme, s] : flush.schemes) {
+    if ((s.*dist).present) any = true;
+  }
+  if (!any) return;
+  b.family(family, "summary", "");
+  for (const auto& [scheme, s] : flush.schemes) {
+    const FlushDist& d = s.*dist;
+    if (!d.present) continue;
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", d.p50}, {"0.9", d.p90}, {"0.99", d.p99}};
+    for (const auto& [q, v] : quantiles) {
+      b.sample(family, {{"scheme", scheme}, {"quantile", q}}, v);
+    }
+    b.sample(family + "_sum", {{"scheme", scheme}}, d.mean *
+                                                        static_cast<double>(
+                                                            d.count));
+    b.sample(family + "_count", {{"scheme", scheme}}, d.count);
+  }
+}
+
+}  // namespace
+
+std::string ExporterState::render() const {
+  PromTextBuilder b;
+  if (summary_.has_value()) {
+    const FlushSummary& flush = *summary_;
+    b.family("wira_soak_sessions_total", "counter",
+             "cumulative sessions aggregated by the tailed run");
+    b.sample("wira_soak_sessions_total", {}, flush.sessions);
+    b.family("wira_soak_final", "gauge",
+             "1 once the tailed run wrote its final flush line");
+    b.sample("wira_soak_final", {},
+             static_cast<uint64_t>(flush.final_line ? 1 : 0));
+    if (flush.rss_mb.has_value()) {
+      b.family("wira_soak_rss_mb", "gauge",
+               "resident set of the tailed run at its last flush");
+      b.sample("wira_soak_rss_mb", {}, *flush.rss_mb);
+    }
+    if (!flush.schemes.empty()) {
+      b.family("wira_soak_scheme_sessions_total", "counter", "");
+      for (const auto& [scheme, s] : flush.schemes) {
+        b.sample("wira_soak_scheme_sessions_total", {{"scheme", scheme}},
+                 s.sessions);
+      }
+      render_summary_family(b, "wira_soak_ffct_ms", flush,
+                            &FlushSchemeSummary::ffct_ms);
+      render_summary_family(b, "wira_soak_fflr_ppm", flush,
+                            &FlushSchemeSummary::fflr_ppm);
+    }
+  }
+  b.family("wira_exporter_lines_total", "counter",
+           "complete flush JSONL lines consumed");
+  b.sample("wira_exporter_lines_total", {}, lines_total_);
+  b.family("wira_exporter_parse_errors_total", "counter",
+           "flush lines that failed to parse");
+  b.sample("wira_exporter_parse_errors_total", {}, parse_errors_);
+  b.family("wira_exporter_scrapes_total", "counter",
+           "/metrics requests served");
+  b.sample("wira_exporter_scrapes_total", {}, scrapes_);
+  return b.take();
+}
+
+}  // namespace wira::obs

@@ -1,0 +1,100 @@
+// Live-telemetry state for wira_exporterd (in the spirit of puffer's
+// log_reporter): tails the soak/population AggregateSink flush JSONL and
+// renders the latest cumulative summary as Prometheus text.
+//
+// Split from the daemon so every piece is unit-testable without sockets
+// or files:
+//   - LineTail: incremental line splitting over arbitrary read chunks —
+//     a truncated/partial final line (the writer is mid-flush) stays
+//     buffered until its newline arrives, so the exporter never parses
+//     half a record;
+//   - parse_flush_line: one AggregateSink::write_summary_line record
+//     ({"sessions":N,"final":b[,extras],"schemes":{...}}) into a struct;
+//   - ExporterState: ingest() chunks, keep the latest summary (flush
+//     lines are cumulative, so latest wins) plus self-telemetry, and
+//     render() the /metrics payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wira::obs {
+
+/// Incremental newline splitter for tailed files/pipes.
+class LineTail {
+ public:
+  /// Feeds a read chunk; invokes `on_line` once per *complete* line (no
+  /// trailing newline included).  Bytes after the last newline are held
+  /// until a later add() completes them.
+  void add(std::string_view chunk,
+           const std::function<void(std::string_view line)>& on_line);
+
+  /// Bytes buffered waiting for their newline.
+  size_t pending_bytes() const { return partial_.size(); }
+
+ private:
+  std::string partial_;
+};
+
+/// One quantile block of a flush line ({"count":..,"mean":..,"p50":..}).
+struct FlushDist {
+  bool present = false;
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+struct FlushSchemeSummary {
+  uint64_t sessions = 0;
+  FlushDist ffct_ms;
+  FlushDist fflr_ppm;
+};
+
+/// Parsed AggregateSink::write_summary_line record.
+struct FlushSummary {
+  uint64_t sessions = 0;
+  bool final_line = false;
+  std::optional<double> rss_mb;  ///< the soak bench's flush-hook extra
+  /// Lexicographic by scheme name (the writer's order).
+  std::vector<std::pair<std::string, FlushSchemeSummary>> schemes;
+};
+
+bool parse_flush_line(std::string_view line, FlushSummary* out,
+                      std::string* error);
+
+/// The exporter's whole mutable state: tail buffer, latest summary,
+/// self-telemetry.  Single-threaded, like the daemon's loop.
+class ExporterState {
+ public:
+  /// Feeds bytes read from the flush JSONL; complete lines are parsed,
+  /// the newest parsable line becomes the served summary.
+  void ingest(std::string_view chunk);
+
+  uint64_t lines_total() const { return lines_total_; }
+  uint64_t parse_errors() const { return parse_errors_; }
+  size_t pending_bytes() const { return tail_.pending_bytes(); }
+  bool has_summary() const { return summary_.has_value(); }
+  const FlushSummary& summary() const { return *summary_; }
+
+  void note_scrape() { ++scrapes_; }
+
+  /// The /metrics payload: soak counters/summaries from the latest flush
+  /// line plus the exporter's own counters.  Valid exposition text even
+  /// before the first line arrives.
+  std::string render() const;
+
+ private:
+  LineTail tail_;
+  std::optional<FlushSummary> summary_;
+  uint64_t lines_total_ = 0;
+  uint64_t parse_errors_ = 0;
+  uint64_t scrapes_ = 0;
+};
+
+}  // namespace wira::obs

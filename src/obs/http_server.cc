@@ -1,0 +1,251 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace wira::obs {
+
+namespace {
+
+/// Requests larger than this are rejected with 400: a GET line plus a few
+/// scrape headers fits in a fraction of it.
+constexpr size_t kMaxRequestBytes = 8192;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+std::string serialize_response(const MiniHttpServer::Response& r) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += status_text(r.status);
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+MiniHttpServer::~MiniHttpServer() { stop(); }
+
+bool MiniHttpServer::start(uint16_t port, std::string* error) {
+  stop();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!set_nonblocking(listen_fd_)) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    *error = std::string("epoll_create1: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    *error = std::string("epoll_ctl: ") + std::strerror(errno);
+    stop();
+    return false;
+  }
+  return true;
+}
+
+void MiniHttpServer::stop() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void MiniHttpServer::poll(int timeout_ms) {
+  if (epoll_fd_ < 0) return;
+  epoll_event events[32];
+  const int n = ::epoll_wait(epoll_fd_, events, 32, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.fd == listen_fd_) {
+      accept_ready();
+    } else {
+      conn_ready(events[i].data.fd, events[i].events);
+    }
+  }
+}
+
+void MiniHttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: try next poll
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
+  }
+}
+
+void MiniHttpServer::conn_ready(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn(fd);
+    return;
+  }
+  if (!conn.responding && (events & EPOLLIN) != 0) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(fd);
+        return;
+      }
+      if (n == 0) {  // peer closed before a full request
+        close_conn(fd);
+        return;
+      }
+      conn.in.append(chunk, static_cast<size_t>(n));
+      if (conn.in.size() > kMaxRequestBytes) break;
+    }
+    const bool oversized = conn.in.size() > kMaxRequestBytes;
+    if (oversized || conn.in.find("\r\n\r\n") != std::string::npos) {
+      make_response(fd, conn);
+    }
+  }
+  if (conn.responding && (events & (EPOLLOUT | EPOLLIN)) != 0) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t n = ::write(fd, conn.out.data() + conn.out_off,
+                                conn.out.size() - conn.out_off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // next poll
+        break;
+      }
+      conn.out_off += static_cast<size_t>(n);
+    }
+    close_conn(fd);
+  }
+}
+
+void MiniHttpServer::make_response(int fd, Conn& conn) {
+  Response resp;
+  if (conn.in.size() > kMaxRequestBytes) {
+    resp.status = 400;
+    resp.body = "request too large\n";
+  } else {
+    // Request line: METHOD SP PATH SP VERSION.
+    const size_t line_end = conn.in.find("\r\n");
+    const std::string line = conn.in.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      resp.status = 400;
+      resp.body = "malformed request line\n";
+    } else if (line.substr(0, sp1) != "GET") {
+      resp.status = 405;
+      resp.body = "only GET is supported\n";
+    } else {
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      if (handler_) {
+        resp = handler_(path);
+      } else {
+        resp.status = 404;
+        resp.body = "not found\n";
+      }
+    }
+  }
+  requests_served_++;
+  conn.out = serialize_response(resp);
+  conn.responding = true;
+  // Switch interest to writability; the caller falls through to the write
+  // branch in this same conn_ready pass (its event mask includes EPOLLIN),
+  // so scrape responses that fit the socket buffer complete immediately.
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void MiniHttpServer::close_conn(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace wira::obs

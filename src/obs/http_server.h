@@ -1,0 +1,74 @@
+// Minimal epoll HTTP server for the telemetry exporter (/metrics and
+// /healthz) — deliberately the repo's first real-socket component, a
+// stepping stone toward the ROADMAP's wira_proxyd UDP front end.
+//
+// Scope is intentionally tiny: GET-only, Connection: close, loopback
+// bind, one level-triggered epoll loop pumped by the caller (poll()), no
+// threads.  Scrape traffic is a handful of requests per second with small
+// responses, so there is nothing to optimize — the value is that a real
+// TCP listener now lives behind the same build/test/sanitizer gates as
+// the simulator, and tests/test_prom.cc drives it over an actual socket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace wira::obs {
+
+class MiniHttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::string body;
+  };
+  /// Handles one GET by path ("/metrics"); runs inside poll() on the
+  /// caller's thread.  Unset handler -> every path is 404.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  MiniHttpServer() = default;
+  ~MiniHttpServer();
+  MiniHttpServer(const MiniHttpServer&) = delete;
+  MiniHttpServer& operator=(const MiniHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  /// port()) and starts listening.  False + *error on failure.
+  bool start(uint16_t port, std::string* error);
+  /// The bound port; 0 when not started.
+  uint16_t port() const { return port_; }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Pumps the event loop once: accepts, reads, replies, closes.  Blocks
+  /// up to `timeout_ms` waiting for activity (0 = drain and return).
+  /// Call in a loop; no work happens outside poll().
+  void poll(int timeout_ms);
+
+  void stop();
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Conn {
+    std::string in;      ///< request bytes until the blank line
+    std::string out;     ///< serialized response
+    size_t out_off = 0;
+    bool responding = false;
+  };
+
+  void accept_ready();
+  void conn_ready(int fd, uint32_t events);
+  void make_response(int fd, Conn& conn);
+  void close_conn(int fd);
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  Handler handler_;
+  std::map<int, Conn> conns_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace wira::obs

@@ -1,0 +1,184 @@
+#include "obs/prom.h"
+
+#include <charconv>
+#include <map>
+
+namespace wira::obs {
+
+std::string prom_double(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, res.ptr);
+}
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PromTextBuilder::family(std::string_view name, std::string_view type,
+                             std::string_view help) {
+  if (!help.empty()) {
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    // HELP text escaping: backslash and newline only (no quotes here).
+    for (char c : help) {
+      if (c == '\\') out_ += "\\\\";
+      else if (c == '\n') out_ += "\\n";
+      else out_ += c;
+    }
+    out_ += '\n';
+  }
+  out_ += "# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PromTextBuilder::sample_prefix(std::string_view name,
+                                    const PromLabels& labels) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += k;
+      out_ += "=\"";
+      out_ += prom_escape_label(v);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+}
+
+void PromTextBuilder::sample(std::string_view name, const PromLabels& labels,
+                             uint64_t value) {
+  sample_prefix(name, labels);
+  out_ += std::to_string(value);
+  out_ += '\n';
+}
+
+void PromTextBuilder::sample(std::string_view name, const PromLabels& labels,
+                             double value) {
+  sample_prefix(name, labels);
+  out_ += prom_double(value);
+  out_ += '\n';
+}
+
+PromNameParts prom_name_parts(std::string_view registry_name) {
+  PromNameParts parts;
+  std::string_view base = registry_name;
+  const size_t last_dot = registry_name.rfind('.');
+  if (last_dot != std::string_view::npos &&
+      last_dot + 1 < registry_name.size()) {
+    const char first = registry_name[last_dot + 1];
+    if (first >= 'A' && first <= 'Z') {
+      parts.scheme = std::string(registry_name.substr(last_dot + 1));
+      base = registry_name.substr(0, last_dot);
+    }
+  }
+  parts.family.reserve(base.size());
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    parts.family += ok ? c : '_';
+  }
+  return parts;
+}
+
+namespace {
+
+PromLabels scheme_labels(const std::string& scheme) {
+  PromLabels labels;
+  if (!scheme.empty()) labels.emplace_back("scheme", scheme);
+  return labels;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry& registry,
+                              std::string_view prefix) {
+  PromTextBuilder b;
+
+  // Group per family first: distinct registry names can share a family
+  // (per-scheme series), and the # TYPE header must be emitted once.
+  // std::map keys keep family emission lexicographic; the inner vectors
+  // inherit the registry maps' lexicographic series order.
+
+  using CounterSeries = std::pair<PromLabels, uint64_t>;
+  std::map<std::string, std::vector<CounterSeries>> counter_families;
+  for (const auto& [name, value] : registry.counters()) {
+    const PromNameParts parts = prom_name_parts(name);
+    std::string family(prefix);
+    family += parts.family;
+    family += "_total";
+    counter_families[family].emplace_back(scheme_labels(parts.scheme), value);
+  }
+  for (const auto& [family, series] : counter_families) {
+    b.family(family, "counter", "");
+    for (const auto& [labels, value] : series) b.sample(family, labels, value);
+  }
+
+  using GaugeSeries = std::pair<PromLabels, double>;
+  std::map<std::string, std::vector<GaugeSeries>> gauge_families;
+  for (const auto& [name, value] : registry.gauges()) {
+    const PromNameParts parts = prom_name_parts(name);
+    std::string family(prefix);
+    family += parts.family;
+    gauge_families[family].emplace_back(scheme_labels(parts.scheme), value);
+  }
+  for (const auto& [family, series] : gauge_families) {
+    b.family(family, "gauge", "");
+    for (const auto& [labels, value] : series) b.sample(family, labels, value);
+  }
+
+  using HistSeries = std::pair<PromLabels, const LatencyHistogram*>;
+  std::map<std::string, std::vector<HistSeries>> hist_families;
+  for (const auto& [name, hist] : registry.histograms()) {
+    const PromNameParts parts = prom_name_parts(name);
+    std::string family(prefix);
+    family += parts.family;
+    hist_families[family].emplace_back(scheme_labels(parts.scheme), &hist);
+  }
+  for (const auto& [family, series] : hist_families) {
+    b.family(family, "histogram", "");
+    const std::string bucket_name = family + "_bucket";
+    const std::string sum_name = family + "_sum";
+    const std::string count_name = family + "_count";
+    for (const auto& [labels, hist] : series) {
+      uint64_t cumulative = 0;
+      for (const LatencyHistogram::Bucket& bucket : hist->buckets()) {
+        cumulative += bucket.count;
+        PromLabels with_le = labels;
+        // Samples are integers and `hi` is exclusive, so hi-1 is the
+        // exact largest value the bucket can hold — the cumulative count
+        // at this `le` is exact.
+        with_le.emplace_back("le", std::to_string(bucket.hi - 1));
+        b.sample(bucket_name, with_le, cumulative);
+      }
+      PromLabels with_inf = labels;
+      with_inf.emplace_back("le", "+Inf");
+      b.sample(bucket_name, with_inf, hist->count());
+      b.sample(sum_name, labels, hist->sum());
+      b.sample(count_name, labels, hist->count());
+    }
+  }
+
+  return b.take();
+}
+
+}  // namespace wira::obs

@@ -1,0 +1,80 @@
+// Prometheus text exposition (format 0.0.4) for the observability layer.
+//
+// Two pieces:
+//   - PromTextBuilder: a small writer for the exposition format (# HELP /
+//     # TYPE headers, label escaping, shortest-round-trip doubles) shared
+//     by every prometheus emitter in the repo;
+//   - render_prometheus: renders a full obs::MetricsRegistry — counters
+//     become `<prefix><name>_total`, gauges `<prefix><name>`, and
+//     log-bucketed LatencyHistograms become classic histogram families
+//     (`_bucket` with cumulative `le` bounds, `_sum`, `_count`).
+//
+// Name mapping: registry names are dot-separated lowercase components
+// with an optional trailing CamelCase scheme ("phase.delivery_us.Wira",
+// "trace.open_failed").  A trailing component starting with an uppercase
+// letter becomes the `scheme` label; the rest joins with '_' under the
+// prefix, so per-scheme series of one metric share a single family:
+//   sessions.Wira          -> wira_sessions_total{scheme="Wira"}
+//   phase.delivery_us.Bbr  -> wira_phase_delivery_us{scheme="Bbr",le=...}
+//   trace.open_failed      -> wira_trace_open_failed_total
+//
+// Exactness: histogram samples are integers and bucket upper bounds are
+// exclusive, so the emitted `le` is the largest value the bucket can hold
+// (hi - 1) — cumulative counts at each `le` are exact, not quantized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wira::obs {
+
+/// Shortest text that round-trips the double exactly (std::to_chars).
+std::string prom_double(double value);
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote and newline.
+std::string prom_escape_label(std::string_view value);
+
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Appends exposition-format text: call family() once per metric family,
+/// then sample() for each of its series.
+class PromTextBuilder {
+ public:
+  /// Emits the # HELP (when non-empty) and # TYPE header lines.
+  /// `type` is "counter", "gauge", "histogram", "summary" or "untyped".
+  void family(std::string_view name, std::string_view type,
+              std::string_view help);
+
+  void sample(std::string_view name, const PromLabels& labels,
+              uint64_t value);
+  void sample(std::string_view name, const PromLabels& labels, double value);
+
+  const std::string& text() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void sample_prefix(std::string_view name, const PromLabels& labels);
+  std::string out_;
+};
+
+/// Registry name split per the mapping above; scheme is empty when the
+/// name has no trailing CamelCase component.
+struct PromNameParts {
+  std::string family;  ///< sanitized, '_'-joined, no prefix
+  std::string scheme;
+};
+PromNameParts prom_name_parts(std::string_view registry_name);
+
+/// Renders the whole registry.  Deterministic: families sort
+/// lexicographically within each kind (counters, then gauges, then
+/// histograms) and series inherit the registry's lexicographic order.
+std::string render_prometheus(const MetricsRegistry& registry,
+                              std::string_view prefix = "wira_");
+
+}  // namespace wira::obs

@@ -127,6 +127,19 @@ void append_data(std::string& out, const trace::Event& e) {
       out += ", ";
       append_kv(out, "init_cwnd", e.a);
       break;
+    case EventType::kRequestSent:
+      append_kv(out, "bytes", e.a);
+      break;
+    case EventType::kFirstVideoByte:
+      append_kv(out, "total_bytes", e.a);
+      break;
+    case EventType::kStallObserved:
+      append_kv(out, "kind", e.detail);
+      out += ", \"gap\": ";
+      append_ms(out, e.a * 1000);  // a is microseconds; qlog wants ms
+      out += ", ";
+      append_kv(out, "total_bytes", e.b);
+      break;
   }
   out += '}';
 }
@@ -157,6 +170,9 @@ std::string qlog_event_name(const trace::Event& e) {
     case EventType::kOriginByte: return "wira:origin_byte";
     case EventType::kFfParsed: return "wira:ff_parsed";
     case EventType::kCornerCase: return "wira:corner_case";
+    case EventType::kRequestSent: return "wira:request_sent";
+    case EventType::kFirstVideoByte: return "wira:first_video_byte";
+    case EventType::kStallObserved: return "wira:stall_observed";
   }
   return "wira:unknown";
 }

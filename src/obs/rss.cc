@@ -7,15 +7,16 @@ namespace wira::obs {
 
 namespace {
 
-/// Reads one "Vm...:  <n> kB" field out of /proc/self/status.  Plain
-/// stdio on purpose: this is sampled inside soak progress loops and must
-/// not itself allocate per call.
-uint64_t status_field_kb(const char* field) {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
+/// Reads one "Vm...:  <n> kB" field out of a /proc-style status file.
+/// Plain stdio on purpose: this is sampled inside soak progress loops and
+/// must not itself allocate per call.  nullopt = file unreadable or field
+/// absent/malformed (the monostate contract in the header).
+std::optional<uint64_t> status_field_kb(const char* path, const char* field) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return std::nullopt;
   const size_t field_len = std::strlen(field);
   char line[256];
-  uint64_t kb = 0;
+  std::optional<uint64_t> kb;
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (std::strncmp(line, field, field_len) != 0 ||
         line[field_len] != ':') {
@@ -31,10 +32,27 @@ uint64_t status_field_kb(const char* field) {
   return kb;
 }
 
+std::optional<uint64_t> to_bytes(std::optional<uint64_t> kb) {
+  if (!kb.has_value()) return std::nullopt;
+  return *kb * 1024;
+}
+
 }  // namespace
 
-uint64_t current_rss_bytes() { return status_field_kb("VmRSS") * 1024; }
+std::optional<uint64_t> RssReader::current_rss_bytes() const {
+  return to_bytes(status_field_kb(status_path_.c_str(), "VmRSS"));
+}
 
-uint64_t peak_rss_bytes() { return status_field_kb("VmHWM") * 1024; }
+std::optional<uint64_t> RssReader::peak_rss_bytes() const {
+  return to_bytes(status_field_kb(status_path_.c_str(), "VmHWM"));
+}
+
+std::optional<uint64_t> current_rss_bytes() {
+  return RssReader().current_rss_bytes();
+}
+
+std::optional<uint64_t> peak_rss_bytes() {
+  return RssReader().peak_rss_bytes();
+}
 
 }  // namespace wira::obs

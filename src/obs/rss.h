@@ -6,20 +6,42 @@
 // kernel actually charges the process — heap-side accounting alone would
 // miss allocator retention and arena blocks.
 //
-// On platforms without procfs both calls return 0; callers must treat 0
-// as "unavailable" (the soak bench then skips its plateau gate rather
-// than reporting a fake flat line).
+// Unavailable readings (non-Linux, unreadable procfs, a status file with
+// no Vm fields) are a *monostate* — std::nullopt — never 0: a fake zero
+// sample would flow into ratio gates like the soak's rss_plateau (max
+// late-half / max early-half) and either divide by zero or report a
+// fabricated flat line.  Callers skip, they don't default.
+//
+// RssReader takes an injectable status path so tests can exercise the
+// parse and the fallback without depending on the host's procfs.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 namespace wira::obs {
 
-/// Current resident set size in bytes (VmRSS), 0 when unavailable.
-uint64_t current_rss_bytes();
+class RssReader {
+ public:
+  /// `status_path` is /proc/self/status unless a test injects a fixture.
+  explicit RssReader(std::string status_path = "/proc/self/status")
+      : status_path_(std::move(status_path)) {}
 
-/// Peak resident set size in bytes (VmHWM, the high-water mark), 0 when
-/// unavailable.
-uint64_t peak_rss_bytes();
+  /// Current resident set size in bytes (VmRSS); nullopt when the file
+  /// cannot be read or the field is absent.
+  std::optional<uint64_t> current_rss_bytes() const;
+
+  /// Peak resident set size in bytes (VmHWM, the high-water mark);
+  /// nullopt when unavailable.
+  std::optional<uint64_t> peak_rss_bytes() const;
+
+ private:
+  std::string status_path_;
+};
+
+/// Convenience readers over the live process (the common call sites).
+std::optional<uint64_t> current_rss_bytes();
+std::optional<uint64_t> peak_rss_bytes();
 
 }  // namespace wira::obs

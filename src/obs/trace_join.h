@@ -1,0 +1,95 @@
+// Cross-vantage qlog join (the external check on the FFCT phase split).
+//
+// A --trace-sample'd session produces a *pair* of standard-qlog files —
+// <name>.server.sqlog and <name>.client.sqlog, correlated by a shared
+// group_id — because the phase boundaries live on different hosts: the
+// server knows when it saw the PLAY request, fetched origin bytes and
+// finished the FF_Size parse; only the client knows when its request
+// departed, when the contiguous stream reached the first video byte, and
+// when frame 1 completed.  This library re-reads both files, joins them,
+// and recomputes the same clamped phase partition obs::ffct_phases builds
+// in-session — so the paper's phase split is checkable from the trace
+// artifacts alone, by anyone, without re-running the simulation.
+//
+// Precision contract: qlog times are milliseconds with a 3-digit fraction
+// (microseconds; obs/qlog.cc append_ms truncates nanoseconds).  Truncation
+// is monotone, and the phase partition is built purely from clamp/max over
+// boundaries, so clamping truncated boundaries equals truncating clamped
+// boundaries: every joined span boundary must equal the in-session
+// PhaseTimeline boundary truncated to microseconds *exactly* — no epsilon.
+// joined_matches_phases asserts precisely that.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/phase_timeline.h"
+
+namespace wira::obs {
+
+/// Marker timestamps in microseconds; "absent" sentinel.
+inline constexpr uint64_t kNoTimeUs = UINT64_MAX;
+
+/// One parsed .sqlog file: header identity plus the first occurrence of
+/// each marker event the join needs (all times in microseconds — the
+/// file's native precision).
+struct ParsedQlog {
+  std::string title;
+  std::string group_id;
+  std::string vantage_name;
+  std::string vantage_type;  ///< "client" / "server" / "network"
+
+  // Client-vantage markers.
+  uint64_t request_sent_us = kNoTimeUs;
+  uint64_t first_video_byte_us = kNoTimeUs;
+  uint64_t first_frame_complete_us = kNoTimeUs;  ///< frame_index == 1
+
+  // Server-vantage markers.
+  uint64_t request_received_us = kNoTimeUs;
+  uint64_t first_origin_byte_us = kNoTimeUs;
+  uint64_t ff_parsed_us = kNoTimeUs;
+
+  size_t events = 0;         ///< event lines parsed
+  size_t stall_events = 0;   ///< wira:stall_observed count (client vantage)
+};
+
+/// Parses one .sqlog (header line + JSONL events).  Fails on unparsable
+/// JSON, a malformed header, or a malformed time — extra/unknown events
+/// are fine (the join only reads its markers).
+bool parse_sqlog_text(std::string_view text, ParsedQlog* out,
+                      std::string* error);
+bool parse_sqlog_file(const std::string& path, ParsedQlog* out,
+                      std::string* error);
+
+/// The client-derived phase split of one joined pair.
+struct JoinedPhases {
+  struct Span {
+    const char* name = "";
+    uint64_t begin_us = 0;
+    uint64_t end_us = 0;
+    uint64_t duration_us() const { return end_us - begin_us; }
+  };
+  std::array<Span, kNumPhases> spans;
+  uint64_t ffct_us = 0;  ///< == sum of span durations by construction
+};
+
+/// Joins a client/server vantage pair and recomputes the phase split from
+/// the client's view.  Fails when the group_ids differ, the vantage types
+/// are not client/server, or the client markers that anchor the partition
+/// (request_sent, frame 1 complete) are missing.  Server markers may be
+/// absent (they clamp to zero-length spans, as in-session).
+bool join_vantages(const ParsedQlog& client, const ParsedQlog& server,
+                   JoinedPhases* out, std::string* error);
+
+/// Exact comparison of a joined split against the in-session
+/// PhaseTimeline (SessionResult::phases): every boundary must equal the
+/// nanosecond boundary truncated to microseconds, shifted to the trace's
+/// absolute clock.  Returns false and describes the first divergence.
+bool joined_matches_phases(const JoinedPhases& joined,
+                           const std::vector<PhaseSpan>& phases,
+                           std::string* why);
+
+}  // namespace wira::obs

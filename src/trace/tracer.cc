@@ -42,6 +42,9 @@ const char* event_type_name(EventType t) {
     case EventType::kFfParsed: return "ff_parsed";
     case EventType::kCornerCase: return "corner_case";
     case EventType::kCcStateChanged: return "cc_state_changed";
+    case EventType::kRequestSent: return "request_sent";
+    case EventType::kFirstVideoByte: return "first_video_byte";
+    case EventType::kStallObserved: return "stall_observed";
   }
   return "?";
 }

@@ -42,6 +42,13 @@ enum class EventType {
   kFfParsed,         ///< a = FF_Size, b = bytes fed until parse completed
   kCornerCase,       ///< detail = "cwnd_before_parse"/"stale_cookie"
   kCcStateChanged,   ///< detail = new controller state ("startup", ...)
+  // Client-vantage events (PlayerClient's tracer; the paired .client.sqlog
+  // view of the same session — obs/trace_join.h joins them by group_id).
+  kRequestSent,      ///< client: PLAY request departed; a = request bytes
+  kFirstVideoByte,   ///< client: contiguous stream reached the first video
+                     ///< payload byte; a = total bytes received so far
+  kStallObserved,    ///< client: receive gap while streaming; a = gap (us),
+                     ///< b = total bytes so far, detail = "recv_gap"
 };
 
 const char* event_type_name(EventType t);

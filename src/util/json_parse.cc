@@ -1,0 +1,307 @@
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace wira::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find(std::string_view key, Kind k) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == k) ? v : nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = "json: " + msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return string(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool number(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      return fail("bad number");
+    }
+    // Integer part: a leading zero must stand alone (RFC 8259).
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        return fail("bad number fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        return fail("bad number exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->raw_number.assign(text_.substr(start, pos_ - start));
+    out->number = std::strtod(out->raw_number.c_str(), nullptr);
+    return true;
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // The repo's writers only \u-escape control characters, so a
+          // plain BMP encode (no surrogate-pair recombination) suffices.
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!value(&element)) return false;
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!string(&key)) return false;
+      if (out->find(key) != nullptr) return fail("duplicate key \"" + key +
+                                                 "\"");
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after key");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(&member)) return false;
+      out->object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  Parser p(text, error);
+  return p.parse(out);
+}
+
+bool ms_text_to_us(std::string_view raw, uint64_t* us) {
+  if (raw.empty() || raw[0] == '-') return false;
+  uint64_t whole = 0;
+  size_t i = 0;
+  if (!std::isdigit(static_cast<unsigned char>(raw[0]))) return false;
+  for (; i < raw.size() && std::isdigit(static_cast<unsigned char>(raw[i]));
+       ++i) {
+    const uint64_t digit = static_cast<uint64_t>(raw[i] - '0');
+    if (whole > (UINT64_MAX - digit) / 10) return false;  // overflow
+    whole = whole * 10 + digit;
+  }
+  uint64_t frac_us = 0;
+  if (i < raw.size()) {
+    if (raw[i] != '.') return false;  // exponents never written by append_ms
+    ++i;
+    size_t digits = 0;
+    for (; i < raw.size(); ++i, ++digits) {
+      if (!std::isdigit(static_cast<unsigned char>(raw[i]))) return false;
+      if (digits >= 3) {
+        // More precision than the microsecond writer ever emits: reject
+        // rather than silently truncate.
+        if (raw[i] != '0') return false;
+        continue;
+      }
+      frac_us = frac_us * 10 + static_cast<uint64_t>(raw[i] - '0');
+    }
+    if (digits == 0) return false;
+    for (; digits < 3; ++digits) frac_us *= 10;
+  }
+  if (whole > (UINT64_MAX - frac_us) / 1000) return false;
+  *us = whole * 1000 + frac_us;
+  return true;
+}
+
+}  // namespace wira::util

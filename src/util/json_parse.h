@@ -1,0 +1,60 @@
+// Minimal strict JSON parser (RFC 8259 subset) for the repo's own JSON
+// outputs: qlog .sqlog lines (obs/trace_join) and the soak flush JSONL
+// (the exporter daemon).  Deliberately small — no streaming, no comments,
+// no trailing commas — and it *preserves the raw number text*, so callers
+// that need exact integer semantics (qlog millisecond timestamps with a
+// 3-digit fraction) can parse digits themselves instead of round-tripping
+// through double.
+//
+// This is the product-side parser; tests/test_qlog.cc keeps its own
+// independent mini-parser on purpose, so the qlog writer is never
+// validated by the same code that consumes it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wira::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  ///< exact source text, e.g. "12.003"
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members (duplicate keys rejected by the parser).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() that also requires the member to be of `k`.
+  const JsonValue* find(std::string_view key, Kind k) const;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error).  Returns false and fills
+/// *error with a position-prefixed message on malformed input.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
+
+/// Exact-integer read of a non-negative JSON number written as
+/// milliseconds with an optional fractional part, returned in microseconds
+/// (e.g. "12.003" -> 12003, "7" -> 7000).  This is the inverse of
+/// obs/qlog.cc's append_ms and never goes through double, so qlog
+/// timestamps round-trip exactly.  Fractional digits beyond microseconds
+/// are rejected (the writer never emits them).  Returns false on negative,
+/// non-numeric or out-of-range input.
+bool ms_text_to_us(std::string_view raw, uint64_t* us);
+
+}  // namespace wira::util

@@ -458,8 +458,9 @@ TEST(Harness, ThreadedWorkerFailureDrainsSweepPromptly) {
   fs::remove_all(dir);
   // Sessions completed after the failure: at most the ones already
   // claimed (one per worker).  Without the counter park, the surviving
-  // worker finishes all 39 remaining sessions first (156 files).
-  const size_t bound = (4 + cfg.threads + 2) * cfg.schemes.size();
+  // worker finishes all 39 remaining sessions first (312 files).  Each
+  // sampled (session, scheme) writes two files, one per vantage.
+  const size_t bound = (4 + cfg.threads + 2) * cfg.schemes.size() * 2;
   EXPECT_LE(traced_files, bound);
   EXPECT_GT(traced_files, 0u);  // sessions before the failure were traced
 }
@@ -475,11 +476,13 @@ TEST(Harness, FailedTraceOpenIsCountedNotSilent) {
   obs::MetricsRegistry metrics;
   const auto records = run_population(cfg, &metrics);
   ASSERT_EQ(records.size(), 3u);
+  // Two opens per sampled (session, scheme) — one per vantage — and both
+  // fail against a non-directory.
   for (const auto& r : records) {
-    EXPECT_EQ(r.trace_open_failures, cfg.schemes.size());
+    EXPECT_EQ(r.trace_open_failures, 2 * cfg.schemes.size());
   }
   EXPECT_EQ(metrics.counter("trace.open_failed"),
-            cfg.sessions * cfg.schemes.size());
+            2 * cfg.sessions * cfg.schemes.size());
 }
 
 // Regression: rows wider than the header used to have their extra cells
@@ -659,10 +662,10 @@ TEST(Harness, MiniSoakFlushesAndRssStaysBounded) {
   std::vector<double> rss_mb;
   sink.set_flush_hook(
       +[](uint64_t, std::string* extra, void* arg) {
-        const uint64_t rss = obs::current_rss_bytes();
-        if (rss > 0) {
+        const std::optional<uint64_t> rss = obs::current_rss_bytes();
+        if (rss.has_value()) {
           static_cast<std::vector<double>*>(arg)->push_back(
-              static_cast<double>(rss) / 1e6);
+              static_cast<double>(*rss) / 1e6);
         }
         *extra += ",\"probe\":1";
       },

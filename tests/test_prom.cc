@@ -1,0 +1,353 @@
+// Tests for the live-telemetry pipeline (DESIGN.md §7): the Prometheus
+// text renderer, the exporter's flush-JSONL tailing state, and the mini
+// HTTP server — driven over a real loopback socket.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flush_export.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/prom.h"
+
+namespace wira::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Text building blocks.
+
+TEST(PromText, DoubleIsShortestRoundTrip) {
+  EXPECT_EQ(prom_double(12.5), "12.5");
+  EXPECT_EQ(prom_double(0.1), "0.1");
+  EXPECT_EQ(prom_double(3.0), "3");
+  EXPECT_EQ(prom_double(0.0), "0");
+  // Round-trip exactness is the contract, not a particular spelling.
+  EXPECT_EQ(std::stod(prom_double(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(PromText, LabelEscaping) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prom_escape_label("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(prom_escape_label("new\nline"), "new\\nline");
+  PromTextBuilder b;
+  b.sample("m", {{"k", "a\"b\\c\nd"}}, uint64_t{1});
+  EXPECT_EQ(b.text(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(PromText, NameMapping) {
+  // Trailing CamelCase component becomes the scheme label.
+  PromNameParts p = prom_name_parts("sessions.Wira");
+  EXPECT_EQ(p.family, "sessions");
+  EXPECT_EQ(p.scheme, "Wira");
+  p = prom_name_parts("phase.delivery_us.WiraFF");
+  EXPECT_EQ(p.family, "phase_delivery_us");
+  EXPECT_EQ(p.scheme, "WiraFF");
+  // All-lowercase names have no scheme and sanitize dots to underscores.
+  p = prom_name_parts("trace.open_failed");
+  EXPECT_EQ(p.family, "trace_open_failed");
+  EXPECT_EQ(p.scheme, "");
+}
+
+// ---------------------------------------------------------------------------
+// Full-registry rendering.
+
+// The golden: one registry with all three kinds, rendered byte-exactly.
+// Per-scheme counters collapse into one family; histogram `le` bounds are
+// hi-1 (exact for integer samples); families sort within each kind.
+TEST(PromRender, GoldenFullRegistry) {
+  MetricsRegistry registry;
+  registry.inc("sessions.Wira", 3);
+  registry.inc("sessions.Baseline", 2);
+  registry.inc("trace.open_failed");
+  registry.set_gauge("bytes_on_wire", 12.5);
+  LatencyHistogram& h = registry.histogram("phase.delivery_us.Wira");
+  h.record(3);
+  h.record(3);
+  h.record(7);
+  h.record(100);  // log-bucketed: lands in [100, 104)
+
+  const std::string expected =
+      "# TYPE wira_sessions_total counter\n"
+      "wira_sessions_total{scheme=\"Baseline\"} 2\n"
+      "wira_sessions_total{scheme=\"Wira\"} 3\n"
+      "# TYPE wira_trace_open_failed_total counter\n"
+      "wira_trace_open_failed_total 1\n"
+      "# TYPE wira_bytes_on_wire gauge\n"
+      "wira_bytes_on_wire 12.5\n"
+      "# TYPE wira_phase_delivery_us histogram\n"
+      "wira_phase_delivery_us_bucket{scheme=\"Wira\",le=\"3\"} 2\n"
+      "wira_phase_delivery_us_bucket{scheme=\"Wira\",le=\"7\"} 3\n"
+      "wira_phase_delivery_us_bucket{scheme=\"Wira\",le=\"103\"} 4\n"
+      "wira_phase_delivery_us_bucket{scheme=\"Wira\",le=\"+Inf\"} 4\n"
+      "wira_phase_delivery_us_sum{scheme=\"Wira\"} 113\n"
+      "wira_phase_delivery_us_count{scheme=\"Wira\"} 4\n";
+  EXPECT_EQ(render_prometheus(registry), expected);
+}
+
+// Bucket-boundary exactness: for any recorded integer the emitted `le` is
+// bucket_hi - 1, the largest value that bucket can hold, so the cumulative
+// count at that `le` is exact rather than quantized.
+TEST(PromRender, HistogramBucketBoundsAreExact) {
+  for (const uint64_t value : {uint64_t{0}, uint64_t{15}, uint64_t{16},
+                               uint64_t{1000}, uint64_t{123456789}}) {
+    MetricsRegistry registry;
+    registry.histogram("v_us").record(value);
+    const size_t idx = LatencyHistogram::bucket_index(value);
+    ASSERT_GE(value, LatencyHistogram::bucket_lo(idx));
+    ASSERT_LT(value, LatencyHistogram::bucket_hi(idx));
+    const std::string expected_line =
+        "wira_v_us_bucket{le=\"" +
+        std::to_string(LatencyHistogram::bucket_hi(idx) - 1) + "\"} 1\n";
+    EXPECT_NE(render_prometheus(registry).find(expected_line),
+              std::string::npos)
+        << "value " << value << ": " << render_prometheus(registry);
+  }
+}
+
+TEST(PromRender, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_prometheus(registry), "");
+}
+
+// ---------------------------------------------------------------------------
+// Flush-JSONL tailing.
+
+TEST(LineTailTest, SplitsCompleteLinesAndBuffersPartials) {
+  LineTail tail;
+  std::vector<std::string> lines;
+  auto collect = [&lines](std::string_view l) {
+    lines.emplace_back(l);
+  };
+  tail.add("alpha\nbra", collect);
+  EXPECT_EQ(lines, std::vector<std::string>{"alpha"});
+  EXPECT_EQ(tail.pending_bytes(), 3u);  // "bra" awaits its newline
+  tail.add("vo\n\ncha", collect);       // completes "bravo", then an empty line
+  EXPECT_EQ(lines, (std::vector<std::string>{"alpha", "bravo", ""}));
+  tail.add("rlie", collect);
+  EXPECT_EQ(tail.pending_bytes(), 7u);
+  tail.add("\n", collect);
+  EXPECT_EQ(lines, (std::vector<std::string>{"alpha", "bravo", "", "charlie"}));
+  EXPECT_EQ(tail.pending_bytes(), 0u);
+}
+
+const char kFlushLine[] =
+    "{\"sessions\":200,\"final\":false,\"rss_mb\":48.2,\"schemes\":{"
+    "\"Baseline\":{\"sessions\":200,\"ffct_ms\":{\"count\":180,"
+    "\"mean\":95.250,\"p50\":88.000,\"p90\":140.500,\"p99\":200.125},"
+    "\"fflr_ppm\":{\"count\":180,\"mean\":1200.000,\"p50\":900.000,"
+    "\"p90\":2500.000,\"p99\":4000.000}},"
+    "\"Wira\":{\"sessions\":200,\"ffct_ms\":{\"count\":190,"
+    "\"mean\":61.125,\"p50\":55.000,\"p90\":90.000,\"p99\":130.000},"
+    "\"fflr_ppm\":{\"count\":190,\"mean\":800.000,\"p50\":600.000,"
+    "\"p90\":1500.000,\"p99\":2600.000}}}}";
+
+TEST(FlushParse, ParsesAggregateSinkLine) {
+  FlushSummary summary;
+  std::string error;
+  ASSERT_TRUE(parse_flush_line(kFlushLine, &summary, &error)) << error;
+  EXPECT_EQ(summary.sessions, 200u);
+  EXPECT_FALSE(summary.final_line);
+  ASSERT_TRUE(summary.rss_mb.has_value());
+  EXPECT_DOUBLE_EQ(*summary.rss_mb, 48.2);
+  ASSERT_EQ(summary.schemes.size(), 2u);
+  EXPECT_EQ(summary.schemes[0].first, "Baseline");
+  EXPECT_EQ(summary.schemes[1].first, "Wira");
+  const FlushSchemeSummary& wira = summary.schemes[1].second;
+  EXPECT_EQ(wira.sessions, 200u);
+  ASSERT_TRUE(wira.ffct_ms.present);
+  EXPECT_EQ(wira.ffct_ms.count, 190u);
+  EXPECT_DOUBLE_EQ(wira.ffct_ms.p99, 130.0);
+  ASSERT_TRUE(wira.fflr_ppm.present);
+  EXPECT_DOUBLE_EQ(wira.fflr_ppm.p50, 600.0);
+}
+
+TEST(FlushParse, RejectsMalformedLines) {
+  FlushSummary summary;
+  std::string error;
+  EXPECT_FALSE(parse_flush_line("", &summary, &error));
+  EXPECT_FALSE(parse_flush_line("not json", &summary, &error));
+  EXPECT_FALSE(parse_flush_line("{\"sessions\":5}", &summary, &error));
+  EXPECT_FALSE(parse_flush_line(
+      "{\"sessions\":5,\"final\":true,\"schemes\":{\"W\":{}}}", &summary,
+      &error));
+}
+
+// The tailing contract: a chunk ending mid-line (the writer is mid-flush)
+// is never parsed — the partial stays buffered until its newline lands,
+// and only then counts as a line.
+TEST(ExporterStateTest, TruncatedFinalLineWaitsForItsNewline) {
+  const std::string line = std::string(kFlushLine) + "\n";
+  ExporterState state;
+  const size_t cut = line.size() / 2;
+  state.ingest(line.substr(0, cut));
+  EXPECT_EQ(state.lines_total(), 0u);
+  EXPECT_EQ(state.parse_errors(), 0u);
+  EXPECT_FALSE(state.has_summary());
+  EXPECT_EQ(state.pending_bytes(), cut);
+  state.ingest(line.substr(cut));
+  EXPECT_EQ(state.lines_total(), 1u);
+  EXPECT_EQ(state.parse_errors(), 0u);
+  ASSERT_TRUE(state.has_summary());
+  EXPECT_EQ(state.summary().sessions, 200u);
+  EXPECT_EQ(state.pending_bytes(), 0u);
+}
+
+// Flush lines are cumulative, so the newest parsable line wins; garbage
+// lines are counted, not fatal, and never clobber the summary.
+TEST(ExporterStateTest, LatestLineWinsAndGarbageIsCounted) {
+  ExporterState state;
+  state.ingest(std::string(kFlushLine) + "\n");
+  state.ingest("garbage line\n");
+  state.ingest(
+      "{\"sessions\":400,\"final\":true,\"schemes\":{"
+      "\"Wira\":{\"sessions\":400}}}\n");
+  EXPECT_EQ(state.lines_total(), 3u);
+  EXPECT_EQ(state.parse_errors(), 1u);
+  ASSERT_TRUE(state.has_summary());
+  EXPECT_EQ(state.summary().sessions, 400u);
+  EXPECT_TRUE(state.summary().final_line);
+  EXPECT_FALSE(state.summary().rss_mb.has_value());
+}
+
+TEST(ExporterStateTest, RenderGolden) {
+  ExporterState state;
+  // Pre-ingest render is still valid exposition text (self-metrics only).
+  EXPECT_EQ(state.render(),
+            "# HELP wira_exporter_lines_total complete flush JSONL lines "
+            "consumed\n"
+            "# TYPE wira_exporter_lines_total counter\n"
+            "wira_exporter_lines_total 0\n"
+            "# HELP wira_exporter_parse_errors_total flush lines that "
+            "failed to parse\n"
+            "# TYPE wira_exporter_parse_errors_total counter\n"
+            "wira_exporter_parse_errors_total 0\n"
+            "# HELP wira_exporter_scrapes_total /metrics requests served\n"
+            "# TYPE wira_exporter_scrapes_total counter\n"
+            "wira_exporter_scrapes_total 0\n");
+
+  state.ingest(std::string(kFlushLine) + "\n");
+  state.note_scrape();
+  const std::string text = state.render();
+  EXPECT_NE(text.find("wira_soak_sessions_total 200\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wira_soak_final 0\n"), std::string::npos);
+  EXPECT_NE(text.find("wira_soak_rss_mb 48.2\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("wira_soak_scheme_sessions_total{scheme=\"Wira\"} 200\n"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "wira_soak_ffct_ms{scheme=\"Wira\",quantile=\"0.99\"} 130\n"),
+            std::string::npos);
+  // _sum reconstructed as mean * count: 61.125 * 190 = 11613.75.
+  EXPECT_NE(text.find("wira_soak_ffct_ms_sum{scheme=\"Wira\"} 11613.75\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wira_soak_ffct_ms_count{scheme=\"Wira\"} 190\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wira_exporter_scrapes_total 1\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The mini HTTP server, over a real loopback socket.
+
+/// Blocking one-shot HTTP client: connects, sends `request` verbatim,
+/// reads to EOF.  The server under test is pumped by `pump` between
+/// connect and read, because poll() on the caller's thread is the only
+/// place server work happens.
+std::string http_exchange(uint16_t port, const std::string& request,
+                          MiniHttpServer& server) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (int i = 0; i < 1000; ++i) {
+    server.poll(/*timeout_ms=*/1);
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    } else if (n == 0 && !response.empty()) {
+      break;  // orderly close after the response
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MiniHttp, ServesHandlerResponseOverRealSocket) {
+  MiniHttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(/*port=*/0, &error)) << error;
+  ASSERT_NE(server.port(), 0);
+  server.set_handler([](const std::string& path) {
+    MiniHttpServer::Response r;
+    if (path == "/metrics") {
+      r.body = "wira_up 1\n";
+    } else {
+      r.status = 404;
+      r.body = "nope\n";
+    }
+    return r;
+  });
+
+  const std::string ok = http_exchange(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", server);
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("\r\n\r\nwira_up 1\n"), std::string::npos);
+
+  const std::string missing = http_exchange(
+      server.port(), "GET /other HTTP/1.1\r\n\r\n", server);
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos)
+      << missing;
+
+  // Query strings are stripped before the handler sees the path.
+  const std::string query = http_exchange(
+      server.port(), "GET /metrics?x=1 HTTP/1.1\r\n\r\n", server);
+  EXPECT_NE(query.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << query;
+
+  const std::string post = http_exchange(
+      server.port(), "POST /metrics HTTP/1.1\r\n\r\n", server);
+  EXPECT_NE(post.find("HTTP/1.1 405 Method Not Allowed\r\n"),
+            std::string::npos)
+      << post;
+
+  EXPECT_EQ(server.requests_served(), 4u);
+  server.stop();
+}
+
+TEST(MiniHttp, SequentialScrapesReuseTheListener) {
+  MiniHttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+  int calls = 0;
+  server.set_handler([&calls](const std::string&) {
+    MiniHttpServer::Response r;
+    r.body = "n=" + std::to_string(++calls) + "\n";
+    return r;
+  });
+  for (int i = 1; i <= 3; ++i) {
+    const std::string resp = http_exchange(
+        server.port(), "GET /metrics HTTP/1.1\r\n\r\n", server);
+    EXPECT_NE(resp.find("n=" + std::to_string(i) + "\n"), std::string::npos)
+        << resp;
+  }
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+}  // namespace
+}  // namespace wira::obs

@@ -264,6 +264,9 @@ const std::map<std::string, std::vector<std::string>>& required_data() {
       {"wira:origin_byte", {"chunk_bytes"}},
       {"wira:ff_parsed", {"ff_size", "bytes_fed"}},
       {"wira:corner_case", {"kind", "init_cwnd"}},
+      {"wira:request_sent", {"bytes"}},
+      {"wira:first_video_byte", {"total_bytes"}},
+      {"wira:stall_observed", {"kind", "gap", "total_bytes"}},
   };
   return kRequired;
 }
@@ -496,11 +499,12 @@ TEST(QlogEndToEnd, TraceSampleFilesValidate) {
   const auto records = exp::run_population(cfg, &registry);
   ASSERT_EQ(records.size(), 4u);
 
-  size_t files = 0;
+  size_t server_files = 0;
+  size_t client_files = 0;
   size_t total_events = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.path().extension() != ".sqlog") continue;
-    files++;
+    const std::string filename = entry.path().filename().string();
     std::ifstream is(entry.path());
     std::stringstream buf;
     buf << is.rdbuf();
@@ -509,17 +513,34 @@ TEST(QlogEndToEnd, TraceSampleFilesValidate) {
         << "in " << entry.path();
     EXPECT_GT(events, 0u) << "in " << entry.path();
     total_events += events;
-    // A server-side session trace must at least show the request, the
-    // init decision and data packets leaving.
     const std::string text = buf.str();
-    EXPECT_NE(text.find("\"wira:request_received\""), std::string::npos);
-    EXPECT_NE(text.find("\"wira:init_applied\""), std::string::npos);
-    EXPECT_NE(text.find("\"transport:packet_sent\""), std::string::npos);
-    EXPECT_NE(text.find("\"recovery:congestion_state_updated\""),
-              std::string::npos);
+    if (filename.find(".server.sqlog") != std::string::npos) {
+      server_files++;
+      // A server-side session trace must at least show the request, the
+      // init decision and data packets leaving.
+      EXPECT_NE(text.find("\"type\": \"server\""), std::string::npos);
+      EXPECT_NE(text.find("\"wira:request_received\""), std::string::npos);
+      EXPECT_NE(text.find("\"wira:init_applied\""), std::string::npos);
+      EXPECT_NE(text.find("\"transport:packet_sent\""), std::string::npos);
+      EXPECT_NE(text.find("\"recovery:congestion_state_updated\""),
+                std::string::npos);
+    } else {
+      // The paired client vantage: request departure and the delivery-side
+      // markers only the receiver can observe.
+      EXPECT_NE(filename.find(".client.sqlog"), std::string::npos)
+          << filename << " is neither .server.sqlog nor .client.sqlog";
+      client_files++;
+      EXPECT_NE(text.find("\"type\": \"client\""), std::string::npos);
+      EXPECT_NE(text.find("\"wira:request_sent\""), std::string::npos);
+      EXPECT_NE(text.find("\"wira:first_video_byte\""), std::string::npos);
+      EXPECT_NE(text.find("\"wira:frame_complete\""), std::string::npos);
+      // Server-only markers must not leak across vantages.
+      EXPECT_EQ(text.find("\"wira:request_received\""), std::string::npos);
+    }
   }
-  // 2 sampled sessions x 4 schemes.
-  EXPECT_EQ(files, 2u * records[0].results.size());
+  // 2 sampled sessions x 4 schemes, one file per vantage.
+  EXPECT_EQ(server_files, 2u * records[0].results.size());
+  EXPECT_EQ(client_files, 2u * records[0].results.size());
   EXPECT_GT(total_events, 100u);
   // Phase collection ran alongside streaming (keep_buffer contract).
   for (const auto& [scheme, res] : records[0].results) {

@@ -1,0 +1,76 @@
+// Tests for the RSS monostate contract (obs/rss.h): readings parse from a
+// /proc-style status file, and anything unreadable is std::nullopt — never
+// a fabricated zero.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/rss.h"
+
+namespace wira::obs {
+namespace {
+
+std::string write_fixture(const std::string& name,
+                          const std::string& content) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::ofstream out(path);
+  out << content;
+  return path.string();
+}
+
+TEST(RssReader, ParsesProcStyleStatusFile) {
+  const std::string path = write_fixture("wira_rss_ok",
+                                         "Name:\tsoak\n"
+                                         "VmPeak:\t  9999 kB\n"
+                                         "VmRSS:\t  1234 kB\n"
+                                         "VmHWM:\t  2345 kB\n"
+                                         "Threads:\t1\n");
+  RssReader reader(path);
+  ASSERT_TRUE(reader.current_rss_bytes().has_value());
+  EXPECT_EQ(*reader.current_rss_bytes(), 1234u * 1024);
+  ASSERT_TRUE(reader.peak_rss_bytes().has_value());
+  EXPECT_EQ(*reader.peak_rss_bytes(), 2345u * 1024);
+}
+
+TEST(RssReader, MissingFieldIsMonostateNotZero) {
+  // A status file with no VmHWM (and a VmRSS prefix that must not match):
+  // absent field -> nullopt, never 0.
+  const std::string path = write_fixture("wira_rss_partial",
+                                         "Name:\tsoak\n"
+                                         "VmRSSExtra:\t 5 kB\n"
+                                         "VmRSS:\t  42 kB\n");
+  RssReader reader(path);
+  ASSERT_TRUE(reader.current_rss_bytes().has_value());
+  EXPECT_EQ(*reader.current_rss_bytes(), 42u * 1024);
+  EXPECT_FALSE(reader.peak_rss_bytes().has_value());
+}
+
+TEST(RssReader, MalformedValueIsMonostate) {
+  const std::string path =
+      write_fixture("wira_rss_bad", "VmRSS:\tnot-a-number kB\n");
+  EXPECT_FALSE(RssReader(path).current_rss_bytes().has_value());
+}
+
+TEST(RssReader, UnreadableFileIsMonostate) {
+  RssReader reader("/nonexistent/status/file");
+  EXPECT_FALSE(reader.current_rss_bytes().has_value());
+  EXPECT_FALSE(reader.peak_rss_bytes().has_value());
+}
+
+TEST(RssReader, LiveProcessReadsArePlausible) {
+  // On Linux (the CI and dev platform) the default path works and the
+  // high-water mark bounds the current reading.
+  const auto current = current_rss_bytes();
+  const auto peak = peak_rss_bytes();
+  if (!current.has_value() || !peak.has_value()) {
+    GTEST_SKIP() << "/proc/self/status unavailable on this platform";
+  }
+  EXPECT_GT(*current, 0u);
+  EXPECT_GE(*peak, *current);
+}
+
+}  // namespace
+}  // namespace wira::obs

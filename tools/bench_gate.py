@@ -43,6 +43,14 @@ Guarded metrics and their default budgets:
                         shifts; any real hot-path regression (a per-packet
                         vector reappearing) moves it by far more.
 
+Budgets adapt to the trajectory's own variance: for each metric the gate
+computes the MAD (median absolute deviation) of the comparable history
+window and uses max(flag budget, k * MAD / median) as the effective
+relative budget (max(flag budget, k * MAD) for absolute metrics), with
+--mad-k defaulting to 4.0.  The flag values above are *floors*: a noisy
+host widens its own budgets instead of flapping the gate, while a tight
+history keeps the documented defaults — budgets never shrink below them.
+
 Directionality is enforced: improvements (faster, lower FFCT) never fail.
 Metrics absent from history (e.g. ffct_ms before it was recorded) are
 skipped with a note — the gate only compares what both sides have.
@@ -78,6 +86,29 @@ def median(vals):
     if n % 2 == 1:
         return s[mid]
     return 0.5 * (s[mid - 1] + s[mid])
+
+
+def mad(vals):
+    """Median absolute deviation — the robust spread of the history window.
+
+    Robustness matters here: one outlier record (a machine hiccup that
+    still landed in the trajectory) must not inflate the budget the way it
+    would inflate a standard deviation.
+    """
+    m = median(vals)
+    return median([abs(v - m) for v in vals])
+
+
+def effective_budget(floor, base_vals, mad_k, absolute):
+    """max(floor, k*MAD) for absolute metrics, max(floor, k*MAD/|median|)
+    for relative ones.  The flag-provided budget is a floor, never a cap."""
+    spread = mad(base_vals)
+    if absolute:
+        return max(floor, mad_k * spread)
+    baseline = median(base_vals)
+    if baseline == 0:
+        return floor
+    return max(floor, mad_k * spread / abs(baseline))
 
 
 def load_history(path):
@@ -175,6 +206,15 @@ def run_gate(current, history, args, out=sys.stdout):
         % len(window)
     )
 
+    def budget_for(name, floor, base, absolute=False):
+        b = effective_budget(floor, base, args.mad_k, absolute)
+        if b > floor:
+            gate.note(
+                "%-28s budget widened to %.3g (floor %.3g) by history "
+                "variance" % (name, b, floor)
+            )
+        return b
+
     # On a single-core host the threaded/multiprocess passes measure
     # scheduler contention, not speedup: their sessions/sec is serial
     # throughput plus noise, so comparing it would gate on noise.  The
@@ -191,7 +231,8 @@ def run_gate(current, history, args, out=sys.stdout):
         if not isinstance(cur, (int, float)) or not base:
             gate.note("%-28s skipped (absent from run or history)" % name)
             continue
-        gate.check(name, float(cur), median(base), args.budget_throughput,
+        gate.check(name, float(cur), median(base),
+                   budget_for(name, args.budget_throughput, base),
                    "lower_fails")
 
     cur_ffct = flatten_ffct(current)
@@ -201,8 +242,8 @@ def run_gate(current, history, args, out=sys.stdout):
         if not base:
             gate.note("%-28s skipped (absent from history)" % name)
             continue
-        gate.check(name, cur_ffct[name], median(base), args.budget_ffct,
-                   "higher_fails")
+        gate.check(name, cur_ffct[name], median(base),
+                   budget_for(name, args.budget_ffct, base), "higher_fails")
 
     cur_allocs = current.get("allocs_per_session")
     base_allocs = [
@@ -212,7 +253,9 @@ def run_gate(current, history, args, out=sys.stdout):
     ]
     if isinstance(cur_allocs, (int, float)) and base_allocs:
         gate.check("allocs_per_session", float(cur_allocs),
-                   median(base_allocs), args.budget_allocs, "higher_fails")
+                   median(base_allocs),
+                   budget_for("allocs_per_session", args.budget_allocs,
+                              base_allocs), "higher_fails")
     else:
         gate.note("allocs_per_session           skipped (absent from run "
                   "or history)")
@@ -225,7 +268,8 @@ def run_gate(current, history, args, out=sys.stdout):
     ]
     if isinstance(cur_ov, (int, float)) and base_ov:
         gate.check("metrics_overhead", float(cur_ov), median(base_ov),
-                   args.budget_overhead, "higher_fails_abs")
+                   budget_for("metrics_overhead", args.budget_overhead,
+                              base_ov, absolute=True), "higher_fails_abs")
     else:
         gate.note("metrics_overhead             skipped (absent)")
 
@@ -256,7 +300,16 @@ def self_test(args):
     # Mild run-to-run jitter in the history; medians sit near the nominal.
     history = [rec(sps=50.0 + d, overhead=0.05 + d / 1000.0)
                for d in (-2.0, -1.0, 0.0, 1.0, 2.0)]
+    # Pathological histories for the variance-derived budgets: a host with
+    # wild throughput swings (MAD 10 around a median of 50) and one with a
+    # jumpy overhead ratio (MAD 0.05 around 0.10).
+    noisy_tp_history = [rec(sps=s) for s in (30.0, 40.0, 50.0, 60.0, 70.0)]
+    noisy_ov_history = [rec(overhead=o)
+                        for o in (0.01, 0.05, 0.10, 0.15, 0.20)]
+    flat_history = [rec() for _ in range(5)]
     sink = open(os.devnull, "w")
+    # (name, current, expected exit) — an optional 4th element substitutes
+    # the history for that case.
     cases = [
         ("clean rerun passes", rec(), 0),
         ("20% sessions/sec regression fails", rec(sps=40.0), 1),
@@ -282,10 +335,23 @@ def self_test(args):
           "sessions_per_sec_nt": 1.0, "sessions_per_sec_np": 1.0}, 0),
         ("single-core host still gates serial throughput",
          {**rec(sps=40.0), "hardware_concurrency": 1}, 1),
+        # Variance-derived budgets (median +/- k*MAD with the flag floors):
+        ("noisy throughput history widens the relative budget",
+         rec(sps=40.0), 0, noisy_tp_history),
+        ("widened budget still catches a collapse",
+         rec(sps=5.0), 1, noisy_tp_history),
+        ("noisy overhead history widens the absolute budget",
+         rec(overhead=0.25), 0, noisy_ov_history),
+        ("zero-variance history keeps the floor budgets",
+         rec(sps=44.0, overhead=0.12), 0, flat_history),
+        ("floor budgets still fail real regressions on flat history",
+         rec(sps=40.0), 1, flat_history),
     ]
     failures = []
-    for name, current, expect in cases:
-        got = run_gate(current, history, args, out=sink)
+    for case in cases:
+        name, current, expect = case[0], case[1], case[2]
+        case_history = case[3] if len(case) > 3 else history
+        got = run_gate(current, case_history, args, out=sink)
         status = "ok" if got == expect else "FAIL"
         print("self-test: %-42s expect=%d got=%d %s"
               % (name, expect, got, status))
@@ -318,6 +384,9 @@ def main():
                     help="absolute increase allowed on metrics_overhead")
     ap.add_argument("--budget-allocs", type=float, default=0.10,
                     help="relative increase allowed on allocs_per_session")
+    ap.add_argument("--mad-k", type=float, default=4.0,
+                    help="budgets widen to k*MAD of the history window "
+                         "when that exceeds the flag floor")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in logic checks and exit")
     args = ap.parse_args()

@@ -1,0 +1,179 @@
+// wira_exporterd: live Prometheus telemetry for soak/population runs.
+//
+// Tails the AggregateSink flush JSONL (--flush-jsonl) that bench/soak or
+// the population runner is appending to, keeps the latest cumulative
+// summary (obs::ExporterState), and serves it as Prometheus text on a
+// loopback HTTP listener (obs::MiniHttpServer):
+//
+//   GET /metrics   text-format 0.0.4 exposition of the latest flush line
+//                  plus the exporter's own counters
+//   GET /healthz   "ok" once the process is serving
+//
+// The flush file may not exist yet when the daemon starts (the soak opens
+// it lazily); the tail loop just retries the open every poll tick.  Runs
+// until SIGINT/SIGTERM.  tools/run_soak.sh starts one of these next to the
+// soak and gates a mid-run scrape against the final aggregate.
+//
+//   wira_exporterd --flush-jsonl soak_flush.jsonl --listen 0
+//                  [--port-file /tmp/exporter.port]
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/flush_export.h"
+#include "obs/http_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string flush_jsonl;
+  std::string port_file;
+  uint16_t listen = 0;  ///< 0 = kernel-assigned ephemeral port
+  int poll_ms = 200;
+};
+
+[[noreturn]] void usage(const char* prog, const char* msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: %s --flush-jsonl FILE [--listen PORT] "
+               "[--port-file FILE] [--poll-ms N]\n",
+               msg, prog);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(arg, flag) != 0) return nullptr;
+      if (i + 1 >= argc) usage(argv[0], "flag needs a value");
+      return argv[++i];
+    };
+    if (const char* v = value("--flush-jsonl")) {
+      a.flush_jsonl = v;
+    } else if (const char* v = value("--listen")) {
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || port > 65535) {
+        usage(argv[0], "--listen must be a port number (0-65535)");
+      }
+      a.listen = static_cast<uint16_t>(port);
+    } else if (const char* v = value("--port-file")) {
+      a.port_file = v;
+    } else if (const char* v = value("--poll-ms")) {
+      char* end = nullptr;
+      const long ms = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || ms < 1 || ms > 60'000) {
+        usage(argv[0], "--poll-ms must be in [1, 60000]");
+      }
+      a.poll_ms = static_cast<int>(ms);
+    } else {
+      usage(argv[0], "unknown argument");
+    }
+  }
+  if (a.flush_jsonl.empty()) usage(argv[0], "--flush-jsonl is required");
+  return a;
+}
+
+/// Incremental reader over a file another process is appending to.  Keeps
+/// its offset across ticks; the file not existing yet is a normal state
+/// (the run has not opened it), not an error.
+class FileTail {
+ public:
+  explicit FileTail(std::string path) : path_(std::move(path)) {}
+  ~FileTail() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Reads everything appended since the last call into `state`.
+  void drain(wira::obs::ExporterState& state) {
+    if (fd_ < 0) {
+      fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd_ < 0) return;
+    }
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n <= 0) return;
+      state.ingest(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  wira::obs::ExporterState state;
+  FileTail tail(args.flush_jsonl);
+
+  wira::obs::MiniHttpServer server;
+  std::string error;
+  if (!server.start(args.listen, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  server.set_handler(
+      [&state](const std::string& path) -> wira::obs::MiniHttpServer::Response {
+        wira::obs::MiniHttpServer::Response r;
+        if (path == "/metrics") {
+          state.note_scrape();
+          r.body = state.render();
+        } else if (path == "/healthz") {
+          r.body = "ok\n";
+        } else {
+          r.status = 404;
+          r.body = "not found\n";
+        }
+        return r;
+      });
+
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "wira_exporterd: serving http://127.0.0.1:%u/metrics"
+                       " (tailing %s)\n",
+               static_cast<unsigned>(server.port()),
+               args.flush_jsonl.c_str());
+
+  while (g_stop == 0) {
+    tail.drain(state);
+    server.poll(args.poll_ms);
+  }
+  tail.drain(state);
+  server.stop();
+  std::fprintf(stderr,
+               "wira_exporterd: exiting (%llu lines, %llu parse errors, "
+               "%llu requests)\n",
+               static_cast<unsigned long long>(state.lines_total()),
+               static_cast<unsigned long long>(state.parse_errors()),
+               static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}

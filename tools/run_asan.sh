@@ -42,4 +42,30 @@ ctest --test-dir "${build_dir}" -L gate --output-on-failure \
 echo "sanitized soak passed ($(
   python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["sessions"], "sessions")' \
     "${build_dir}/soak.json"))"
+
+# Exporter smoke under the sanitizers: tail the flush file the soak just
+# wrote, scrape it once over a real socket, shut down cleanly.  This is
+# the repo's only epoll/socket code; ASan sees the whole accept-read-
+# write-close cycle and LSan audits the daemon's teardown.
+"${build_dir}/tools/wira_exporterd" \
+  --flush-jsonl "${build_dir}/soak_flush.jsonl" --listen 0 \
+  --port-file "${build_dir}/exporter.port" &
+exporter_pid=$!
+trap 'kill "${exporter_pid}" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  [[ -s "${build_dir}/exporter.port" ]] && break
+  sleep 0.1
+done
+port="$(cat "${build_dir}/exporter.port")"
+for _ in $(seq 50); do
+  curl -sf "http://127.0.0.1:${port}/metrics" \
+    | grep -q '^wira_soak_sessions_total 200$' && break
+  sleep 0.1
+done
+curl -sf "http://127.0.0.1:${port}/metrics" \
+  | grep -q '^wira_soak_sessions_total 200$'
+kill "${exporter_pid}"
+wait "${exporter_pid}"
+trap - EXIT
+echo "sanitized exporter scrape passed"
 echo "sanitizer gate passed"

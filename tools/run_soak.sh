@@ -10,6 +10,15 @@
 #                                least 2x below the pre-recycling
 #                                baseline (2280/session)
 #
+# A wira_exporterd (DESIGN.md §7) runs alongside the soak, tailing the
+# flush JSONL and serving /metrics on an ephemeral loopback port; the run
+# is additionally gated on the live-telemetry contract:
+#
+#   mid-soak scrape    /metrics answers while the soak is running and the
+#                      payload parses as Prometheus text exposition
+#   final consistency  the post-run scrape's wira_soak_sessions_total and
+#                      per-scheme counters equal the final JSON aggregate
+#
 # Defaults to a 20k-session run (~5 min serial) — enough flushes for a
 # meaningful plateau split.  The headline endurance run is
 #   tools/run_soak.sh --sessions 1000000 --flush-every 10000
@@ -22,16 +31,71 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target soak
+cmake --build "${build_dir}" -j "$(nproc)" --target soak wira_exporterd
 
 out="${repo_root}/SOAK_$(date +%Y-%m-%d).json"
 flush_out="${repo_root}/soak_flush.jsonl"
+scrape_dir="$(mktemp -d)"
+port_file="${scrape_dir}/exporter.port"
 
-"${build_dir}/bench/soak" --flush-out "${flush_out}" "$@" | tee "${out}"
+# The soak truncates its flush file on open; start from the same empty
+# state so the exporter never serves a stale previous run.
+: > "${flush_out}"
+
+"${build_dir}/tools/wira_exporterd" \
+  --flush-jsonl "${flush_out}" --listen 0 --port-file "${port_file}" &
+exporter_pid=$!
+cleanup() {
+  kill "${exporter_pid}" 2>/dev/null || true
+  wait "${exporter_pid}" 2>/dev/null || true
+  rm -rf "${scrape_dir}"
+}
+trap cleanup EXIT
+
+for _ in $(seq 50); do
+  [[ -s "${port_file}" ]] && break
+  sleep 0.1
+done
+port="$(cat "${port_file}")"
+echo "exporter serving http://127.0.0.1:${port}/metrics (pid ${exporter_pid})"
+curl -sf "http://127.0.0.1:${port}/healthz" > /dev/null
+
+"${build_dir}/bench/soak" --flush-out "${flush_out}" "$@" > "${out}" &
+soak_pid=$!
+
+# Mid-soak scrape: wait until the exporter has consumed at least one flush
+# line while the soak is still running, then capture /metrics.
+mid_scrape="${scrape_dir}/mid.prom"
+got_mid=0
+while kill -0 "${soak_pid}" 2>/dev/null; do
+  if curl -sf "http://127.0.0.1:${port}/metrics" > "${mid_scrape}" &&
+     grep -q '^wira_soak_sessions_total ' "${mid_scrape}"; then
+    got_mid=1
+    break
+  fi
+  sleep 0.5
+done
+wait "${soak_pid}"
+cat "${out}"
 echo "wrote ${out} (flush lines in ${flush_out})"
+if [[ "${got_mid}" != 1 ]]; then
+  # Tiny runs can finish before their first flush line lands; the final
+  # scrape below still gates the telemetry path, so warn rather than fail.
+  echo "note: soak finished before a mid-run scrape saw a flush line"
+  mid_scrape=""
+fi
 
-python3 - "${out}" <<'PY'
-import json, sys
+# Final scrape: give the exporter one tail cycle to reach the final line,
+# then require the served counters to match the soak's JSON aggregate.
+final_scrape="${scrape_dir}/final.prom"
+for _ in $(seq 50); do
+  curl -sf "http://127.0.0.1:${port}/metrics" > "${final_scrape}"
+  grep -q '^wira_soak_final 1$' "${final_scrape}" && break
+  sleep 0.2
+done
+
+python3 - "${out}" "${final_scrape}" ${mid_scrape:+"${mid_scrape}"} <<'PY'
+import json, re, sys
 
 with open(sys.argv[1]) as f:
     soak = json.load(f)
@@ -60,6 +124,56 @@ elif allocs > 1140:
         f"budget: half the 2280/session pre-recycling baseline)")
 else:
     print(f"allocs_per_session {allocs:.1f} <= 1140: OK")
+
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+    r"[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|Inf|NaN)$")
+
+
+def parse_exposition(path):
+    """{family-sample-name-with-labels: float} plus a format check."""
+    series = {}
+    with open(path) as f:
+        for ln, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            if not SAMPLE_RE.match(line):
+                failures.append(f"{path}:{ln}: not exposition format: "
+                                f"{line!r}")
+                continue
+            name, value = line.rsplit(" ", 1)
+            series[name] = float(value)
+    return series
+
+
+final = parse_exposition(sys.argv[2])
+sessions = soak["sessions"]
+got = final.get("wira_soak_sessions_total")
+if got != float(sessions):
+    failures.append(f"final scrape wira_soak_sessions_total {got} != "
+                    f"soak sessions {sessions}")
+else:
+    print(f"final scrape sessions_total {int(got)} == final JSON: OK")
+if final.get("wira_soak_final") != 1.0:
+    failures.append("final scrape never saw the final flush line "
+                    "(wira_soak_final != 1)")
+for scheme, agg in soak["aggregate"]["schemes"].items():
+    key = f'wira_soak_scheme_sessions_total{{scheme="{scheme}"}}'
+    if final.get(key) != float(agg["sessions"]):
+        failures.append(f"final scrape {key} {final.get(key)} != "
+                        f"aggregate {agg['sessions']}")
+
+if len(sys.argv) > 3:
+    mid = parse_exposition(sys.argv[3])
+    mid_sessions = mid.get("wira_soak_sessions_total", -1.0)
+    if not 0 < mid_sessions <= sessions:
+        failures.append(f"mid-soak scrape sessions_total {mid_sessions} "
+                        f"outside (0, {sessions}]")
+    else:
+        print(f"mid-soak scrape parsed: {int(mid_sessions)}/{sessions} "
+              f"sessions at scrape time: OK")
 
 if failures:
     for f in failures:

@@ -1,0 +1,293 @@
+// wira_trace_join: offline cross-vantage qlog checker (obs/trace_join.h).
+//
+// Scans a --trace-dir for the paired traces the population sampler writes
+// (<name>.client.sqlog / <name>.server.sqlog), joins every pair, and
+// recomputes the FFCT phase split from the client's view.  Any unpaired
+// vantage file, parse failure, or join failure is an error; legacy bare
+// <name>.sqlog files (pre-pairing captures) are validated as parsable but
+// not joined.  Exit 0 iff every pair joined cleanly.
+//
+// With --metrics-jsonl the joined splits are cross-checked against the
+// per-session export (exp::write_records_jsonl): each joined span duration
+// must match the record's <phase>_ns within 1 us.  The JSONL carries
+// durations, not absolute boundaries, and truncating the two boundary
+// timestamps independently can shift a duration by up to (but never
+// reaching) one microsecond — hence the 1 us tolerance here, in contrast
+// to the boundary-exact in-session check (joined_matches_phases).
+//
+//   wira_trace_join --trace-dir traces/ [--metrics-jsonl fig11.jsonl] [-v]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_join.h"
+#include "util/json_parse.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using wira::obs::JoinedPhases;
+using wira::obs::ParsedQlog;
+using wira::util::JsonValue;
+
+struct Args {
+  std::string trace_dir;
+  std::string metrics_jsonl;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* prog, const char* msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: %s --trace-dir DIR [--metrics-jsonl FILE] [-v]\n",
+               msg, prog);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
+      a.verbose = true;
+      continue;
+    }
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(arg, flag) != 0) return nullptr;
+      if (i + 1 >= argc) usage(argv[0], "flag needs a value");
+      return argv[++i];
+    };
+    if (const char* v = value("--trace-dir")) {
+      a.trace_dir = v;
+    } else if (const char* v = value("--metrics-jsonl")) {
+      a.metrics_jsonl = v;
+    } else {
+      usage(argv[0], "unknown argument");
+    }
+  }
+  if (a.trace_dir.empty()) usage(argv[0], "--trace-dir is required");
+  return a;
+}
+
+/// Per-session phase durations from the metrics JSONL, keyed by the trace
+/// base name the sampler uses ("session_<i>_<scheme>").
+struct RecordPhases {
+  uint64_t phase_ns[wira::obs::kNumPhases] = {};
+  int64_t ffct_ns = 0;
+};
+
+bool load_metrics_jsonl(const std::string& path,
+                        std::map<std::string, RecordPhases>* out,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue doc;
+    if (!wira::util::parse_json(line, &doc, error)) {
+      *error = path + ":" + std::to_string(line_no) + ": " + *error;
+      return false;
+    }
+    const JsonValue* session = doc.find("session", JsonValue::Kind::kNumber);
+    const JsonValue* scheme = doc.find("scheme", JsonValue::Kind::kString);
+    const JsonValue* phases = doc.find("phases", JsonValue::Kind::kObject);
+    const JsonValue* ffct = doc.find("ffct_ns", JsonValue::Kind::kNumber);
+    if (session == nullptr || scheme == nullptr || phases == nullptr ||
+        ffct == nullptr) {
+      *error = path + ":" + std::to_string(line_no) +
+               ": record missing session/scheme/phases/ffct_ns";
+      return false;
+    }
+    RecordPhases rec;
+    rec.ffct_ns = static_cast<int64_t>(ffct->number);
+    for (size_t p = 0; p < wira::obs::kNumPhases; ++p) {
+      const std::string key =
+          std::string(wira::obs::kPhaseNames[p]) + "_ns";
+      const JsonValue* d = phases->find(key, JsonValue::Kind::kNumber);
+      if (d == nullptr) {
+        *error = path + ":" + std::to_string(line_no) + ": phases has no " +
+                 key;
+        return false;
+      }
+      rec.phase_ns[p] = static_cast<uint64_t>(d->number);
+    }
+    const std::string base = "session_" + session->raw_number + "_" +
+                             scheme->str;
+    (*out)[base] = rec;
+  }
+  return true;
+}
+
+/// |a_us * 1000 - b_ns| < 1000 without underflow.
+bool within_one_us(uint64_t a_us, uint64_t b_ns) {
+  const uint64_t a_ns = a_us * 1000;
+  const uint64_t diff = a_ns > b_ns ? a_ns - b_ns : b_ns - a_ns;
+  return diff < 1000;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::map<std::string, RecordPhases> records;
+  if (!args.metrics_jsonl.empty()) {
+    std::string error;
+    if (!load_metrics_jsonl(args.metrics_jsonl, &records, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  std::error_code ec;
+  fs::directory_iterator it(args.trace_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n",
+                 args.trace_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  // Collect base names by vantage so unpaired files are detectable in
+  // either direction.
+  std::map<std::string, bool> client_bases, server_bases;
+  std::vector<std::string> legacy;
+  constexpr const char kClientSuffix[] = ".client.sqlog";
+  constexpr const char kServerSuffix[] = ".server.sqlog";
+  constexpr const char kBareSuffix[] = ".sqlog";
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    auto ends_with = [&name](const char* suffix) {
+      const size_t n = std::strlen(suffix);
+      return name.size() >= n &&
+             name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(kClientSuffix)) {
+      client_bases[name.substr(0, name.size() - strlen(kClientSuffix))] =
+          true;
+    } else if (ends_with(kServerSuffix)) {
+      server_bases[name.substr(0, name.size() - strlen(kServerSuffix))] =
+          true;
+    } else if (ends_with(kBareSuffix)) {
+      legacy.push_back(name.substr(0, name.size() - strlen(kBareSuffix)));
+    }
+  }
+
+  size_t pairs_ok = 0, failures = 0, cross_checked = 0;
+
+  for (const auto& [base, _] : client_bases) {
+    if (server_bases.find(base) == server_bases.end()) {
+      std::fprintf(stderr, "FAIL %s: client trace has no server peer\n",
+                   base.c_str());
+      ++failures;
+    }
+  }
+  for (const auto& [base, _] : server_bases) {
+    if (client_bases.find(base) == client_bases.end()) {
+      std::fprintf(stderr, "FAIL %s: server trace has no client peer\n",
+                   base.c_str());
+      ++failures;
+    }
+  }
+
+  const std::string dir = args.trace_dir;
+  for (const auto& [base, _] : client_bases) {
+    if (server_bases.find(base) == server_bases.end()) continue;
+    ParsedQlog client, server;
+    std::string error;
+    if (!wira::obs::parse_sqlog_file(dir + "/" + base + kClientSuffix,
+                                     &client, &error) ||
+        !wira::obs::parse_sqlog_file(dir + "/" + base + kServerSuffix,
+                                     &server, &error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    JoinedPhases joined;
+    if (!wira::obs::join_vantages(client, server, &joined, &error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    bool ok = true;
+    if (!records.empty()) {
+      auto rec = records.find(base);
+      if (rec == records.end()) {
+        std::fprintf(stderr, "FAIL %s: no metrics-jsonl record\n",
+                     base.c_str());
+        ok = false;
+      } else {
+        for (size_t p = 0; p < wira::obs::kNumPhases && ok; ++p) {
+          if (!within_one_us(joined.spans[p].duration_us(),
+                             rec->second.phase_ns[p])) {
+            std::fprintf(
+                stderr,
+                "FAIL %s: phase %s joined %" PRIu64
+                " us vs jsonl %" PRIu64 " ns (>1us apart)\n",
+                base.c_str(), joined.spans[p].name,
+                joined.spans[p].duration_us(), rec->second.phase_ns[p]);
+            ok = false;
+          }
+        }
+        if (ok && (rec->second.ffct_ns < 0 ||
+                   !within_one_us(joined.ffct_us,
+                                  static_cast<uint64_t>(
+                                      rec->second.ffct_ns)))) {
+          std::fprintf(stderr,
+                       "FAIL %s: ffct joined %" PRIu64
+                       " us vs jsonl %" PRId64 " ns (>1us apart)\n",
+                       base.c_str(), joined.ffct_us, rec->second.ffct_ns);
+          ok = false;
+        }
+        if (ok) ++cross_checked;
+      }
+    }
+    if (!ok) {
+      ++failures;
+      continue;
+    }
+    ++pairs_ok;
+    if (args.verbose) {
+      std::printf("OK %s ffct=%" PRIu64 "us", base.c_str(), joined.ffct_us);
+      for (const JoinedPhases::Span& s : joined.spans) {
+        std::printf(" %s=%" PRIu64, s.name, s.duration_us());
+      }
+      std::printf(" stalls=%zu\n", client.stall_events);
+    }
+  }
+
+  size_t legacy_ok = 0;
+  for (const std::string& base : legacy) {
+    ParsedQlog single;
+    std::string error;
+    if (!wira::obs::parse_sqlog_file(dir + "/" + base + kBareSuffix,
+                                     &single, &error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
+      ++failures;
+    } else {
+      ++legacy_ok;
+    }
+  }
+
+  std::printf("wira_trace_join: %zu pairs joined", pairs_ok);
+  if (!records.empty()) {
+    std::printf(" (%zu cross-checked against %s)", cross_checked,
+                args.metrics_jsonl.c_str());
+  }
+  if (legacy_ok > 0) {
+    std::printf(", %zu legacy single-vantage traces parsed", legacy_ok);
+  }
+  std::printf(", %zu failures\n", failures);
+  return failures == 0 ? 0 : 1;
+}
