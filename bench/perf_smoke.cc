@@ -142,6 +142,15 @@ int main(int argc, char** argv) {
   const double arena_bytes_per_session =
       static_cast<double>(arena_bytes) / runs;
 
+  // Recorder-off serial pass: prices the always-on flight recorder
+  // (obs/flight_recorder.h) against the pass above.  recorder_overhead is
+  // the fractional sessions/sec cost of leaving it on (the gated budget
+  // is <= 3%); records must stay identical — the recorder only taps.
+  cfg.flight_recorder = false;
+  std::vector<SessionRecord> recorder_off_records;
+  const double recorder_off_sec = run_timed(cfg, &recorder_off_records);
+  cfg.flight_recorder = true;
+
   cfg.threads = par_threads;
   std::vector<SessionRecord> parallel_records;
   const double parallel_sec = run_timed(cfg, &parallel_records);
@@ -160,7 +169,8 @@ int main(int argc, char** argv) {
 
   const bool deterministic =
       records_identical(serial_records, parallel_records) &&
-      records_identical(serial_records, procs_records);
+      records_identical(serial_records, procs_records) &&
+      records_identical(serial_records, recorder_off_records);
 
   // Third pass with the full observability stack on (phase tracers +
   // per-worker registries): prices the opt-in overhead and produces the
@@ -190,6 +200,8 @@ int main(int argc, char** argv) {
       "  \"hardware_concurrency\": %u,\n"
       "  \"peak_rss_mb\": %.1f,\n"
       "  \"serial_sec\": %.3f,\n"
+      "  \"recorder_off_sec\": %.3f,\n"
+      "  \"recorder_overhead\": %.3f,\n"
       "  \"parallel_sec\": %.3f,\n"
       "  \"procs_sec\": %.3f,\n"
       "  \"metrics_sec\": %.3f,\n"
@@ -210,6 +222,8 @@ int main(int argc, char** argv) {
       std::thread::hardware_concurrency(),
       static_cast<double>(obs::peak_rss_bytes().value_or(0)) / 1e6,
       serial_sec,
+      recorder_off_sec,
+      recorder_off_sec > 0 ? serial_sec / recorder_off_sec - 1.0 : 0.0,
       parallel_sec,
       procs_sec, metrics_sec, n / serial_sec, n / parallel_sec,
       n / procs_sec, serial_sec / parallel_sec,

@@ -40,13 +40,16 @@ struct SoakArgs {
   size_t threads = 1;
   size_t procs = 1;
   std::string flush_out = "soak_flush.jsonl";
+  std::string anomaly_dir;
+  uint64_t anomaly_ffct_ms = 0;  ///< 0 = FFCT trigger disabled
 };
 
 [[noreturn]] void soak_usage(const char* prog, const char* msg) {
   std::fprintf(stderr,
                "error: %s\nusage: %s [sessions] [seed] [--sessions N] "
                "[--flush-every N] [--seed N] [--threads N] [--procs N] "
-               "[--flush-out FILE]\n",
+               "[--flush-out FILE] [--anomaly-dir DIR] "
+               "[--anomaly-ffct-ms N]\n",
                msg, prog);
   std::exit(2);
 }
@@ -95,6 +98,20 @@ SoakArgs parse_soak_args(int argc, char** argv) {
     if (const char* val = bench::flag_value("--flush-out", argc, argv, &i)) {
       if (*val == '\0') soak_usage(argv[0], "--flush-out needs a path");
       a.flush_out = val;
+      continue;
+    }
+    if (const char* val =
+            bench::flag_value("--anomaly-dir", argc, argv, &i)) {
+      if (*val == '\0') soak_usage(argv[0], "--anomaly-dir needs a path");
+      a.anomaly_dir = val;
+      continue;
+    }
+    if (const char* val =
+            bench::flag_value("--anomaly-ffct-ms", argc, argv, &i)) {
+      if (!bench::parse_u64(val, &v) || v == 0) {
+        soak_usage(argv[0], "--anomaly-ffct-ms must be a positive integer");
+      }
+      a.anomaly_ffct_ms = v;
       continue;
     }
     switch (positional++) {
@@ -177,6 +194,11 @@ int main(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.processes = args.procs;
+  cfg.anomaly_dir = args.anomaly_dir;
+  if (args.anomaly_ffct_ms > 0) {
+    cfg.anomaly_ffct =
+        milliseconds(static_cast<int64_t>(args.anomaly_ffct_ms));
+  }
 
   std::ofstream flush_stream(args.flush_out, std::ios::trunc);
   if (!flush_stream) {

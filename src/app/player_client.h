@@ -108,6 +108,11 @@ class PlayerClient {
 
   quic::Connection& connection() { return conn_; }
   const quic::Connection& connection() const { return conn_; }
+  /// Datagrams this client dropped as unparseable (anomaly-trigger input
+  /// for the flight recorder's decode_error trigger).
+  uint64_t packets_undecodable() const {
+    return conn_.stats().packets_undecodable;
+  }
   uint64_t od_key() const { return od_key_; }
 
  private:

@@ -67,6 +67,10 @@ class WiraServer {
 
   quic::Connection& connection() { return conn_; }
   const quic::Connection& connection() const { return conn_; }
+  /// Datagrams the server dropped as unparseable (see ConnStats).
+  uint64_t packets_undecodable() const {
+    return conn_.stats().packets_undecodable;
+  }
   const core::FrameParser& parser() const { return parser_; }
   const core::InitDecision& last_init() const { return last_init_; }
   /// The Hx_QoS record recovered from the client's cookie (if any).

@@ -1,5 +1,6 @@
 #include "exp/population_experiment.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -78,9 +79,190 @@ void record_session_metrics(obs::MetricsRegistry& m, const SessionRecord& rec,
   if (rec.trace_open_failures > 0) {
     m.inc("trace.open_failed", rec.trace_open_failures);
   }
+  // Flight-recorder anomaly triggers, by trigger kind (exported by
+  // wira_exporterd as wira_anomaly_dumps_total{trigger=...}).
+  if (rec.anomaly_stall_dumps > 0) {
+    m.inc("anomaly.dumps.stall", rec.anomaly_stall_dumps);
+  }
+  if (rec.anomaly_corner_dumps > 0) {
+    m.inc("anomaly.dumps.corner_case", rec.anomaly_corner_dumps);
+  }
+  if (rec.anomaly_decode_dumps > 0) {
+    m.inc("anomaly.dumps.decode_error", rec.anomaly_decode_dumps);
+  }
+  if (rec.anomaly_ffct_dumps > 0) {
+    m.inc("anomaly.dumps.ffct", rec.anomaly_ffct_dumps);
+  }
 }
 
 namespace {
+
+// ---- flight-recorder anomaly path (DESIGN.md §7) ------------------------
+
+enum class AnomalyTrigger { kNone, kStall, kCornerCase, kDecodeError, kFfct };
+
+/// The anomaly trigger (if any) for one completed (session, scheme) run:
+/// the highest-priority condition wins, so each run yields at most one
+/// dump with an unambiguous label.  Pure function of the session — every
+/// execution mode (serial / threads / procs / salvage-retry) computes the
+/// same triggers, which is what keeps records byte-identical.
+AnomalyTrigger anomaly_trigger(const PopulationConfig& config,
+                               const obs::FlightRecorder& fr,
+                               const SessionResult& res) {
+  if (fr.count(trace::EventType::kStallObserved) > 0) {
+    return AnomalyTrigger::kStall;
+  }
+  if (res.cwnd_fallback || res.init.hx_stale || res.zero_rtt_rejected ||
+      fr.count(trace::EventType::kCornerCase) > 0) {
+    return AnomalyTrigger::kCornerCase;
+  }
+  if (res.server_stats.packets_undecodable > 0 ||
+      fr.count(trace::EventType::kDecodeError) > 0) {
+    return AnomalyTrigger::kDecodeError;
+  }
+  if (config.anomaly_ffct != kNoTime &&
+      (!res.first_frame_completed || res.ffct > config.anomaly_ffct)) {
+    return AnomalyTrigger::kFfct;
+  }
+  return AnomalyTrigger::kNone;
+}
+
+/// Materializes the triggering session's rings as a standard paired qlog
+/// sample under anomaly_dir — same naming and format as --trace-sample
+/// artifacts, so wira_trace_join joins anomaly dumps unchanged.  File
+/// I/O failures warn and drop the dump (never the sweep); the trigger
+/// counter was already taken, so counters stay deterministic.
+void write_anomaly_dump(const PopulationConfig& config,
+                        const obs::FlightRecorder& fr,
+                        const std::string& name) {
+  const std::string base = config.anomaly_dir + "/" + name;
+  std::ofstream server_os(base + ".server.sqlog", std::ios::trunc);
+  std::ofstream client_os(base + ".client.sqlog", std::ios::trunc);
+  if (!server_os || !client_os) {
+    WIRA_WARN("population",
+              "cannot open anomaly dump " + base + ".{server,client}.sqlog");
+    return;
+  }
+  fr.write_sqlog_pair(server_os, client_os, name);
+}
+
+// ---- crash forensics (multiprocess workers, DESIGN.md §7) ---------------
+//
+// A worker child dying on a fatal signal dumps the in-flight session's
+// recorder rings to a pre-opened fd before re-raising, so PR 5's "killed
+// by signal N while on session i" diagnosis comes with the victim's event
+// history.  Everything the handler touches is async-signal-safe:
+// lock-free atomics, raw write(2) via FlightRecorder::crash_dump, no
+// allocation, no locks, no stdio.  The globals are per-process state;
+// only forked worker children arm the handler, so the parent process
+// (and the threaded runner) never take this path.
+
+struct CrashForensics {
+  std::atomic<int> fd{-1};  ///< pre-opened dump fd; -1 = disarmed
+  std::atomic<const obs::FlightRecorder*> recorder{nullptr};
+  std::atomic<uint64_t> session_index{0};
+  std::atomic<uint32_t> scheme{0};
+};
+CrashForensics g_crash;
+
+extern "C" void wira_crash_signal_handler(int sig) {
+  const int fd = g_crash.fd.load(std::memory_order_acquire);
+  const obs::FlightRecorder* rec =
+      g_crash.recorder.load(std::memory_order_acquire);
+  if (fd >= 0 && rec != nullptr) {
+    (void)rec->crash_dump(
+        fd, g_crash.session_index.load(std::memory_order_acquire),
+        g_crash.scheme.load(std::memory_order_acquire));
+  }
+  // Re-raise with the default disposition so the parent's waitpid sees
+  // the true terminating signal.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+/// Arms the fatal-signal dump in a worker child: pre-opens the raw dump
+/// file (the only step that may allocate — it happens before any session
+/// runs) and installs the handler for the fatal-by-default signals.
+void arm_crash_forensics(const PopulationConfig& config, size_t worker,
+                         const obs::FlightRecorder* recorder) {
+  if (!config.flight_recorder || config.anomaly_dir.empty()) return;
+  const std::string path =
+      config.anomaly_dir + "/crash_worker_" + std::to_string(worker) + ".bin";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    WIRA_WARN("population", "cannot pre-open crash dump " + path +
+                                "; worker runs without signal forensics");
+    return;
+  }
+  g_crash.recorder.store(recorder, std::memory_order_release);
+  g_crash.fd.store(fd, std::memory_order_release);
+  struct sigaction sa = {};
+  sa.sa_handler = wira_crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+/// Tags the recorder state the handler would dump (cheap atomic stores;
+/// called per (session, scheme) before the run so a mid-session crash is
+/// attributed to the right pair).
+void note_crash_session(size_t i, core::Scheme scheme) {
+  g_crash.session_index.store(i, std::memory_order_relaxed);
+  g_crash.scheme.store(static_cast<uint32_t>(scheme),
+                       std::memory_order_release);
+}
+
+/// Parent side: reads each worker's raw crash-dump file (if its handler
+/// wrote one), materializes it as a joinable
+/// crash_session_<i>_<scheme>.{server,client}.sqlog pair, counts it as
+/// `anomaly.dumps.crash`, and removes the raw file.  Records are never
+/// touched, so salvage/retry output stays byte-identical to serial.
+void materialize_crash_dumps(const PopulationConfig& config, size_t workers,
+                             obs::MetricsRegistry* metrics) {
+  if (!config.flight_recorder || config.anomaly_dir.empty()) return;
+  for (size_t w = 0; w < workers; ++w) {
+    const std::string path =
+        config.anomaly_dir + "/crash_worker_" + std::to_string(w) + ".bin";
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) continue;  // worker never armed, or nothing pre-opened
+    if (size > 0) {
+      std::ifstream in(path, std::ios::binary);
+      obs::FlightRecorder::CrashDump dump;
+      std::string error;
+      if (in && obs::FlightRecorder::read_crash_dump(in, &dump, &error)) {
+        std::string name = "crash_session_";
+        name += std::to_string(dump.session_index);
+        name += '_';
+        name += core::scheme_name(static_cast<core::Scheme>(dump.scheme));
+        const std::string base = config.anomaly_dir + "/" + name;
+        std::ofstream server_os(base + ".server.sqlog", std::ios::trunc);
+        std::ofstream client_os(base + ".client.sqlog", std::ios::trunc);
+        if (server_os && client_os) {
+          obs::QlogTraceInfo sinfo;
+          sinfo.title = name;
+          sinfo.group_id = name;
+          obs::write_events_sqlog(server_os, dump.server_events, sinfo);
+          obs::QlogTraceInfo cinfo;
+          cinfo.title = name;
+          cinfo.group_id = name;
+          cinfo.vantage_point_name = "wira-client";
+          cinfo.vantage_point_type = "client";
+          obs::write_events_sqlog(client_os, dump.client_events, cinfo);
+          WIRA_WARN("population", "crash forensics: worker " +
+                                      std::to_string(w) + " left " + base +
+                                      ".{server,client}.sqlog");
+          if (metrics) metrics->inc("anomaly.dumps.crash");
+        }
+      } else {
+        WIRA_WARN("population",
+                  "crash forensics: cannot parse " + path + ": " + error);
+      }
+    }
+    std::filesystem::remove(path, ec);
+  }
+}
 
 /// Simulates session `i` of the population sweep.  All randomness derives
 /// from (config.seed, i) and `population` is read-only, so sessions are
@@ -155,6 +337,10 @@ SessionRecord run_one_session(const PopulationConfig& config,
     SessionConfig cfg = base;
     cfg.scheme = scheme;
     cfg.collect_phases = config.collect_metrics;
+    if (config.flight_recorder) {
+      cfg.recorder = &ws.flight_recorder();
+      note_crash_session(i, scheme);
+    }
     trace::Tracer qlog_tracer;
     trace::Tracer client_qlog_tracer;
     std::ofstream qlog;
@@ -210,7 +396,33 @@ SessionRecord run_one_session(const PopulationConfig& config,
         rec.trace_open_failures++;
       }
     }
-    rec.results.emplace(scheme, run_session(cfg, ws));
+    const auto emplaced = rec.results.emplace(scheme, run_session(cfg, ws));
+    if (config.flight_recorder) {
+      const SessionResult& res = emplaced.first->second;
+      const AnomalyTrigger trigger =
+          anomaly_trigger(config, ws.flight_recorder(), res);
+      if (trigger != AnomalyTrigger::kNone) {
+        switch (trigger) {
+          case AnomalyTrigger::kStall: rec.anomaly_stall_dumps++; break;
+          case AnomalyTrigger::kCornerCase: rec.anomaly_corner_dumps++; break;
+          case AnomalyTrigger::kDecodeError: rec.anomaly_decode_dumps++; break;
+          case AnomalyTrigger::kFfct: rec.anomaly_ffct_dumps++; break;
+          case AnomalyTrigger::kNone: break;
+        }
+        // File materialization is capped per worker and best-effort; the
+        // counters above were already taken, so every execution mode
+        // still produces byte-identical records.
+        if (!config.anomaly_dir.empty() &&
+            ws.anomaly_dumps_written < config.anomaly_max_dumps) {
+          std::string name = "session_";
+          name += std::to_string(i);
+          name += '_';
+          name += core::scheme_name(scheme);
+          write_anomaly_dump(config, ws.flight_recorder(), name);
+          ws.anomaly_dumps_written++;
+        }
+      }
+    }
   }
   if (!rec.results.empty()) {
     rec.ff_size = rec.results.begin()->second.ff_size;
@@ -267,8 +479,8 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
 /// inherited from the parent (0 = clean, 1 = session threw, 3 = pipe
 /// write failed, i.e. the parent went away).
 [[noreturn]] void run_worker_child(const PopulationConfig& config,
-                                   Stripe stripe, bool want_metrics,
-                                   int fd) {
+                                   size_t worker, Stripe stripe,
+                                   bool want_metrics, int fd) {
   int exit_code = 0;
   std::vector<uint8_t> buf;
   append_stream_header(buf);
@@ -276,6 +488,7 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
   try {
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
     SessionWorkspace session_ws;
+    arm_crash_forensics(config, worker, &session_ws.flight_recorder());
     std::vector<uint8_t> payload;
     for (size_t i = stripe.begin; i < stripe.end; ++i) {
       if (i == config.kill_at_index) {
@@ -298,6 +511,12 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
         break;
       }
       buf.clear();
+      // Post-completion crash injection: the record above is already
+      // salvage and the recorder rings still hold the whole session, so
+      // the signal handler's dump is complete and joinable.
+      if (i == config.crash_after_index) {
+        std::raise(config.crash_after_signal);
+      }
     }
     if (exit_code == 0) {
       buf.clear();
@@ -430,7 +649,7 @@ std::vector<SessionRecord> run_population_multiprocess(
       // Child: drop every parent-side read end so sibling EOFs work.
       for (size_t k = 0; k < w; ++k) ::close(ws[k].fd);
       ::close(fds[0]);
-      run_worker_child(config, stripes[w], metrics != nullptr, fds[1]);
+      run_worker_child(config, w, stripes[w], metrics != nullptr, fds[1]);
     }
     ::close(fds[1]);
     ws[w].pid = pid;
@@ -515,6 +734,10 @@ std::vector<SessionRecord> run_population_multiprocess(
     death.reason = std::move(reason);
     deaths.push_back(std::move(death));
   }
+
+  // Crash forensics before any throw: a signal-killed worker's raw ring
+  // dump becomes a joinable sqlog pair whether or not we retry.
+  materialize_crash_dumps(config, workers, metrics);
 
   if (!deaths.empty()) {
     std::vector<size_t> missing;
@@ -729,6 +952,7 @@ void run_population_streamed(const PopulationConfig& config,
   try {
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
     SessionWorkspace session_ws;
+    arm_crash_forensics(config, worker, &session_ws.flight_recorder());
     std::vector<uint8_t> payload;
     for (size_t i = worker; i < config.sessions; i += workers) {
       if (i == config.kill_at_index) {
@@ -747,6 +971,10 @@ void run_population_streamed(const PopulationConfig& config,
         break;
       }
       buf.clear();
+      // See run_worker_child: complete-session crash injection.
+      if (i == config.crash_after_index) {
+        std::raise(config.crash_after_signal);
+      }
     }
     if (exit_code == 0) {
       buf.clear();
@@ -988,6 +1216,7 @@ void run_population_multiprocess_stream(const PopulationConfig& config,
         msg += "; " + std::to_string(next) + " of " +
                std::to_string(config.sessions) +
                " records already delivered to the sink";
+        materialize_crash_dumps(config, workers, metrics);
         throw PopulationShardError(msg, std::move(deaths), {},
                                    std::move(missing));
       }
@@ -1077,6 +1306,7 @@ void run_population_multiprocess_stream(const PopulationConfig& config,
     if (sw.defect.empty() && sw.end_seen && !dirty_exit) continue;
     deaths.push_back(make_death(w));
   }
+  materialize_crash_dumps(config, workers, metrics);
   if (!deaths.empty()) {
     std::string msg = "run_population (streaming): ";
     for (size_t d = 0; d < deaths.size(); ++d) {
@@ -1117,11 +1347,25 @@ void prepare_trace_dir(const PopulationConfig& config) {
   }
 }
 
+/// Same contract for the anomaly-dump directory (created in the parent so
+/// forked worker children can pre-open crash files immediately).
+void prepare_anomaly_dir(const PopulationConfig& config) {
+  if (!config.flight_recorder || config.anomaly_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(config.anomaly_dir, ec);
+  if (ec) {
+    WIRA_WARN("population", "cannot create anomaly dir " +
+                                config.anomaly_dir + ": " + ec.message() +
+                                "; anomaly dumps will be dropped");
+  }
+}
+
 }  // namespace
 
 std::vector<SessionRecord> run_population(const PopulationConfig& config,
                                           obs::MetricsRegistry* metrics) {
   prepare_trace_dir(config);
+  prepare_anomaly_dir(config);
   const size_t processes =
       util::ThreadPool::clamp_threads(config.processes, config.sessions);
   if (processes > 1) {
@@ -1138,6 +1382,7 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config,
 void run_population(const PopulationConfig& config,
                     obs::MetricsRegistry* metrics, RecordSink& sink) {
   prepare_trace_dir(config);
+  prepare_anomaly_dir(config);
   const size_t processes =
       util::ThreadPool::clamp_threads(config.processes, config.sessions);
   if (processes > 1) {

@@ -5,6 +5,7 @@
 // comparison scheme (paired design — variance-free scheme deltas).
 #pragma once
 
+#include <csignal>
 #include <cstddef>
 #include <map>
 #include <stdexcept>
@@ -72,6 +73,28 @@ struct PopulationConfig {
   size_t trace_sample = 0;
   std::string trace_dir = "traces";
 
+  // ---- flight recorder / anomaly forensics (PR 8, DESIGN.md §7) ----
+  /// Attach the always-on bounded flight recorder to every session.  The
+  /// recorder is POD-backed and recycled per worker, so this costs no
+  /// steady-state heap allocations; anomaly triggers (stalls, corner
+  /// cases, decode errors, FFCT over anomaly_ffct) are counted into
+  /// SessionRecord and — when anomaly_dir is set — materialized as
+  /// paired .server.sqlog/.client.sqlog dumps wira_trace_join can join.
+  bool flight_recorder = true;
+  /// Directory for anomaly/crash dumps; "" = count triggers but write no
+  /// files.  In multiprocess mode, worker children also pre-open a raw
+  /// crash-dump file here so an async-signal-safe handler can preserve
+  /// the dying session's rings (materialized by the parent as
+  /// crash_session_<i>_<scheme>.{server,client}.sqlog).
+  std::string anomaly_dir;
+  /// FFCT above this — or an incomplete first frame — triggers an
+  /// anomaly dump.  kNoTime = FFCT trigger off.
+  TimeNs anomaly_ffct = kNoTime;
+  /// Cap on anomaly dump *files* per worker; trigger counters are never
+  /// capped (the soak must not turn a pathological sweep into a disk
+  /// sweep).
+  size_t anomaly_max_dumps = 32;
+
   // ---- fault injection (tests only) ----
   /// Throw from inside this session index (any execution mode): exercises
   /// the worker-failure paths without patching the runner.
@@ -80,6 +103,12 @@ struct PopulationConfig {
   /// Honored only inside multiprocess worker children, so the test
   /// process itself never dies.
   size_t kill_at_index = kNoSessionIndex;
+  /// raise(crash_after_signal) after a forked worker *finishes* this
+  /// session index (its record already streamed): exercises the
+  /// signal-dump forensics path with the recorder rings still holding a
+  /// complete, joinable session.  Honored only in worker children.
+  size_t crash_after_index = kNoSessionIndex;
+  int crash_after_signal = SIGABRT;
 };
 
 struct SessionRecord {
@@ -92,6 +121,15 @@ struct SessionRecord {
   /// surfaces as the `trace.open_failed` counter.
   uint64_t trace_open_failures = 0;
   std::map<core::Scheme, SessionResult> results;
+  /// Flight-recorder anomaly triggers across this session's scheme runs
+  /// (at most one per (session, scheme), labeled by the highest-priority
+  /// trigger: stall > corner_case > decode_error > ffct).  Deterministic
+  /// functions of the session, so serial/threaded/multiprocess/retry runs
+  /// agree bit-exactly; surfaced as `anomaly.dumps.<trigger>` counters.
+  uint64_t anomaly_stall_dumps = 0;
+  uint64_t anomaly_corner_dumps = 0;
+  uint64_t anomaly_decode_dumps = 0;
+  uint64_t anomaly_ffct_dumps = 0;
 };
 
 /// One dead worker of the multiprocess runner (DESIGN.md §6 failure

@@ -193,6 +193,7 @@ void encode_session_result(const SessionResult& res, CodecWriter& w) {
   w.boolean(res.cwnd_fallback);
   w.boolean(res.zero_rtt_rejected);
   w.u64(res.arena_bytes);
+  w.u64(res.server_stats.packets_undecodable);  // appended in v2
 }
 
 bool decode_session_result(CodecReader& r, SessionResult* out) {
@@ -242,7 +243,8 @@ bool decode_session_result(CodecReader& r, SessionResult* out) {
     out->phases.push_back(span);
   }
   return r.boolean(&out->cwnd_fallback) &&
-         r.boolean(&out->zero_rtt_rejected) && r.u64(&out->arena_bytes);
+         r.boolean(&out->zero_rtt_rejected) && r.u64(&out->arena_bytes) &&
+         r.u64(&out->server_stats.packets_undecodable);
 }
 
 void encode_session_record(const SessionRecord& rec, CodecWriter& w) {
@@ -260,6 +262,12 @@ void encode_session_record(const SessionRecord& rec, CodecWriter& w) {
     w.u32(static_cast<uint32_t>(scheme));
     encode_session_result(res, w);
   }
+  // v2: flight-recorder anomaly-trigger counts (appended after the
+  // results so every pre-existing field offset is unchanged).
+  w.u64(rec.anomaly_stall_dumps);
+  w.u64(rec.anomaly_corner_dumps);
+  w.u64(rec.anomaly_decode_dumps);
+  w.u64(rec.anomaly_ffct_dumps);
 }
 
 bool decode_session_record(CodecReader& r, SessionRecord* out) {
@@ -286,7 +294,10 @@ bool decode_session_record(CodecReader& r, SessionRecord* out) {
                              std::move(res));
     if (!inserted) return false;  // duplicate scheme = corrupt payload
   }
-  return true;
+  return r.u64(&out->anomaly_stall_dumps) &&
+         r.u64(&out->anomaly_corner_dumps) &&
+         r.u64(&out->anomaly_decode_dumps) &&
+         r.u64(&out->anomaly_ffct_dumps);
 }
 
 void encode_metrics_registry(const obs::MetricsRegistry& m, CodecWriter& w) {

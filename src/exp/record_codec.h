@@ -36,7 +36,10 @@ class MetricsRegistry;
 namespace wira::exp {
 
 inline constexpr uint32_t kRecordCodecMagic = 0x57524331;  // "WRC1"
-inline constexpr uint32_t kRecordCodecVersion = 1;
+/// v2: SessionResult += packets_undecodable; SessionRecord += the four
+/// flight-recorder anomaly-trigger counters (all appended at the end of
+/// their structs, so pre-v2 field offsets are unchanged).
+inline constexpr uint32_t kRecordCodecVersion = 2;
 
 /// FNV-1a 64-bit over a byte span (the per-frame checksum).
 uint64_t fnv1a64(std::span<const uint8_t> data);

@@ -81,6 +81,23 @@ void AggregateSink::write_summary_line(std::ostream& os,
   if (flush_hook_ != nullptr) {
     flush_hook_(sessions_seen_, &line, flush_hook_arg_);
   }
+  // Flight-recorder anomaly triggers, keyed by trigger kind (only when
+  // any fired — the common clean flush line stays unchanged).  The
+  // `anomaly.dumps.` prefix scan mirrors the scheme discovery below.
+  {
+    bool any = false;
+    for (const auto& [name, count] : registry_.counters()) {
+      constexpr std::string_view kPrefix = "anomaly.dumps.";
+      if (name.rfind(kPrefix, 0) != 0 || count == 0) continue;
+      line += any ? "," : ",\"anomaly_dumps\":{";
+      any = true;
+      line += '"';
+      util::append_json_escaped(line, name.substr(kPrefix.size()));
+      line += "\":";
+      append_u64(line, count);
+    }
+    if (any) line += "}";
+  }
   line += ",\"schemes\":{";
   // Scheme discovery via the per-scheme session counters: lexicographic
   // map order keeps the line deterministic at any worker count.

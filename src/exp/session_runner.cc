@@ -39,8 +39,9 @@ SessionResult run_impl(const SessionConfig& cfg,
   const uint64_t arena_total_before = loop.arena().total_allocated();
   sim::Path path(loop, cfg.path, cfg.seed);
   media::LiveStream stream(cfg.stream, cfg.corpus_seed);
-  // Declared before the server so it outlives every trace() call site.
+  // Declared before the server so they outlive every trace() call site.
   trace::Tracer local_tracer;
+  trace::Tracer local_client_tracer;
 
   const uint64_t server_id = 7;
   const uint64_t client_id = cfg.seed;
@@ -111,11 +112,25 @@ SessionResult run_impl(const SessionConfig& cfg,
   });
 
   // Observability: attach the caller's tracer, or a session-local one when
-  // only the phase decomposition is wanted.
+  // only the phase decomposition or the flight recorder needs one.
   trace::Tracer* tracer = cfg.tracer;
-  if (tracer == nullptr && cfg.collect_phases) tracer = &local_tracer;
+  if (tracer == nullptr && (cfg.collect_phases || cfg.recorder)) {
+    tracer = &local_tracer;
+  }
   if (tracer) server.set_tracer(tracer);
-  if (cfg.client_tracer) client.set_tracer(cfg.client_tracer);
+  trace::Tracer* client_tracer = cfg.client_tracer;
+  if (client_tracer == nullptr && cfg.recorder) {
+    client_tracer = &local_client_tracer;
+  }
+  if (client_tracer) client.set_tracer(client_tracer);
+  if (cfg.recorder) {
+    // The tap slot is recorder-reserved, so it composes with any qlog
+    // streaming sink the caller attached above.  keep_buffer mirrors the
+    // phase-extraction requirement; the client vantage never buffers.
+    cfg.recorder->reset();
+    tracer->set_tap(&cfg.recorder->server(), cfg.collect_phases);
+    client_tracer->set_tap(&cfg.recorder->client(), /*keep_buffer=*/false);
+  }
 
   // Per-frame loss windows over the bottleneck (data) direction.  The
   // snapshot vector is workspace scratch when recycling (cleared here,

@@ -9,6 +9,7 @@
 #include "app/wira_server.h"
 #include "core/init_config.h"
 #include "media/stream_source.h"
+#include "obs/flight_recorder.h"
 #include "obs/phase_timeline.h"
 #include "sim/path.h"
 #include "trace/tracer.h"
@@ -60,6 +61,13 @@ struct SessionConfig {
   /// of a paired qlog sample; see obs/trace_join.h); not owned.  Phase
   /// extraction never reads it, so it needs no buffer.
   trace::Tracer* client_tracer = nullptr;
+  /// Always-on flight recorder (obs/flight_recorder.h); not owned, must
+  /// outlive the run.  When set, both vantages' tracers get the recorder
+  /// attached as a tap (reset() first), coexisting with any qlog sinks
+  /// above; the caller inspects it afterwards for anomaly triggers.  The
+  /// recorder is bounded and POD-backed, so this costs no steady-state
+  /// heap allocations.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct FrameStat {
@@ -102,6 +110,15 @@ class SessionWorkspace {
   uint64_t sessions_run() const { return sessions_run_; }
   /// The recycled event loop (exposed for capacity-reuse assertions).
   sim::EventLoop& loop() { return loop_; }
+  /// Per-worker flight recorder: slots are allocated once here and
+  /// recycled per session (SessionConfig::recorder points at this in the
+  /// population sweep).
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
+
+  /// Anomaly dump *files* this workspace has materialized — the
+  /// population sweep caps files per worker (trigger counters are never
+  /// capped).  Public scratch, like the workspace itself.
+  uint64_t anomaly_dumps_written = 0;
 
  private:
   friend SessionResult run_session_with_workspace(const SessionConfig&,
@@ -109,6 +126,7 @@ class SessionWorkspace {
 
   sim::EventLoop loop_;
   std::vector<detail::LinkWindow> frame_snapshots_;  ///< scratch
+  obs::FlightRecorder flight_recorder_;
   uint64_t sessions_run_ = 0;
 };
 

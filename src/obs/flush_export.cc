@@ -74,6 +74,17 @@ bool parse_flush_line(std::string_view line, FlushSummary* out,
   if (const JsonValue* rss = doc.find("rss_mb", JsonValue::Kind::kNumber)) {
     out->rss_mb = rss->number;
   }
+  if (const JsonValue* dumps =
+          doc.find("anomaly_dumps", JsonValue::Kind::kObject)) {
+    for (const auto& [trigger, count] : dumps->object) {
+      if (!count.is_number()) {
+        *error = "anomaly_dumps trigger \"" + trigger + "\" is not a number";
+        return false;
+      }
+      out->anomaly_dumps.emplace_back(
+          trigger, static_cast<uint64_t>(count.number));
+    }
+  }
   const JsonValue* schemes = doc.find("schemes", JsonValue::Kind::kObject);
   if (schemes == nullptr) {
     *error = "flush line has no schemes object";
@@ -171,6 +182,13 @@ std::string ExporterState::render() const {
                "resident set of the tailed run at its last flush");
       b.sample("wira_soak_rss_mb", {}, *flush.rss_mb);
     }
+    if (!flush.anomaly_dumps.empty()) {
+      b.family("wira_anomaly_dumps_total", "counter",
+               "flight-recorder anomaly dumps by trigger kind");
+      for (const auto& [trigger, count] : flush.anomaly_dumps) {
+        b.sample("wira_anomaly_dumps_total", {{"trigger", trigger}}, count);
+      }
+    }
     if (!flush.schemes.empty()) {
       b.family("wira_soak_scheme_sessions_total", "counter", "");
       for (const auto& [scheme, s] : flush.schemes) {
@@ -192,6 +210,18 @@ std::string ExporterState::render() const {
   b.family("wira_exporter_scrapes_total", "counter",
            "/metrics requests served");
   b.sample("wira_exporter_scrapes_total", {}, scrapes_);
+  if (!version_.empty() || !git_sha_.empty()) {
+    b.family("wira_build_info", "gauge",
+             "build identity of the running exporter");
+    b.sample("wira_build_info",
+             {{"version", version_}, {"git_sha", git_sha_}},
+             static_cast<uint64_t>(1));
+  }
+  if (uptime_seconds_ >= 0) {
+    b.family("wira_process_uptime_seconds", "gauge",
+             "seconds since the exporter started");
+    b.sample("wira_process_uptime_seconds", {}, uptime_seconds_);
+  }
   return b.take();
 }
 

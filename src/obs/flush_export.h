@@ -61,6 +61,10 @@ struct FlushSummary {
   uint64_t sessions = 0;
   bool final_line = false;
   std::optional<double> rss_mb;  ///< the soak bench's flush-hook extra
+  /// Flight-recorder anomaly-dump triggers ("stall", "corner_case", ...)
+  /// with cumulative counts; absent from clean runs.  Lexicographic by
+  /// trigger name (the writer's order).
+  std::vector<std::pair<std::string, uint64_t>> anomaly_dumps;
   /// Lexicographic by scheme name (the writer's order).
   std::vector<std::pair<std::string, FlushSchemeSummary>> schemes;
 };
@@ -84,6 +88,19 @@ class ExporterState {
 
   void note_scrape() { ++scrapes_; }
 
+  /// Identity of the running exporter, rendered as the conventional
+  /// `wira_build_info{version=...,git_sha=...} 1` gauge.  The daemon sets
+  /// this once at startup; tests inject fixed strings for golden renders.
+  void set_build_info(std::string version, std::string git_sha) {
+    version_ = std::move(version);
+    git_sha_ = std::move(git_sha);
+  }
+  /// Process uptime exported as `wira_process_uptime_seconds`.  The
+  /// daemon refreshes this from its monotonic clock before each render;
+  /// unset (negative) suppresses the family so pure-parse tests stay
+  /// clock-free.
+  void set_uptime_seconds(double uptime) { uptime_seconds_ = uptime; }
+
   /// The /metrics payload: soak counters/summaries from the latest flush
   /// line plus the exporter's own counters.  Valid exposition text even
   /// before the first line arrives.
@@ -95,6 +112,9 @@ class ExporterState {
   uint64_t lines_total_ = 0;
   uint64_t parse_errors_ = 0;
   uint64_t scrapes_ = 0;
+  std::string version_;
+  std::string git_sha_;
+  double uptime_seconds_ = -1;
 };
 
 }  // namespace wira::obs

@@ -140,6 +140,12 @@ void append_data(std::string& out, const trace::Event& e) {
       out += ", ";
       append_kv(out, "total_bytes", e.b);
       break;
+    case EventType::kDecodeError:
+      out += "\"raw\": {";
+      append_kv(out, "length", e.a);
+      out += "}, ";
+      append_kv(out, "trigger", std::string("decoding_failure"));
+      break;
   }
   out += '}';
 }
@@ -173,6 +179,7 @@ std::string qlog_event_name(const trace::Event& e) {
     case EventType::kRequestSent: return "wira:request_sent";
     case EventType::kFirstVideoByte: return "wira:first_video_byte";
     case EventType::kStallObserved: return "wira:stall_observed";
+    case EventType::kDecodeError: return "transport:packet_dropped";
   }
   return "wira:unknown";
 }

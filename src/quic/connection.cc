@@ -344,7 +344,11 @@ void Connection::on_datagram(std::span<const uint8_t> data) {
   // either past this call (RecvStream copies at reassembly, crypto/cookie
   // consumers copy explicitly).
   auto packet = parse_packet(data, &loop_.arena());
-  if (!packet) return;
+  if (!packet) {
+    stats_.packets_undecodable++;
+    trace(trace::EventType::kDecodeError, data.size());
+    return;
+  }
   stats_.packets_received++;
   if (received_.contains(packet->packet_number)) return;  // duplicate
   received_.add(packet->packet_number);

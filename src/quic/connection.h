@@ -49,6 +49,9 @@ struct ConnStats {
   uint64_t bytes_sent = 0;
   uint64_t stream_bytes_sent = 0;
   uint64_t stream_bytes_retransmitted = 0;
+  /// Datagrams that failed packet parsing (dropped before any processing;
+  /// anomaly-trigger input for the flight recorder).
+  uint64_t packets_undecodable = 0;
   /// Server-side RTT measured across the REJ -> full-CHLO exchange
   /// (only available on 1-RTT connections — the paper's §VI distinction).
   TimeNs handshake_rtt = kNoTime;

@@ -45,6 +45,7 @@ const char* event_type_name(EventType t) {
     case EventType::kRequestSent: return "request_sent";
     case EventType::kFirstVideoByte: return "first_video_byte";
     case EventType::kStallObserved: return "stall_observed";
+    case EventType::kDecodeError: return "decode_error";
   }
   return "?";
 }
@@ -57,18 +58,30 @@ void Tracer::record(TimeNs time, EventType type, uint64_t a, uint64_t b,
     *sink_ << "\n";
   }
   if (event_sink_) event_sink_->on_event(e);
-  if ((sink_ || event_sink_) && !keep_buffer_) return;
+  if (tap_) tap_->on_event(e);
+  if ((sink_ || event_sink_ || tap_) && !keep_buffer_) return;
   events_.push_back(std::move(e));
 }
 
 void Tracer::stream_to(std::ostream* os, bool keep_buffer) {
   sink_ = os;
-  keep_buffer_ = (os == nullptr && event_sink_ == nullptr) ? true : keep_buffer;
+  keep_buffer_ = (os == nullptr && event_sink_ == nullptr && tap_ == nullptr)
+                     ? true
+                     : keep_buffer;
 }
 
 void Tracer::stream_to(EventSink* sink, bool keep_buffer) {
   event_sink_ = sink;
-  keep_buffer_ = (sink == nullptr && sink_ == nullptr) ? true : keep_buffer;
+  keep_buffer_ = (sink == nullptr && sink_ == nullptr && tap_ == nullptr)
+                     ? true
+                     : keep_buffer;
+}
+
+void Tracer::set_tap(EventSink* tap, bool keep_buffer) {
+  tap_ = tap;
+  keep_buffer_ = (tap == nullptr && sink_ == nullptr && event_sink_ == nullptr)
+                     ? true
+                     : keep_buffer;
 }
 
 size_t Tracer::count(EventType type) const {

@@ -49,6 +49,7 @@ enum class EventType {
                      ///< payload byte; a = total bytes received so far
   kStallObserved,    ///< client: receive gap while streaming; a = gap (us),
                      ///< b = total bytes so far, detail = "recv_gap"
+  kDecodeError,      ///< datagram failed packet parsing; a = datagram bytes
 };
 
 const char* event_type_name(EventType t);
@@ -84,11 +85,17 @@ class Tracer {
   /// An ostream sink and an EventSink may be active simultaneously; each
   /// writes to its own destination, so outputs never interleave.
   void stream_to(EventSink* sink, bool keep_buffer = false);
-  /// Detaches both sinks and resumes buffering (bare `stream_to(nullptr)`
+  /// Third, independent sink slot for the always-on flight recorder: a
+  /// tap can coexist with both streaming sinks without either evicting
+  /// the other (stream_to(EventSink*) would).  Same keep_buffer
+  /// semantics; nullptr detaches.
+  void set_tap(EventSink* tap, bool keep_buffer = false);
+  /// Detaches all sinks and resumes buffering (bare `stream_to(nullptr)`
   /// would be ambiguous between the two overloads).
   void stop_streaming() {
     sink_ = nullptr;
     event_sink_ = nullptr;
+    tap_ = nullptr;
     keep_buffer_ = true;
   }
 
@@ -113,6 +120,7 @@ class Tracer {
   std::vector<Event> events_;
   std::ostream* sink_ = nullptr;
   EventSink* event_sink_ = nullptr;
+  EventSink* tap_ = nullptr;
   bool keep_buffer_ = true;
 };
 

@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "exp/table.h"
 #include "obs/metrics.h"
 #include "obs/rss.h"
+#include "obs/trace_join.h"
 #include "util/logging.h"
 
 namespace wira::exp {
@@ -400,6 +402,75 @@ TEST(Harness, MultiprocessWorkerExceptionIsNamed) {
     EXPECT_EQ(e.deaths[0].died_at, 7u);
     EXPECT_EQ(e.missing, (std::vector<size_t>{7, 8, 9, 10, 11}));
   }
+}
+
+// Signal-dump forensics (DESIGN.md §7): a forked worker dying on a fatal
+// signal leaves its in-flight session's flight-recorder rings behind via
+// the async-signal-safe handler, and the parent materializes them as a
+// crash_session_<i>_<scheme> qlog pair that the stock cross-vantage join
+// accepts.  crash_after_index raises *after* the record streamed, so the
+// rings hold a complete session.
+void expect_joinable_crash_dump(int signal, const char* tag) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string("wira_crash_dump_") + tag + "_" +
+       std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 12;
+  cfg.processes = 2;  // stripes [0,6) and [6,12)
+  cfg.anomaly_dir = dir.string();
+  cfg.crash_after_index = 9;
+  cfg.crash_after_signal = signal;
+  try {
+    run_population(cfg);
+    FAIL() << "expected PopulationShardError";
+  } catch (const PopulationShardError& e) {
+    ASSERT_EQ(e.deaths.size(), 1u);
+    EXPECT_EQ(e.deaths[0].worker, 1);
+    EXPECT_NE(e.deaths[0].reason.find(
+                  "killed by signal " + std::to_string(signal)),
+              std::string::npos)
+        << e.deaths[0].reason;
+  }
+
+  // Exactly one crash pair, for session 9 (the session the handler was
+  // last armed for), and it joins cleanly.
+  std::string base;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("crash_session_9_", 0) == 0 &&
+        name.find(".server.sqlog") != std::string::npos) {
+      base = name.substr(0, name.size() - std::strlen(".server.sqlog"));
+    }
+    EXPECT_EQ(name.find("crash_worker_"), std::string::npos)
+        << "raw dump " << name << " must be consumed and removed";
+  }
+  ASSERT_FALSE(base.empty()) << "no crash_session_9_* pair in " << dir;
+  obs::ParsedQlog client, server;
+  std::string error;
+  ASSERT_TRUE(obs::parse_sqlog_file((dir / (base + ".server.sqlog")).string(),
+                                    &server, &error))
+      << error;
+  ASSERT_TRUE(obs::parse_sqlog_file((dir / (base + ".client.sqlog")).string(),
+                                    &client, &error))
+      << error;
+  EXPECT_EQ(server.group_id, base);
+  EXPECT_EQ(client.group_id, base);
+  obs::JoinedPhases joined;
+  ASSERT_TRUE(obs::join_vantages(client, server, &joined, &error)) << error;
+  EXPECT_GT(joined.ffct_us, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Harness, SigabrtWorkerLeavesJoinableCrashDump) {
+  expect_joinable_crash_dump(SIGABRT, "abrt");
+}
+
+TEST(Harness, SigsegvWorkerLeavesJoinableCrashDump) {
+  expect_joinable_crash_dump(SIGSEGV, "segv");
 }
 
 // With retry_dead_shards the parent re-runs only the missing indices and

@@ -253,6 +253,79 @@ TEST(ExporterStateTest, RenderGolden) {
   EXPECT_NE(text.find("wira_exporter_scrapes_total 1\n"), std::string::npos);
 }
 
+TEST(FlushParse, ParsesAnomalyDumps) {
+  FlushSummary summary;
+  std::string error;
+  ASSERT_TRUE(parse_flush_line(
+      "{\"sessions\":50,\"final\":false,"
+      "\"anomaly_dumps\":{\"corner_case\":3,\"stall\":1},"
+      "\"schemes\":{\"Wira\":{\"sessions\":50}}}",
+      &summary, &error))
+      << error;
+  ASSERT_EQ(summary.anomaly_dumps.size(), 2u);
+  EXPECT_EQ(summary.anomaly_dumps[0].first, "corner_case");
+  EXPECT_EQ(summary.anomaly_dumps[0].second, 3u);
+  EXPECT_EQ(summary.anomaly_dumps[1].first, "stall");
+  EXPECT_EQ(summary.anomaly_dumps[1].second, 1u);
+  // Non-numeric trigger counts are malformed, not silently dropped.
+  EXPECT_FALSE(parse_flush_line(
+      "{\"sessions\":5,\"final\":true,"
+      "\"anomaly_dumps\":{\"stall\":\"one\"},\"schemes\":{}}",
+      &summary, &error));
+}
+
+TEST(ExporterStateTest, RendersAnomalyDumpCounters) {
+  ExporterState state;
+  state.ingest(
+      "{\"sessions\":50,\"final\":false,"
+      "\"anomaly_dumps\":{\"decode_error\":2,\"stall\":1},"
+      "\"schemes\":{\"Wira\":{\"sessions\":50}}}\n");
+  const std::string text = state.render();
+  EXPECT_NE(text.find("# TYPE wira_anomaly_dumps_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("wira_anomaly_dumps_total{trigger=\"decode_error\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("wira_anomaly_dumps_total{trigger=\"stall\"} 1\n"),
+            std::string::npos);
+  // Clean runs don't emit the family at all.
+  ExporterState clean;
+  clean.ingest(
+      "{\"sessions\":5,\"final\":true,\"schemes\":{\"Wira\":"
+      "{\"sessions\":5}}}\n");
+  EXPECT_EQ(clean.render().find("wira_anomaly_dumps_total"),
+            std::string::npos);
+}
+
+// Satellite: build identity and uptime are injectable, so the rendering is
+// golden-testable without a clock or a git checkout.
+TEST(ExporterStateTest, RenderGoldenBuildInfoAndUptime) {
+  ExporterState state;
+  state.set_build_info("0.8.0", "abc1234");
+  state.set_uptime_seconds(12.5);
+  const std::string text = state.render();
+  EXPECT_EQ(text,
+            "# HELP wira_exporter_lines_total complete flush JSONL lines "
+            "consumed\n"
+            "# TYPE wira_exporter_lines_total counter\n"
+            "wira_exporter_lines_total 0\n"
+            "# HELP wira_exporter_parse_errors_total flush lines that "
+            "failed to parse\n"
+            "# TYPE wira_exporter_parse_errors_total counter\n"
+            "wira_exporter_parse_errors_total 0\n"
+            "# HELP wira_exporter_scrapes_total /metrics requests served\n"
+            "# TYPE wira_exporter_scrapes_total counter\n"
+            "wira_exporter_scrapes_total 0\n"
+            "# HELP wira_build_info build identity of the running exporter\n"
+            "# TYPE wira_build_info gauge\n"
+            "wira_build_info{version=\"0.8.0\",git_sha=\"abc1234\"} 1\n"
+            "# HELP wira_process_uptime_seconds seconds since the exporter "
+            "started\n"
+            "# TYPE wira_process_uptime_seconds gauge\n"
+            "wira_process_uptime_seconds 12.5\n");
+}
+
 // ---------------------------------------------------------------------------
 // The mini HTTP server, over a real loopback socket.
 

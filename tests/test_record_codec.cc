@@ -72,6 +72,7 @@ SessionRecord sample_record() {
   res.server_stats.bytes_sent = 390000;
   res.server_stats.stream_bytes_sent = 370000;
   res.server_stats.stream_bytes_retransmitted = 2800;
+  res.server_stats.packets_undecodable = 4;  // v2 field
   res.server_stats.handshake_rtt = milliseconds(36);
   res.retransmission_ratio = 0.0075683593750;
   res.cookies_synced = 2;
@@ -92,6 +93,12 @@ SessionRecord sample_record() {
   res.phases.clear();
   res.frames.clear();
   rec.results.emplace(core::Scheme::kWira, res);
+
+  // v2 flight-recorder anomaly-trigger counters.
+  rec.anomaly_stall_dumps = 1;
+  rec.anomaly_corner_dumps = 2;
+  rec.anomaly_decode_dumps = 3;
+  rec.anomaly_ffct_dumps = 4;
   return rec;
 }
 
@@ -223,6 +230,12 @@ TEST(SessionRecordCodec, RoundTripIsBitExact) {
   EXPECT_EQ(res.retransmission_ratio, 0.0075683593750);
   EXPECT_EQ(res.arena_bytes, 777216u);
   EXPECT_TRUE(res.init.ff_pending);
+  // v2 additions.
+  EXPECT_EQ(res.server_stats.packets_undecodable, 4u);
+  EXPECT_EQ(out.anomaly_stall_dumps, 1u);
+  EXPECT_EQ(out.anomaly_corner_dumps, 2u);
+  EXPECT_EQ(out.anomaly_decode_dumps, 3u);
+  EXPECT_EQ(out.anomaly_ffct_dumps, 4u);
 }
 
 TEST(SessionRecordCodec, RejectsOutOfRangeScheme) {
@@ -325,7 +338,7 @@ std::vector<uint8_t> sample_stream() {
 TEST(Frames, StreamHeaderGolden) {
   std::vector<uint8_t> out;
   append_stream_header(out);
-  EXPECT_EQ(to_hex(out), "3143525701000000");  // "1CRW" LE + version 1
+  EXPECT_EQ(to_hex(out), "3143525702000000");  // "1CRW" LE + version 2
 }
 
 TEST(Frames, EndFrameGolden) {

@@ -16,12 +16,22 @@
 //
 //   wira_exporterd --flush-jsonl soak_flush.jsonl --listen 0
 //                  [--port-file /tmp/exporter.port]
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+// Build identity (tools/CMakeLists.txt); header-less fallbacks keep the
+// file compiling in IDE/one-off builds.
+#ifndef WIRA_VERSION
+#define WIRA_VERSION "unknown"
+#endif
+#ifndef WIRA_GIT_SHA
+#define WIRA_GIT_SHA "unknown"
+#endif
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -125,6 +135,14 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   wira::obs::ExporterState state;
+  state.set_build_info(WIRA_VERSION, WIRA_GIT_SHA);
+  const auto started = std::chrono::steady_clock::now();
+  auto refresh_uptime = [&state, started] {
+    state.set_uptime_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  };
   FileTail tail(args.flush_jsonl);
 
   wira::obs::MiniHttpServer server;
@@ -134,10 +152,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   server.set_handler(
-      [&state](const std::string& path) -> wira::obs::MiniHttpServer::Response {
+      [&state, &refresh_uptime](
+          const std::string& path) -> wira::obs::MiniHttpServer::Response {
         wira::obs::MiniHttpServer::Response r;
         if (path == "/metrics") {
           state.note_scrape();
+          refresh_uptime();
           r.body = state.render();
         } else if (path == "/healthz") {
           r.body = "ok\n";

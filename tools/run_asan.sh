@@ -37,8 +37,16 @@ ctest --test-dir "${build_dir}" -L gate --output-on-failure \
 # use-after-reset exposure the suite has.  Session count stays small —
 # sanitized sessions are ~10x slower — but every recycled path runs
 # hundreds of times.
+# The anomaly flags run the flight recorder's materialization path
+# (snapshot, sqlog serialization, crash-fd plumbing) under the
+# sanitizers too; the seeded 1 ms deadline guarantees dumps happen.
+rm -rf "${build_dir}/anomaly"
 "${build_dir}/bench/soak" --sessions 200 --flush-every 50 \
-  --flush-out "${build_dir}/soak_flush.jsonl" > "${build_dir}/soak.json"
+  --flush-out "${build_dir}/soak_flush.jsonl" \
+  --anomaly-dir "${build_dir}/anomaly" --anomaly-ffct-ms 1 \
+  > "${build_dir}/soak.json"
+"${build_dir}/tools/wira_trace_join" --trace-dir "${build_dir}/anomaly"
+echo "sanitized anomaly dumps joined"
 echo "sanitized soak passed ($(
   python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["sessions"], "sessions")' \
     "${build_dir}/soak.json"))"

@@ -19,6 +19,15 @@
 #   final consistency  the post-run scrape's wira_soak_sessions_total and
 #                      per-scheme counters equal the final JSON aggregate
 #
+# The flight recorder (DESIGN.md §7) is exercised end to end: the soak is
+# seeded with an impossible first-frame deadline (--anomaly-ffct-ms 1) so
+# every session trips a trigger, and the run is gated on
+#
+#   anomaly scrape     wira_anomaly_dumps_total{trigger=...} shows up in a
+#                      live /metrics scrape
+#   joinable dumps     the materialized .server/.client.sqlog pairs join
+#                      cleanly under wira_trace_join (exit 0)
+#
 # Defaults to a 20k-session run (~5 min serial) — enough flushes for a
 # meaningful plateau split.  The headline endurance run is
 #   tools/run_soak.sh --sessions 1000000 --flush-every 10000
@@ -31,12 +40,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target soak wira_exporterd
+cmake --build "${build_dir}" -j "$(nproc)" --target soak wira_exporterd wira_trace_join
 
 out="${repo_root}/SOAK_$(date +%Y-%m-%d).json"
 flush_out="${repo_root}/soak_flush.jsonl"
 scrape_dir="$(mktemp -d)"
 port_file="${scrape_dir}/exporter.port"
+anomaly_dir="${scrape_dir}/anomaly"
 
 # The soak truncates its flush file on open; start from the same empty
 # state so the exporter never serves a stale previous run.
@@ -60,7 +70,8 @@ port="$(cat "${port_file}")"
 echo "exporter serving http://127.0.0.1:${port}/metrics (pid ${exporter_pid})"
 curl -sf "http://127.0.0.1:${port}/healthz" > /dev/null
 
-"${build_dir}/bench/soak" --flush-out "${flush_out}" "$@" > "${out}" &
+"${build_dir}/bench/soak" --flush-out "${flush_out}" \
+  --anomaly-dir "${anomaly_dir}" --anomaly-ffct-ms 1 "$@" > "${out}" &
 soak_pid=$!
 
 # Mid-soak scrape: wait until the exporter has consumed at least one flush
@@ -78,6 +89,17 @@ done
 wait "${soak_pid}"
 cat "${out}"
 echo "wrote ${out} (flush lines in ${flush_out})"
+
+# Flight-recorder gate: the seeded 1 ms first-frame deadline must have
+# materialized at least one dump pair, and the whole anomaly dir must join
+# cleanly (wira_trace_join exits 0 only when every pair joins).
+pair_count="$(find "${anomaly_dir}" -name '*.server.sqlog' 2>/dev/null | wc -l)"
+if [[ "${pair_count}" -lt 1 ]]; then
+  echo "FAIL: seeded anomaly produced no dump pairs in ${anomaly_dir}" >&2
+  exit 1
+fi
+"${build_dir}/tools/wira_trace_join" --trace-dir "${anomaly_dir}"
+echo "anomaly gate: ${pair_count} dump pair(s) joined with 0 failures"
 if [[ "${got_mid}" != 1 ]]; then
   # Tiny runs can finish before their first flush line lands; the final
   # scrape below still gates the telemetry path, so warn rather than fail.
@@ -93,6 +115,14 @@ for _ in $(seq 50); do
   grep -q '^wira_soak_final 1$' "${final_scrape}" && break
   sleep 0.2
 done
+
+# Live-telemetry leg of the anomaly gate: the per-trigger counters folded
+# into the flush lines must surface in a real scrape.
+if ! grep -q '^wira_anomaly_dumps_total{trigger=' "${final_scrape}"; then
+  echo "FAIL: wira_anomaly_dumps_total missing from live scrape" >&2
+  exit 1
+fi
+echo "anomaly gate: wira_anomaly_dumps_total served by live exporter"
 
 python3 - "${out}" "${final_scrape}" ${mid_scrape:+"${mid_scrape}"} <<'PY'
 import json, re, sys

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Asserts wira_trace_join's documented exit-code contract (see --help):
+#   0 clean, 3 parse failure, 4 vantage mismatch, 5 unpaired file,
+# and the precedence parse > mismatch > unpaired when several occur.
+# Usage: test_trace_join_exit_codes.sh /path/to/wira_trace_join
+set -u
+
+JOIN="${1:?usage: $0 /path/to/wira_trace_join}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+header() { # header <type> <group_id>
+  printf '{"qlog_version": "0.3", "qlog_format": "JSON-SEQ", "title": "t", "trace": {"vantage_point": {"name": "x", "type": "%s"}, "common_fields": {"group_id": "%s", "reference_time": 0}}}\n' "$1" "$2"
+}
+
+write_client() { # write_client <file> <group_id>
+  { header client "$2"
+    printf '{"time": 1.250, "name": "wira:request_sent", "data": {"bytes": 33}}\n'
+    printf '{"time": 9.003, "name": "wira:frame_complete", "data": {"frame_index": 1, "bytes": 50000}}\n'
+  } > "$1"
+}
+
+write_server() { # write_server <file> <group_id>
+  { header server "$2"
+    printf '{"time": 2.000, "name": "wira:request_received", "data": {}}\n'
+  } > "$1"
+}
+
+expect_exit() { # expect_exit <want> <label> <args...>
+  local want="$1" label="$2"; shift 2
+  "$JOIN" "$@" > /dev/null 2>&1
+  local got=$?
+  [ "$got" -eq "$want" ] || fail "$label: expected exit $want, got $got"
+}
+
+# 0: a clean joinable pair.
+mkdir "$WORK/ok"
+write_client "$WORK/ok/s0.client.sqlog" s0
+write_server "$WORK/ok/s0.server.sqlog" s0
+expect_exit 0 "clean pair" --trace-dir "$WORK/ok"
+
+# 3: a trace file that fails to parse.
+mkdir "$WORK/parse"
+write_client "$WORK/parse/s0.client.sqlog" s0
+write_server "$WORK/parse/s0.server.sqlog" s0
+echo "this is not qlog" > "$WORK/parse/legacy.sqlog"
+expect_exit 3 "parse failure" --trace-dir "$WORK/parse"
+
+# 4: a pair whose vantages disagree (different group_ids -> join fails).
+mkdir "$WORK/mismatch"
+write_client "$WORK/mismatch/s0.client.sqlog" s0
+write_server "$WORK/mismatch/s0.server.sqlog" OTHER
+expect_exit 4 "mismatched pair" --trace-dir "$WORK/mismatch"
+
+# 5: an unpaired vantage file.
+mkdir "$WORK/unpaired"
+write_client "$WORK/unpaired/s0.client.sqlog" s0
+expect_exit 5 "unpaired client" --trace-dir "$WORK/unpaired"
+
+# Precedence: parse failure beats mismatch beats unpaired.
+mkdir "$WORK/mixed"
+write_client "$WORK/mixed/s0.client.sqlog" s0
+write_server "$WORK/mixed/s0.server.sqlog" OTHER
+write_client "$WORK/mixed/s1.client.sqlog" s1
+echo "garbage" > "$WORK/mixed/legacy.sqlog"
+expect_exit 3 "mixed failures" --trace-dir "$WORK/mixed"
+
+# 2: usage error; 0 + documented codes on --help.
+expect_exit 2 "usage error" --no-such-flag
+"$JOIN" --help | grep -q "exit codes:" || fail "--help must document exit codes"
+"$JOIN" --help | grep -q "unpaired" || fail "--help must mention unpaired"
+
+echo "trace_join exit codes: all checks passed"

@@ -5,7 +5,8 @@
 // recomputes the FFCT phase split from the client's view.  Any unpaired
 // vantage file, parse failure, or join failure is an error; legacy bare
 // <name>.sqlog files (pre-pairing captures) are validated as parsable but
-// not joined.  Exit 0 iff every pair joined cleanly.
+// not joined.  Exit 0 iff every pair joined cleanly; distinct nonzero
+// codes classify the worst failure seen (see --help).
 //
 // With --metrics-jsonl the joined splits are cross-checked against the
 // per-session export (exp::write_records_jsonl): each joined span duration
@@ -41,18 +42,56 @@ struct Args {
   bool verbose = false;
 };
 
+// Exit codes (documented in --help; scripts branch on these).  When a run
+// hits several failure kinds, the most fundamental wins: a file that does
+// not parse explains away any downstream mismatch.
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;       ///< operational (unreadable dir/file)
+constexpr int kExitUsage = 2;
+constexpr int kExitParseFailure = 3;
+constexpr int kExitMismatch = 4;    ///< join failed or jsonl disagreement
+constexpr int kExitUnpaired = 5;
+
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s --trace-dir DIR [--metrics-jsonl FILE] [-v]\n"
+      "\n"
+      "Joins paired <name>.client.sqlog/<name>.server.sqlog traces in\n"
+      "--trace-dir and recomputes the FFCT phase split; with\n"
+      "--metrics-jsonl, joined durations are cross-checked against the\n"
+      "per-session export (1 us tolerance).\n"
+      "\n"
+      "exit codes:\n"
+      "  0  every pair joined (and cross-checked) cleanly\n"
+      "  1  operational error (unreadable trace dir or metrics file)\n"
+      "  2  usage error\n"
+      "  3  a trace file failed to parse as serialized qlog\n"
+      "  4  vantages disagree: join failed, or a joined split does not\n"
+      "     match its metrics-jsonl record\n"
+      "  5  an unpaired vantage file (client without server, or vice\n"
+      "     versa)\n"
+      "When several kinds occur, the lowest applicable code above 2 is\n"
+      "returned (parse failure beats mismatch beats unpaired).\n",
+      prog);
+}
+
 [[noreturn]] void usage(const char* prog, const char* msg) {
   std::fprintf(stderr,
                "error: %s\n"
-               "usage: %s --trace-dir DIR [--metrics-jsonl FILE] [-v]\n",
-               msg, prog);
-  std::exit(2);
+               "usage: %s --trace-dir DIR [--metrics-jsonl FILE] [-v]\n"
+               "       %s --help\n",
+               msg, prog, prog);
+  std::exit(kExitUsage);
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      print_help(argv[0]);
+      std::exit(kExitOk);
+    }
     if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       a.verbose = true;
       continue;
@@ -146,7 +185,7 @@ int main(int argc, char** argv) {
     std::string error;
     if (!load_metrics_jsonl(args.metrics_jsonl, &records, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+      return kExitError;
     }
   }
 
@@ -155,7 +194,7 @@ int main(int argc, char** argv) {
   if (ec) {
     std::fprintf(stderr, "error: cannot read %s: %s\n",
                  args.trace_dir.c_str(), ec.message().c_str());
-    return 1;
+    return kExitError;
   }
 
   // Collect base names by vantage so unpaired files are detectable in
@@ -184,20 +223,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  size_t pairs_ok = 0, failures = 0, cross_checked = 0;
+  size_t pairs_ok = 0, cross_checked = 0;
+  size_t parse_failures = 0, mismatches = 0, unpaired = 0;
 
   for (const auto& [base, _] : client_bases) {
     if (server_bases.find(base) == server_bases.end()) {
       std::fprintf(stderr, "FAIL %s: client trace has no server peer\n",
                    base.c_str());
-      ++failures;
+      ++unpaired;
     }
   }
   for (const auto& [base, _] : server_bases) {
     if (client_bases.find(base) == client_bases.end()) {
       std::fprintf(stderr, "FAIL %s: server trace has no client peer\n",
                    base.c_str());
-      ++failures;
+      ++unpaired;
     }
   }
 
@@ -211,13 +251,13 @@ int main(int argc, char** argv) {
         !wira::obs::parse_sqlog_file(dir + "/" + base + kServerSuffix,
                                      &server, &error)) {
       std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
-      ++failures;
+      ++parse_failures;
       continue;
     }
     JoinedPhases joined;
     if (!wira::obs::join_vantages(client, server, &joined, &error)) {
       std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
-      ++failures;
+      ++mismatches;
       continue;
     }
     bool ok = true;
@@ -254,7 +294,7 @@ int main(int argc, char** argv) {
       }
     }
     if (!ok) {
-      ++failures;
+      ++mismatches;
       continue;
     }
     ++pairs_ok;
@@ -274,7 +314,7 @@ int main(int argc, char** argv) {
     if (!wira::obs::parse_sqlog_file(dir + "/" + base + kBareSuffix,
                                      &single, &error)) {
       std::fprintf(stderr, "FAIL %s: %s\n", base.c_str(), error.c_str());
-      ++failures;
+      ++parse_failures;
     } else {
       ++legacy_ok;
     }
@@ -288,6 +328,10 @@ int main(int argc, char** argv) {
   if (legacy_ok > 0) {
     std::printf(", %zu legacy single-vantage traces parsed", legacy_ok);
   }
+  const size_t failures = parse_failures + mismatches + unpaired;
   std::printf(", %zu failures\n", failures);
-  return failures == 0 ? 0 : 1;
+  if (parse_failures > 0) return kExitParseFailure;
+  if (mismatches > 0) return kExitMismatch;
+  if (unpaired > 0) return kExitUnpaired;
+  return kExitOk;
 }
