@@ -9,6 +9,10 @@
 // instead — same byte-identical output, plus crash containment: a dead
 // worker is named and, with --retry-dead-shards, its missing sessions are
 // re-run in-process (see exp::PopulationConfig::processes).
+// `--chunk N` (or env WIRA_CHUNK) sets the dynamic dispatch chunk size (0 =
+// legacy static striping); `--workers host:port,...` (or env WIRA_WORKERS)
+// dispatches the sweep to running wira_workerd daemons over TCP instead of
+// forking — output stays byte-identical at any worker topology.
 //
 // Observability flags (PR 2):
 //   --metrics-out FILE   write one JSONL line per (session, scheme) with
@@ -43,6 +47,10 @@ struct Args {
   size_t threads = 1;
   /// Worker processes: 1 = in-process, 0 = one per hardware thread.
   size_t procs = 1;
+  /// Dynamic dispatch chunk size; 0 = legacy static striping.
+  size_t chunk = 64;
+  /// Comma-separated wira_workerd endpoints; empty = fork pipe workers.
+  std::string workers;
   /// Salvage + re-run sessions lost to a dead worker process.
   bool retry_dead_shards = false;
   /// Per-session JSONL metrics file; empty = metrics collection off.
@@ -67,7 +75,8 @@ inline bool parse_u64(const char* s, uint64_t* out) {
 [[noreturn]] inline void usage_error(const char* prog, const char* msg) {
   std::fprintf(stderr,
                "error: %s\nusage: %s [sessions] [seed] [--threads N] "
-               "[--procs N] [--retry-dead-shards] [--metrics-out FILE] "
+               "[--procs N] [--chunk N] [--workers host:port,...] "
+               "[--retry-dead-shards] [--metrics-out FILE] "
                "[--trace-sample N] [--trace-dir DIR]\n",
                msg, prog);
   std::exit(2);
@@ -106,6 +115,16 @@ inline Args parse_args(int argc, char** argv) {
     }
     a.procs = static_cast<size_t>(v);
   }
+  if (const char* env = std::getenv("WIRA_CHUNK")) {
+    uint64_t v = 0;
+    if (!parse_u64(env, &v)) {
+      usage_error(argv[0], "WIRA_CHUNK must be a non-negative integer");
+    }
+    a.chunk = static_cast<size_t>(v);
+  }
+  if (const char* env = std::getenv("WIRA_WORKERS")) {
+    a.workers = env;
+  }
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -125,6 +144,22 @@ inline Args parse_args(int argc, char** argv) {
         usage_error(argv[0], "--procs must be a non-negative integer");
       }
       a.procs = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = flag_value("--chunk", argc, argv, &i)) {
+      uint64_t v = 0;
+      // 0 is meaningful: legacy static striping (the A/B baseline).
+      if (!parse_u64(val, &v)) {
+        usage_error(argv[0], "--chunk must be a non-negative integer");
+      }
+      a.chunk = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = flag_value("--workers", argc, argv, &i)) {
+      if (*val == '\0') {
+        usage_error(argv[0], "--workers needs host:port,...");
+      }
+      a.workers = val;
       continue;
     }
     if (std::strcmp(arg, "--retry-dead-shards") == 0) {
@@ -176,6 +211,24 @@ inline exp::PopulationConfig default_population(const Args& a) {
   cfg.seed = a.seed;
   cfg.threads = a.threads;
   cfg.processes = a.procs;
+  cfg.chunk = a.chunk;
+  // Split the --workers CSV into endpoints (empty fields rejected).
+  if (!a.workers.empty()) {
+    size_t at = 0;
+    while (at <= a.workers.size()) {
+      const size_t comma = a.workers.find(',', at);
+      const std::string endpoint =
+          a.workers.substr(at, comma == std::string::npos ? std::string::npos
+                                                          : comma - at);
+      if (endpoint.empty()) {
+        std::fprintf(stderr, "error: --workers has an empty endpoint\n");
+        std::exit(2);
+      }
+      cfg.workers.push_back(endpoint);
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  }
   cfg.retry_dead_shards = a.retry_dead_shards;
   cfg.collect_metrics = !a.metrics_out.empty();
   cfg.trace_sample = a.trace_sample;

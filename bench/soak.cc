@@ -39,6 +39,8 @@ struct SoakArgs {
   uint64_t seed = 1;
   size_t threads = 1;
   size_t procs = 1;
+  size_t chunk = 64;     ///< dispatch chunk; 0 = static striping
+  std::string workers;   ///< comma-separated wira_workerd endpoints
   std::string flush_out = "soak_flush.jsonl";
   std::string anomaly_dir;
   uint64_t anomaly_ffct_ms = 0;  ///< 0 = FFCT trigger disabled
@@ -48,6 +50,7 @@ struct SoakArgs {
   std::fprintf(stderr,
                "error: %s\nusage: %s [sessions] [seed] [--sessions N] "
                "[--flush-every N] [--seed N] [--threads N] [--procs N] "
+               "[--chunk N] [--workers host:port,...] "
                "[--flush-out FILE] [--anomaly-dir DIR] "
                "[--anomaly-ffct-ms N]\n",
                msg, prog);
@@ -95,6 +98,21 @@ SoakArgs parse_soak_args(int argc, char** argv) {
       a.procs = static_cast<size_t>(v);
       continue;
     }
+    if (const char* val = bench::flag_value("--chunk", argc, argv, &i)) {
+      if (!bench::parse_u64(val, &v)) {
+        soak_usage(argv[0], "--chunk must be a non-negative integer "
+                            "(0 = static striping)");
+      }
+      a.chunk = static_cast<size_t>(v);
+      continue;
+    }
+    if (const char* val = bench::flag_value("--workers", argc, argv, &i)) {
+      if (*val == '\0') {
+        soak_usage(argv[0], "--workers needs host:port,...");
+      }
+      a.workers = val;
+      continue;
+    }
     if (const char* val = bench::flag_value("--flush-out", argc, argv, &i)) {
       if (*val == '\0') soak_usage(argv[0], "--flush-out needs a path");
       a.flush_out = val;
@@ -140,6 +158,10 @@ struct SoakMonitor {
   size_t total_sessions = 0;
   std::chrono::steady_clock::time_point start;
   std::vector<double> rss_mb;  ///< one sample per flush, in flush order
+  /// Live chunk-scheduler telemetry (updated in place by the dispatcher;
+  /// the flush hook runs inline in the same parent loop, so reads are
+  /// race-free).  workers_spawned == 0 means no dispatcher ran.
+  exp::DispatchStats dispatch;
 };
 
 void on_flush(uint64_t sessions_done, std::string* extra, void* arg) {
@@ -154,6 +176,23 @@ void on_flush(uint64_t sessions_done, std::string* extra, void* arg) {
     char buf[48];
     std::snprintf(buf, sizeof buf, ",\"rss_mb\":%.1f", mb);
     *extra += buf;
+  }
+  // Chunk-scheduler telemetry rides every flush line when a dispatcher is
+  // driving the sweep (--procs > 1 or --workers): per-worker completed
+  // chunk counts plus the busy-worker high-watermark.  wira_exporterd
+  // turns these into wira_dispatch_* Prometheus families.
+  if (m->dispatch.workers_spawned > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"dispatch\":{\"busy\":%zu,\"chunks\":{",
+                  m->dispatch.busy_workers);
+    *extra += buf;
+    for (size_t w = 0; w < m->dispatch.chunks_completed.size(); ++w) {
+      std::snprintf(buf, sizeof buf, "%s\"%zu\":%llu", w == 0 ? "" : ",", w,
+                    static_cast<unsigned long long>(
+                        m->dispatch.chunks_completed[w]));
+      *extra += buf;
+    }
+    *extra += "}}";
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -194,6 +233,23 @@ int main(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.processes = args.procs;
+  cfg.chunk = args.chunk;
+  if (!args.workers.empty()) {
+    size_t at = 0;
+    while (at <= args.workers.size()) {
+      const size_t comma = args.workers.find(',', at);
+      const std::string endpoint =
+          comma == std::string::npos ? args.workers.substr(at)
+                                     : args.workers.substr(at, comma - at);
+      if (endpoint.empty()) {
+        std::fprintf(stderr, "error: --workers has an empty endpoint\n");
+        return 2;
+      }
+      cfg.workers.push_back(endpoint);
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  }
   cfg.anomaly_dir = args.anomaly_dir;
   if (args.anomaly_ffct_ms > 0) {
     cfg.anomaly_ffct =
@@ -210,6 +266,7 @@ int main(int argc, char** argv) {
   SoakMonitor monitor;
   monitor.total_sessions = args.sessions;
   monitor.start = std::chrono::steady_clock::now();
+  cfg.dispatch_stats = &monitor.dispatch;
 
   AggregateSink::Options opts;
   opts.flush_every = args.flush_every;

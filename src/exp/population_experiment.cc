@@ -1,24 +1,23 @@
 #include "exp/population_experiment.h"
 
 #include <fcntl.h>
-#include <poll.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
-#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
-#include <optional>
+#include <thread>
 
-#include "exp/record_codec.h"
+#include "exp/population_internal.h"
 #include "exp/record_sink.h"
+#include "exp/shard_dispatch.h"
 #include "media/stream_source.h"
 #include "obs/qlog.h"
 #include "util/logging.h"
@@ -180,11 +179,21 @@ extern "C" void wira_crash_signal_handler(int sig) {
   std::raise(sig);
 }
 
-/// Arms the fatal-signal dump in a worker child: pre-opens the raw dump
-/// file (the only step that may allocate — it happens before any session
-/// runs) and installs the handler for the fatal-by-default signals.
+}  // namespace
+
+namespace internal {
+
+/// Arms the fatal-signal dump in a worker (forked pipe child or a
+/// wira_workerd serving a connection): pre-opens the raw dump file (the
+/// only step that may allocate — it happens before any session runs) and
+/// installs the handler for the fatal-by-default signals.
 void arm_crash_forensics(const PopulationConfig& config, size_t worker,
                          const obs::FlightRecorder* recorder) {
+  // Disarm any previous arming first (wira_workerd re-arms per
+  // connection); the stale fd would otherwise leak per sweep.
+  const int prev = g_crash.fd.exchange(-1, std::memory_order_acq_rel);
+  if (prev >= 0) ::close(prev);
+  g_crash.recorder.store(nullptr, std::memory_order_release);
   if (!config.flight_recorder || config.anomaly_dir.empty()) return;
   const std::string path =
       config.anomaly_dir + "/crash_worker_" + std::to_string(worker) + ".bin";
@@ -204,6 +213,10 @@ void arm_crash_forensics(const PopulationConfig& config, size_t worker,
   }
 }
 
+}  // namespace internal
+
+namespace {
+
 /// Tags the recorder state the handler would dump (cheap atomic stores;
 /// called per (session, scheme) before the run so a mid-session crash is
 /// attributed to the right pair).
@@ -212,6 +225,10 @@ void note_crash_session(size_t i, core::Scheme scheme) {
   g_crash.scheme.store(static_cast<uint32_t>(scheme),
                        std::memory_order_release);
 }
+
+}  // namespace
+
+namespace internal {
 
 /// Parent side: reads each worker's raw crash-dump file (if its handler
 /// wrote one), materializes it as a joinable
@@ -276,6 +293,14 @@ SessionRecord run_one_session(const PopulationConfig& config,
   if (i == config.fail_at_index) {
     throw std::runtime_error("injected failure at session " +
                              std::to_string(i));
+  }
+  if (config.skew_delay_us > 0 && config.sessions > 0) {
+    // Skewed-cost injection (perf_smoke / straggler tests): earlier
+    // indices cost more, a worst-first ramp.  Wall-clock only — the
+    // record itself is untouched, so byte-identity is preserved.
+    const uint64_t us =
+        config.skew_delay_us * (config.sessions - i) / config.sessions;
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
   Rng rng(config.seed ^ (0x5DEECE66Dull * (i + 1)));
   const popgen::OdPair od = population.random_od(rng);
@@ -430,38 +455,6 @@ SessionRecord run_one_session(const PopulationConfig& config,
   return rec;
 }
 
-// ---- multiprocess sharding (DESIGN.md §6) -------------------------------
-//
-// The parent forks N workers; worker w owns the contiguous stripe
-// [stripe_begin(w), stripe_end(w)) of session indices and streams each
-// completed record immediately as a checksummed codec frame, so a crash
-// loses only the sessions it never finished.  The parent multiplexes all
-// pipes with poll() (a pipe-buffer-bound worker just waits for the parent,
-// never deadlocks), reaps every child with waitpid, and classifies each
-// worker as clean (kEnd frame seen + exit 0) or dead (signal, nonzero
-// exit, truncated or corrupt stream).
-
-struct Stripe {
-  size_t begin = 0;
-  size_t end = 0;
-};
-
-/// Contiguous, balanced stripes: the first (sessions % workers) stripes
-/// get one extra index.  Contiguity is what makes "the session the dead
-/// worker was on" well-defined — frames arrive in index order per worker.
-std::vector<Stripe> make_stripes(size_t sessions, size_t workers) {
-  std::vector<Stripe> stripes(workers);
-  const size_t base = sessions / workers;
-  const size_t extra = sessions % workers;
-  size_t at = 0;
-  for (size_t w = 0; w < workers; ++w) {
-    stripes[w].begin = at;
-    at += base + (w < extra ? 1 : 0);
-    stripes[w].end = at;
-  }
-  return stripes;
-}
-
 bool write_all(int fd, const uint8_t* data, size_t n) {
   while (n > 0) {
     const ssize_t w = ::write(fd, data, n);
@@ -475,322 +468,9 @@ bool write_all(int fd, const uint8_t* data, size_t n) {
   return true;
 }
 
-/// Worker child body.  Never returns: _Exit skips atexit/stdio teardown
-/// inherited from the parent (0 = clean, 1 = session threw, 3 = pipe
-/// write failed, i.e. the parent went away).
-[[noreturn]] void run_worker_child(const PopulationConfig& config,
-                                   size_t worker, Stripe stripe,
-                                   bool want_metrics, int fd) {
-  int exit_code = 0;
-  std::vector<uint8_t> buf;
-  append_stream_header(buf);
-  obs::MetricsRegistry local;
-  try {
-    popgen::Population population(config.seed * 31 + 7, config.num_groups);
-    SessionWorkspace session_ws;
-    arm_crash_forensics(config, worker, &session_ws.flight_recorder());
-    std::vector<uint8_t> payload;
-    for (size_t i = stripe.begin; i < stripe.end; ++i) {
-      if (i == config.kill_at_index) {
-        (void)write_all(fd, buf.data(), buf.size());  // flush pre-kill
-        std::raise(SIGKILL);
-      }
-      const SessionRecord rec =
-          run_one_session(config, population, i, session_ws);
-      if (want_metrics) {
-        record_session_metrics(local, rec, config.collect_metrics);
-      }
-      payload.clear();
-      CodecWriter w(payload);
-      w.u64(i);
-      encode_session_record(rec, w);
-      append_frame(FrameType::kSessionRecord, payload, buf);
-      // Stream eagerly: everything written is salvage if we die later.
-      if (!write_all(fd, buf.data(), buf.size())) {
-        exit_code = 3;
-        break;
-      }
-      buf.clear();
-      // Post-completion crash injection: the record above is already
-      // salvage and the recorder rings still hold the whole session, so
-      // the signal handler's dump is complete and joinable.
-      if (i == config.crash_after_index) {
-        std::raise(config.crash_after_signal);
-      }
-    }
-    if (exit_code == 0) {
-      buf.clear();
-      if (want_metrics) {
-        payload.clear();
-        CodecWriter w(payload);
-        encode_metrics_registry(local, w);
-        append_frame(FrameType::kMetrics, payload, buf);
-      }
-      append_frame(FrameType::kEnd, {}, buf);
-      if (!write_all(fd, buf.data(), buf.size())) exit_code = 3;
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "wira population worker [%zu,%zu): %s\n",
-                 stripe.begin, stripe.end, e.what());
-    exit_code = 1;
-  } catch (...) {
-    exit_code = 1;
-  }
-  ::close(fd);
-  std::_Exit(exit_code);
-}
+}  // namespace internal
 
-/// Decodes one worker's byte stream into `records` (bounds- and
-/// duplicate-checked against its stripe).  Returns true iff the stream is
-/// complete and clean; otherwise *reason describes the defect.
-bool parse_worker_stream(std::span<const uint8_t> bytes, Stripe stripe,
-                         std::vector<SessionRecord>& records,
-                         std::vector<uint8_t>& have,
-                         obs::MetricsRegistry* worker_metrics,
-                         std::string* reason) {
-  size_t off = 0;
-  switch (read_stream_header(bytes, &off)) {
-    case FrameStatus::kOk:
-      break;
-    case FrameStatus::kNeedMore:
-      *reason = "truncated record stream (no header)";
-      return false;
-    case FrameStatus::kCorrupt:
-      *reason = "bad codec magic/version";
-      return false;
-  }
-  bool saw_metrics = false;
-  for (;;) {
-    FrameView frame;
-    switch (next_frame(bytes, &off, &frame)) {
-      case FrameStatus::kNeedMore:
-        *reason = off >= bytes.size()
-                      ? "truncated record stream (no end marker)"
-                      : "truncated frame";
-        return false;
-      case FrameStatus::kCorrupt:
-        *reason = "corrupt frame (checksum or type)";
-        return false;
-      case FrameStatus::kOk:
-        break;
-    }
-    if (frame.type == FrameType::kEnd) {
-      if (off != bytes.size()) {
-        *reason = "trailing bytes after end marker";
-        return false;
-      }
-      return true;
-    }
-    if (frame.type == FrameType::kSessionRecord) {
-      CodecReader r(frame.payload);
-      uint64_t index = 0;
-      SessionRecord rec;
-      if (!r.u64(&index) || !decode_session_record(r, &rec) ||
-          r.remaining() != 0) {
-        *reason = "undecodable session record";
-        return false;
-      }
-      if (index < stripe.begin || index >= stripe.end || have[index]) {
-        *reason = "session index outside stripe or duplicated";
-        return false;
-      }
-      records[index] = std::move(rec);
-      have[index] = 1;
-      continue;
-    }
-    // kMetrics
-    if (worker_metrics == nullptr || saw_metrics) {
-      *reason = "unexpected metrics frame";
-      return false;
-    }
-    CodecReader r(frame.payload);
-    if (!decode_metrics_registry(r, worker_metrics) || r.remaining() != 0) {
-      *reason = "undecodable metrics registry";
-      return false;
-    }
-    saw_metrics = true;
-  }
-}
-
-std::vector<SessionRecord> run_population_multiprocess(
-    const PopulationConfig& config, obs::MetricsRegistry* metrics,
-    size_t workers) {
-  const std::vector<Stripe> stripes = make_stripes(config.sessions, workers);
-
-  struct Worker {
-    pid_t pid = -1;
-    int fd = -1;
-    std::vector<uint8_t> bytes;
-    int status = 0;
-  };
-  std::vector<Worker> ws(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    int fds[2] = {-1, -1};
-    if (::pipe(fds) != 0) {
-      for (size_t k = 0; k < w; ++k) {
-        ::close(ws[k].fd);
-        ::kill(ws[k].pid, SIGKILL);
-        ::waitpid(ws[k].pid, nullptr, 0);
-      }
-      throw std::runtime_error("run_population: pipe() failed");
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      for (size_t k = 0; k < w; ++k) {
-        ::close(ws[k].fd);
-        ::kill(ws[k].pid, SIGKILL);
-        ::waitpid(ws[k].pid, nullptr, 0);
-      }
-      throw std::runtime_error("run_population: fork() failed");
-    }
-    if (pid == 0) {
-      // Child: drop every parent-side read end so sibling EOFs work.
-      for (size_t k = 0; k < w; ++k) ::close(ws[k].fd);
-      ::close(fds[0]);
-      run_worker_child(config, w, stripes[w], metrics != nullptr, fds[1]);
-    }
-    ::close(fds[1]);
-    ws[w].pid = pid;
-    ws[w].fd = fds[0];
-  }
-
-  // Multiplexed drain: read every pipe until EOF.  poll() keeps all
-  // workers flowing even when one stripe's records outrun the 64 KiB pipe
-  // buffer — the blocked worker resumes as soon as we drain it here.
-  size_t open_fds = workers;
-  std::vector<pollfd> pfds;
-  std::vector<size_t> pfd_worker;
-  uint8_t chunk[65536];
-  while (open_fds > 0) {
-    pfds.clear();
-    pfd_worker.clear();
-    for (size_t w = 0; w < workers; ++w) {
-      if (ws[w].fd < 0) continue;
-      pfds.push_back(pollfd{ws[w].fd, POLLIN, 0});
-      pfd_worker.push_back(w);
-    }
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("run_population: poll() failed");
-    }
-    for (size_t p = 0; p < pfds.size(); ++p) {
-      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      Worker& worker = ws[pfd_worker[p]];
-      const ssize_t n = ::read(worker.fd, chunk, sizeof chunk);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        ::close(worker.fd);
-        worker.fd = -1;
-        open_fds--;
-        continue;
-      }
-      if (n == 0) {
-        ::close(worker.fd);
-        worker.fd = -1;
-        open_fds--;
-        continue;
-      }
-      worker.bytes.insert(worker.bytes.end(), chunk, chunk + n);
-    }
-  }
-  for (Worker& worker : ws) {
-    while (::waitpid(worker.pid, &worker.status, 0) < 0 && errno == EINTR) {
-    }
-  }
-
-  // Reassemble index-addressed, then classify each worker.
-  std::vector<SessionRecord> records(config.sessions);
-  std::vector<uint8_t> have(config.sessions, 0);
-  std::vector<obs::MetricsRegistry> worker_metrics(metrics ? workers : 0);
-  std::vector<ShardDeath> deaths;
-  for (size_t w = 0; w < workers; ++w) {
-    std::string parse_reason;
-    const bool clean = parse_worker_stream(
-        ws[w].bytes, stripes[w], records, have,
-        metrics ? &worker_metrics[w] : nullptr, &parse_reason);
-    std::string reason;
-    if (WIFSIGNALED(ws[w].status)) {
-      reason = "killed by signal " + std::to_string(WTERMSIG(ws[w].status));
-    } else if (WIFEXITED(ws[w].status) && WEXITSTATUS(ws[w].status) != 0) {
-      reason =
-          "exited with status " + std::to_string(WEXITSTATUS(ws[w].status));
-    } else if (!clean) {
-      reason = parse_reason;
-    }
-    if (reason.empty()) continue;
-    ShardDeath death;
-    death.worker = static_cast<int>(w);
-    death.stripe_begin = stripes[w].begin;
-    death.stripe_end = stripes[w].end;
-    death.died_at = stripes[w].end;
-    for (size_t i = stripes[w].begin; i < stripes[w].end; ++i) {
-      if (!have[i]) {
-        death.died_at = i;
-        break;
-      }
-    }
-    death.reason = std::move(reason);
-    deaths.push_back(std::move(death));
-  }
-
-  // Crash forensics before any throw: a signal-killed worker's raw ring
-  // dump becomes a joinable sqlog pair whether or not we retry.
-  materialize_crash_dumps(config, workers, metrics);
-
-  if (!deaths.empty()) {
-    std::vector<size_t> missing;
-    for (size_t i = 0; i < config.sessions; ++i) {
-      if (!have[i]) missing.push_back(i);
-    }
-    std::string msg = "run_population: ";
-    for (size_t d = 0; d < deaths.size(); ++d) {
-      if (d > 0) msg += "; ";
-      msg += "worker " + std::to_string(deaths[d].worker) + " (sessions [" +
-             std::to_string(deaths[d].stripe_begin) + "," +
-             std::to_string(deaths[d].stripe_end) + ")) " +
-             deaths[d].reason + " while on session " +
-             std::to_string(deaths[d].died_at);
-    }
-    msg += "; salvaged " + std::to_string(config.sessions - missing.size()) +
-           " of " + std::to_string(config.sessions) + " records";
-    if (!config.retry_dead_shards) {
-      throw PopulationShardError(msg, std::move(deaths), std::move(records),
-                                 std::move(missing));
-    }
-    WIRA_WARN("population",
-              msg + "; retrying " + std::to_string(missing.size()) +
-                  " missing session(s) in-process");
-    popgen::Population population(config.seed * 31 + 7, config.num_groups);
-    SessionWorkspace retry_ws;
-    for (const size_t i : missing) {
-      records[i] = run_one_session(config, population, i, retry_ws);
-      have[i] = 1;
-    }
-    if (metrics) {
-      // A dead worker's registry never arrived (the metrics frame trails
-      // the stripe).  record_session_metrics is a pure function of the
-      // record, so rebuilding the whole stripe from the reassembled
-      // records reproduces it exactly.
-      for (const ShardDeath& death : deaths) {
-        obs::MetricsRegistry rebuilt;
-        for (size_t i = death.stripe_begin; i < death.stripe_end; ++i) {
-          record_session_metrics(rebuilt, records[i], config.collect_metrics);
-        }
-        worker_metrics[static_cast<size_t>(death.worker)] =
-            std::move(rebuilt);
-      }
-    }
-  }
-
-  if (metrics) {
-    for (const obs::MetricsRegistry& local : worker_metrics) {
-      metrics->merge(local);
-    }
-  }
-  return records;
-}
+namespace {
 
 // ---- streaming sink paths (DESIGN.md §6 memory model) -------------------
 
@@ -861,7 +541,8 @@ void run_population_streamed(const PopulationConfig& config,
     popgen::Population population(config.seed * 31 + 7, config.num_groups);
     SessionWorkspace session_ws;
     for (size_t i = 0; i < config.sessions; ++i) {
-      SessionRecord rec = run_one_session(config, population, i, session_ws);
+      SessionRecord rec =
+          internal::run_one_session(config, population, i, session_ws);
       if (metrics) {
         record_session_metrics(*metrics, rec, config.collect_metrics);
       }
@@ -892,8 +573,8 @@ void run_population_streamed(const PopulationConfig& config,
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= config.sessions) return;
         try {
-          SessionRecord rec = run_one_session(config, population, i,
-                                              session_ws);
+          SessionRecord rec =
+              internal::run_one_session(config, population, i, session_ws);
           if (local) {
             record_session_metrics(*local, rec, config.collect_metrics);
           }
@@ -927,400 +608,9 @@ void run_population_streamed(const PopulationConfig& config,
   sink.on_complete(config.sessions);
 }
 
-// ---- streaming multiprocess (round-robin stripes) -----------------------
-//
-// The sink contract wants records in global index order, but a contiguous
-// stripe layout would force the parent to buffer almost a whole stripe
-// before worker 0's last record arrives.  The streaming path therefore
-// deals indices round-robin — worker w owns every index with
-// i % workers == w, produced in increasing order — so the parent's flush
-// cursor only ever waits on the one worker that owns `next`, and the
-// reorder buffer is bounded at kStreamReadyCap records per worker.
-// Backpressure closes the loop: the parent stops reading a worker whose
-// decoded-record queue is full, the pipe fills, and the worker blocks in
-// write() until the cursor comes around.
+}  // namespace
 
-/// Worker child body for the streaming path.  Identical wire format to
-/// run_worker_child minus the metrics frame — the parent folds metrics
-/// per flushed record instead, which is the same fold by construction.
-[[noreturn]] void run_stream_worker_child(const PopulationConfig& config,
-                                          size_t worker, size_t workers,
-                                          int fd) {
-  int exit_code = 0;
-  std::vector<uint8_t> buf;
-  append_stream_header(buf);
-  try {
-    popgen::Population population(config.seed * 31 + 7, config.num_groups);
-    SessionWorkspace session_ws;
-    arm_crash_forensics(config, worker, &session_ws.flight_recorder());
-    std::vector<uint8_t> payload;
-    for (size_t i = worker; i < config.sessions; i += workers) {
-      if (i == config.kill_at_index) {
-        (void)write_all(fd, buf.data(), buf.size());  // flush pre-kill
-        std::raise(SIGKILL);
-      }
-      const SessionRecord rec =
-          run_one_session(config, population, i, session_ws);
-      payload.clear();
-      CodecWriter w(payload);
-      w.u64(i);
-      encode_session_record(rec, w);
-      append_frame(FrameType::kSessionRecord, payload, buf);
-      if (!write_all(fd, buf.data(), buf.size())) {
-        exit_code = 3;
-        break;
-      }
-      buf.clear();
-      // See run_worker_child: complete-session crash injection.
-      if (i == config.crash_after_index) {
-        std::raise(config.crash_after_signal);
-      }
-    }
-    if (exit_code == 0) {
-      buf.clear();
-      append_frame(FrameType::kEnd, {}, buf);
-      if (!write_all(fd, buf.data(), buf.size())) exit_code = 3;
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "wira population stream worker %zu/%zu: %s\n",
-                 worker, workers, e.what());
-    exit_code = 1;
-  } catch (...) {
-    exit_code = 1;
-  }
-  ::close(fd);
-  std::_Exit(exit_code);
-}
-
-/// Per-worker decoded-queue cap for the streaming parent: bounds parent
-/// memory at workers * cap records (plus one pipe buffer per worker).
-constexpr size_t kStreamReadyCap = 8;
-
-struct StreamWorker {
-  pid_t pid = -1;
-  int fd = -1;  ///< parent-side read end; -1 once EOF/closed
-  std::vector<uint8_t> buf;  ///< undecoded bytes (compacted after parse)
-  size_t off = 0;
-  bool header_ok = false;
-  bool end_seen = false;
-  bool eof = false;
-  bool retired = false;  ///< declared dead; its sessions re-run in-process
-  std::string defect;    ///< first stream defect, empty = clean so far
-  /// Decoded records awaiting the flush cursor, in index order.
-  std::deque<std::pair<size_t, SessionRecord>> ready;
-  size_t produced = 0;  ///< records decoded off this worker so far
-  int status = 0;
-  bool reaped = false;
-};
-
-/// Incremental frame decode of whatever bytes have arrived.  Unlike the
-/// batch parse_worker_stream this runs mid-stream, so kNeedMore just
-/// waits; defects latch (a corrupt stream never un-corrupts).  Stripe
-/// validation is exact: worker w's n-th record must be index
-/// w + n * workers.
-void parse_stream_worker(StreamWorker& w, size_t worker, size_t workers,
-                         size_t sessions) {
-  if (!w.defect.empty()) return;
-  std::span<const uint8_t> bytes(w.buf);
-  if (!w.header_ok) {
-    switch (read_stream_header(bytes, &w.off)) {
-      case FrameStatus::kOk:
-        w.header_ok = true;
-        break;
-      case FrameStatus::kNeedMore:
-        return;
-      case FrameStatus::kCorrupt:
-        w.defect = "bad codec magic/version";
-        return;
-    }
-  }
-  while (w.defect.empty()) {
-    if (w.end_seen) {
-      if (w.off != w.buf.size()) w.defect = "trailing bytes after end marker";
-      break;
-    }
-    FrameView frame;
-    const FrameStatus st = next_frame(bytes, &w.off, &frame);
-    if (st == FrameStatus::kNeedMore) break;
-    if (st == FrameStatus::kCorrupt) {
-      w.defect = "corrupt frame (checksum or type)";
-      break;
-    }
-    if (frame.type == FrameType::kEnd) {
-      w.end_seen = true;
-      continue;
-    }
-    if (frame.type != FrameType::kSessionRecord) {
-      w.defect = "unexpected metrics frame";
-      break;
-    }
-    CodecReader r(frame.payload);
-    uint64_t index = 0;
-    SessionRecord rec;
-    if (!r.u64(&index) || !decode_session_record(r, &rec) ||
-        r.remaining() != 0) {
-      w.defect = "undecodable session record";
-      break;
-    }
-    const size_t expected = worker + w.produced * workers;
-    if (index >= sessions || index != expected) {
-      w.defect = "session index out of stripe order";
-      break;
-    }
-    w.produced++;
-    w.ready.emplace_back(static_cast<size_t>(index), std::move(rec));
-  }
-  // Drop the consumed prefix so the buffer stays O(one frame) instead of
-  // accumulating the worker's whole stream.
-  if (w.off > 0) {
-    w.buf.erase(w.buf.begin(),
-                w.buf.begin() + static_cast<ptrdiff_t>(w.off));
-    w.off = 0;
-  }
-}
-
-void run_population_multiprocess_stream(const PopulationConfig& config,
-                                        obs::MetricsRegistry* metrics,
-                                        RecordSink& sink, size_t workers) {
-  std::vector<StreamWorker> ws(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    int fds[2] = {-1, -1};
-    const bool pipe_ok = ::pipe(fds) == 0;
-    const pid_t pid = pipe_ok ? ::fork() : -1;
-    if (!pipe_ok || pid < 0) {
-      if (pipe_ok) {
-        ::close(fds[0]);
-        ::close(fds[1]);
-      }
-      for (size_t k = 0; k < w; ++k) {
-        ::close(ws[k].fd);
-        ::kill(ws[k].pid, SIGKILL);
-        ::waitpid(ws[k].pid, nullptr, 0);
-      }
-      throw std::runtime_error(pipe_ok
-                                   ? "run_population: fork() failed"
-                                   : "run_population: pipe() failed");
-    }
-    if (pid == 0) {
-      // Child: drop every parent-side read end so sibling EOFs work.
-      for (size_t k = 0; k < w; ++k) ::close(ws[k].fd);
-      ::close(fds[0]);
-      run_stream_worker_child(config, w, workers, fds[1]);
-    }
-    ::close(fds[1]);
-    ws[w].pid = pid;
-    ws[w].fd = fds[0];
-  }
-
-  auto reap = [](StreamWorker& w) {
-    if (w.pid <= 0 || w.reaped) return;
-    while (::waitpid(w.pid, &w.status, 0) < 0 && errno == EINTR) {
-    }
-    w.reaped = true;
-  };
-  auto kill_and_reap_all = [&] {
-    for (StreamWorker& w : ws) {
-      if (w.fd >= 0) {
-        ::close(w.fd);
-        w.fd = -1;
-      }
-      // Harmless on an already-exited child: the zombie's status is
-      // unaffected, so classification below still sees the true cause.
-      if (w.pid > 0 && !w.reaped) ::kill(w.pid, SIGKILL);
-    }
-    for (StreamWorker& w : ws) reap(w);
-  };
-  /// Why the parent will never get worker w's next record.  Order
-  /// matters: a latched stream defect beats the exit status (we may have
-  /// SIGKILLed a defective-but-alive worker ourselves).
-  auto death_reason = [](const StreamWorker& w) -> std::string {
-    if (!w.defect.empty()) return w.defect;
-    if (w.reaped && WIFSIGNALED(w.status)) {
-      return "killed by signal " + std::to_string(WTERMSIG(w.status));
-    }
-    if (w.reaped && WIFEXITED(w.status) && WEXITSTATUS(w.status) != 0) {
-      return "exited with status " + std::to_string(WEXITSTATUS(w.status));
-    }
-    if (w.end_seen) return "end marker before stripe complete";
-    return "truncated record stream";
-  };
-  auto make_death = [&](size_t widx) {
-    ShardDeath death;
-    death.worker = static_cast<int>(widx);
-    // Round-robin stripe: first owned index / one past the stripe; the
-    // stride is `workers`.
-    death.stripe_begin = widx;
-    death.stripe_end = config.sessions;
-    death.died_at = widx + ws[widx].produced * workers;
-    death.reason = death_reason(ws[widx]);
-    return death;
-  };
-
-  size_t next = 0;
-  std::optional<popgen::Population> retry_population;
-  std::optional<SessionWorkspace> retry_ws;
-  std::vector<pollfd> pfds;
-  std::vector<size_t> pfd_worker;
-  uint8_t chunk[65536];
-  auto flush = [&](size_t index, SessionRecord&& rec) {
-    if (metrics) record_session_metrics(*metrics, rec, config.collect_metrics);
-    sink.on_record(index, std::move(rec));
-  };
-
-  while (next < config.sessions) {
-    StreamWorker& cur = ws[next % workers];
-    if (!cur.ready.empty()) {
-      // Stripe-order validation guarantees the front is exactly `next`.
-      SessionRecord rec = std::move(cur.ready.front().second);
-      cur.ready.pop_front();
-      flush(next, std::move(rec));
-      ++next;
-      continue;
-    }
-    const bool no_more =
-        cur.retired || !cur.defect.empty() || cur.end_seen || cur.eof;
-    if (no_more) {
-      // Record `next` will never arrive from its worker.
-      if (!config.retry_dead_shards) {
-        // Snapshot which workers are actually dead before the cleanup
-        // SIGKILL makes everyone look signal-killed.
-        std::vector<size_t> dead;
-        for (size_t w = 0; w < workers; ++w) {
-          StreamWorker& sw = ws[w];
-          if (!sw.defect.empty() || (sw.eof && !sw.end_seen)) {
-            dead.push_back(w);
-            if (sw.fd >= 0) {
-              ::close(sw.fd);
-              sw.fd = -1;
-            }
-            reap(sw);
-          }
-        }
-        if (dead.empty()) dead.push_back(next % workers);
-        std::vector<ShardDeath> deaths;
-        deaths.reserve(dead.size());
-        for (const size_t w : dead) deaths.push_back(make_death(w));
-        kill_and_reap_all();
-        std::vector<size_t> missing;
-        missing.reserve(config.sessions - next);
-        for (size_t i = next; i < config.sessions; ++i) missing.push_back(i);
-        std::string msg = "run_population (streaming): ";
-        for (size_t d = 0; d < deaths.size(); ++d) {
-          if (d > 0) msg += "; ";
-          msg += "worker " + std::to_string(deaths[d].worker) +
-                 " (round-robin stripe " +
-                 std::to_string(deaths[d].stripe_begin) + " mod " +
-                 std::to_string(workers) + ") " + deaths[d].reason +
-                 " while on session " + std::to_string(deaths[d].died_at);
-        }
-        msg += "; " + std::to_string(next) + " of " +
-               std::to_string(config.sessions) +
-               " records already delivered to the sink";
-        materialize_crash_dumps(config, workers, metrics);
-        throw PopulationShardError(msg, std::move(deaths), {},
-                                   std::move(missing));
-      }
-      if (!cur.retired) {
-        const size_t widx = next % workers;
-        if (cur.fd >= 0) {
-          ::close(cur.fd);
-          cur.fd = -1;
-        }
-        if (cur.pid > 0 && !cur.reaped) ::kill(cur.pid, SIGKILL);
-        reap(cur);
-        WIRA_WARN("population",
-                  "stream worker " + std::to_string(widx) + " " +
-                      death_reason(cur) + " while on session " +
-                      std::to_string(widx + cur.produced * workers) +
-                      "; re-running its remaining sessions in-process");
-        cur.retired = true;
-      }
-      if (!retry_population) {
-        retry_population.emplace(config.seed * 31 + 7, config.num_groups);
-        retry_ws.emplace();
-      }
-      SessionRecord rec =
-          run_one_session(config, *retry_population, next, *retry_ws);
-      flush(next, std::move(rec));
-      ++next;
-      continue;
-    }
-
-    // Need bytes.  Poll every open worker whose decoded queue has room;
-    // the cursor's worker always qualifies (its queue is empty), so the
-    // set is never empty here.
-    pfds.clear();
-    pfd_worker.clear();
-    for (size_t w = 0; w < workers; ++w) {
-      if (ws[w].fd < 0 || ws[w].ready.size() >= kStreamReadyCap) continue;
-      pfds.push_back(pollfd{ws[w].fd, POLLIN, 0});
-      pfd_worker.push_back(w);
-    }
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
-      if (errno == EINTR) continue;
-      kill_and_reap_all();
-      throw std::runtime_error("run_population: poll() failed");
-    }
-    for (size_t p = 0; p < pfds.size(); ++p) {
-      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      StreamWorker& w = ws[pfd_worker[p]];
-      const ssize_t n = ::read(w.fd, chunk, sizeof chunk);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        ::close(w.fd);
-        w.fd = -1;
-        w.eof = true;
-        continue;
-      }
-      w.buf.insert(w.buf.end(), chunk, chunk + n);
-      parse_stream_worker(w, pfd_worker[p], workers, config.sessions);
-    }
-  }
-
-  // Every record is delivered; drain the remaining pipes to their end
-  // markers and verify each worker also *exited* cleanly, mirroring the
-  // vector path's classification.
-  for (size_t w = 0; w < workers; ++w) {
-    StreamWorker& sw = ws[w];
-    while (sw.fd >= 0) {
-      const ssize_t n = ::read(sw.fd, chunk, sizeof chunk);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        ::close(sw.fd);
-        sw.fd = -1;
-        sw.eof = true;
-        break;
-      }
-      sw.buf.insert(sw.buf.end(), chunk, chunk + n);
-      parse_stream_worker(sw, w, workers, config.sessions);
-    }
-    reap(sw);
-  }
-  std::vector<ShardDeath> deaths;
-  for (size_t w = 0; w < workers; ++w) {
-    const StreamWorker& sw = ws[w];
-    if (sw.retired) continue;  // already replaced and warned above
-    const bool dirty_exit =
-        WIFSIGNALED(sw.status) ||
-        (WIFEXITED(sw.status) && WEXITSTATUS(sw.status) != 0);
-    if (sw.defect.empty() && sw.end_seen && !dirty_exit) continue;
-    deaths.push_back(make_death(w));
-  }
-  materialize_crash_dumps(config, workers, metrics);
-  if (!deaths.empty()) {
-    std::string msg = "run_population (streaming): ";
-    for (size_t d = 0; d < deaths.size(); ++d) {
-      if (d > 0) msg += "; ";
-      msg += "worker " + std::to_string(deaths[d].worker) + " " +
-             deaths[d].reason + " after delivering its full stripe";
-    }
-    if (!config.retry_dead_shards) {
-      throw PopulationShardError(msg, std::move(deaths), {}, {});
-    }
-    WIRA_WARN("population", msg + "; all records were delivered");
-  }
-  sink.on_complete(config.sessions);
-}
+namespace internal {
 
 /// Shared sweep prologue: materialize the qlog sample directory.
 /// Non-fatal on purpose — a broken trace destination degrades to untraced
@@ -1360,19 +650,18 @@ void prepare_anomaly_dir(const PopulationConfig& config) {
   }
 }
 
-}  // namespace
+}  // namespace internal
 
 std::vector<SessionRecord> run_population(const PopulationConfig& config,
                                           obs::MetricsRegistry* metrics) {
-  prepare_trace_dir(config);
-  prepare_anomaly_dir(config);
+  internal::prepare_trace_dir(config);
+  internal::prepare_anomaly_dir(config);
   const size_t processes =
       util::ThreadPool::clamp_threads(config.processes, config.sessions);
-  if (processes > 1) {
-    // The vector multiprocess path keeps its contiguous-stripe layout:
-    // index-addressed reassembly doesn't care about arrival order, and
-    // contiguity is what gives PopulationShardError its salvage contract.
-    return run_population_multiprocess(config, metrics, processes);
+  if (!config.workers.empty() || processes > 1) {
+    // Shard dispatch (exp/shard_dispatch): pipe workers or TCP workerd
+    // endpoints, dynamic chunk scheduling, index-addressed reassembly.
+    return dispatch_population_collect(config, metrics);
   }
   CollectSink sink(config.sessions);
   run_population_streamed(config, metrics, sink);
@@ -1381,12 +670,12 @@ std::vector<SessionRecord> run_population(const PopulationConfig& config,
 
 void run_population(const PopulationConfig& config,
                     obs::MetricsRegistry* metrics, RecordSink& sink) {
-  prepare_trace_dir(config);
-  prepare_anomaly_dir(config);
+  internal::prepare_trace_dir(config);
+  internal::prepare_anomaly_dir(config);
   const size_t processes =
       util::ThreadPool::clamp_threads(config.processes, config.sessions);
-  if (processes > 1) {
-    run_population_multiprocess_stream(config, metrics, sink, processes);
+  if (!config.workers.empty() || processes > 1) {
+    dispatch_population_stream(config, metrics, sink);
     return;
   }
   run_population_streamed(config, metrics, sink);

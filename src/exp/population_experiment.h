@@ -23,6 +23,25 @@ namespace wira::exp {
 /// Sentinel for the test-only fault-injection indices below.
 inline constexpr size_t kNoSessionIndex = static_cast<size_t>(-1);
 
+/// Live dispatcher telemetry for the dynamic chunk scheduler (DESIGN.md
+/// §6).  Deliberately *not* part of MetricsRegistry: chunk-to-worker
+/// placement depends on timing, so folding it into the registry would
+/// break the byte-identity invariant.  The parent dispatcher (single
+/// threaded) updates it inline; the soak flush hook snapshots it into the
+/// flush JSONL, where wira_exporterd turns it into
+/// wira_dispatch_chunks_total{worker=...} / wira_dispatch_worker_busy.
+struct DispatchStats {
+  /// Workers actually forked/connected (empty assignments are skipped, so
+  /// this is min(requested workers, number of chunks)).
+  size_t workers_spawned = 0;
+  /// High-watermark of workers holding an in-flight chunk at once.
+  size_t busy_workers = 0;
+  /// Per-worker completed chunk count, indexed by worker id.
+  std::vector<uint64_t> chunks_completed;
+  /// Per-worker completed session count, indexed by worker id.
+  std::vector<uint64_t> sessions_completed;
+};
+
 struct PopulationConfig {
   uint64_t seed = 1;
   size_t sessions = 300;
@@ -35,13 +54,29 @@ struct PopulationConfig {
   /// Worker *processes* for the session sweep (the beyond-one-host shard
   /// unit): 1 = in-process (default; `threads` decides serial vs thread
   /// pool), 0 = one per hardware thread, N = fork exactly N workers.
-  /// Each worker runs a contiguous stripe of session indices serially
-  /// (`threads` is ignored when processes > 1) and streams serialized
-  /// records back over a pipe (exp/record_codec); per-index seeding makes
-  /// the reassembled output byte-identical to serial.  A worker that dies
-  /// (crash, signal, truncated stream) is detected and named; see
-  /// retry_dead_shards.
+  /// Workers pull index chunks (see `chunk`) from a shared queue and
+  /// stream serialized records back over a pipe (exp/record_codec);
+  /// per-index seeding and index-addressed reassembly make the output
+  /// byte-identical to serial at any worker count or chunk size.  A
+  /// worker that dies (crash, signal, truncated stream) is detected and
+  /// named; see retry_dead_shards.  `threads` is ignored when
+  /// processes > 1.
   size_t processes = 1;
+  /// Sessions per dispatch chunk for the dynamic scheduler.  Workers pull
+  /// the next chunk when idle, so one expensive stretch of indices no
+  /// longer gates the sweep the way a static stripe did.  0 = legacy
+  /// static striping (one balanced contiguous stripe per worker, no
+  /// re-dispatch) — kept as the A/B baseline for perf_smoke.
+  size_t chunk = 64;
+  /// TCP dispatch endpoints ("host:port" each, the --workers flag).  When
+  /// non-empty, `processes` is ignored and chunks are dispatched to these
+  /// wira_workerd instances over sockets instead of forked children; the
+  /// same codec, scheduler, failure taxonomy, and byte-identity contract
+  /// apply.
+  std::vector<std::string> workers;
+  /// When non-null, the dispatcher keeps this updated with live chunk
+  /// placement (soak flush hook reads it).  Not owned.
+  DispatchStats* dispatch_stats = nullptr;
   /// When a worker process dies mid-stripe: salvage its completed records
   /// and re-run only the missing indices in the parent (true), or throw a
   /// PopulationShardError carrying the salvage (false, default).
@@ -109,6 +144,18 @@ struct PopulationConfig {
   /// complete, joinable session.  Honored only in worker children.
   size_t crash_after_index = kNoSessionIndex;
   int crash_after_signal = SIGABRT;
+
+  // ---- skew / straggler injection (tests and perf_smoke only) ----
+  /// Sleep `skew_delay_us * (sessions - i) / sessions` microseconds at the
+  /// top of session i: a deterministic worst-first cost ramp that makes
+  /// static stripe 0 the straggler.  Wall-clock only — records and
+  /// metrics are untouched, so skewed runs stay byte-identical.  0 = off.
+  uint64_t skew_delay_us = 0;
+  /// Sleep `straggler_delay_us` before every session run by this worker
+  /// id (pipe children and wira_workerd alike): simulates one slow host.
+  /// kNoSessionIndex = off.
+  size_t straggler_worker = kNoSessionIndex;
+  uint64_t straggler_delay_us = 0;
 };
 
 struct SessionRecord {

@@ -1,0 +1,46 @@
+// Internal seams of the population runner, shared between
+// population_experiment.cc and the shard dispatcher (exp/shard_dispatch).
+// Everything here is an implementation detail: the functions live in
+// population_experiment.cc and keep their exact serial semantics — the
+// dispatcher reuses them so every execution mode (serial, threads, pipe
+// workers, TCP workers, salvage retry) runs the same session code.
+#pragma once
+
+#include "exp/population_experiment.h"
+
+namespace wira::obs {
+class FlightRecorder;
+}
+
+namespace wira::exp::internal {
+
+/// Simulates session `i`.  All randomness derives from (config.seed, i)
+/// and `population` is read-only, so any partition of the index space
+/// across workers reproduces the serial records bit-exactly.
+SessionRecord run_one_session(const PopulationConfig& config,
+                              const popgen::Population& population, size_t i,
+                              SessionWorkspace& ws);
+
+/// Arms the fatal-signal crash dump in a worker (pipe child or workerd):
+/// pre-opens anomaly_dir/crash_worker_<worker>.bin and installs an
+/// async-signal-safe handler that dumps the in-flight session's recorder
+/// rings before re-raising.
+void arm_crash_forensics(const PopulationConfig& config, size_t worker,
+                         const obs::FlightRecorder* recorder);
+
+/// Parent side: materializes any crash_worker_<w>.bin left by a dying
+/// worker as a joinable crash_session_<i>_<scheme> sqlog pair and counts
+/// it as `anomaly.dumps.crash`.
+void materialize_crash_dumps(const PopulationConfig& config, size_t workers,
+                             obs::MetricsRegistry* metrics);
+
+/// Sweep prologues: materialize the qlog sample / anomaly-dump
+/// directories (non-fatal on failure).  TCP workers run these themselves
+/// from the shipped config; the local entry points run them once.
+void prepare_trace_dir(const PopulationConfig& config);
+void prepare_anomaly_dir(const PopulationConfig& config);
+
+/// EINTR-safe full write; false on any other error (EPIPE = peer gone).
+bool write_all(int fd, const uint8_t* data, size_t n);
+
+}  // namespace wira::exp::internal

@@ -366,6 +366,94 @@ bool decode_metrics_registry(CodecReader& r, obs::MetricsRegistry* out) {
   return true;
 }
 
+void encode_population_config(const PopulationConfig& c, CodecWriter& w) {
+  w.u64(c.seed);
+  w.u64(c.sessions);
+  w.u64(c.num_groups);
+  w.f64(c.p_zero_rtt);
+  w.f64(c.p_cookie);
+  w.u32(static_cast<uint32_t>(c.schemes.size()));
+  for (core::Scheme s : c.schemes) w.u32(static_cast<uint32_t>(s));
+  w.u64(c.defaults.init_cwnd_exp);
+  w.i64(c.defaults.init_rtt_exp);
+  w.i64(c.staleness_threshold);
+  w.u32(c.theta_vf);
+  w.u8(static_cast<uint8_t>(c.cc_algo));
+  w.i64(c.sync_period);
+  w.boolean(c.careful_resume);
+  w.u8(static_cast<uint8_t>(c.container));
+  w.boolean(c.collect_metrics);
+  w.u64(c.trace_sample);
+  w.str(c.trace_dir);
+  w.boolean(c.flight_recorder);
+  w.str(c.anomaly_dir);
+  w.i64(c.anomaly_ffct);
+  w.u64(c.anomaly_max_dumps);
+  w.u64(c.fail_at_index);
+  w.u64(c.kill_at_index);
+  w.u64(c.crash_after_index);
+  w.i64(c.crash_after_signal);
+  w.u64(c.chunk);
+  w.u64(c.skew_delay_us);
+  w.u64(c.straggler_worker);
+  w.u64(c.straggler_delay_us);
+}
+
+bool decode_population_config(CodecReader& r, PopulationConfig* out) {
+  if (!r.u64(&out->seed) || !r.u64(&out->sessions) ||
+      !r.u64(&out->num_groups) || !r.f64(&out->p_zero_rtt) ||
+      !r.f64(&out->p_cookie)) {
+    return false;
+  }
+  uint32_t n_schemes = 0;
+  if (!r.u32(&n_schemes)) return false;
+  out->schemes.clear();
+  for (uint32_t i = 0; i < n_schemes; ++i) {
+    uint32_t s = 0;
+    if (!r.u32(&s)) return false;
+    if (s > static_cast<uint32_t>(core::Scheme::kWiraPlus)) return false;
+    out->schemes.push_back(static_cast<core::Scheme>(s));
+  }
+  uint8_t cc = 0, container = 0;
+  int64_t rtt = 0, staleness = 0, sync = 0, ffct = 0, crash_sig = 0;
+  uint64_t cwnd = 0, trace_sample = 0, max_dumps = 0;
+  uint64_t fail_at = 0, kill_at = 0, crash_after = 0;
+  uint64_t chunk = 0, skew = 0, straggler = 0, straggler_us = 0;
+  if (!r.u64(&cwnd) || !r.i64(&rtt) || !r.i64(&staleness) ||
+      !r.u32(&out->theta_vf) || !r.u8(&cc) || !r.i64(&sync) ||
+      !r.boolean(&out->careful_resume) || !r.u8(&container) ||
+      !r.boolean(&out->collect_metrics) || !r.u64(&trace_sample) ||
+      !r.str(&out->trace_dir) || !r.boolean(&out->flight_recorder) ||
+      !r.str(&out->anomaly_dir) || !r.i64(&ffct) || !r.u64(&max_dumps) ||
+      !r.u64(&fail_at) || !r.u64(&kill_at) || !r.u64(&crash_after) ||
+      !r.i64(&crash_sig) || !r.u64(&chunk) || !r.u64(&skew) ||
+      !r.u64(&straggler) || !r.u64(&straggler_us)) {
+    return false;
+  }
+  if (cc > static_cast<uint8_t>(cc::CcAlgo::kCubic)) return false;
+  if (container > static_cast<uint8_t>(media::Container::kMpegTs)) {
+    return false;
+  }
+  out->defaults.init_cwnd_exp = cwnd;
+  out->defaults.init_rtt_exp = rtt;
+  out->staleness_threshold = staleness;
+  out->cc_algo = static_cast<cc::CcAlgo>(cc);
+  out->sync_period = sync;
+  out->container = static_cast<media::Container>(container);
+  out->trace_sample = trace_sample;
+  out->anomaly_ffct = ffct;
+  out->anomaly_max_dumps = max_dumps;
+  out->fail_at_index = fail_at;
+  out->kill_at_index = kill_at;
+  out->crash_after_index = crash_after;
+  out->crash_after_signal = static_cast<int>(crash_sig);
+  out->chunk = chunk;
+  out->skew_delay_us = skew;
+  out->straggler_worker = straggler;
+  out->straggler_delay_us = straggler_us;
+  return true;
+}
+
 // ---- frame layer --------------------------------------------------------
 
 void append_stream_header(std::vector<uint8_t>& out) {
@@ -405,7 +493,7 @@ FrameStatus next_frame(std::span<const uint8_t> data, size_t* offset,
     return FrameStatus::kNeedMore;
   }
   if (type < static_cast<uint8_t>(FrameType::kSessionRecord) ||
-      type > static_cast<uint8_t>(FrameType::kEnd)) {
+      type > static_cast<uint8_t>(FrameType::kChunkAssign)) {
     return FrameStatus::kCorrupt;
   }
   if (r.remaining() < len) return FrameStatus::kNeedMore;

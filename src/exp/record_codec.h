@@ -104,12 +104,25 @@ bool decode_session_record(CodecReader& r, SessionRecord* out);
 void encode_metrics_registry(const obs::MetricsRegistry& m, CodecWriter& w);
 bool decode_metrics_registry(CodecReader& r, obs::MetricsRegistry* out);
 
+/// Workload description shipped to a remote shard worker (the kConfig
+/// control frame wira_workerd consumes).  Dispatcher-only fields —
+/// threads, processes, workers, retry_dead_shards, dispatch_stats — are
+/// *not* encoded: the receiving worker always runs its chunks serially
+/// in-process, so decode leaves those at their defaults.
+void encode_population_config(const PopulationConfig& c, CodecWriter& w);
+bool decode_population_config(CodecReader& r, PopulationConfig* out);
+
 // ---- frame layer --------------------------------------------------------
 
 enum class FrameType : uint8_t {
   kSessionRecord = 1,  ///< payload: u64 session index + SessionRecord
   kMetrics = 2,        ///< payload: MetricsRegistry
-  kEnd = 3,            ///< empty payload; clean end-of-stripe marker
+  kEnd = 3,            ///< empty payload; clean end-of-stream marker
+  // Control frames (parent → worker).  They share the frame layer with
+  // the data stream but travel on the opposite direction of the channel,
+  // so the data-stream layout — and kRecordCodecVersion — is unchanged.
+  kConfig = 4,       ///< payload: u64 worker id + PopulationConfig
+  kChunkAssign = 5,  ///< payload: u64 begin + u64 end (session indices)
 };
 
 /// Writes the stream header (magic + version) a worker emits once before

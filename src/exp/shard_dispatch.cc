@@ -1,0 +1,1081 @@
+// Dynamic chunk dispatcher over pluggable shard transports (DESIGN.md
+// §6).  See shard_dispatch.h for the scheduling and transport contracts;
+// this file holds the worker loop (shared by pipe children and
+// wira_workerd), the two channel implementations, and the collect/stream
+// dispatch drivers.
+#include "exp/shard_dispatch.h"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "exp/population_internal.h"
+#include "exp/record_codec.h"
+#include "exp/record_sink.h"
+#include "obs/metrics.h"
+#include "popgen/population.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace wira::exp {
+namespace {
+
+// The parent writes control frames to workers that may already be dead;
+// without this the resulting EPIPE raises SIGPIPE and kills the sweep
+// instead of letting the data-stream classifier name the death.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ign = {};
+    ign.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ign, &old_);
+  }
+  ~SigpipeGuard() { sigaction(SIGPIPE, &old_, nullptr); }
+
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  struct sigaction old_ = {};
+};
+
+}  // namespace
+
+std::vector<Chunk> make_chunks(size_t sessions, size_t chunk_size,
+                               size_t workers) {
+  std::vector<Chunk> chunks;
+  if (sessions == 0) return chunks;
+  if (chunk_size == 0) {
+    // Static striping: one balanced contiguous stripe per worker.
+    if (workers == 0) workers = 1;
+    const size_t base = sessions / workers;
+    const size_t extra = sessions % workers;
+    size_t at = 0;
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t len = base + (w < extra ? 1 : 0);
+      if (len == 0) continue;
+      chunks.push_back({at, at + len});
+      at += len;
+    }
+    return chunks;
+  }
+  for (size_t at = 0; at < sessions; at += chunk_size) {
+    chunks.push_back({at, std::min(sessions, at + chunk_size)});
+  }
+  return chunks;
+}
+
+namespace {
+
+// ---- worker side --------------------------------------------------------
+
+/// Incremental frame reader over a control fd (pipe read end or socket).
+class ControlReader {
+ public:
+  explicit ControlReader(int fd) : fd_(fd) {}
+
+  bool read_header() {
+    for (;;) {
+      size_t off = off_;
+      const FrameStatus st =
+          read_stream_header({buf_.data(), buf_.size()}, &off);
+      if (st == FrameStatus::kOk) {
+        off_ = off;
+        return true;
+      }
+      if (st == FrameStatus::kCorrupt) return false;
+      if (!fill()) return false;
+    }
+  }
+
+  /// Blocks for the next control frame; copies the payload out (the
+  /// buffer is compacted between frames).  False on EOF or corruption.
+  bool next(FrameType* type, std::vector<uint8_t>* payload) {
+    for (;;) {
+      size_t off = off_;
+      FrameView view;
+      const FrameStatus st = next_frame({buf_.data(), buf_.size()}, &off, &view);
+      if (st == FrameStatus::kOk) {
+        *type = view.type;
+        payload->assign(view.payload.begin(), view.payload.end());
+        off_ = off;
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(off_));
+        off_ = 0;
+        return true;
+      }
+      if (st == FrameStatus::kCorrupt) return false;
+      if (!fill()) return false;
+    }
+  }
+
+ private:
+  bool fill() {
+    uint8_t tmp[4096];
+    for (;;) {
+      const ssize_t n = read(fd_, tmp, sizeof(tmp));
+      if (n > 0) {
+        buf_.insert(buf_.end(), tmp, tmp + n);
+        return true;
+      }
+      if (n == 0) return false;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  int fd_;
+  std::vector<uint8_t> buf_;
+  size_t off_ = 0;
+};
+
+/// Shared worker loop body: `control` is already past the stream header
+/// (and, for wira_workerd, past the kConfig frame).
+int run_shard_worker_frames(const PopulationConfig& config, size_t worker,
+                            ControlReader& control, int data_fd) {
+  std::signal(SIGPIPE, SIG_IGN);
+  std::vector<uint8_t> out;
+  append_stream_header(out);
+  try {
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    SessionWorkspace ws;
+    internal::arm_crash_forensics(config, worker, &ws.flight_recorder());
+
+    bool end = false;
+    std::deque<Chunk> todo;
+    while (!end || !todo.empty()) {
+      if (todo.empty()) {
+        FrameType type;
+        std::vector<uint8_t> payload;
+        if (!control.next(&type, &payload)) return 2;
+        if (type == FrameType::kEnd) {
+          end = true;
+          continue;
+        }
+        if (type != FrameType::kChunkAssign) return 2;
+        CodecReader r({payload.data(), payload.size()});
+        uint64_t begin = 0;
+        uint64_t e = 0;
+        if (!r.u64(&begin) || !r.u64(&e) || r.remaining() != 0 || begin > e) {
+          return 2;
+        }
+        todo.push_back({static_cast<size_t>(begin), static_cast<size_t>(e)});
+        continue;
+      }
+      const Chunk chunk = todo.front();
+      todo.pop_front();
+      for (size_t i = chunk.begin; i < chunk.end; ++i) {
+        if (worker == config.straggler_worker &&
+            config.straggler_delay_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config.straggler_delay_us));
+        }
+        if (i == config.kill_at_index) {
+          // Fault injection: flush what we have (header included) so the
+          // parent sees a well-formed prefix, then die like a crash would.
+          (void)internal::write_all(data_fd, out.data(), out.size());
+          std::raise(SIGKILL);
+        }
+        const SessionRecord rec = internal::run_one_session(config, population,
+                                                            i, ws);
+        std::vector<uint8_t> payload;
+        CodecWriter w(payload);
+        w.u64(i);
+        encode_session_record(rec, w);
+        append_frame(FrameType::kSessionRecord, {payload.data(), payload.size()},
+                     out);
+        if (!internal::write_all(data_fd, out.data(), out.size())) return 3;
+        out.clear();
+        if (i == config.crash_after_index) {
+          std::raise(config.crash_after_signal);
+        }
+      }
+    }
+    append_frame(FrameType::kEnd, {}, out);
+    if (!internal::write_all(data_fd, out.data(), out.size())) return 3;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wira population worker %zu: %s\n", worker, e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "wira population worker %zu: unknown exception\n",
+                 worker);
+    return 1;
+  }
+}
+
+}  // namespace
+
+int run_shard_worker(const PopulationConfig& config, size_t worker,
+                     int control_fd, int data_fd) {
+  ControlReader control(control_fd);
+  if (!control.read_header()) return 2;
+  return run_shard_worker_frames(config, worker, control, data_fd);
+}
+
+int serve_shard_worker(int fd) {
+  ControlReader control(fd);
+  if (!control.read_header()) return 2;
+  FrameType type;
+  std::vector<uint8_t> payload;
+  if (!control.next(&type, &payload) || type != FrameType::kConfig) return 2;
+  CodecReader r({payload.data(), payload.size()});
+  uint64_t worker_id = 0;
+  PopulationConfig config;
+  if (!r.u64(&worker_id) || !decode_population_config(r, &config) ||
+      r.remaining() != 0) {
+    return 2;
+  }
+  internal::prepare_trace_dir(config);
+  internal::prepare_anomaly_dir(config);
+  return run_shard_worker_frames(config, static_cast<size_t>(worker_id),
+                                 control, fd);
+}
+
+namespace {
+
+// ---- transports ---------------------------------------------------------
+
+class PipeShardChannel : public ShardChannel {
+ public:
+  PipeShardChannel(pid_t pid, int control_fd, int data_fd)
+      : pid_(pid), control_fd_(control_fd), data_fd_(data_fd) {}
+
+  ~PipeShardChannel() override {
+    if (control_fd_ >= 0) close(control_fd_);
+    if (data_fd_ >= 0) close(data_fd_);
+    if (!reaped_) {
+      kill(pid_, SIGKILL);
+      int status = 0;
+      while (waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  int data_fd() const override { return data_fd_; }
+
+  void close_data() override {
+    if (data_fd_ >= 0) {
+      close(data_fd_);
+      data_fd_ = -1;
+    }
+  }
+
+  bool send_control(const uint8_t* data, size_t n) override {
+    if (control_fd_ < 0) return false;
+    return internal::write_all(control_fd_, data, n);
+  }
+
+  void hard_kill() override { kill(pid_, SIGKILL); }
+
+  std::string finish() override {
+    if (control_fd_ >= 0) {
+      close(control_fd_);
+      control_fd_ = -1;
+    }
+    int status = 0;
+    while (waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    reaped_ = true;
+    if (WIFSIGNALED(status)) {
+      return "killed by signal " + std::to_string(WTERMSIG(status));
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      return "exited with status " + std::to_string(WEXITSTATUS(status));
+    }
+    return "";
+  }
+
+ private:
+  pid_t pid_;
+  int control_fd_;
+  int data_fd_;
+  bool reaped_ = false;
+};
+
+class TcpShardChannel : public ShardChannel {
+ public:
+  explicit TcpShardChannel(int fd) : fd_(fd) {}
+
+  ~TcpShardChannel() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  int data_fd() const override { return fd_; }
+
+  void close_data() override {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool send_control(const uint8_t* data, size_t n) override {
+    if (fd_ < 0) return false;
+    size_t sent = 0;
+    while (sent < n) {
+      const ssize_t r = send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  // No process handle: dropping the socket is the strongest lever we
+  // have, and finish() has no exit status to report.
+  void hard_kill() override { close_data(); }
+
+  std::string finish() override { return ""; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    throw std::runtime_error("run_population: bad worker endpoint \"" +
+                             endpoint + "\" (want host:port)");
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const std::string port = endpoint.substr(colon + 1);
+
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("run_population: cannot connect to " + endpoint +
+                             ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_errno = ECONNREFUSED;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    throw std::runtime_error("run_population: cannot connect to " + endpoint +
+                             ": " + std::strerror(last_errno));
+  }
+  return std::make_unique<TcpShardChannel>(fd);
+}
+
+namespace {
+
+// ---- parent side --------------------------------------------------------
+
+struct WorkerState {
+  std::unique_ptr<ShardChannel> ch;
+  std::deque<size_t> assigned;  ///< chunk ids; front is in flight
+  size_t pos = 0;               ///< sessions completed of the front chunk
+
+  std::vector<uint8_t> buf;
+  size_t off = 0;
+  bool header_ok = false;
+  bool end_seen = false;
+  bool eof = false;
+  bool retired = false;   ///< stream mode: dead worker already handled
+  bool end_sent = false;  ///< kEnd control frame shipped
+  bool finished = false;
+  std::string defect;         ///< first stream-level defect, latched
+  std::string finish_reason;  ///< from ShardChannel::finish()
+
+  /// Parsed records not yet handed to the driver (stream mode bounds
+  /// this; collect mode drains it every pass).
+  std::deque<std::pair<size_t, SessionRecord>> ready;
+
+  // Last completed chunk, for naming deaths that happen between chunks.
+  size_t last_begin = 0;
+  size_t last_end = 0;
+};
+
+/// Stream-mode backpressure: max parsed-but-unflushed records per worker.
+constexpr size_t kStreamReadyCap = 8;
+
+class ChunkDispatcher {
+ public:
+  ChunkDispatcher(const PopulationConfig& config, obs::MetricsRegistry* metrics)
+      : config_(config), metrics_(metrics), stats_(config.dispatch_stats) {
+    const size_t requested =
+        config.workers.empty()
+            ? util::ThreadPool::clamp_threads(config.processes, config.sessions)
+            : config.workers.size();
+    chunks_ = make_chunks(config.sessions, config.chunk, requested);
+    chunk_owner_.assign(chunks_.size(), -1);
+    // S1: never materialize a worker that would get an empty assignment.
+    w_count_ = std::min(requested, chunks_.size());
+    if (stats_ != nullptr) {
+      stats_->workers_spawned = w_count_;
+      stats_->busy_workers = 0;
+      stats_->chunks_completed.assign(w_count_, 0);
+      stats_->sessions_completed.assign(w_count_, 0);
+    }
+  }
+
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+  size_t worker_count() const { return w_count_; }
+  std::vector<WorkerState>& workers() { return workers_; }
+  int owner_of(size_t chunk_id) const { return chunk_owner_[chunk_id]; }
+  void orphan_chunk(size_t chunk_id) { chunk_owner_[chunk_id] = -2; }
+  bool queue_empty() const { return next_chunk_ >= chunks_.size(); }
+
+  /// Chunk containing session index i (chunks are contiguous and sorted).
+  size_t chunk_index_of(size_t i) const {
+    size_t lo = 0;
+    size_t hi = chunks_.size();
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (chunks_[mid].begin <= i) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void spawn() {
+    workers_.resize(w_count_);
+    if (config_.workers.empty()) {
+      spawn_pipe_workers();
+    } else {
+      for (size_t w = 0; w < w_count_; ++w) {
+        workers_[w].ch = connect_tcp_worker(config_.workers[w]);
+      }
+    }
+    // Prologue + the double-buffered initial deal: two rounds of one
+    // chunk each, round-robin, so every worker starts with an in-flight
+    // chunk plus one buffered.  The round-robin order also pins chunk i
+    // -> worker i for i < W, which the death-message tests rely on.
+    for (size_t w = 0; w < w_count_; ++w) {
+      std::vector<uint8_t> prologue;
+      append_stream_header(prologue);
+      if (!config_.workers.empty()) {
+        std::vector<uint8_t> payload;
+        CodecWriter cw(payload);
+        cw.u64(static_cast<uint64_t>(w));
+        encode_population_config(config_, cw);
+        append_frame(FrameType::kConfig, {payload.data(), payload.size()},
+                     prologue);
+      }
+      workers_[w].ch->send_control(prologue.data(), prologue.size());
+    }
+    for (int round = 0; round < 2; ++round) {
+      for (size_t w = 0; w < w_count_ && next_chunk_ < chunks_.size(); ++w) {
+        assign_chunk(w, next_chunk_++);
+      }
+    }
+    for (size_t w = 0; w < w_count_; ++w) {
+      maybe_send_end(w);
+    }
+    update_busy();
+  }
+
+  void assign_chunk(size_t w, size_t chunk_id) {
+    const Chunk& c = chunks_[chunk_id];
+    std::vector<uint8_t> payload;
+    CodecWriter cw(payload);
+    cw.u64(static_cast<uint64_t>(c.begin));
+    cw.u64(static_cast<uint64_t>(c.end));
+    std::vector<uint8_t> frame;
+    append_frame(FrameType::kChunkAssign, {payload.data(), payload.size()},
+                 frame);
+    // A send failure means the worker died; the data-stream classifier
+    // will name the death, so ignore it here.
+    workers_[w].ch->send_control(frame.data(), frame.size());
+    workers_[w].assigned.push_back(chunk_id);
+    chunk_owner_[chunk_id] = static_cast<int>(w);
+  }
+
+  void maybe_send_end(size_t w) {
+    WorkerState& ws = workers_[w];
+    if (ws.end_sent || !ws.assigned.empty() || !queue_empty()) return;
+    std::vector<uint8_t> frame;
+    append_frame(FrameType::kEnd, {}, frame);
+    ws.ch->send_control(frame.data(), frame.size());
+    ws.end_sent = true;
+  }
+
+  /// Incremental parse of worker w's data buffer.  Records land in
+  /// ws.ready; chunk completions trigger the next assignment (or kEnd).
+  /// Any wire defect latches ws.defect and stops the parse.
+  void parse(size_t w) {
+    WorkerState& ws = workers_[w];
+    if (!ws.defect.empty() || ws.end_seen) return;
+    const std::span<const uint8_t> data(ws.buf.data(), ws.buf.size());
+    if (!ws.header_ok) {
+      size_t off = ws.off;
+      const FrameStatus st = read_stream_header(data, &off);
+      if (st == FrameStatus::kNeedMore) return;
+      if (st == FrameStatus::kCorrupt) {
+        ws.defect = "bad codec magic/version";
+        return;
+      }
+      ws.header_ok = true;
+      ws.off = off;
+    }
+    for (;;) {
+      size_t off = ws.off;
+      FrameView view;
+      const FrameStatus st = next_frame(data, &off, &view);
+      if (st == FrameStatus::kNeedMore) break;
+      if (st == FrameStatus::kCorrupt) {
+        ws.defect = "corrupt frame (checksum or type)";
+        return;
+      }
+      if (view.type == FrameType::kEnd) {
+        ws.off = off;
+        ws.end_seen = true;
+        if (off != ws.buf.size()) {
+          ws.defect = "trailing bytes after end marker";
+        }
+        return;
+      }
+      if (view.type == FrameType::kMetrics) {
+        ws.defect = "unexpected metrics frame";
+        return;
+      }
+      if (view.type != FrameType::kSessionRecord) {
+        ws.defect = "unexpected control frame on record stream";
+        return;
+      }
+      CodecReader r(view.payload);
+      uint64_t index = 0;
+      SessionRecord rec;
+      if (!r.u64(&index) || !decode_session_record(r, &rec) ||
+          r.remaining() != 0) {
+        ws.defect = "undecodable session record";
+        return;
+      }
+      if (ws.assigned.empty()) {
+        ws.defect = "session record outside any assignment";
+        return;
+      }
+      const Chunk& cur = chunks_[ws.assigned.front()];
+      if (index != cur.begin + ws.pos) {
+        ws.defect = "session index out of assignment order";
+        return;
+      }
+      ws.ready.emplace_back(static_cast<size_t>(index), std::move(rec));
+      ws.off = off;
+      ws.pos++;
+      if (stats_ != nullptr) stats_->sessions_completed[w]++;
+      if (ws.pos == cur.size()) {
+        ws.last_begin = cur.begin;
+        ws.last_end = cur.end;
+        ws.assigned.pop_front();
+        ws.pos = 0;
+        if (stats_ != nullptr) stats_->chunks_completed[w]++;
+        if (!queue_empty()) {
+          assign_chunk(w, next_chunk_++);
+        } else {
+          maybe_send_end(w);
+        }
+        update_busy();
+      }
+    }
+    // Compact consumed bytes so the buffer stays O(frame), not O(stream).
+    if (ws.off > 0) {
+      ws.buf.erase(ws.buf.begin(), ws.buf.begin() + static_cast<long>(ws.off));
+      ws.off = 0;
+    }
+  }
+
+  /// EOF classification: defect > transport reason > protocol state.
+  std::string death_reason(const WorkerState& ws) const {
+    if (!ws.defect.empty()) return ws.defect;
+    if (!ws.finish_reason.empty()) return ws.finish_reason;
+    if (ws.end_seen && (!ws.assigned.empty() || !ws.end_sent)) {
+      return "end marker before assignment complete";
+    }
+    if (!ws.header_ok) return "truncated record stream (no header)";
+    return "truncated record stream";
+  }
+
+  bool worker_dirty(const WorkerState& ws) const {
+    return !ws.defect.empty() || !ws.finish_reason.empty() ||
+           !ws.end_seen || !ws.assigned.empty();
+  }
+
+  /// Names the death: in-flight chunk if one exists, else the last chunk
+  /// the worker completed (death between chunks / after its assignment).
+  ShardDeath make_death(size_t w) const {
+    const WorkerState& ws = workers_[w];
+    ShardDeath d;
+    d.worker = static_cast<int>(w);
+    if (!ws.assigned.empty()) {
+      const Chunk& c = chunks_[ws.assigned.front()];
+      d.stripe_begin = c.begin;
+      d.stripe_end = c.end;
+      d.died_at = c.begin + ws.pos;
+    } else {
+      d.stripe_begin = ws.last_begin;
+      d.stripe_end = ws.last_end;
+      d.died_at = ws.last_end;
+    }
+    d.reason = death_reason(ws);
+    return d;
+  }
+
+  void update_busy() {
+    if (stats_ == nullptr) return;
+    size_t busy = 0;
+    for (const WorkerState& ws : workers_) {
+      if (!ws.retired && !ws.eof && !ws.assigned.empty()) busy++;
+    }
+    stats_->busy_workers = std::max(stats_->busy_workers, busy);
+  }
+
+  size_t take_next_chunk() { return next_chunk_++; }
+
+ private:
+  void spawn_pipe_workers() {
+    std::vector<int> parent_fds;  // earlier workers' parent-side fds
+    for (size_t w = 0; w < w_count_; ++w) {
+      int cfds[2];  // parent writes control -> child reads
+      int dfds[2];  // child writes data -> parent reads
+      if (pipe(cfds) != 0) {
+        throw std::runtime_error("run_population: pipe() failed");
+      }
+      if (pipe(dfds) != 0) {
+        close(cfds[0]);
+        close(cfds[1]);
+        throw std::runtime_error("run_population: pipe() failed");
+      }
+      const pid_t pid = fork();
+      if (pid < 0) {
+        close(cfds[0]);
+        close(cfds[1]);
+        close(dfds[0]);
+        close(dfds[1]);
+        throw std::runtime_error("run_population: fork() failed");
+      }
+      if (pid == 0) {
+        // Child: drop every parent-side fd inherited across fork so a
+        // sibling's EOF is not held open by us.
+        for (const int fd : parent_fds) close(fd);
+        close(cfds[1]);
+        close(dfds[0]);
+        _Exit(run_shard_worker(config_, w, cfds[0], dfds[1]));
+      }
+      close(cfds[0]);
+      close(dfds[1]);
+      parent_fds.push_back(cfds[1]);
+      parent_fds.push_back(dfds[0]);
+      workers_[w].ch =
+          std::make_unique<PipeShardChannel>(pid, cfds[1], dfds[0]);
+    }
+  }
+
+  const PopulationConfig& config_;
+  obs::MetricsRegistry* metrics_;
+  DispatchStats* stats_;
+  std::vector<Chunk> chunks_;
+  std::vector<int> chunk_owner_;  ///< -1 unassigned, -2 orphaned, else worker
+  std::vector<WorkerState> workers_;
+  size_t w_count_ = 0;
+  size_t next_chunk_ = 0;
+};
+
+/// Reads whatever is available on worker w's data fd into its buffer.
+/// Returns false on EOF (fd stays open; caller closes).
+bool drain_fd(WorkerState& ws) {
+  uint8_t tmp[65536];
+  const ssize_t n = read(ws.ch->data_fd(), tmp, sizeof(tmp));
+  if (n > 0) {
+    ws.buf.insert(ws.buf.end(), tmp, tmp + n);
+    return true;
+  }
+  if (n < 0 && (errno == EINTR || errno == EAGAIN)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<SessionRecord> dispatch_population_collect(
+    const PopulationConfig& config, obs::MetricsRegistry* metrics) {
+  std::vector<SessionRecord> records(config.sessions);
+  std::vector<uint8_t> have(config.sessions, 0);
+  if (config.sessions == 0) return records;
+
+  SigpipeGuard sigpipe_guard;
+  ChunkDispatcher disp(config, metrics);
+  disp.spawn();
+  auto& workers = disp.workers();
+  const size_t w_count = disp.worker_count();
+
+  auto drain_ready = [&](WorkerState& ws) {
+    while (!ws.ready.empty()) {
+      auto& [idx, rec] = ws.ready.front();
+      records[idx] = std::move(rec);
+      have[idx] = 1;
+      ws.ready.pop_front();
+    }
+  };
+
+  size_t open_fds = w_count;
+  while (open_fds > 0) {
+    std::vector<struct pollfd> pfds;
+    std::vector<size_t> owner;
+    for (size_t w = 0; w < w_count; ++w) {
+      if (workers[w].eof || workers[w].ch->data_fd() < 0) continue;
+      pfds.push_back({workers[w].ch->data_fd(), POLLIN, 0});
+      owner.push_back(w);
+    }
+    if (pfds.empty()) break;
+    const int rc = poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const size_t w = owner[p];
+      WorkerState& ws = workers[w];
+      if (!drain_fd(ws)) {
+        ws.eof = true;
+        ws.ch->close_data();
+        open_fds--;
+        continue;
+      }
+      disp.parse(w);
+      drain_ready(ws);
+      if (!ws.defect.empty()) {
+        // A corrupt stream never recovers: stop the worker and move on.
+        ws.ch->hard_kill();
+        ws.ch->close_data();
+        ws.eof = true;
+        open_fds--;
+      }
+    }
+  }
+
+  // Reap everything and classify.
+  std::vector<ShardDeath> deaths;
+  for (size_t w = 0; w < w_count; ++w) {
+    WorkerState& ws = workers[w];
+    disp.parse(w);
+    drain_ready(ws);
+    ws.finish_reason = ws.ch->finish();
+    ws.finished = true;
+    if (disp.worker_dirty(ws)) {
+      deaths.push_back(disp.make_death(w));
+    }
+  }
+  disp.update_busy();
+
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < config.sessions; ++i) {
+    if (have[i] == 0) missing.push_back(i);
+  }
+
+  internal::materialize_crash_dumps(
+      config, std::max(w_count, static_cast<size_t>(1)), metrics);
+
+  if (!deaths.empty() || !missing.empty()) {
+    if (deaths.empty()) {
+      // Shouldn't happen (missing implies a dirty worker), but don't
+      // lose records over it.
+      ShardDeath d;
+      d.worker = 0;
+      d.reason = "incomplete record set";
+      deaths.push_back(d);
+    }
+    std::string msg = "run_population: ";
+    for (size_t d = 0; d < deaths.size(); ++d) {
+      if (d > 0) msg += "; ";
+      msg += "worker " + std::to_string(deaths[d].worker) + " (sessions [" +
+             std::to_string(deaths[d].stripe_begin) + "," +
+             std::to_string(deaths[d].stripe_end) + ")) " + deaths[d].reason +
+             " while on session " + std::to_string(deaths[d].died_at);
+    }
+    msg += "; salvaged " + std::to_string(config.sessions - missing.size()) +
+           " of " + std::to_string(config.sessions) + " records";
+    if (!config.retry_dead_shards) {
+      throw PopulationShardError(msg, std::move(deaths), std::move(records),
+                                 std::move(missing));
+    }
+    WIRA_WARN("population",
+              msg + "; retrying " + std::to_string(missing.size()) +
+                  " missing session(s) in-process");
+    popgen::Population population(config.seed * 31 + 7, config.num_groups);
+    SessionWorkspace ws;
+    for (const size_t i : missing) {
+      records[i] = internal::run_one_session(config, population, i, ws);
+    }
+  }
+
+  if (metrics != nullptr) {
+    for (size_t i = 0; i < config.sessions; ++i) {
+      record_session_metrics(*metrics, records[i], config.collect_metrics);
+    }
+  }
+  return records;
+}
+
+void dispatch_population_stream(const PopulationConfig& config,
+                                obs::MetricsRegistry* metrics,
+                                RecordSink& sink) {
+  if (config.sessions == 0) {
+    sink.on_complete(0);
+    return;
+  }
+
+  SigpipeGuard sigpipe_guard;
+  ChunkDispatcher disp(config, metrics);
+  disp.spawn();
+  auto& workers = disp.workers();
+  const size_t w_count = disp.worker_count();
+
+  // Lazy in-process fallback for orphaned chunks under retry.
+  std::optional<popgen::Population> retry_population;
+  std::unique_ptr<SessionWorkspace> retry_ws;
+
+  auto flush = [&](size_t i, SessionRecord&& rec) {
+    if (metrics != nullptr) {
+      record_session_metrics(*metrics, rec, config.collect_metrics);
+    }
+    sink.on_record(i, std::move(rec));
+  };
+
+  auto live_worker_exists = [&]() {
+    for (const WorkerState& ws : workers) {
+      if (!ws.retired && !ws.eof && ws.defect.empty()) return true;
+    }
+    return false;
+  };
+
+  // Waits for data on any worker that still has headroom; returns false
+  // when nothing can make progress (every candidate dead or capped).
+  auto pump = [&]() -> bool {
+    std::vector<struct pollfd> pfds;
+    std::vector<size_t> owner;
+    for (size_t w = 0; w < w_count; ++w) {
+      const WorkerState& ws = workers[w];
+      if (ws.retired || ws.eof || ws.ch->data_fd() < 0) continue;
+      if (!ws.defect.empty()) continue;
+      if (ws.ready.size() >= kStreamReadyCap) continue;
+      pfds.push_back({ws.ch->data_fd(), POLLIN, 0});
+      owner.push_back(w);
+    }
+    if (pfds.empty()) return false;
+    const int rc = poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) return true;
+      return false;
+    }
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const size_t w = owner[p];
+      WorkerState& ws = workers[w];
+      if (!drain_fd(ws)) {
+        ws.eof = true;
+        ws.ch->close_data();
+        continue;
+      }
+      disp.parse(w);
+    }
+    return true;
+  };
+
+  size_t delivered = 0;
+
+  // Fails the sweep: snapshot every dead worker, reap everything, and
+  // throw with the streaming contract (delivered records are gone).
+  auto fail_sweep = [&](size_t dead_hint) {
+    std::vector<ShardDeath> deaths;
+    for (size_t w = 0; w < w_count; ++w) {
+      WorkerState& ws = workers[w];
+      if (ws.retired) continue;
+      if (!ws.finished) {
+        ws.ch->hard_kill();
+        ws.ch->close_data();
+        ws.finish_reason = ws.ch->finish();
+        ws.finished = true;
+      }
+      // Only report workers that actually died; healthy ones were just
+      // killed by us for cleanup.
+      if (!ws.defect.empty() || (ws.eof && !ws.end_seen)) {
+        deaths.push_back(disp.make_death(w));
+      }
+    }
+    if (deaths.empty()) deaths.push_back(disp.make_death(dead_hint));
+    std::vector<size_t> missing;
+    for (size_t i = delivered; i < config.sessions; ++i) missing.push_back(i);
+    internal::materialize_crash_dumps(
+        config, std::max(w_count, static_cast<size_t>(1)), metrics);
+    const ShardDeath& d = deaths.front();
+    std::string msg =
+        "run_population (streaming): worker " + std::to_string(d.worker) +
+        " (sessions [" + std::to_string(d.stripe_begin) + "," +
+        std::to_string(d.stripe_end) + ")) " + d.reason + " while on session " +
+        std::to_string(d.died_at) + "; " + std::to_string(delivered) + " of " +
+        std::to_string(config.sessions) +
+        " records already delivered to the sink";
+    throw PopulationShardError(msg, std::move(deaths), {}, std::move(missing));
+  };
+
+  // Retires a dead worker under retry: orphan its chunks and keep going.
+  auto retire_worker = [&](size_t w) {
+    WorkerState& ws = workers[w];
+    ws.ch->hard_kill();
+    ws.ch->close_data();
+    if (!ws.finished) {
+      ws.finish_reason = ws.ch->finish();
+      ws.finished = true;
+    }
+    const ShardDeath d = disp.make_death(w);
+    WIRA_WARN("population",
+              "stream worker " + std::to_string(d.worker) + " " + d.reason +
+                  " while on session " + std::to_string(d.died_at) +
+                  "; re-running its remaining sessions in-process");
+    for (const size_t chunk_id : ws.assigned) {
+      disp.orphan_chunk(chunk_id);
+    }
+    ws.assigned.clear();
+    ws.ready.clear();
+    ws.retired = true;
+    disp.update_busy();
+  };
+
+  auto run_inprocess = [&](size_t i) {
+    if (!retry_population.has_value()) {
+      retry_population.emplace(config.seed * 31 + 7, config.num_groups);
+      retry_ws = std::make_unique<SessionWorkspace>();
+    }
+    return internal::run_one_session(config, *retry_population, i, *retry_ws);
+  };
+
+  size_t next = 0;
+  while (next < config.sessions) {
+    const size_t cid = disp.chunk_index_of(next);
+    const int owner = disp.owner_of(cid);
+    if (owner >= 0) {
+      WorkerState& ws = workers[static_cast<size_t>(owner)];
+      if (!ws.ready.empty() && ws.ready.front().first == next) {
+        flush(next, std::move(ws.ready.front().second));
+        ws.ready.pop_front();
+        ++next;
+        ++delivered;
+        continue;
+      }
+      const bool dead = ws.retired || !ws.defect.empty() ||
+                        (ws.eof && ws.ready.empty());
+      if (dead) {
+        if (!config.retry_dead_shards) {
+          fail_sweep(static_cast<size_t>(owner));
+        }
+        if (!ws.retired) retire_worker(static_cast<size_t>(owner));
+        // The cursor's chunk is now orphaned; next iteration handles it.
+        continue;
+      }
+      if (!pump()) {
+        // No pollable candidate can make progress: the cursor's owner is
+        // stuck.  Treat it as dead.
+        if (!config.retry_dead_shards) {
+          fail_sweep(static_cast<size_t>(owner));
+        }
+        if (!workers[static_cast<size_t>(owner)].retired) {
+          retire_worker(static_cast<size_t>(owner));
+        }
+      }
+      continue;
+    }
+    if (owner == -2) {
+      // Orphaned chunk: run the cursor's session in-process (retry mode
+      // only ever orphans chunks).
+      SessionRecord rec = run_inprocess(next);
+      flush(next, std::move(rec));
+      ++next;
+      ++delivered;
+      continue;
+    }
+    // Unassigned (-1): every chunk before cid is flushed (hence
+    // assigned), so cid is the queue head.  Defensive path — a live
+    // worker's chunk completion would have claimed it — but if nothing
+    // can make progress, run it in-process rather than spin.
+    if (live_worker_exists() && pump()) continue;
+    if (!config.retry_dead_shards) fail_sweep(0);
+    disp.take_next_chunk();
+    disp.orphan_chunk(cid);
+  }
+
+  // Drain tails: every live worker should deliver its end marker.
+  for (size_t w = 0; w < w_count; ++w) {
+    WorkerState& ws = workers[w];
+    if (ws.retired) continue;
+    while (!ws.eof && ws.defect.empty() && !ws.end_seen) {
+      if (!drain_fd(ws)) {
+        ws.eof = true;
+        break;
+      }
+      disp.parse(w);
+    }
+    ws.ch->close_data();
+    if (!ws.finished) {
+      ws.finish_reason = ws.ch->finish();
+      ws.finished = true;
+    }
+  }
+
+  // Post-sweep classification: a worker that delivered every record but
+  // exited dirty still fails the sweep (unless retrying — the records
+  // are all delivered, so there is nothing to re-run).
+  std::vector<ShardDeath> tail_deaths;
+  for (size_t w = 0; w < w_count; ++w) {
+    WorkerState& ws = workers[w];
+    if (ws.retired) continue;
+    if (disp.worker_dirty(ws)) {
+      tail_deaths.push_back(disp.make_death(w));
+    }
+  }
+  internal::materialize_crash_dumps(
+      config, std::max(w_count, static_cast<size_t>(1)), metrics);
+  if (!tail_deaths.empty()) {
+    std::string msg = "run_population (streaming): ";
+    for (size_t d = 0; d < tail_deaths.size(); ++d) {
+      if (d > 0) msg += "; ";
+      msg += "worker " + std::to_string(tail_deaths[d].worker) + " " +
+             tail_deaths[d].reason + " after delivering its full assignment";
+    }
+    if (!config.retry_dead_shards) {
+      throw PopulationShardError(msg, std::move(tail_deaths), {}, {});
+    }
+    WIRA_WARN("population", msg + "; all records were delivered");
+  }
+  sink.on_complete(config.sessions);
+}
+
+}  // namespace wira::exp

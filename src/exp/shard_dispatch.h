@@ -1,0 +1,125 @@
+// Fleet-scale population dispatch (DESIGN.md §6): dynamic chunk
+// scheduling over pluggable shard transports.
+//
+// Scheduling: the parent cuts the session index space [0, sessions) into
+// contiguous chunks (PopulationConfig::chunk indices each; 0 = legacy
+// static striping, one balanced stripe per worker) and keeps a queue of
+// unassigned chunks.  Every worker holds at most two outstanding chunk
+// assignments — one in flight, one buffered so the worker never idles
+// between chunks — and receives the next queue chunk the moment its
+// in-flight chunk completes.  Stragglers therefore stop gating the
+// sweep: a slow worker simply pulls fewer chunks.  Reassembly is
+// index-addressed and per-session seeding depends only on
+// (config.seed, index), so stdout, metrics JSONL, and merged registries
+// are byte-identical to serial at any worker count or chunk size.
+//
+// Transport: a ShardChannel abstracts the parent<->worker byte streams.
+//   - pipe (default, config.processes): fork; the child inherits the
+//     config, a control pipe carries chunk assignments, a data pipe
+//     carries record frames back.  waitpid gives exact death diagnoses
+//     ("killed by signal 9", "exited with status 1").
+//   - tcp (config.workers = {"host:port", ...}): connect to wira_workerd
+//     daemons; one bidirectional socket carries a kConfig frame plus
+//     assignments out and record frames back.  No exit status exists, so
+//     a dead daemon is diagnosed from its stream state ("truncated
+//     record stream", ...).
+//
+// Both directions speak exp/record_codec frames: control streams are
+// [header][kConfig?][kChunkAssign...][kEnd], data streams are
+// [header][kSessionRecord...][kEnd] — the same wire format, failure
+// taxonomy (PopulationShardError, retry_dead_shards) and salvage
+// contract as the PR 5 pipe runner.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/population_experiment.h"
+
+namespace wira::exp {
+
+class RecordSink;
+
+/// One contiguous range of session indices the scheduler dispatches as a
+/// unit.
+struct Chunk {
+  size_t begin = 0;
+  size_t end = 0;  ///< one past the last index
+
+  size_t size() const { return end - begin; }
+};
+
+/// Cuts [0, sessions) into dispatch chunks.  chunk_size > 0: fixed-size
+/// chunks (the last one short).  chunk_size == 0: static striping — one
+/// balanced contiguous stripe per worker, empties skipped — which under
+/// the at-most-two-outstanding scheduler degenerates to exactly the old
+/// static assignment (every worker gets its one stripe up front and no
+/// re-dispatch ever happens): the A/B baseline for perf_smoke.
+std::vector<Chunk> make_chunks(size_t sessions, size_t chunk_size,
+                               size_t workers);
+
+/// One parent<->worker byte channel.  The dispatcher only needs: a
+/// readable fd for record frames, a control-frame writer, a hard-kill
+/// lever for cleanup, and a terminal classification.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// Fd the worker's record stream arrives on (poll()-able).
+  virtual int data_fd() const = 0;
+  /// Closes the parent-side read end (idempotent).
+  virtual void close_data() = 0;
+  /// Ships control bytes (assignments / end marker).  Failure means the
+  /// worker is gone; its death is classified from the data stream.
+  virtual bool send_control(const uint8_t* data, size_t n) = 0;
+  /// Forcibly terminates the worker (cleanup after a defect).  Harmless
+  /// on an already-dead worker.
+  virtual void hard_kill() = 0;
+  /// Reaps the worker and returns a dirty-exit reason ("killed by signal
+  /// 9", "exited with status 3") or "" when the transport has no exit
+  /// status (TCP) or the exit was clean.  Call at most once, after EOF.
+  virtual std::string finish() = 0;
+};
+
+/// Connects to a wira_workerd endpoint ("host:port").  Throws
+/// std::runtime_error on resolve/connect failure.
+std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint);
+
+/// Shard worker loop, shared by forked pipe children and wira_workerd:
+/// reads kChunkAssign/kEnd control frames from control_fd, runs each
+/// assigned chunk through the serial session code, and streams one
+/// kSessionRecord frame per completed session (plus a final kEnd) to
+/// data_fd.  Returns the worker exit code: 0 clean, 1 a session threw,
+/// 2 control-protocol violation, 3 data write failed (parent gone).
+/// Honors the fault-injection and straggler hooks in `config`.
+int run_shard_worker(const PopulationConfig& config, size_t worker,
+                     int control_fd, int data_fd);
+
+/// wira_workerd connection handler: reads the control header and the
+/// kConfig frame (worker id + PopulationConfig) from `fd`, prepares the
+/// trace/anomaly directories, then delegates to run_shard_worker with
+/// the socket as both control and data stream.  Returns its exit code
+/// (2 on a config/handshake violation).
+int serve_shard_worker(int fd);
+
+/// Multi-worker sweep, collect mode: spawns/connects workers (pipes when
+/// config.workers is empty, TCP otherwise), dispatches chunks, and
+/// returns the index-addressed records.  Metrics (when requested) are
+/// folded from the reassembled records in index order — bit-identical to
+/// the serial fold by construction.  Throws PopulationShardError on
+/// worker death unless config.retry_dead_shards.
+std::vector<SessionRecord> dispatch_population_collect(
+    const PopulationConfig& config, obs::MetricsRegistry* metrics);
+
+/// Streaming-sink mode: same dispatcher, but records flush to `sink` in
+/// strictly increasing index order as soon as the cursor's record
+/// arrives, holding O(workers · chunk) records at any instant.  Failure
+/// semantics follow the streaming contract: delivered records cannot be
+/// recalled, so a no-retry death throws with empty `salvaged`.
+void dispatch_population_stream(const PopulationConfig& config,
+                                obs::MetricsRegistry* metrics,
+                                RecordSink& sink);
+
+}  // namespace wira::exp

@@ -85,6 +85,30 @@ bool parse_flush_line(std::string_view line, FlushSummary* out,
           trigger, static_cast<uint64_t>(count.number));
     }
   }
+  if (const JsonValue* dispatch =
+          doc.find("dispatch", JsonValue::Kind::kObject)) {
+    const JsonValue* busy = dispatch->find("busy", JsonValue::Kind::kNumber);
+    if (busy == nullptr) {
+      *error = "dispatch block has no busy count";
+      return false;
+    }
+    out->dispatch_busy = static_cast<uint64_t>(busy->number);
+    const JsonValue* chunks =
+        dispatch->find("chunks", JsonValue::Kind::kObject);
+    if (chunks == nullptr) {
+      *error = "dispatch block has no chunks object";
+      return false;
+    }
+    for (const auto& [worker, count] : chunks->object) {
+      if (!count.is_number()) {
+        *error = "dispatch chunk count for worker \"" + worker +
+                 "\" is not a number";
+        return false;
+      }
+      out->dispatch_chunks.emplace_back(
+          worker, static_cast<uint64_t>(count.number));
+    }
+  }
   const JsonValue* schemes = doc.find("schemes", JsonValue::Kind::kObject);
   if (schemes == nullptr) {
     *error = "flush line has no schemes object";
@@ -188,6 +212,18 @@ std::string ExporterState::render() const {
       for (const auto& [trigger, count] : flush.anomaly_dumps) {
         b.sample("wira_anomaly_dumps_total", {{"trigger", trigger}}, count);
       }
+    }
+    if (!flush.dispatch_chunks.empty()) {
+      b.family("wira_dispatch_chunks_total", "counter",
+               "dispatch chunks completed, by worker id");
+      for (const auto& [worker, count] : flush.dispatch_chunks) {
+        b.sample("wira_dispatch_chunks_total", {{"worker", worker}}, count);
+      }
+    }
+    if (flush.dispatch_busy.has_value()) {
+      b.family("wira_dispatch_worker_busy", "gauge",
+               "high-watermark of workers holding an in-flight chunk");
+      b.sample("wira_dispatch_worker_busy", {}, *flush.dispatch_busy);
     }
     if (!flush.schemes.empty()) {
       b.family("wira_soak_scheme_sessions_total", "counter", "");

@@ -65,6 +65,12 @@ struct FlushSummary {
   /// with cumulative counts; absent from clean runs.  Lexicographic by
   /// trigger name (the writer's order).
   std::vector<std::pair<std::string, uint64_t>> anomaly_dumps;
+  /// Chunk-scheduler telemetry from the soak flush hook (the "dispatch"
+  /// extra): busy-worker high-watermark and per-worker completed chunk
+  /// counts, keyed by worker id rendered as a string.  Absent from
+  /// single-process runs.
+  std::optional<uint64_t> dispatch_busy;
+  std::vector<std::pair<std::string, uint64_t>> dispatch_chunks;
   /// Lexicographic by scheme name (the writer's order).
   std::vector<std::pair<std::string, FlushSchemeSummary>> schemes;
 };

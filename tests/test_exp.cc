@@ -344,7 +344,8 @@ TEST(Harness, MultiprocessMetricsMatchSerialExactly) {
 TEST(Harness, MultiprocessDeadWorkerIsNamedAndSalvaged) {
   PopulationConfig cfg = small_config(23);
   cfg.sessions = 12;
-  cfg.processes = 2;     // stripes [0,6) and [6,12)
+  cfg.processes = 2;
+  cfg.chunk = 6;         // chunks [0,6) and [6,12), dealt to workers 0/1
   cfg.kill_at_index = 9; // worker 1 dies after streaming 6..8
   try {
     run_population(cfg);
@@ -392,6 +393,7 @@ TEST(Harness, MultiprocessWorkerExceptionIsNamed) {
   PopulationConfig cfg = small_config(23);
   cfg.sessions = 12;
   cfg.processes = 2;
+  cfg.chunk = 6;  // chunks [0,6) and [6,12), dealt to workers 0/1
   cfg.fail_at_index = 7;
   try {
     run_population(cfg);
@@ -420,7 +422,8 @@ void expect_joinable_crash_dump(int signal, const char* tag) {
 
   PopulationConfig cfg = small_config(23);
   cfg.sessions = 12;
-  cfg.processes = 2;  // stripes [0,6) and [6,12)
+  cfg.processes = 2;
+  cfg.chunk = 6;  // chunks [0,6) and [6,12), dealt to workers 0/1
   cfg.anomaly_dir = dir.string();
   cfg.crash_after_index = 9;
   cfg.crash_after_signal = signal;
@@ -484,6 +487,7 @@ TEST(Harness, MultiprocessRetryDeadShardsCompletesIdentically) {
   const auto serial_records = run_population(cfg, &serial);
 
   cfg.processes = 2;
+  cfg.chunk = 6;
   cfg.kill_at_index = 9;
   cfg.retry_dead_shards = true;
   obs::MetricsRegistry retried;

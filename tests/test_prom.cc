@@ -298,6 +298,60 @@ TEST(ExporterStateTest, RendersAnomalyDumpCounters) {
             std::string::npos);
 }
 
+TEST(ExporterStateTest, ParsesDispatchTelemetry) {
+  FlushSummary summary;
+  std::string error;
+  ASSERT_TRUE(parse_flush_line(
+      "{\"sessions\":100,\"final\":false,"
+      "\"dispatch\":{\"busy\":3,\"chunks\":{\"0\":5,\"1\":7,\"2\":4}},"
+      "\"schemes\":{\"Wira\":{\"sessions\":100}}}",
+      &summary, &error))
+      << error;
+  ASSERT_TRUE(summary.dispatch_busy.has_value());
+  EXPECT_EQ(*summary.dispatch_busy, 3u);
+  ASSERT_EQ(summary.dispatch_chunks.size(), 3u);
+  EXPECT_EQ(summary.dispatch_chunks[0].first, "0");
+  EXPECT_EQ(summary.dispatch_chunks[0].second, 5u);
+  EXPECT_EQ(summary.dispatch_chunks[1].second, 7u);
+  EXPECT_EQ(summary.dispatch_chunks[2].second, 4u);
+  // A dispatch block missing its chunks object is a malformed line.
+  EXPECT_FALSE(parse_flush_line(
+      "{\"sessions\":1,\"final\":false,\"dispatch\":{\"busy\":1},"
+      "\"schemes\":{}}",
+      &summary, &error));
+  // A non-numeric chunk count is too.
+  EXPECT_FALSE(parse_flush_line(
+      "{\"sessions\":1,\"final\":false,"
+      "\"dispatch\":{\"busy\":1,\"chunks\":{\"0\":\"five\"}},"
+      "\"schemes\":{}}",
+      &summary, &error));
+}
+
+TEST(ExporterStateTest, RendersDispatchFamilies) {
+  ExporterState state;
+  state.ingest(
+      "{\"sessions\":100,\"final\":false,"
+      "\"dispatch\":{\"busy\":3,\"chunks\":{\"0\":5,\"1\":7}},"
+      "\"schemes\":{\"Wira\":{\"sessions\":100}}}\n");
+  const std::string text = state.render();
+  EXPECT_NE(text.find("# TYPE wira_dispatch_chunks_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wira_dispatch_chunks_total{worker=\"0\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wira_dispatch_chunks_total{worker=\"1\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE wira_dispatch_worker_busy gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wira_dispatch_worker_busy 3\n"), std::string::npos);
+  // Single-process runs carry no dispatch block and render no family.
+  ExporterState clean;
+  clean.ingest(
+      "{\"sessions\":5,\"final\":true,\"schemes\":{\"Wira\":"
+      "{\"sessions\":5}}}\n");
+  EXPECT_EQ(clean.render().find("wira_dispatch"), std::string::npos);
+}
+
 // Satellite: build identity and uptime are injectable, so the rendering is
 // golden-testable without a clock or a git checkout.
 TEST(ExporterStateTest, RenderGoldenBuildInfoAndUptime) {

@@ -415,5 +415,196 @@ TEST(Frames, GarbageStreamRejected) {
   EXPECT_EQ(read_stream_header(garbage, &off), FrameStatus::kCorrupt);
 }
 
+// ---- PopulationConfig codec (the kConfig frame wira_workerd consumes) ---
+
+// Every encoded field set to a distinctive non-default value.
+PopulationConfig sample_population_config() {
+  PopulationConfig c;
+  c.seed = 0x1122334455667788ull;
+  c.sessions = 4097;
+  c.num_groups = 17;
+  c.p_zero_rtt = 0.125;
+  c.p_cookie = 0.875;
+  c.schemes = {core::Scheme::kWira, core::Scheme::kBaseline};
+  c.defaults.init_cwnd_exp = 23;
+  c.defaults.init_rtt_exp = -456789;
+  c.staleness_threshold = 987654321;
+  c.theta_vf = 3;
+  c.cc_algo = cc::CcAlgo::kCubic;
+  c.sync_period = 13579;
+  c.careful_resume = true;
+  c.container = media::Container::kMpegTs;
+  c.collect_metrics = true;
+  c.trace_sample = 7;
+  c.trace_dir = "/tmp/wira-traces";
+  c.flight_recorder = false;
+  c.anomaly_dir = "/tmp/wira-anomalies";
+  c.anomaly_ffct = 1234567;
+  c.anomaly_max_dumps = 5;
+  c.fail_at_index = 11;
+  c.kill_at_index = 12;
+  c.crash_after_index = 13;
+  c.crash_after_signal = SIGTERM;
+  c.chunk = 5;
+  c.skew_delay_us = 250;
+  c.straggler_worker = 2;
+  c.straggler_delay_us = 777;
+  return c;
+}
+
+TEST(PopulationConfigCodec, RoundTripIsBitExact) {
+  const PopulationConfig orig = sample_population_config();
+  std::vector<uint8_t> encoded;
+  CodecWriter w(encoded);
+  encode_population_config(orig, w);
+
+  CodecReader r(encoded);
+  PopulationConfig decoded;
+  ASSERT_TRUE(decode_population_config(r, &decoded));
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Re-encoding the decode must reproduce the exact bytes: every field
+  // the codec carries round-trips losslessly.
+  std::vector<uint8_t> reencoded;
+  CodecWriter w2(reencoded);
+  encode_population_config(decoded, w2);
+  EXPECT_EQ(encoded, reencoded);
+
+  EXPECT_EQ(decoded.seed, orig.seed);
+  EXPECT_EQ(decoded.sessions, orig.sessions);
+  EXPECT_EQ(decoded.schemes, orig.schemes);
+  EXPECT_EQ(decoded.cc_algo, orig.cc_algo);
+  EXPECT_EQ(decoded.container, orig.container);
+  EXPECT_EQ(decoded.trace_dir, orig.trace_dir);
+  EXPECT_EQ(decoded.anomaly_dir, orig.anomaly_dir);
+  EXPECT_EQ(decoded.kill_at_index, orig.kill_at_index);
+  EXPECT_EQ(decoded.chunk, orig.chunk);
+  EXPECT_EQ(decoded.straggler_worker, orig.straggler_worker);
+  EXPECT_EQ(decoded.straggler_delay_us, orig.straggler_delay_us);
+}
+
+TEST(PopulationConfigCodec, DispatcherOnlyFieldsAreNotShipped) {
+  // threads/processes/workers/retry_dead_shards steer the *dispatcher*;
+  // the worker always runs its chunks serially, so they must not leak
+  // into the wire image.
+  PopulationConfig a = sample_population_config();
+  PopulationConfig b = a;
+  b.threads = 8;
+  b.processes = 4;
+  b.workers = {"127.0.0.1:9999"};
+  b.retry_dead_shards = true;
+  std::vector<uint8_t> ea, eb;
+  CodecWriter wa(ea), wb(eb);
+  encode_population_config(a, wa);
+  encode_population_config(b, wb);
+  EXPECT_EQ(ea, eb);
+}
+
+TEST(PopulationConfigCodec, RejectsOutOfRangeEnums) {
+  {
+    PopulationConfig c = sample_population_config();
+    c.schemes = {static_cast<core::Scheme>(200)};
+    std::vector<uint8_t> enc;
+    CodecWriter w(enc);
+    encode_population_config(c, w);
+    CodecReader r(enc);
+    PopulationConfig out;
+    EXPECT_FALSE(decode_population_config(r, &out));
+  }
+  {
+    PopulationConfig c = sample_population_config();
+    c.cc_algo = static_cast<cc::CcAlgo>(9);
+    std::vector<uint8_t> enc;
+    CodecWriter w(enc);
+    encode_population_config(c, w);
+    CodecReader r(enc);
+    PopulationConfig out;
+    EXPECT_FALSE(decode_population_config(r, &out));
+  }
+  {
+    PopulationConfig c = sample_population_config();
+    c.container = static_cast<media::Container>(7);
+    std::vector<uint8_t> enc;
+    CodecWriter w(enc);
+    encode_population_config(c, w);
+    CodecReader r(enc);
+    PopulationConfig out;
+    EXPECT_FALSE(decode_population_config(r, &out));
+  }
+}
+
+TEST(PopulationConfigCodec, RejectsTruncationAtEveryPrefix) {
+  std::vector<uint8_t> encoded;
+  CodecWriter w(encoded);
+  encode_population_config(sample_population_config(), w);
+  for (size_t keep = 0; keep < encoded.size(); ++keep) {
+    const std::span<const uint8_t> cut(encoded.data(), keep);
+    CodecReader r(cut);
+    PopulationConfig out;
+    EXPECT_FALSE(decode_population_config(r, &out)) << keep;
+  }
+}
+
+// ---- control frames (dispatcher -> worker direction) --------------------
+
+TEST(Frames, ControlFramesRoundTrip) {
+  std::vector<uint8_t> stream;
+  append_stream_header(stream);
+  {
+    std::vector<uint8_t> payload;
+    CodecWriter w(payload);
+    w.u64(3);  // worker id
+    encode_population_config(sample_population_config(), w);
+    append_frame(FrameType::kConfig, payload, stream);
+  }
+  {
+    std::vector<uint8_t> payload;
+    CodecWriter w(payload);
+    w.u64(128);
+    w.u64(192);
+    append_frame(FrameType::kChunkAssign, payload, stream);
+  }
+  append_frame(FrameType::kEnd, {}, stream);
+
+  size_t off = 0;
+  ASSERT_EQ(read_stream_header(stream, &off), FrameStatus::kOk);
+  FrameView frame;
+  ASSERT_EQ(next_frame(stream, &off, &frame), FrameStatus::kOk);
+  ASSERT_EQ(frame.type, FrameType::kConfig);
+  {
+    CodecReader r(frame.payload);
+    uint64_t worker = 0;
+    PopulationConfig cfg;
+    ASSERT_TRUE(r.u64(&worker));
+    ASSERT_TRUE(decode_population_config(r, &cfg));
+    EXPECT_EQ(worker, 3u);
+    EXPECT_EQ(cfg.sessions, 4097u);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+  ASSERT_EQ(next_frame(stream, &off, &frame), FrameStatus::kOk);
+  ASSERT_EQ(frame.type, FrameType::kChunkAssign);
+  {
+    CodecReader r(frame.payload);
+    uint64_t b = 0, e = 0;
+    ASSERT_TRUE(r.u64(&b));
+    ASSERT_TRUE(r.u64(&e));
+    EXPECT_EQ(b, 128u);
+    EXPECT_EQ(e, 192u);
+  }
+  ASSERT_EQ(next_frame(stream, &off, &frame), FrameStatus::kOk);
+  EXPECT_EQ(frame.type, FrameType::kEnd);
+  EXPECT_EQ(off, stream.size());
+}
+
+TEST(Frames, UnknownFrameTypeIsCorrupt) {
+  std::vector<uint8_t> stream;
+  append_stream_header(stream);
+  append_frame(static_cast<FrameType>(6), {}, stream);
+  size_t off = 0;
+  ASSERT_EQ(read_stream_header(stream, &off), FrameStatus::kOk);
+  FrameView frame;
+  EXPECT_EQ(next_frame(stream, &off, &frame), FrameStatus::kCorrupt);
+}
+
 }  // namespace
 }  // namespace wira::exp

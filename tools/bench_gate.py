@@ -22,6 +22,13 @@ Guarded metrics and their default budgets:
                         skipped with a note, and runs with a different
                         --procs count are only comparable to themselves in
                         practice since the default is fixed at 2).
+  sessions_per_sec_dyn  The skewed-cost dynamic-dispatch datapoint (chunk
+                        scheduler routing work around an injected cost
+                        ramp).  Unlike _nt/_np it is gated even on
+                        single-core hosts: the injected sleeps dominate
+                        and overlap across worker processes, so the
+                        number measures the scheduler, not parallel
+                        compute speedup.
 
   ffct_ms.<scheme>      relative, --budget-ffct (default 0.02): fail when
                         current > median * (1 + budget).  The simulation
@@ -74,6 +81,7 @@ GATED_THROUGHPUT = [
     "sessions_per_sec_1t",
     "sessions_per_sec_nt",
     "sessions_per_sec_np",
+    "sessions_per_sec_dyn",
 ]
 
 
@@ -292,6 +300,7 @@ def self_test(args):
             "sessions_per_sec_1t": sps,
             "sessions_per_sec_nt": sps * 1.8,
             "sessions_per_sec_np": sps * 1.7,
+            "sessions_per_sec_dyn": sps * 0.6,
             "metrics_overhead": overhead,
             "allocs_per_session": allocs,
             "ffct_ms": {"Baseline": ffct * 1.1, "Wira": ffct},
@@ -318,6 +327,13 @@ def self_test(args):
          {**rec(), "sessions_per_sec_np": 40.0 * 1.7}, 1),
         ("procs datapoint absent from run is skipped",
          {k: v for k, v in rec().items() if k != "sessions_per_sec_np"}, 0),
+        ("20% dyn dispatch sessions/sec regression fails",
+         {**rec(), "sessions_per_sec_dyn": 40.0 * 0.6}, 1),
+        ("dyn dispatch datapoint absent from run is skipped",
+         {k: v for k, v in rec().items() if k != "sessions_per_sec_dyn"}, 0),
+        ("single-core host still gates the dyn dispatch datapoint",
+         {**rec(), "hardware_concurrency": 1,
+          "sessions_per_sec_dyn": 40.0 * 0.6}, 1),
         ("throughput improvement passes", rec(sps=70.0), 0),
         ("5% mean FFCT regression fails", rec(ffct=157.5), 1),
         ("FFCT improvement passes", rec(ffct=120.0), 0),

@@ -76,4 +76,41 @@ kill "${exporter_pid}"
 wait "${exporter_pid}"
 trap - EXIT
 echo "sanitized exporter scrape passed"
+
+# Loopback socket-dispatch sweep under the sanitizers: two wira_workerd
+# daemons serve the fig11 sweep over --workers TCP at two chunk sizes.
+# This runs the whole shard transport (connect, kConfig handshake,
+# chunk assignment, record reassembly) with ASan watching both ends —
+# the daemons are sanitized binaries too — and the stdout + metrics
+# JSONL must be byte-identical to the serial run.
+"${build_dir}/tools/wira_workerd" --listen 0 \
+  --port-file "${build_dir}/workerd1.port" &
+workerd1_pid=$!
+"${build_dir}/tools/wira_workerd" --listen 0 \
+  --port-file "${build_dir}/workerd2.port" &
+workerd2_pid=$!
+trap 'kill "${workerd1_pid}" "${workerd2_pid}" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  [[ -s "${build_dir}/workerd1.port" && -s "${build_dir}/workerd2.port" ]] \
+    && break
+  sleep 0.1
+done
+wport1="$(cat "${build_dir}/workerd1.port")"
+wport2="$(cat "${build_dir}/workerd2.port")"
+"${build_dir}/bench/fig11_overall" 40 3 \
+  --metrics-out "${build_dir}/fig11_serial_metrics.jsonl" \
+  > "${build_dir}/fig11_serial.txt"
+for chunk in 1 8; do
+  "${build_dir}/bench/fig11_overall" 40 3 --chunk "${chunk}" \
+    --workers "127.0.0.1:${wport1},127.0.0.1:${wport2}" \
+    --metrics-out "${build_dir}/fig11_tcp_metrics.jsonl" \
+    > "${build_dir}/fig11_tcp.txt"
+  diff "${build_dir}/fig11_serial.txt" "${build_dir}/fig11_tcp.txt"
+  diff "${build_dir}/fig11_serial_metrics.jsonl" \
+    "${build_dir}/fig11_tcp_metrics.jsonl"
+done
+kill "${workerd1_pid}" "${workerd2_pid}"
+wait "${workerd1_pid}" "${workerd2_pid}" || true
+trap - EXIT
+echo "sanitized loopback dispatch sweep passed"
 echo "sanitizer gate passed"

@@ -1,0 +1,149 @@
+// wira_workerd: population shard worker daemon (DESIGN.md §6).
+//
+// Listens on a TCP port and serves run_population dispatchers that were
+// started with --workers host:port,...  Each connection is one sweep
+// membership: the dispatcher ships a kConfig frame (worker id + the full
+// PopulationConfig), then kChunkAssign frames as this worker's chunks
+// come up, and the daemon streams one kSessionRecord frame back per
+// completed session over the same socket (exp/serve_shard_worker — the
+// exact worker loop the forked pipe children run).
+//
+// Connections are served sequentially *in-process*, not forked: the
+// daemon owns one session workspace per connection and, crucially, a
+// sweep's fault injection (kill_at_index) kills the daemon itself — a
+// dead endpoint is precisely what the dispatcher's failure taxonomy and
+// the kill-one-workerd tests need to observe.
+//
+//   wira_workerd --listen 0 --port-file /tmp/worker.port
+//   wira_workerd --listen 9701 --once   # serve one sweep, then exit
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/shard_dispatch.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string port_file;
+  uint16_t listen = 0;  ///< 0 = kernel-assigned ephemeral port
+  bool once = false;    ///< serve a single connection, then exit
+};
+
+[[noreturn]] void usage(const char* prog, const char* msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: %s [--listen PORT] [--port-file FILE] [--once]\n",
+               msg, prog);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(arg, flag) != 0) return nullptr;
+      if (i + 1 >= argc) usage(argv[0], "flag needs a value");
+      return argv[++i];
+    };
+    if (const char* v = value("--listen")) {
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || port > 65535) {
+        usage(argv[0], "--listen must be a port number (0-65535)");
+      }
+      a.listen = static_cast<uint16_t>(port);
+    } else if (const char* v = value("--port-file")) {
+      a.port_file = v;
+    } else if (std::strcmp(arg, "--once") == 0) {
+      a.once = true;
+    } else {
+      usage(argv[0], "unknown argument");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("wira_workerd: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(args.listen);
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 8) != 0) {
+    std::perror("wira_workerd: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&bound),
+                &bound_len);
+  const unsigned port = ntohs(bound.sin_port);
+
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "wira_workerd: cannot write %s\n",
+                   args.port_file.c_str());
+      ::close(listen_fd);
+      return 1;
+    }
+    std::fprintf(f, "%u\n", port);
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "wira_workerd: listening on 127.0.0.1:%u\n", port);
+
+  int exit_code = 0;
+  while (g_stop == 0) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    // In-process on purpose: see the file header.
+    const int code = wira::exp::serve_shard_worker(conn);
+    ::close(conn);
+    if (code != 0) {
+      std::fprintf(stderr, "wira_workerd: connection ended with code %d\n",
+                   code);
+    }
+    if (args.once) {
+      exit_code = code;
+      break;
+    }
+  }
+  ::close(listen_fd);
+  return exit_code;
+}
