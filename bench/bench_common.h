@@ -51,6 +51,10 @@ struct Args {
   size_t chunk = 64;
   /// Comma-separated wira_workerd endpoints; empty = fork pipe workers.
   std::string workers;
+  /// TCP connect budget per --workers endpoint (ms); an endpoint that is
+  /// unreachable inside it becomes a dead shard instead of hanging the
+  /// sweep.
+  int connect_timeout_ms = 5000;
   /// Salvage + re-run sessions lost to a dead worker process.
   bool retry_dead_shards = false;
   /// Per-session JSONL metrics file; empty = metrics collection off.
@@ -76,7 +80,8 @@ inline bool parse_u64(const char* s, uint64_t* out) {
   std::fprintf(stderr,
                "error: %s\nusage: %s [sessions] [seed] [--threads N] "
                "[--procs N] [--chunk N] [--workers host:port,...] "
-               "[--retry-dead-shards] [--metrics-out FILE] "
+               "[--connect-timeout-ms N] [--retry-dead-shards] "
+               "[--metrics-out FILE] "
                "[--trace-sample N] [--trace-dir DIR]\n",
                msg, prog);
   std::exit(2);
@@ -162,6 +167,16 @@ inline Args parse_args(int argc, char** argv) {
       a.workers = val;
       continue;
     }
+    if (const char* val = flag_value("--connect-timeout-ms", argc, argv, &i)) {
+      uint64_t v = 0;
+      // 0 is meaningful: fall back to the kernel's own connect timeout.
+      if (!parse_u64(val, &v) || v > 3600000) {
+        usage_error(argv[0],
+                    "--connect-timeout-ms must be an integer (0-3600000)");
+      }
+      a.connect_timeout_ms = static_cast<int>(v);
+      continue;
+    }
     if (std::strcmp(arg, "--retry-dead-shards") == 0) {
       a.retry_dead_shards = true;
       continue;
@@ -229,6 +244,7 @@ inline exp::PopulationConfig default_population(const Args& a) {
       at = comma + 1;
     }
   }
+  cfg.connect_timeout_ms = a.connect_timeout_ms;
   cfg.retry_dead_shards = a.retry_dead_shards;
   cfg.collect_metrics = !a.metrics_out.empty();
   cfg.trace_sample = a.trace_sample;

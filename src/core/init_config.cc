@@ -1,6 +1,7 @@
 #include "core/init_config.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace wira::core {
 
@@ -14,6 +15,30 @@ const char* scheme_name(Scheme s) {
     case Scheme::kWiraPlus: return "Wira+";
   }
   return "?";
+}
+
+const char* scheme_token(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "baseline";
+    case Scheme::kWiraFF: return "wira_ff";
+    case Scheme::kWiraHx: return "wira_hx";
+    case Scheme::kWira: return "wira";
+    case Scheme::kUserGroup: return "user_group";
+    case Scheme::kWiraPlus: return "wira_plus";
+  }
+  return "?";
+}
+
+bool scheme_from_token(const char* token, Scheme* out) {
+  for (const Scheme s :
+       {Scheme::kBaseline, Scheme::kWiraFF, Scheme::kWiraHx, Scheme::kWira,
+        Scheme::kUserGroup, Scheme::kWiraPlus}) {
+    if (std::strcmp(token, scheme_token(s)) == 0) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {

@@ -29,6 +29,13 @@ enum class Scheme { kBaseline, kWiraFF, kWiraHx, kWira, kUserGroup,
 
 const char* scheme_name(Scheme s);
 
+/// CLI-safe lowercase token ("baseline", "wira_ff", "wira_hx", "wira",
+/// "user_group", "wira_plus") — what wira_proxyd/wira_loadgen flags and
+/// port files use; scheme_name() stays the display form.
+const char* scheme_token(Scheme s);
+/// Parses a scheme_token; false on an unknown token.
+bool scheme_from_token(const char* token, Scheme* out);
+
 /// Fleet-wide experienced values obtained from A/B tests (§IV-C): the
 /// paper sets init_cwnd_exp to the one-week average FF_Size and
 /// init_RTT_exp to the one-week average MinRTT, then validates both by

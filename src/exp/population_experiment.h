@@ -74,6 +74,13 @@ struct PopulationConfig {
   /// same codec, scheduler, failure taxonomy, and byte-identity contract
   /// apply.
   std::vector<std::string> workers;
+  /// Per-endpoint TCP connect budget for `workers` (non-blocking connect
+  /// + poll).  An endpoint that cannot be reached inside this budget is a
+  /// dead shard — named in the failure taxonomy and salvaged by
+  /// retry_dead_shards — instead of hanging the sweep for the kernel's
+  /// SYN-retry default (minutes).  Parent-side only: never encoded into
+  /// the kConfig frame, so the record stream stays byte-identical.
+  int connect_timeout_ms = 5000;
   /// When non-null, the dispatcher keeps this updated with live chunk
   /// placement (soak flush hook reads it).  Not owned.
   DispatchStats* dispatch_stats = nullptr;

@@ -5,6 +5,7 @@
 // dispatch drivers.
 #include "exp/shard_dispatch.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -350,9 +351,76 @@ class TcpShardChannel : public ShardChannel {
   int fd_;
 };
 
+/// Stand-in channel for an endpoint that never came up: no fd, no
+/// worker, just the stored connect failure.  The dispatcher's normal
+/// EOF/reap path turns finish() into a ShardDeath, which is exactly how
+/// a worker that died mid-sweep is handled — an unreachable worker is
+/// the same failure, observed earlier.
+class DeadShardChannel final : public ShardChannel {
+ public:
+  explicit DeadShardChannel(std::string reason) : reason_(std::move(reason)) {}
+
+  int data_fd() const override { return -1; }
+  void close_data() override {}
+  bool send_control(const uint8_t*, size_t) override { return false; }
+  void hard_kill() override {}
+  std::string finish() override { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+/// Non-blocking connect bounded by timeout_ms (<=0 = kernel default).
+/// Returns a connected fd (restored to blocking mode) or -1 with
+/// *last_errno / *timed_out describing the failure.
+int connect_with_timeout(const struct addrinfo* ai, int timeout_ms,
+                         int* last_errno, bool* timed_out) {
+  const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+  if (fd < 0) {
+    *last_errno = errno;
+    return -1;
+  }
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0 && flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      *timed_out = true;
+      close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (ready < 0 ||
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      so_error = errno;
+    }
+    if (so_error != 0) {
+      *last_errno = so_error;
+      close(fd);
+      return -1;
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    *last_errno = errno;
+    close(fd);
+    return -1;
+  }
+  // The shard channel's control writes and the drain loop assume a
+  // blocking fd; only the connect itself runs non-blocking.
+  if (flags >= 0) fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
 }  // namespace
 
-std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint) {
+std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint,
+                                                 int connect_timeout_ms) {
   const size_t colon = endpoint.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == endpoint.size()) {
@@ -368,26 +436,25 @@ std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint) {
   struct addrinfo* res = nullptr;
   const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
   if (rc != 0) {
-    throw std::runtime_error("run_population: cannot connect to " + endpoint +
-                             ": " + gai_strerror(rc));
+    return std::make_unique<DeadShardChannel>(
+        "cannot resolve " + endpoint + ": " + gai_strerror(rc));
   }
   int fd = -1;
   int last_errno = ECONNREFUSED;
+  bool timed_out = false;
   for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) {
-      last_errno = errno;
-      continue;
-    }
-    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_errno = errno;
-    close(fd);
-    fd = -1;
+    fd = connect_with_timeout(ai, connect_timeout_ms, &last_errno, &timed_out);
+    if (fd >= 0) break;
   }
   freeaddrinfo(res);
   if (fd < 0) {
-    throw std::runtime_error("run_population: cannot connect to " + endpoint +
-                             ": " + std::strerror(last_errno));
+    if (timed_out) {
+      return std::make_unique<DeadShardChannel>(
+          "connect to " + endpoint + " timed out after " +
+          std::to_string(connect_timeout_ms) + " ms");
+    }
+    return std::make_unique<DeadShardChannel>(
+        "cannot connect to " + endpoint + ": " + std::strerror(last_errno));
   }
   return std::make_unique<TcpShardChannel>(fd);
 }
@@ -472,7 +539,13 @@ class ChunkDispatcher {
       spawn_pipe_workers();
     } else {
       for (size_t w = 0; w < w_count_; ++w) {
-        workers_[w].ch = connect_tcp_worker(config_.workers[w]);
+        workers_[w].ch = connect_tcp_worker(config_.workers[w],
+                                            config_.connect_timeout_ms);
+        // An endpoint that never came up is EOF from the first poll:
+        // marking it here routes it through the same dead-shard
+        // classification a mid-sweep death takes, without waiting for
+        // every live worker to finish first.
+        if (workers_[w].ch->data_fd() < 0) workers_[w].eof = true;
       }
     }
     // Prologue + the double-buffered initial deal: two rounds of one

@@ -83,9 +83,15 @@ class ShardChannel {
   virtual std::string finish() = 0;
 };
 
-/// Connects to a wira_workerd endpoint ("host:port").  Throws
-/// std::runtime_error on resolve/connect failure.
-std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint);
+/// Connects to a wira_workerd endpoint ("host:port") with a non-blocking
+/// connect bounded by `connect_timeout_ms` (<=0 = no bound).  Throws
+/// std::runtime_error only on a malformed endpoint (a config error);
+/// resolve/connect failures and timeouts return a dead channel whose
+/// data_fd() is -1 and whose finish() names the failure, so the
+/// dispatcher's shard-death taxonomy classifies the endpoint and
+/// retry_dead_shards can salvage its sessions.
+std::unique_ptr<ShardChannel> connect_tcp_worker(const std::string& endpoint,
+                                                 int connect_timeout_ms);
 
 /// Shard worker loop, shared by forked pipe children and wira_workerd:
 /// reads kChunkAssign/kEnd control frames from control_fd, runs each

@@ -1,0 +1,62 @@
+// Clock abstraction for running session objects against real time
+// (DESIGN.md §6).
+//
+// Everything in src/quic, src/app and src/cc reads time as TimeNs — in
+// simulation that is the EventLoop's virtual nanosecond clock.  The real
+// runtime (net::EpollRuntime) keeps the *same* loop synchronized to
+// CLOCK_MONOTONIC, so session objects run unmodified in both worlds:
+//
+//   world      timebase                     who advances it
+//   ---------  ---------------------------  ---------------------------
+//   simulated  virtual ns from 0            EventLoop::run/run_until
+//   real       raw CLOCK_MONOTONIC ns       EpollRuntime (run_until(now))
+//
+// Clock is the read-side of that contract: LoopClock reads the loop's
+// clock (exact in simulation, poll-batch granular in real time) and
+// MonotonicClock reads the kernel clock directly (for timestamping
+// events *between* loop advances — e.g. a datagram's true receive time).
+// MonotonicClock is deliberately offset-free: every process on a host
+// shares the CLOCK_MONOTONIC epoch, which is what makes cross-process
+// sqlog pairs (wira_proxyd + wira_loadgen) joinable by obs/trace_join
+// without clock reconciliation.
+#pragma once
+
+#include <ctime>
+
+#include "sim/event_loop.h"
+#include "util/units.h"
+
+namespace wira::net {
+
+/// Read-only time source.  Implementations must be monotone
+/// non-decreasing and share a timebase with the EventLoop that drives
+/// the session (see file header).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs now() const = 0;
+};
+
+/// The driving loop's clock: exact in simulation; in real time it lags
+/// the kernel clock by at most one poll dispatch.
+class LoopClock final : public Clock {
+ public:
+  explicit LoopClock(const sim::EventLoop& loop) : loop_(loop) {}
+  TimeNs now() const override { return loop_.now(); }
+
+ private:
+  const sim::EventLoop& loop_;
+};
+
+/// Raw CLOCK_MONOTONIC nanoseconds.
+class MonotonicClock final : public Clock {
+ public:
+  static TimeNs raw_now() {
+    timespec ts{};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<TimeNs>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+  TimeNs now() const override { return raw_now(); }
+};
+
+}  // namespace wira::net

@@ -1,0 +1,168 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wira::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Resolves addr (IPv4) into *out; false + *error on failure.
+bool resolve_v4(const std::string& addr, uint16_t port, sockaddr_in* out,
+                std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(addr.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr ||
+      res->ai_addrlen > sizeof(sockaddr_in)) {
+    if (error != nullptr) {
+      *error = "resolve " + addr + ": " +
+               (rc != 0 ? ::gai_strerror(rc) : "not an IPv4 address");
+    }
+    if (res != nullptr) ::freeaddrinfo(res);
+    return false;
+  }
+  std::memcpy(out, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  out->sin_port = htons(port);
+  return true;
+}
+
+}  // namespace
+
+std::string PeerAddr::file_tag() const {
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &sa.sin_addr, ip, sizeof(ip));
+  std::string tag = ip;
+  for (char& c : tag) {
+    if (c == '.') c = '-';
+  }
+  tag += '_';
+  tag += std::to_string(ntohs(sa.sin_port));
+  return tag;
+}
+
+std::string PeerAddr::display() const {
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &sa.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpSocket::open_bound(const std::string& addr, uint16_t port,
+                           int rcvbuf_bytes, std::string* error) {
+  close();
+  sockaddr_in sa{};
+  if (!resolve_v4(addr, port, &sa, error)) return false;
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      !set_nonblocking(fd_)) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool UdpSocket::open_connected(const std::string& addr, uint16_t port,
+                               std::string* error) {
+  close();
+  sockaddr_in sa{};
+  if (!resolve_v4(addr, port, &sa, error)) return false;
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      !set_nonblocking(fd_)) {
+    if (error != nullptr) {
+      *error = std::string("connect: ") + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+PeerAddr UdpSocket::local_addr() const {
+  PeerAddr p;
+  socklen_t len = sizeof(p.sa);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&p.sa), &len);
+  return p;
+}
+
+uint16_t UdpSocket::local_port() const {
+  return ntohs(local_addr().sa.sin_port);
+}
+
+void UdpSocket::send(std::span<const uint8_t> datagram) {
+  (void)::send(fd_, datagram.data(), datagram.size(), 0);
+}
+
+void UdpSocket::send_to(const PeerAddr& peer,
+                        std::span<const uint8_t> datagram) {
+  (void)::sendto(fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&peer.sa),
+                 sizeof(peer.sa));
+}
+
+ssize_t UdpSocket::recv_from(uint8_t* buf, size_t cap, PeerAddr* peer) {
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t n =
+        ::recvfrom(fd_, buf, cap, 0,
+                   peer != nullptr ? reinterpret_cast<sockaddr*>(&sa) : nullptr,
+                   peer != nullptr ? &len : nullptr);
+    if (n >= 0) {
+      if (peer != nullptr) peer->sa = sa;
+      return n;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN = drained; ECONNREFUSED and friends (connected sockets
+    // surface async ICMP errors here) are transient — treat both as
+    // "nothing to read now".
+    return -1;
+  }
+}
+
+}  // namespace wira::net

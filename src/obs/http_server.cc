@@ -165,6 +165,7 @@ void MiniHttpServer::conn_ready(int fd, uint32_t events) {
   }
   if (!conn.responding && (events & EPOLLIN) != 0) {
     char chunk[4096];
+    bool peer_eof = false;
     for (;;) {
       const ssize_t n = ::read(fd, chunk, sizeof chunk);
       if (n < 0) {
@@ -173,16 +174,22 @@ void MiniHttpServer::conn_ready(int fd, uint32_t events) {
         close_conn(fd);
         return;
       }
-      if (n == 0) {  // peer closed before a full request
-        close_conn(fd);
-        return;
+      if (n == 0) {  // FIN: no more request bytes will arrive
+        peer_eof = true;
+        break;
       }
       conn.in.append(chunk, static_cast<size_t>(n));
       if (conn.in.size() > kMaxRequestBytes) break;
     }
     const bool oversized = conn.in.size() > kMaxRequestBytes;
     if (oversized || conn.in.find("\r\n\r\n") != std::string::npos) {
+      // A half-close after a complete request is a legal one-shot HTTP
+      // exchange (the client signals "done sending" and waits for the
+      // body); the response must still go out on the intact write half.
       make_response(fd, conn);
+    } else if (peer_eof) {
+      close_conn(fd);  // peer closed before a full request
+      return;
     }
   }
   if (conn.responding && (events & (EPOLLOUT | EPOLLIN)) != 0) {
@@ -191,13 +198,26 @@ void MiniHttpServer::conn_ready(int fd, uint32_t events) {
                                 conn.out.size() - conn.out_off);
       if (n < 0) {
         if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // next poll
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // The kernel send buffer is full behind a slow reader.  Re-arm
+          // write interest before parking: the fd must be watched for
+          // EPOLLOUT or the pending response would never drain.
+          arm_write(fd);
+          return;  // next poll
+        }
         break;
       }
       conn.out_off += static_cast<size_t>(n);
     }
     close_conn(fd);
   }
+}
+
+void MiniHttpServer::arm_write(int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
 }
 
 void MiniHttpServer::make_response(int fd, Conn& conn) {
@@ -236,10 +256,7 @@ void MiniHttpServer::make_response(int fd, Conn& conn) {
   // Switch interest to writability; the caller falls through to the write
   // branch in this same conn_ready pass (its event mask includes EPOLLIN),
   // so scrape responses that fit the socket buffer complete immediately.
-  epoll_event ev{};
-  ev.events = EPOLLOUT;
-  ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  arm_write(fd);
 }
 
 void MiniHttpServer::close_conn(int fd) {

@@ -61,6 +61,9 @@ class MiniHttpServer {
   void accept_ready();
   void conn_ready(int fd, uint32_t events);
   void make_response(int fd, Conn& conn);
+  /// Switches the fd's epoll interest to EPOLLOUT so a pending response
+  /// keeps draining once the peer's receive window reopens.
+  void arm_write(int fd);
   void close_conn(int fd);
 
   int epoll_fd_ = -1;

@@ -31,7 +31,7 @@ void Connection::connect(const ClientConnectOptions& opts) {
     become_established();
   } else {
     // Inchoate CHLO: expect REJ carrying the server config.
-    chlo_sent_time_ = loop_.now();
+    chlo_sent_time_ = now();
     send_crypto_message(chlo, PacketType::kInitial);
   }
 }
@@ -97,7 +97,7 @@ void Connection::handle_client_hello(const HandshakeMessage& chlo) {
     rej.set(kTagSCID, server_opts_.server_config_id);
     rej.set_str(kTagSCFG, "scfg-v1");
     rej_sent_ = true;
-    rej_sent_time_ = loop_.now();
+    rej_sent_time_ = now();
     send_crypto_message(rej, PacketType::kInitial);
     return;
   }
@@ -107,7 +107,7 @@ void Connection::handle_client_hello(const HandshakeMessage& chlo) {
     // 1-RTT: the REJ -> full-CHLO exchange measures the path RTT before
     // any payload is sent (§VI: "1-RTT connections can obtain the
     // accurate MinRTT").
-    stats_.handshake_rtt = loop_.now() - rej_sent_time_;
+    stats_.handshake_rtt = now() - rej_sent_time_;
     rtt_.seed(stats_.handshake_rtt);
     zero_rtt_ = false;
   } else {
@@ -126,7 +126,7 @@ void Connection::handle_rej(const HandshakeMessage& rej) {
   const auto scid = rej.get(kTagSCID);
   if (scid.empty()) return;
   if (chlo_sent_time_ != kNoTime) {
-    rtt_.on_sample(loop_.now() - chlo_sent_time_, 0);
+    rtt_.on_sample(now() - chlo_sent_time_, 0);
   }
   // A REJ after a 0-RTT attempt means the cached config was stale: retry
   // with the fresh one (any 0-RTT data already queued is retransmitted by
@@ -225,10 +225,10 @@ void Connection::schedule_pump_at(TimeNs when) {
 
 void Connection::pump() {
   if (closed_ || !established_) return;
-  pacer_.on_idle(loop_.now());
+  pacer_.on_idle(now());
   while (has_pending_stream_data()) {
     if (bytes_in_flight_ >= cc_->congestion_window()) return;
-    if (!pacer_.can_send(loop_.now())) {
+    if (!pacer_.can_send(now())) {
       schedule_pump_at(pacer_.next_release_time());
       return;
     }
@@ -297,7 +297,7 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
   const bool retransmittable = packet.retransmittable();
   SentPacketInfo& info =
       retransmittable ? acquire_sent_slot(pn) : scratch_sent_info_;
-  info.sent_time = loop_.now();
+  info.sent_time = now();
   info.retransmittable = retransmittable;
   info.stream_refs.clear();
   info.crypto_data.clear();
@@ -322,11 +322,11 @@ PacketNumber Connection::send_packet(Packet packet, bool bypass_pacer) {
 
   if (retransmittable) {
     stats_.data_packets_sent++;
-    sampler_.on_packet_sent(loop_.now(), pn, info.bytes, bytes_in_flight_);
+    sampler_.on_packet_sent(now(), pn, info.bytes, bytes_in_flight_);
     bytes_in_flight_ += info.bytes;
-    cc_->on_packet_sent(loop_.now(), pn, info.bytes, bytes_in_flight_, true);
+    cc_->on_packet_sent(now(), pn, info.bytes, bytes_in_flight_, true);
     if (!bypass_pacer) {
-      pacer_.on_packet_sent(loop_.now(), info.bytes, cc_->pacing_rate());
+      pacer_.on_packet_sent(now(), info.bytes, cc_->pacing_rate());
     }
     arm_pto();
   }
@@ -379,7 +379,7 @@ void Connection::on_datagram(std::span<const uint8_t> data) {
   if (retransmittable) {
     unacked_retransmittable_++;
     if (oldest_unacked_recv_time_ == kNoTime) {
-      oldest_unacked_recv_time_ = loop_.now();
+      oldest_unacked_recv_time_ = now();
     }
     maybe_send_ack(out_of_order ||
                    unacked_retransmittable_ >= config_.ack_packet_tolerance);
@@ -403,7 +403,7 @@ void Connection::maybe_send_ack(bool immediate) {
 void Connection::send_ack_now() {
   TimeNs delay = 0;
   if (oldest_unacked_recv_time_ != kNoTime) {
-    delay = loop_.now() - oldest_unacked_recv_time_;
+    delay = now() - oldest_unacked_recv_time_;
   }
   Packet p(&loop_.arena());
   p.type = PacketType::kOneRtt;
@@ -424,7 +424,7 @@ void Connection::handle_ack(const AckFrame& ack) {
   cc::CongestionEvent& event = scratch_event_;
   event.acked.clear();
   event.lost.clear();
-  event.now = loop_.now();
+  event.now = now();
   event.prior_bytes_in_flight = bytes_in_flight_;
   event.bandwidth_sample = 0;
   event.app_limited_sample = false;
@@ -450,7 +450,7 @@ void Connection::handle_ack(const AckFrame& ack) {
       largest_newly_acked = pn;
       largest_sent_time = info.sent_time;
     }
-    const auto sample = sampler_.on_packet_acked(loop_.now(), pn);
+    const auto sample = sampler_.on_packet_acked(now(), pn);
     if (sample.bandwidth > best_bw) {
       best_bw = sample.bandwidth;
       bw_app_limited = sample.app_limited;
@@ -469,7 +469,7 @@ void Connection::handle_ack(const AckFrame& ack) {
   // RTT sample only when the largest acked packet is newly acked.
   if (largest_newly_acked == ack.largest_acked &&
       largest_sent_time != kNoTime) {
-    rtt_.on_sample(loop_.now() - largest_sent_time, ack.ack_delay);
+    rtt_.on_sample(now() - largest_sent_time, ack.ack_delay);
   }
 
   detect_losses(ack.largest_acked, event.lost);
@@ -521,7 +521,7 @@ void Connection::detect_losses(PacketNumber largest_acked,
         largest_acked - pn >= static_cast<PacketNumber>(
                                   kPacketReorderingThreshold);
     const TimeNs lost_at = info.sent_time + time_threshold;
-    const bool time_thresh = loop_.now() >= lost_at;
+    const bool time_thresh = now() >= lost_at;
     if (packet_thresh || time_thresh) {
       lost.push_back(cc::LostPacket{pn, info.bytes});
       on_packet_lost_internal(pn, info);
@@ -589,7 +589,7 @@ void Connection::on_loss_timer() {
   event.lost.clear();
   detect_losses(largest_acked_, event.lost);
   if (!event.lost.empty()) {
-    event.now = loop_.now();
+    event.now = now();
     event.prior_bytes_in_flight = bytes_in_flight_;
     event.latest_rtt = rtt_.latest();
     event.min_rtt = rtt_.min();
@@ -641,7 +641,7 @@ void Connection::on_pto() {
     send_packet(std::move(p), /*bypass_pacer=*/true);
   }
   if (pto_count_ >= 2) {
-    cc_->on_retransmission_timeout(loop_.now());
+    cc_->on_retransmission_timeout(now());
     trace_cc_state();
   }
   arm_pto();

@@ -19,6 +19,7 @@
 
 #include "cc/bandwidth_sampler.h"
 #include "cc/congestion_controller.h"
+#include "net/clock.h"
 #include "quic/handshake.h"
 #include "quic/packet.h"
 #include "quic/pacer.h"
@@ -135,6 +136,14 @@ class Connection {
   /// not own it; it must outlive the connection's activity.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Overrides the connection's time source (nullptr = loop clock, the
+  /// default and the simulation behaviour).  The real-socket runtime
+  /// passes a net::MonotonicClock so timestamps — RTT samples, pacer
+  /// gating, trace times — read the kernel clock at the instant of the
+  /// call instead of the loop's last-advance time.  The override must
+  /// share the loop's timebase (net/clock.h) and outlive the connection.
+  void set_clock(const net::Clock* clock) { clock_ = clock; }
+
  private:
   struct StreamRef {
     StreamId stream_id;
@@ -193,7 +202,11 @@ class Connection {
   /// Erases `*it`, stashing its node for reuse; returns the next iterator.
   SentMap::iterator release_sent_node(SentMap::iterator it);
 
+  /// Current time through the optional clock override (see set_clock).
+  TimeNs now() const { return clock_ != nullptr ? clock_->now() : loop_.now(); }
+
   sim::EventLoop& loop_;
+  const net::Clock* clock_ = nullptr;
   ConnectionConfig config_;
   SendDatagramFn send_datagram_;
 
@@ -254,7 +267,7 @@ class Connection {
   const char* last_cc_state_ = nullptr;  ///< last state traced (literal)
   void trace(trace::EventType type, uint64_t a = 0, uint64_t b = 0,
              std::string detail = {}) {
-    if (tracer_) tracer_->record(loop_.now(), type, a, b, std::move(detail));
+    if (tracer_) tracer_->record(now(), type, a, b, std::move(detail));
   }
   /// Emits kCcStateChanged when the controller's state-machine position
   /// moved since the last call (first call emits the initial state).

@@ -115,4 +115,9 @@ size_t EventLoop::run(size_t max_events) {
   return executed;
 }
 
+TimeNs EventLoop::next_event_time() {
+  skip_cancelled();
+  return queue_.empty() ? kNoEvent : queue_.top().when;
+}
+
 }  // namespace wira::sim

@@ -85,6 +85,13 @@ class EventLoop {
   /// Number of scheduled events that are neither run nor cancelled.
   size_t pending() const { return live_; }
 
+  /// Absolute time of the earliest live event, or kNoEvent when the queue
+  /// is empty.  This is what lets a real-time driver (net::EpollRuntime)
+  /// use the loop as its timer wheel: run_until(clock-now) fires everything
+  /// due, next_event_time() says how long the driver may sleep.
+  static constexpr TimeNs kNoEvent = INT64_MAX;
+  TimeNs next_event_time();
+
   /// Scratch byte-buffer pool shared by everything driven by this loop.
   util::BufferPool& buffers() { return buffers_; }
 

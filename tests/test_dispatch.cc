@@ -382,5 +382,110 @@ TEST(Dispatch, StreamRetrySurvivesDeadWorker) {
   EXPECT_TRUE(records_equal(run_population(clean), sink.records()));
 }
 
+// ---------------------------------------------------------------------------
+// Connect-phase failures (endpoint unreachable / tarpit): the dispatcher
+// must classify them as named shard deaths — not abort the sweep with a
+// raw throw — so --retry-dead-shards can salvage the assignment.
+
+// A loopback listener whose accept queue is saturated: SYNs to it are
+// dropped, so connect() hangs until the client's own timeout.  Keeps the
+// queue-filling sockets open for its lifetime.
+struct TarpitListener {
+  int listen_fd = -1;
+  std::vector<int> fillers;
+  std::string endpoint;
+
+  TarpitListener() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    EXPECT_EQ(::listen(listen_fd, 0), 0);  // minimal backlog, never accepts
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    endpoint = "127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+    for (int i = 0; i < 4; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      ::connect(fd, reinterpret_cast<sockaddr*>(&bound), sizeof bound);
+      fillers.push_back(fd);
+    }
+  }
+  ~TarpitListener() {
+    for (const int fd : fillers) ::close(fd);
+    ::close(listen_fd);
+  }
+};
+
+TEST(Dispatch, ConnectTimeoutIsNamedShardDeath) {
+  const TarpitListener tarpit;
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 6;
+  cfg.chunk = 6;
+  cfg.workers = {tarpit.endpoint};
+  cfg.connect_timeout_ms = 300;
+  try {
+    run_population(cfg);
+    FAIL() << "expected PopulationShardError";
+  } catch (const PopulationShardError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out after 300 ms"),
+              std::string::npos)
+        << e.what();
+    ASSERT_EQ(e.deaths.size(), 1u);
+    EXPECT_EQ(e.deaths[0].worker, 0);
+  }
+}
+
+TEST(Dispatch, ConnectTimeoutIsSalvagedByRetry) {
+  const TarpitListener tarpit;
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 12;
+  cfg.chunk = 6;
+  cfg.workers = {tarpit.endpoint};
+  cfg.connect_timeout_ms = 300;
+  cfg.retry_dead_shards = true;
+  const auto salvaged = run_population(cfg);
+
+  PopulationConfig clean = cfg;
+  clean.workers.clear();
+  clean.retry_dead_shards = false;
+  EXPECT_TRUE(records_equal(run_population(clean), salvaged));
+}
+
+TEST(Dispatch, ConnectRefusedIsNamedShardDeath) {
+  // A port with nothing bound: connect() fails fast with ECONNREFUSED,
+  // which must surface as a named death, not an aborting throw.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(probe, reinterpret_cast<sockaddr*>(&bound), &len);
+  const std::string dead_ep =
+      "127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+  ::close(probe);  // bound-but-closed: the port is now free and refusing
+
+  PopulationConfig cfg = small_config(23);
+  cfg.sessions = 6;
+  cfg.chunk = 6;
+  cfg.workers = {dead_ep};
+  try {
+    run_population(cfg);
+    FAIL() << "expected PopulationShardError";
+  } catch (const PopulationShardError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot connect to " + dead_ep),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace wira::exp

@@ -476,5 +476,94 @@ TEST(MiniHttp, SequentialScrapesReuseTheListener) {
   EXPECT_EQ(server.requests_served(), 3u);
 }
 
+// Regression: a client that sends its full request and then shuts down
+// its write side (legal one-shot HTTP) used to be dropped — read()==0
+// closed the connection even though a complete request sat buffered.
+TEST(MiniHttp, HalfClosedRequestIsStillServed) {
+  MiniHttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+  server.set_handler([](const std::string&) {
+    MiniHttpServer::Response r;
+    r.body = "hello\n";
+    return r;
+  });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);  // EOF arrives with the request
+
+  std::string response;
+  char buf[4096];
+  for (int i = 0; i < 1000 && response.find("hello") == std::string::npos;
+       ++i) {
+    server.poll(1);
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("hello"), std::string::npos) << response;
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+// Regression: a slow reader (tiny SO_RCVBUF, draining in small sips) must
+// never stall the server — every EAGAIN on the write path re-arms the fd
+// for EPOLLOUT until the full body is flushed.
+TEST(MiniHttp, SlowReaderDrainsLargeBody) {
+  constexpr size_t kBody = 4 * 1024 * 1024;
+  MiniHttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;
+  server.set_handler([](const std::string&) {
+    MiniHttpServer::Response r;
+    r.body.assign(kBody, 'x');
+    return r;
+  });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::string request = "GET /big HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  size_t received = 0;
+  bool closed = false;
+  char buf[64 * 1024];
+  for (int i = 0; i < 200000 && !closed; ++i) {
+    server.poll(0);
+    // One sip per tick: the kernel-side window stays small, so the
+    // server hits EAGAIN repeatedly while the body drains.
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+    } else if (n == 0) {
+      closed = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(closed) << "server never finished the body";
+  EXPECT_GT(received, kBody);  // headers + full body
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
 }  // namespace
 }  // namespace wira::obs

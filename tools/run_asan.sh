@@ -95,14 +95,14 @@ for _ in $(seq 50); do
     && break
   sleep 0.1
 done
-wport1="$(cat "${build_dir}/workerd1.port")"
-wport2="$(cat "${build_dir}/workerd2.port")"
+wep1="$(cat "${build_dir}/workerd1.port")"
+wep2="$(cat "${build_dir}/workerd2.port")"
 "${build_dir}/bench/fig11_overall" 40 3 \
   --metrics-out "${build_dir}/fig11_serial_metrics.jsonl" \
   > "${build_dir}/fig11_serial.txt"
 for chunk in 1 8; do
   "${build_dir}/bench/fig11_overall" 40 3 --chunk "${chunk}" \
-    --workers "127.0.0.1:${wport1},127.0.0.1:${wport2}" \
+    --workers "${wep1},${wep2}" \
     --metrics-out "${build_dir}/fig11_tcp_metrics.jsonl" \
     > "${build_dir}/fig11_tcp.txt"
   diff "${build_dir}/fig11_serial.txt" "${build_dir}/fig11_tcp.txt"
@@ -113,4 +113,25 @@ kill "${workerd1_pid}" "${workerd2_pid}"
 wait "${workerd1_pid}" "${workerd2_pid}" || true
 trap - EXIT
 echo "sanitized loopback dispatch sweep passed"
+
+# Real-socket serving mode under the sanitizers: wira_proxyd serves all
+# four schemes over loopback UDP while a sanitized wira_loadgen runs a
+# small concurrent population against it.  This is the epoll runtime,
+# the UDP demux, and the whole QUIC stack on real sockets with ASan
+# watching both processes; LSan audits the daemon's SIGTERM teardown.
+"${build_dir}/tools/wira_proxyd" \
+  --port-file "${build_dir}/proxyd.port" 2> "${build_dir}/proxyd.log" &
+proxyd_pid=$!
+trap 'kill "${proxyd_pid}" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  [[ -s "${build_dir}/proxyd.port" ]] && break
+  sleep 0.1
+done
+"${build_dir}/tools/wira_loadgen" --ports "${build_dir}/proxyd.port" \
+  --sessions 10 --timeout-ms 120000 > "${build_dir}/loadgen.json"
+kill "${proxyd_pid}"
+wait "${proxyd_pid}" || true
+trap - EXIT
+grep -q '"handshake_failures": 0' "${build_dir}/loadgen.json"
+echo "sanitized proxyd/loadgen loopback pass passed"
 echo "sanitizer gate passed"

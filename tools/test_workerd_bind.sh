@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Regression test for wira_workerd --bind and the ADDR:PORT port-file
+# format: the default stays loopback-only, --bind accepts a wildcard and
+# a hostname, the bound address shows up in both the startup line and
+# the port file, and a bad address fails with a clear error.
+#
+# Usage: test_workerd_bind.sh <path-to-wira_workerd>
+set -euo pipefail
+
+workerd="${1:?usage: $0 <wira_workerd>}"
+out="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
+  rm -rf "${out}"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+wait_port_file() {  # wait_port_file FILE
+  for _ in $(seq 50); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.1
+  done
+  fail "port file $1 never appeared"
+}
+
+# 1. Default bind is loopback; port file is a single ADDR:PORT line that
+#    matches the startup log line.
+"${workerd}" --listen 0 --port-file "${out}/default.port" \
+  > "${out}/default.log" 2>&1 &
+pids+=("$!")
+wait_port_file "${out}/default.port"
+ep="$(cat "${out}/default.port")"
+[[ "${ep}" =~ ^127\.0\.0\.1:[0-9]+$ ]] ||
+  fail "default port file '${ep}' is not 127.0.0.1:PORT"
+grep -q "listening on ${ep}\$" "${out}/default.log" ||
+  fail "startup line does not name ${ep}: $(cat "${out}/default.log")"
+
+# 2. --bind 0.0.0.0 is honoured and reported.
+"${workerd}" --bind 0.0.0.0 --listen 0 --port-file "${out}/any.port" \
+  > "${out}/any.log" 2>&1 &
+pids+=("$!")
+wait_port_file "${out}/any.port"
+ep="$(cat "${out}/any.port")"
+[[ "${ep}" =~ ^0\.0\.0\.0:[0-9]+$ ]] ||
+  fail "--bind 0.0.0.0 port file '${ep}' is not 0.0.0.0:PORT"
+grep -q "listening on ${ep}\$" "${out}/any.log" ||
+  fail "startup line does not name ${ep}: $(cat "${out}/any.log")"
+
+# 3. Hostnames resolve through getaddrinfo.
+"${workerd}" --bind localhost --listen 0 --port-file "${out}/name.port" \
+  > "${out}/name.log" 2>&1 &
+pids+=("$!")
+wait_port_file "${out}/name.port"
+ep="$(cat "${out}/name.port")"
+[[ "${ep}" =~ ^127\.0\.0\.1:[0-9]+$ ]] ||
+  fail "--bind localhost resolved to '${ep}', want 127.0.0.1:PORT"
+
+# 4. An unresolvable address fails fast with a named error, no port file.
+if "${workerd}" --bind no.such.host.invalid --listen 0 \
+    --port-file "${out}/bad.port" > "${out}/bad.log" 2>&1; then
+  fail "--bind no.such.host.invalid unexpectedly succeeded"
+fi
+grep -q -- "--bind no.such.host.invalid" "${out}/bad.log" ||
+  fail "error does not name the bad address: $(cat "${out}/bad.log")"
+[[ -e "${out}/bad.port" ]] && fail "port file written despite bind failure"
+
+echo "test_workerd_bind: all checks passed"

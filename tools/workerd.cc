@@ -16,7 +16,12 @@
 //
 //   wira_workerd --listen 0 --port-file /tmp/worker.port
 //   wira_workerd --listen 9701 --once   # serve one sweep, then exit
+//   wira_workerd --bind 0.0.0.0 --listen 9701   # reachable off-host
+//
+// --port-file holds the bound endpoint as a single ADDR:PORT line — the
+// exact token run_population's --workers flag consumes.
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -39,6 +44,7 @@ void on_signal(int) { g_stop = 1; }
 
 struct Args {
   std::string port_file;
+  std::string bind = "127.0.0.1";  ///< listen address (getaddrinfo form)
   uint16_t listen = 0;  ///< 0 = kernel-assigned ephemeral port
   bool once = false;    ///< serve a single connection, then exit
 };
@@ -46,7 +52,8 @@ struct Args {
 [[noreturn]] void usage(const char* prog, const char* msg) {
   std::fprintf(stderr,
                "error: %s\n"
-               "usage: %s [--listen PORT] [--port-file FILE] [--once]\n",
+               "usage: %s [--bind ADDR] [--listen PORT] [--port-file FILE]"
+               " [--once]\n",
                msg, prog);
   std::exit(2);
 }
@@ -67,6 +74,8 @@ Args parse_args(int argc, char** argv) {
         usage(argv[0], "--listen must be a port number (0-65535)");
       }
       a.listen = static_cast<uint16_t>(port);
+    } else if (const char* v = value("--bind")) {
+      a.bind = v;
     } else if (const char* v = value("--port-file")) {
       a.port_file = v;
     } else if (std::strcmp(arg, "--once") == 0) {
@@ -94,9 +103,24 @@ int main(int argc, char** argv) {
   }
   const int one = 1;
   ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* resolved = nullptr;
+  const int gai =
+      ::getaddrinfo(args.bind.c_str(), nullptr, &hints, &resolved);
+  if (gai != 0 || resolved == nullptr ||
+      resolved->ai_addrlen > sizeof(struct sockaddr_in)) {
+    std::fprintf(stderr, "wira_workerd: --bind %s: %s\n", args.bind.c_str(),
+                 gai != 0 ? ::gai_strerror(gai) : "not an IPv4 address");
+    if (resolved != nullptr) ::freeaddrinfo(resolved);
+    ::close(listen_fd);
+    return 1;
+  }
   struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::memcpy(&addr, resolved->ai_addr, resolved->ai_addrlen);
+  ::freeaddrinfo(resolved);
   addr.sin_port = htons(args.listen);
   if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
@@ -110,6 +134,8 @@ int main(int argc, char** argv) {
   ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&bound),
                 &bound_len);
   const unsigned port = ntohs(bound.sin_port);
+  char bound_addr[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &bound.sin_addr, bound_addr, sizeof(bound_addr));
 
   if (!args.port_file.empty()) {
     std::FILE* f = std::fopen(args.port_file.c_str(), "w");
@@ -119,10 +145,11 @@ int main(int argc, char** argv) {
       ::close(listen_fd);
       return 1;
     }
-    std::fprintf(f, "%u\n", port);
+    std::fprintf(f, "%s:%u\n", bound_addr, port);
     std::fclose(f);
   }
-  std::fprintf(stderr, "wira_workerd: listening on 127.0.0.1:%u\n", port);
+  std::fprintf(stderr, "wira_workerd: listening on %s:%u\n", bound_addr,
+               port);
 
   int exit_code = 0;
   while (g_stop == 0) {
